@@ -1,0 +1,186 @@
+// Ablation benches for the design choices DESIGN.md calls out, beyond the
+// paper's own Table 4:
+//   1. anchor count for the detection head (the paper chose 2);
+//   2. where the bypass taps the backbone (the paper taps Bundle #3);
+//   3. channel width scaling (accuracy/latency trade of the whole family);
+//   4. hardware knobs: double-pumped DSP, tiling count, quantisation bits
+//      (analytic, via the FPGA model).
+#include "bench_common.hpp"
+#include "data/synth_detection.hpp"
+#include "hwsim/fpga_model.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dwconv.hpp"
+#include "nn/pooling.hpp"
+#include "nn/pwconv.hpp"
+#include "nn/space_to_depth.hpp"
+#include "skynet/skynet_model.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace sky;
+
+/// SkyNet-like net with a configurable bypass tap (0 = no bypass,
+/// 2 / 3 = reorder the output of that bundle into the final concat).
+/// Mirrors skynet_model.cpp's builder at reduced width.
+struct TapNet {
+    std::unique_ptr<nn::Graph> net;
+};
+
+int add_bundle(nn::Graph& g, int in_node, int in_ch, int out_ch, Rng& rng) {
+    int n = g.add(std::make_unique<nn::DWConv3>(in_ch, rng), in_node);
+    n = g.add(std::make_unique<nn::BatchNorm2d>(in_ch), n);
+    n = g.add(std::make_unique<nn::Activation>(nn::Act::kReLU6), n);
+    n = g.add(std::make_unique<nn::PWConv1>(in_ch, out_ch, false, rng), n);
+    n = g.add(std::make_unique<nn::BatchNorm2d>(out_ch), n);
+    n = g.add(std::make_unique<nn::Activation>(nn::Act::kReLU6), n);
+    return n;
+}
+
+TapNet build_tap_net(int tap, Rng& rng) {
+    const int c1 = 12, c2 = 24, c3 = 48, c4 = 96, c5 = 128;
+    TapNet t;
+    t.net = std::make_unique<nn::Graph>();
+    nn::Graph& g = *t.net;
+    int n = add_bundle(g, g.input(), 3, c1, rng);
+    n = g.add(std::make_unique<nn::MaxPool2>(), n);
+    const int b2 = add_bundle(g, n, c1, c2, rng);
+    n = g.add(std::make_unique<nn::MaxPool2>(), b2);
+    const int b3 = add_bundle(g, n, c2, c3, rng);
+    n = g.add(std::make_unique<nn::MaxPool2>(), b3);
+    n = add_bundle(g, n, c3, c4, rng);
+    const int b5 = add_bundle(g, n, c4, c5, rng);
+    int feat = b5;
+    int feat_ch = c5;
+    if (tap == 2) {
+        // Bundle #2 output is stride 4 = 4x the final resolution: two
+        // reorder steps (4x4 block) bring it into register.
+        int r = g.add(std::make_unique<nn::SpaceToDepth>(2), b2);
+        r = g.add(std::make_unique<nn::SpaceToDepth>(2), r);
+        const int cat = g.add_concat({b5, r});
+        feat = add_bundle(g, cat, c5 + 16 * c2, 48, rng);
+        feat_ch = 48;
+    } else if (tap == 3) {
+        const int r = g.add(std::make_unique<nn::SpaceToDepth>(2), b3);
+        const int cat = g.add_concat({b5, r});
+        feat = add_bundle(g, cat, c5 + 4 * c3, 48, rng);
+        feat_ch = 48;
+    }
+    const int out = g.add(std::make_unique<nn::PWConv1>(feat_ch, 10, true, rng), feat);
+    g.set_output(out);
+    return t;
+}
+
+}  // namespace
+
+int main() {
+    using namespace sky;
+    const int steps = bench::steps(180);
+
+    // ---------------- 1. anchor count ----------------
+    std::printf("=== Ablation 1: detection-head anchor count (paper uses 2) ===\n\n");
+    std::printf("%8s %12s %9s\n", "anchors", "head params", "IoU");
+    bench::rule();
+    for (int anchors : {1, 2, 4}) {
+        Rng rng(42);
+        SkyNetModel m =
+            build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, anchors, 0.25f}, rng);
+        // Anchors spread between small and medium per the Fig. 6 stats.
+        std::vector<detect::Anchor> a;
+        for (int i = 0; i < anchors; ++i) {
+            const float s = 0.05f + 0.22f * static_cast<float>(i) /
+                                        static_cast<float>(std::max(1, anchors - 1));
+            a.push_back({s, s * 1.4f});
+        }
+        m.head = detect::YoloHead(a);
+        data::DetectionDataset ds({48, 96, 2, true, 7});
+        train::DetectTrainConfig cfg;
+        cfg.steps = steps;
+        cfg.batch = 8;
+        cfg.val_images = 96;
+        Rng tr(9);
+        const double iou = train::train_detector(*m.net, m.head, ds, cfg, tr).val_iou;
+        std::printf("%8d %12d %9.3f\n", anchors, 5 * anchors, iou);
+    }
+
+    // ---------------- 2. bypass tap position ----------------
+    std::printf("\n=== Ablation 2: bypass tap position (paper taps Bundle #3) ===\n\n");
+    std::printf("%12s %9s %12s\n", "tap", "IoU", "FPGA ms");
+    bench::rule();
+    hwsim::FpgaModel u96(hwsim::ultra96());
+    const detect::YoloHead head;
+    for (int tap : {0, 2, 3}) {
+        Rng rng(42);
+        TapNet t = build_tap_net(tap, rng);
+        data::DetectionDataset ds({48, 96, 2, true, 7});
+        train::DetectTrainConfig cfg;
+        cfg.steps = steps;
+        cfg.batch = 8;
+        cfg.val_images = 96;
+        Rng tr(9);
+        const double iou = train::train_detector(*t.net, head, ds, cfg, tr).val_iou;
+        const double lat = u96.estimate(*t.net, {1, 3, 48, 96}).latency_ms;
+        std::printf("%12s %9.3f %12.2f\n",
+                    tap == 0 ? "none" : (tap == 2 ? "bundle #2" : "bundle #3"), iou, lat);
+    }
+
+    // ---------------- 3. width sweep ----------------
+    std::printf("\n=== Ablation 3: channel width (accuracy vs model cost) ===\n\n");
+    std::printf("%8s %10s %10s %9s\n", "width", "params M", "GMACs", "IoU");
+    bench::rule();
+    for (float w : {0.15f, 0.25f, 0.4f}) {
+        Rng rng(42);
+        SkyNetModel m = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, w}, rng);
+        data::DetectionDataset ds({48, 96, 2, true, 7});
+        train::DetectTrainConfig cfg;
+        cfg.steps = steps;
+        cfg.batch = 8;
+        cfg.val_images = 96;
+        Rng tr(9);
+        const double iou = train::train_detector(*m.net, m.head, ds, cfg, tr).val_iou;
+        std::printf("%8.2f %10.3f %10.3f %9.3f\n", w, m.param_count() / 1e6,
+                    m.net->macs({1, 3, 48, 96}) / 1e9, iou);
+    }
+
+    // ---------------- 4. hardware knobs (analytic) ----------------
+    std::printf("\n=== Ablation 4: FPGA knobs on full-width SkyNet (Ultra96) ===\n\n");
+    Rng rng(1);
+    SkyNetModel full = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 1.0f}, rng);
+    const Shape in{1, 3, 160, 320};
+    std::printf("%-34s %6s %6s %6s %8s\n", "configuration", "DSP", "BRAM", "P", "FPS");
+    bench::rule();
+    struct Knob {
+        const char* name;
+        hwsim::FpgaBuildConfig cfg;
+    };
+    const Knob knobs[] = {
+        {"scheme 1 (11/9), tile 4", {11, 9, false, 4, 1.0}},
+        {"scheme 1 + double-pumped DSP", {11, 9, true, 4, 1.0}},
+        {"scheme 1, no tiling (tile 1)", {11, 9, false, 1, 1.0}},
+        {"8/8 bits, tile 4", {8, 8, false, 4, 1.0}},
+        {"16/16 bits, tile 4", {16, 16, false, 4, 1.0}},
+        {"float32 datapath", {0, 0, false, 4, 1.0}},
+    };
+    for (const Knob& k : knobs) {
+        const hwsim::FpgaEstimate est = u96.estimate(*full.net, in, k.cfg);
+        std::printf("%-34s %6d %6d %6d %8.2f\n", k.name, est.resources.dsp,
+                    est.resources.bram18k, est.parallelism, est.fps);
+    }
+    // ---------------- 5. design-space curve ----------------
+    std::printf("\n=== Ablation 5: IP parallelism design space (scheme 1) ===\n\n");
+    std::printf("%8s %6s %6s %8s %10s %6s\n", "P", "DSP", "BRAM", "LUT", "ms/img", "fits");
+    bench::rule();
+    for (const hwsim::FpgaEstimate& p :
+         u96.design_space(*full.net, in, {11, 9, false, 1, 1.0}))
+        std::printf("%8d %6d %6d %8lld %10.2f %6s\n", p.parallelism, p.resources.dsp,
+                    p.resources.bram18k, static_cast<long long>(p.resources.lut),
+                    p.latency_ms, p.resources.fits ? "yes" : "no");
+
+    std::printf("\nnotes: the trained sweeps (1-3) are exploratory — at short budgets\n"
+                "their orderings are noisy (run with SKYNET_BENCH_SCALE>=2 for stable\n"
+                "trends); both bypass taps should beat no-bypass, and IoU should grow\n"
+                "then saturate with width.  The analytic sweeps (4-5) are exact:\n"
+                "double-pumping/low bits buy parallelism, float32 collapses it, and\n"
+                "latency scales ~1/P until LUT/DSP infeasibility.\n");
+    return 0;
+}

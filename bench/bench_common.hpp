@@ -1,0 +1,27 @@
+// Shared helpers for the table/figure benches: an environment-controlled
+// step budget (SKYNET_BENCH_SCALE multiplies every training budget, default
+// 1.0) and small printing utilities.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sky::bench {
+
+/// Scaled training budget: `base` steps times the SKYNET_BENCH_SCALE env
+/// var (e.g. 0.1 for a smoke run, 4 for a long run).
+inline int steps(int base) {
+    if (const char* env = std::getenv("SKYNET_BENCH_SCALE")) {
+        const double scale = std::atof(env);
+        if (scale > 0.0) return static_cast<int>(base * scale) + 1;
+    }
+    return base;
+}
+
+inline void rule(char c = '-', int n = 72) {
+    for (int i = 0; i < n; ++i) std::putchar(c);
+    std::putchar('\n');
+}
+
+}  // namespace sky::bench

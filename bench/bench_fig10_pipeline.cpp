@@ -1,0 +1,105 @@
+// Figures 9 & 10 / §6.3-6.4: system-level pipelining and the tiling+batch
+// scheme.
+//
+// Paper: merging fetch+pre-process and overlapping all stages with
+// multithreading gives a 3.35x speedup on TX2 (peaking at 67.33 FPS); the
+// Ultra96 design overlaps pre-process / inference / post-process on
+// CPU+FPGA to reach 25.05 FPS; the Fig. 9 tiling+batch scheme removes
+// buffer waste so a 4-image tile shares one FM buffer.
+#include <algorithm>
+
+#include "backbones/registry.hpp"
+#include "bench_common.hpp"
+#include "hwsim/fpga_model.hpp"
+#include "hwsim/gpu_model.hpp"
+#include "hwsim/pipeline.hpp"
+#include "skynet/skynet_model.hpp"
+
+int main() {
+    using namespace sky;
+    Rng rng(1);
+    SkyNetModel model = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 1.0f}, rng);
+    const Shape in{1, 3, 160, 320};
+
+    // ---- TX2 (Fig. 10 top): 4 stages, merge 1-2, overlap everything.
+    hwsim::GpuModel tx2(hwsim::tx2());
+    const hwsim::GpuEstimate g = tx2.estimate(*model.net, in, {4, false});
+    // Serial-stage costs per batch of 4 (profiled with L4T in the paper);
+    // multithreading then both overlaps the stages and spreads the CPU-side
+    // work over the TX2's four big cores.
+    std::vector<hwsim::PipelineStage> stages = {{"fetch", 36.0},
+                                                {"pre-process", 46.0},
+                                                {"inference", g.latency_ms},
+                                                {"post-process", 34.0}};
+    std::printf("=== Fig. 10 (TX2): serial vs merged+pipelined execution ===\n\n");
+    double serial = 0.0;
+    for (const auto& s : stages) {
+        std::printf("  stage %-12s %6.2f ms/batch4\n", s.name.c_str(), s.latency_ms);
+        serial += s.latency_ms;
+    }
+    auto merged = hwsim::merge_stages(stages, 0, 2);
+    merged[0].latency_ms /= 4.0;  // multithreaded fetch+pre-process
+    merged[2].latency_ms /= 4.0;  // multithreaded post-process
+    const hwsim::PipelineReport rep = hwsim::simulate_pipeline(merged, 4, 500);
+    std::printf("\n  serial:    %6.2f ms/batch -> %6.2f FPS\n", serial,
+                4e3 / serial);
+    std::printf("  pipelined: %6.2f ms/batch -> %6.2f FPS  (speedup %.2fx)\n",
+                rep.pipelined_ms_per_batch, rep.pipelined_fps,
+                serial / rep.pipelined_ms_per_batch);
+    std::printf("  paper:     3.35x speedup, 67.33 FPS peak\n\n");
+
+    // ---- Ultra96 (Fig. 10 bottom): CPU pre/post + FPGA inference overlap.
+    hwsim::FpgaModel u96(hwsim::ultra96());
+    const hwsim::FpgaEstimate f = u96.estimate(*model.net, in, {11, 9, false, 4, 1.0});
+    std::vector<hwsim::PipelineStage> fstages = {{"pre-process (CPU)", 28.0},
+                                                 {"SkyNet inference (FPGA)", f.latency_ms},
+                                                 {"post-process (CPU)", 22.0}};
+    std::printf("=== Fig. 10 (Ultra96): CPU/FPGA task partition ===\n\n");
+    double fserial = 0.0;
+    for (const auto& s : fstages) {
+        std::printf("  stage %-24s %6.2f ms/tile4\n", s.name.c_str(), s.latency_ms);
+        fserial += s.latency_ms;
+    }
+    const hwsim::PipelineReport frep = hwsim::simulate_pipeline(fstages, 4, 500);
+    std::printf("\n  serial:    %6.2f FPS;  pipelined: %6.2f FPS (speedup %.2fx)\n",
+                4e3 / fserial, frep.pipelined_fps, frep.speedup);
+    std::printf("  paper:     25.05 FPS with all three tasks overlapped\n\n");
+
+    // ---- Fig. 9: tiling+batch vs naive batching.
+    // Naive batching buffers all four images' feature maps at once (4x the
+    // shared buffer); the tiling scheme streams them through the same
+    // buffer.  The weight-reuse benefit shows on weight-heavy networks.
+    std::printf("=== Fig. 9: input tiling+batch scheme (shared FM buffer) ===\n\n");
+    std::vector<nn::LayerInfo> layers;
+    model.net->enumerate(in, layers);
+    // Buffer demand without the scheme: a batch of 4 must double-buffer four
+    // images' largest feature map at once.
+    std::int64_t max_fm = 0;
+    std::int64_t weight_params = 0;
+    for (const auto& li : layers) {
+        max_fm = std::max({max_fm, li.in.count(), li.out.count()});
+        weight_params += li.params;
+    }
+    const double naive_bits = 2.0 * 4.0 * static_cast<double>(max_fm) * 9;
+    const int bram_naive = static_cast<int>(naive_bits / (18.0 * 1024.0) + 1);
+    const hwsim::FpgaBuildConfig q{11, 9, false, 4, 1.0};
+    const int bram_tiled = u96.estimate_layers(layers, q).resources.bram18k;
+    std::printf("  SkyNet batch 4:  naive buffering needs >= %d BRAM18K, tiled design"
+                " uses %d (budget %d)\n\n",
+                bram_naive, bram_tiled, hwsim::ultra96().bram18k_total);
+
+    std::printf("  weight reuse (weights stream once per macro-image):\n");
+    std::printf("%10s %22s %10s\n", "tile", "weight DRAM MB/img", "FPS");
+    bench::rule();
+    for (int tile : {1, 2, 4}) {
+        const hwsim::FpgaEstimate e = u96.estimate(*model.net, in, {11, 9, false, tile, 1.0});
+        const double w_mb = static_cast<double>(weight_params) * 11 / 8.0 / 1e6 / tile;
+        std::printf("%10d %22.2f %10.2f\n", tile, w_mb, e.fps);
+    }
+    std::printf("\nshape check: tiling keeps the shared buffer at its single-image size\n"
+                "(naive batch-4 buffering would need ~%dx more BRAM than the budget\n"
+                "allows for feature maps) while weight traffic per image falls with the\n"
+                "tile count — the Fig. 9 data-reuse benefit.\n",
+                std::max(1, bram_naive / std::max(1, bram_tiled)));
+    return 0;
+}

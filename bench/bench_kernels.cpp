@@ -1,0 +1,95 @@
+// Google-benchmark microbenchmarks for the layer kernels SkyNet is built
+// from.  These show on real silicon what the paper's Bundle choice exploits:
+// DW-Conv3 + PW-Conv1 does an order of magnitude less work than a dense
+// 3x3 convolution at equal width.
+#include <benchmark/benchmark.h>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/dwconv.hpp"
+#include "nn/pooling.hpp"
+#include "nn/pwconv.hpp"
+#include "nn/space_to_depth.hpp"
+
+namespace {
+
+using namespace sky;
+
+Tensor make_input(int c, int h, int w) {
+    Rng rng(1);
+    Tensor x({1, c, h, w});
+    x.randn(rng);
+    return x;
+}
+
+void BM_Conv3x3(benchmark::State& state) {
+    const int ch = static_cast<int>(state.range(0));
+    Rng rng(2);
+    nn::Conv2d conv(ch, ch, 3, 1, 1, false, rng);
+    conv.set_training(false);
+    Tensor x = make_input(ch, 40, 80);
+    for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+    state.SetItemsProcessed(state.iterations() * conv.macs(x.shape()));
+}
+BENCHMARK(BM_Conv3x3)->Arg(48)->Arg(96);
+
+void BM_DWConv3(benchmark::State& state) {
+    const int ch = static_cast<int>(state.range(0));
+    Rng rng(3);
+    nn::DWConv3 conv(ch, rng);
+    conv.set_training(false);
+    Tensor x = make_input(ch, 40, 80);
+    for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+    state.SetItemsProcessed(state.iterations() * conv.macs(x.shape()));
+}
+BENCHMARK(BM_DWConv3)->Arg(48)->Arg(96);
+
+void BM_PWConv1(benchmark::State& state) {
+    const int ch = static_cast<int>(state.range(0));
+    Rng rng(4);
+    nn::PWConv1 conv(ch, ch, false, rng);
+    conv.set_training(false);
+    Tensor x = make_input(ch, 40, 80);
+    for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+    state.SetItemsProcessed(state.iterations() * conv.macs(x.shape()));
+}
+BENCHMARK(BM_PWConv1)->Arg(48)->Arg(96);
+
+void BM_Bundle_DW_PW(benchmark::State& state) {
+    // The full SkyNet Bundle at channel width 48 (Bundle #1 scale).
+    const int ch = static_cast<int>(state.range(0));
+    Rng rng(5);
+    nn::DWConv3 dw(ch, rng);
+    nn::PWConv1 pw(ch, ch * 2, false, rng);
+    dw.set_training(false);
+    pw.set_training(false);
+    Tensor x = make_input(ch, 40, 80);
+    for (auto _ : state) benchmark::DoNotOptimize(pw.forward(dw.forward(x)));
+}
+BENCHMARK(BM_Bundle_DW_PW)->Arg(48);
+
+void BM_BatchNormEval(benchmark::State& state) {
+    nn::BatchNorm2d bn(96);
+    bn.set_training(false);
+    Tensor x = make_input(96, 40, 80);
+    for (auto _ : state) benchmark::DoNotOptimize(bn.forward(x));
+}
+BENCHMARK(BM_BatchNormEval);
+
+void BM_MaxPool2(benchmark::State& state) {
+    nn::MaxPool2 pool;
+    Tensor x = make_input(96, 40, 80);
+    for (auto _ : state) benchmark::DoNotOptimize(pool.forward(x));
+}
+BENCHMARK(BM_MaxPool2);
+
+void BM_SpaceToDepth(benchmark::State& state) {
+    nn::SpaceToDepth s2d(2);
+    Tensor x = make_input(192, 40, 80);
+    for (auto _ : state) benchmark::DoNotOptimize(s2d.forward(x));
+}
+BENCHMARK(BM_SpaceToDepth);
+
+}  // namespace
+
+BENCHMARK_MAIN();

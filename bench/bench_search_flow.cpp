@@ -1,0 +1,67 @@
+// Figure 3 / Algorithm 1: the bottom-up design flow itself, end to end.
+//
+// Stage 1 evaluates the Bundle pool (per-bundle FPGA latency/resources and
+// fast-trained sketch accuracy) and marks the Pareto frontier; Stage 2 runs
+// the group-based PSO over the selected bundles (fitness Eq. 1); Stage 3
+// measures the feature additions (bypass + FM reordering, ReLU6) that turn
+// the discovered chain network into SkyNet.  The thing to check is the
+// machinery: the Pareto set is non-trivial, PSO fitness is non-decreasing
+// over iterations, and the Stage-3 additions improve accuracy at small
+// latency cost — which is how the paper arrived at model C.
+#include "bench_common.hpp"
+#include "search/flow.hpp"
+
+int main() {
+    using namespace sky;
+    data::DetectionDataset dataset({48, 96, 1, false, 21});
+    hwsim::GpuModel gpu(hwsim::tx2());
+    hwsim::FpgaModel fpga(hwsim::ultra96());
+
+    search::FlowConfig cfg;
+    cfg.stage1.train_steps = sky::bench::steps(50);
+    cfg.stage1.sketch_stacks = 2;
+    cfg.stage2.iterations = 3;
+    cfg.stage2.particles_per_group = 3;
+    cfg.stage2.stack_len = 3;
+    cfg.stage2.base_train_steps = sky::bench::steps(25);
+    cfg.stage3_train_steps = sky::bench::steps(140);
+    cfg.max_groups = 3;
+
+    const search::FlowResult res = search::run_flow(dataset, gpu, fpga, cfg);
+
+    std::printf("=== Stage 1: Bundle selection and evaluation ===\n\n");
+    std::printf("%-12s %10s %8s %8s %10s %8s\n", "bundle", "sketch IoU", "lat us", "DSP",
+                "BRAM18K", "pareto");
+    bench::rule();
+    for (const auto& ev : res.stage1)
+        std::printf("%-12s %10.3f %8.1f %8d %10d %8s\n", ev.spec.name.c_str(),
+                    ev.sketch_iou, ev.latency_us, ev.dsp, ev.bram18k,
+                    ev.pareto ? "yes" : "");
+
+    std::printf("\n=== Stage 2: group-based PSO (Algorithm 1) ===\n\n");
+    std::printf("iteration  best fitness\n");
+    for (std::size_t i = 0; i < res.stage2.best_fitness_history.size(); ++i)
+        std::printf("%9zu  %12.4f\n", i, res.stage2.best_fitness_history[i]);
+    const search::Particle& best = res.stage2.global_best;
+    std::printf("\nglobal best: bundle %s, channels [", best.bundle.name.c_str());
+    for (std::size_t i = 0; i < best.channels.size(); ++i)
+        std::printf("%s%d", i ? "," : "", best.channels[i]);
+    std::printf("], acc %.3f, GPU %.2f ms, FPGA %.2f ms\n", best.accuracy,
+                best.gpu_latency_ms, best.fpga_latency_ms);
+
+    std::printf("\n=== Stage 3: feature addition ===\n\n");
+    std::printf("%-30s %9s %12s\n", "variant", "IoU", "FPGA ms");
+    bench::rule();
+    for (const auto& fr : res.stage3)
+        std::printf("%-30s %9.3f %12.2f\n", fr.description.c_str(), fr.val_iou,
+                    fr.fpga_latency_ms);
+
+    std::printf("\nshape checks: PSO best fitness is non-decreasing (deterministic); the\n"
+                "depthwise bundle family is ~4-10x cheaper on the FPGA than the dense\n"
+                "candidates at equal width (deterministic).  The sketch-accuracy side of\n"
+                "Stage 1 and the Stage-3 comparison are fast-trained estimates — at\n"
+                "short budgets (SKYNET_BENCH_SCALE < 1) their per-run ordering is noisy,\n"
+                "exactly the estimation noise the paper's 20-epoch sketches trade\n"
+                "against; run at scale >= 2 for stable Stage-3 bypass gains.\n");
+    return 0;
+}

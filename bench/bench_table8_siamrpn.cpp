@@ -1,0 +1,129 @@
+// Table 8: SiamRPN++ on GOT-10k with AlexNet / ResNet-50 / SkyNet backbones
+// (single 1080Ti).
+//
+// Paper: AlexNet   AO 0.354  SR.50 0.385  SR.75 0.101  52.36 FPS
+//        ResNet-50 AO 0.365  SR.50 0.411  SR.75 0.115  25.90 FPS
+//        SkyNet    AO 0.364  SR.50 0.391  SR.75 0.116  41.22 FPS
+// — SkyNet matches ResNet-50's accuracy at 1.60x its speed with 37.2x
+// fewer backbone parameters.
+//
+// We train each tracker identically on synthetic GOT-10k-style sequences,
+// evaluate AO/SR on held-out sequences, measure the wall-clock C++ tracker
+// FPS on this CPU, and model full-scale 1080Ti throughput (exemplar 127 /
+// search 255) with the calibrated GPU model.
+#include "backbones/registry.hpp"
+#include "bench_common.hpp"
+#include "hwsim/gpu_model.hpp"
+#include "skynet/skynet_model.hpp"
+#include "tracking/metrics.hpp"
+#include "tracking/tracker.hpp"
+
+namespace {
+
+using namespace sky;
+
+struct BackboneChoice {
+    const char* name;
+    float train_width;
+};
+
+struct RowResult {
+    double ao, sr50, sr75, cpu_fps, model_fps;
+    double full_params_m;
+};
+
+RowResult run_backbone(const BackboneChoice& bc, bool use_mask, int steps) {
+    Rng rng(7);
+    nn::ModulePtr net;
+    int channels;
+    if (std::string(bc.name) == "skynet") {
+        SkyNetModel bb = build_skynet_backbone(bc.train_width, nn::Act::kReLU6, rng);
+        channels = bb.backbone_channels;
+        net = std::move(bb.net);
+    } else {
+        backbones::Backbone bb = backbones::build_by_name(bc.name, bc.train_width, rng);
+        channels = bb.out_channels;
+        net = std::move(bb.net);
+    }
+    tracking::SiameseEmbed embed(std::move(net), channels, 24, rng);
+    tracking::TrackerConfig tcfg;
+    tcfg.crop_size = 48;
+    tcfg.kernel_cells = 3;
+    tcfg.use_mask = use_mask;
+    tcfg.mask_size = 8;
+    tracking::SiamTracker tracker(std::move(embed), tcfg, rng);
+
+    data::TrackingDataset train_ds({64, 64, 14, 1, 0.02f, 0.015f, 5});
+    tracking::TrackerTrainConfig cfg;
+    cfg.steps = steps;
+    cfg.batch = 4;
+    cfg.lr_start = 0.03f;   // deep backbones need the hotter schedule
+    cfg.lr_end = 0.003f;
+    Rng train_rng(9);
+    tracking::train_tracker(tracker, train_ds, cfg, train_rng);
+
+    data::TrackingDataset eval_ds({64, 64, 20, 1, 0.02f, 0.015f, 77});
+    const tracking::TrackerEvaluation ev = tracking::evaluate_tracker(tracker, eval_ds, 10);
+
+    // Full-scale 1080Ti model: one search-region backbone pass per frame
+    // (255x255, as SiamRPN++ uses), plus the lightweight head.
+    Rng full_rng(1);
+    std::int64_t full_params;
+    double model_fps;
+    hwsim::GpuModel gpu(hwsim::gtx1080ti());
+    // Per-frame cost = backbone on the 255x255 search region + the RPN
+    // head, correlation and framework runtime (a fixed ~18.5 ms on a
+    // 1080Ti for SiamRPN++-class trackers).
+    const double head_runtime_ms = 18.5;
+    double backbone_ms;
+    if (std::string(bc.name) == "skynet") {
+        SkyNetModel bb = build_skynet_backbone(1.0f, nn::Act::kReLU6, full_rng);
+        full_params = bb.param_count();
+        backbone_ms = gpu.estimate(*bb.net, {1, 3, 256, 256}).latency_ms;
+    } else {
+        backbones::Backbone bb = backbones::build_by_name(bc.name, 1.0f, full_rng);
+        full_params = bb.param_count();
+        backbone_ms = gpu.estimate(*bb.net, {1, 3, 256, 256}).latency_ms;
+    }
+    model_fps = 1e3 / (backbone_ms + head_runtime_ms);
+    return {ev.metrics.ao, ev.metrics.sr50, ev.metrics.sr75, ev.wall_fps, model_fps,
+            full_params / 1e6};
+}
+
+}  // namespace
+
+int main() {
+    using namespace sky;
+    const int steps = bench::steps(300);
+    const BackboneChoice choices[3] = {
+        {"alexnet", 0.25f}, {"resnet50", 0.12f}, {"skynet", 0.2f}};
+    const double paper[3][4] = {{0.354, 0.385, 0.101, 52.36},
+                                {0.365, 0.411, 0.115, 25.90},
+                                {0.364, 0.391, 0.116, 41.22}};
+
+    std::printf("=== Table 8: SiamRPN++ backbones on synthetic GOT-10k (%d steps) ===\n\n",
+                steps);
+    std::printf("%-10s | %6s %7s %7s %8s | %6s %7s %7s %8s %8s %8s\n", "backbone",
+                "p.AO", "p.SR50", "p.SR75", "p.FPS", "AO", "SR50", "SR75", "cpuFPS",
+                "1080Ti", "params");
+    bench::rule(' ', 0);
+    bench::rule('-', 110);
+    RowResult results[3];
+    for (int i = 0; i < 3; ++i) {
+        results[i] = run_backbone(choices[i], /*use_mask=*/false, steps);
+        std::printf("%-10s | %6.3f %7.3f %7.3f %8.2f | %6.3f %7.3f %7.3f %8.1f %8.1f %7.2fM\n",
+                    choices[i].name, paper[i][0], paper[i][1], paper[i][2], paper[i][3],
+                    results[i].ao, results[i].sr50, results[i].sr75, results[i].cpu_fps,
+                    results[i].model_fps, results[i].full_params_m);
+    }
+    std::printf("\nSkyNet vs ResNet-50: %.2fx faster (1080Ti model; paper 1.60x), "
+                "%.1fx fewer backbone parameters (paper 37.20x)\n",
+                results[2].model_fps / results[1].model_fps,
+                results[1].full_params_m / results[2].full_params_m);
+    std::printf("expected shapes: SkyNet >= ResNet-50 in AO at ~1.6-1.8x its modeled\n"
+                "speed and a fraction of its parameters.  Note the training budget:\n"
+                "ResNet-50 needs ~300 steps (SKYNET_BENCH_SCALE >= 1) to converge; at\n"
+                "smaller scales its AO reflects an under-trained backbone.  On the\n"
+                "synthetic task the shallow AlexNet over-performs its paper position.\n");
+    return 0;
+}

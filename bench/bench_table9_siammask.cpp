@@ -1,0 +1,96 @@
+// Table 9: SiamMask on GOT-10k with ResNet-50 vs SkyNet backbones.
+//
+// Paper: ResNet-50 AO 0.380 SR.50 0.439 SR.75 0.153 @ 17.44 FPS
+//        SkyNet    AO 0.390 SR.50 0.442 SR.75 0.158 @ 30.15 FPS  (1.73x)
+//
+// Same protocol as Table 8 but with the mask branch enabled (the tracker's
+// box comes from the thresholded mask at the best response location, which
+// is what lets SiamMask edge out SiamRPN++).
+#include "backbones/registry.hpp"
+#include "bench_common.hpp"
+#include "hwsim/gpu_model.hpp"
+#include "skynet/skynet_model.hpp"
+#include "tracking/metrics.hpp"
+#include "tracking/tracker.hpp"
+
+int main() {
+    using namespace sky;
+    const int steps = bench::steps(300);
+
+    struct Row {
+        const char* name;
+        float width;
+        double paper[4];
+    };
+    const Row rows[2] = {{"resnet50", 0.12f, {0.380, 0.439, 0.153, 17.44}},
+                         {"skynet", 0.2f, {0.390, 0.442, 0.158, 30.15}}};
+
+    std::printf("=== Table 9: SiamMask backbones on synthetic GOT-10k (%d steps) ===\n\n",
+                steps);
+    std::printf("%-10s | %6s %7s %7s %8s | %6s %7s %7s %8s %8s\n", "backbone", "p.AO",
+                "p.SR50", "p.SR75", "p.FPS", "AO", "SR50", "SR75", "cpuFPS", "1080Ti");
+    bench::rule(' ', 0);
+    bench::rule('-', 100);
+
+    double model_fps[2] = {0.0, 0.0};
+    for (int i = 0; i < 2; ++i) {
+        const Row& r = rows[i];
+        Rng rng(7);
+        nn::ModulePtr net;
+        int channels;
+        if (std::string(r.name) == "skynet") {
+            SkyNetModel bb = build_skynet_backbone(r.width, nn::Act::kReLU6, rng);
+            channels = bb.backbone_channels;
+            net = std::move(bb.net);
+        } else {
+            backbones::Backbone bb = backbones::build_by_name(r.name, r.width, rng);
+            channels = bb.out_channels;
+            net = std::move(bb.net);
+        }
+        tracking::SiameseEmbed embed(std::move(net), channels, 24, rng);
+        tracking::TrackerConfig tcfg;
+        tcfg.crop_size = 48;
+        tcfg.kernel_cells = 3;
+        tcfg.use_mask = true;
+        tcfg.mask_size = 8;
+        tracking::SiamTracker tracker(std::move(embed), tcfg, rng);
+
+        data::TrackingDataset train_ds({64, 64, 14, 1, 0.02f, 0.015f, 5});
+        tracking::TrackerTrainConfig cfg;
+        cfg.steps = steps;
+        cfg.batch = 4;
+        cfg.lr_start = 0.03f;
+        cfg.lr_end = 0.003f;
+        Rng train_rng(9);
+        tracking::train_tracker(tracker, train_ds, cfg, train_rng);
+
+        data::TrackingDataset eval_ds({64, 64, 20, 1, 0.02f, 0.015f, 77});
+        const tracking::TrackerEvaluation ev =
+            tracking::evaluate_tracker(tracker, eval_ds, 10);
+
+        hwsim::GpuModel gpu(hwsim::gtx1080ti());
+        Rng full_rng(1);
+        double backbone_ms;
+        if (std::string(r.name) == "skynet") {
+            SkyNetModel bb = build_skynet_backbone(1.0f, nn::Act::kReLU6, full_rng);
+            backbone_ms = gpu.estimate(*bb.net, {1, 3, 256, 256}).latency_ms;
+        } else {
+            backbones::Backbone bb = backbones::build_by_name(r.name, 1.0f, full_rng);
+            backbone_ms = gpu.estimate(*bb.net, {1, 3, 256, 256}).latency_ms;
+        }
+        // RPN head + correlation + runtime, plus SiamMask's mask branch.
+        model_fps[i] = 1e3 / (backbone_ms + 18.5 + 9.0);
+
+        std::printf("%-10s | %6.3f %7.3f %7.3f %8.2f | %6.3f %7.3f %7.3f %8.1f %8.1f\n",
+                    r.name, r.paper[0], r.paper[1], r.paper[2], r.paper[3], ev.metrics.ao,
+                    ev.metrics.sr50, ev.metrics.sr75, ev.wall_fps, model_fps[i]);
+    }
+    std::printf("\nSkyNet vs ResNet-50 speedup: %.2fx (paper: 1.73x)\n",
+                model_fps[1] / model_fps[0]);
+    std::printf("expected shapes: SkyNet tracks as well or better than ResNet-50 while\n"
+                "being much faster — the paper's Table 9 story.  ResNet-50 needs\n"
+                "SKYNET_BENCH_SCALE >= 1 to converge.  (Whether the mask branch beats\n"
+                "pure regression depends on the backbone at our scale; see\n"
+                "EXPERIMENTS.md.)\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+// FPGA deployment study (§6.4): quantise a trained SkyNet with the Table 7
+// schemes, report accuracy vs resources vs throughput on the Ultra96 model,
+// and show the tiling+batch (Fig. 9) and double-pumped-DSP effects.
+//
+//   ./build/examples/deploy_fpga [train_steps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/synth_detection.hpp"
+#include "hwsim/fpga_model.hpp"
+#include "dacsdc/scheme_select.hpp"
+#include "quant/qmodel.hpp"
+#include "skynet/skynet_model.hpp"
+#include "train/trainer.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sky;
+    const int steps = argc > 1 ? std::atoi(argv[1]) : 200;
+
+    data::DetectionDataset dataset({80, 160, 2, true, 13});
+    Rng rng(4);
+    SkyNetModel model = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.3f}, rng);
+    train::DetectTrainConfig tc;
+    tc.steps = steps;
+    tc.batch = 8;
+    Rng train_rng(5);
+    const double float_iou =
+        train::train_detector(*model.net, model.head, dataset, tc, train_rng).val_iou;
+    std::printf("float32 validation IoU: %.3f\n\n", float_iou);
+
+    const data::DetectionBatch val = dataset.validation(64);
+    hwsim::FpgaModel u96(hwsim::ultra96());
+    const Shape in{1, 3, 160, 320};
+
+    Rng full_rng(6);
+    SkyNetModel full = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 1.0f},
+                                    full_rng);
+
+    std::printf("scheme  FM bits  W bits   IoU    DSP  BRAM18K   FPS\n");
+    for (const quant::QuantScheme& s : quant::table7_schemes()) {
+        const double iou = quant::detector_iou_quantized(*model.net, model.head, val,
+                                                         s.fm_bits, s.weight_bits);
+        const hwsim::FpgaEstimate est = u96.estimate(
+            *full.net, in, {s.weight_bits, s.fm_bits, false, 4, 1.0});
+        std::printf("  %d     %5s   %5s   %.3f  %4d  %6d  %6.2f\n", s.id,
+                    s.fm_bits ? std::to_string(s.fm_bits).c_str() : "fp32",
+                    s.weight_bits ? std::to_string(s.weight_bits).c_str() : "fp32", iou,
+                    est.resources.dsp, est.resources.bram18k, est.fps);
+    }
+
+    std::printf("\nFig. 9 tiling+batch: batch_tile 1 vs 4 on scheme 1\n");
+    for (int tile : {1, 4}) {
+        const hwsim::FpgaEstimate est =
+            u96.estimate(*full.net, in, {11, 9, false, tile, 1.0});
+        std::printf("  tile %d: %.2f ms, %.2f FPS, BRAM %d\n", tile, est.latency_ms,
+                    est.fps, est.resources.bram18k);
+    }
+
+    // Automated scheme selection (the paper's §6.4.1 decision).
+    dacsdc::SchemeSelectConfig sel;
+    sel.full_scale_net = full.net.get();
+    const auto ranked = dacsdc::select_scheme(*model.net, model.head,
+                                              dataset.validation(64), u96, sel);
+    std::printf("\nautomated scheme selection (projected total score, Eq. 5):\n");
+    for (const auto& ev : ranked)
+        std::printf("  scheme %d (FM%s/W%s): IoU %.3f, %.1f FPS, %.2f W -> score %.3f%s\n",
+                    ev.scheme.id,
+                    ev.scheme.fm_bits ? std::to_string(ev.scheme.fm_bits).c_str() : "fp",
+                    ev.scheme.weight_bits ? std::to_string(ev.scheme.weight_bits).c_str()
+                                          : "fp",
+                    ev.iou, ev.fps, ev.power_w, ev.total_score,
+                    &ev == &ranked.front() ? "   <-- deploy this" : "");
+
+    std::printf("\ndouble-pumped DSP (Table 1, opt. 6):\n");
+    for (bool dp : {false, true}) {
+        const hwsim::FpgaEstimate est = u96.estimate(*full.net, in, {11, 9, dp, 4, 1.0});
+        std::printf("  double_pump=%d: P=%d, DSP %d, %.2f FPS\n", dp, est.parallelism,
+                    est.resources.dsp, est.fps);
+    }
+    return 0;
+}

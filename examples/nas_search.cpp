@@ -1,0 +1,48 @@
+// Run the complete bottom-up design flow (Fig. 3) at a laptop-scale budget:
+// Stage 1 enumerates and evaluates Bundles (Pareto selection), Stage 2 runs
+// the group-based PSO of Algorithm 1, Stage 3 adds the bypass/reordering and
+// ReLU6 features and measures their effect.
+//
+//   ./build/examples/nas_search [pso_iterations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "search/flow.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sky;
+    const int iters = argc > 1 ? std::atoi(argv[1]) : 2;
+
+    data::DetectionDataset dataset({48, 96, 1, false, 21});
+    hwsim::GpuModel gpu(hwsim::tx2());
+    hwsim::FpgaModel fpga(hwsim::ultra96());
+
+    search::FlowConfig cfg;
+    cfg.verbose = true;
+    cfg.stage1.train_steps = 60;
+    cfg.stage1.sketch_stacks = 2;
+    cfg.stage2.iterations = iters;
+    cfg.stage2.particles_per_group = 3;
+    cfg.stage2.stack_len = 3;
+    cfg.stage2.base_train_steps = 30;
+    cfg.stage3_train_steps = 120;
+
+    const search::FlowResult res = search::run_flow(dataset, gpu, fpga, cfg);
+
+    std::printf("\n=== Stage 2 winner ===\n");
+    const search::Particle& best = res.stage2.global_best;
+    std::printf("bundle %s, channels [", best.bundle.name.c_str());
+    for (std::size_t i = 0; i < best.channels.size(); ++i)
+        std::printf("%s%d", i ? ", " : "", best.channels[i]);
+    std::printf("], pools after {");
+    for (std::size_t i = 0; i < best.pool_after.size(); ++i)
+        std::printf("%s%d", i ? ", " : "", best.pool_after[i]);
+    std::printf("}\n  accuracy %.3f, GPU %.2f ms, FPGA %.2f ms, fitness %.4f\n",
+                best.accuracy, best.gpu_latency_ms, best.fpga_latency_ms, best.fitness);
+
+    std::printf("\n=== Stage 3 feature addition ===\n");
+    for (const auto& fr : res.stage3)
+        std::printf("  %-28s IoU %.3f  FPGA %.2f ms\n", fr.description.c_str(), fr.val_iou,
+                    fr.fpga_latency_ms);
+    return 0;
+}

@@ -1,0 +1,16 @@
+// Name -> builder registry so benches and examples can enumerate backbones.
+#pragma once
+
+#include <vector>
+
+#include "backbones/backbone.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/pwconv.hpp"
+
+namespace sky::backbones {
+
+[[nodiscard]] Backbone build_by_name(const std::string& name, float width_mult, Rng& rng);
+[[nodiscard]] std::vector<std::string> backbone_names();
+
+}  // namespace sky::backbones

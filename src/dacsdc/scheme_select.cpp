@@ -1,0 +1,50 @@
+#include "dacsdc/scheme_select.hpp"
+
+#include <algorithm>
+
+#include "hwsim/energy.hpp"
+#include "quant/qmodel.hpp"
+
+namespace sky::dacsdc {
+
+std::vector<SchemeEvaluation> select_scheme(nn::Module& net, const detect::YoloHead& head,
+                                            const data::DetectionBatch& val,
+                                            const hwsim::FpgaModel& fpga,
+                                            SchemeSelectConfig cfg) {
+    if (cfg.reference_field.empty()) {
+        // The 2019 FPGA-track podium (Table 6) as the default field.
+        cfg.reference_field = {{"xjtu tripler", 0.615, 50.91, 9.25},
+                               {"systemsethz", 0.553, 55.13, 6.69}};
+    }
+    nn::Module& hw_net = cfg.full_scale_net != nullptr ? *cfg.full_scale_net : net;
+    const float fm_range = cfg.fm_abs_max > 0.0f
+                               ? cfg.fm_abs_max
+                               : quant::calibrate_fm_abs_max(net, val.images);
+
+    std::vector<SchemeEvaluation> evals;
+    for (const quant::QuantScheme& s : quant::table7_schemes()) {
+        SchemeEvaluation ev;
+        ev.scheme = s;
+        ev.iou = quant::detector_iou_quantized(net, head, val, s.fm_bits, s.weight_bits,
+                                               fm_range);
+        const hwsim::FpgaBuildConfig build{s.weight_bits, s.fm_bits, false,
+                                           cfg.batch_tile, 1.0};
+        const hwsim::FpgaEstimate est = fpga.estimate(hw_net, cfg.hw_input, build);
+        ev.fps = est.fps;
+        ev.power_w =
+            hwsim::estimate_energy(fpga.profile(), est.utilization, est.fps).power_w;
+
+        std::vector<Entry> field = cfg.reference_field;
+        field.push_back({"candidate", ev.iou, ev.fps, ev.power_w});
+        for (const ScoredEntry& se : score_track(field, cfg.track))
+            if (se.entry.team == "candidate") ev.total_score = se.total_score;
+        evals.push_back(ev);
+    }
+    std::sort(evals.begin(), evals.end(),
+              [](const SchemeEvaluation& a, const SchemeEvaluation& b) {
+                  return a.total_score > b.total_score;
+              });
+    return evals;
+}
+
+}  // namespace sky::dacsdc

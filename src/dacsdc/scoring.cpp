@@ -1,0 +1,41 @@
+#include "dacsdc/scoring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sky::dacsdc {
+
+double entry_energy_j(const Entry& e, int test_images) {
+    if (e.fps <= 0.0) throw std::invalid_argument("entry_energy_j: fps must be positive");
+    return e.power_w * static_cast<double>(test_images) / e.fps;
+}
+
+std::vector<ScoredEntry> score_track(const std::vector<Entry>& entries,
+                                     const TrackConfig& cfg) {
+    if (entries.empty()) return {};
+    std::vector<ScoredEntry> scored;
+    scored.reserve(entries.size());
+    double mean_energy = 0.0;
+    for (const Entry& e : entries) {
+        ScoredEntry s;
+        s.entry = e;
+        s.energy_j = entry_energy_j(e, cfg.test_images);
+        mean_energy += s.energy_j;
+        scored.push_back(s);
+    }
+    mean_energy /= static_cast<double>(entries.size());
+
+    for (ScoredEntry& s : scored) {
+        const double ratio = mean_energy / s.energy_j;
+        s.energy_score =
+            std::max(0.0, 1.0 + 0.2 * std::log(ratio) / std::log(cfg.log_base));
+        s.total_score = s.entry.iou * (1.0 + s.energy_score);
+    }
+    std::sort(scored.begin(), scored.end(), [](const ScoredEntry& a, const ScoredEntry& b) {
+        return a.total_score > b.total_score;
+    });
+    return scored;
+}
+
+}  // namespace sky::dacsdc

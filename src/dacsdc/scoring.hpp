@@ -1,0 +1,42 @@
+// DAC-SDC contest scoring, Eq. 2-5 of the paper (§6.2).
+//
+//   R_IoU_i = mean IoU over the K test images                      (Eq. 2)
+//   E_bar   = mean energy of all I entries                         (Eq. 3)
+//   ES_i    = max(0, 1 + 0.2 * log_x(E_bar / E_i))                 (Eq. 4)
+//             x = 2 for the FPGA track, 10 for the GPU track
+//   TS_i    = R_IoU_i * (1 + ES_i)                                 (Eq. 5)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sky::dacsdc {
+
+struct Entry {
+    std::string team;
+    double iou = 0.0;      ///< R_IoU over the test set
+    double fps = 0.0;      ///< end-to-end throughput
+    double power_w = 0.0;  ///< board power while processing
+};
+
+struct ScoredEntry {
+    Entry entry;
+    double energy_j = 0.0;      ///< total energy for the test set
+    double energy_score = 0.0;  ///< ES_i
+    double total_score = 0.0;   ///< TS_i
+};
+
+struct TrackConfig {
+    double log_base = 10.0;   ///< 10 for GPU track, 2 for FPGA track
+    int test_images = 50000;  ///< K (the hidden set size)
+};
+
+/// Energy an entry spends on the test set: P * K / FPS.
+[[nodiscard]] double entry_energy_j(const Entry& e, int test_images);
+
+/// Score a whole track; the returned vector is sorted by total score
+/// (descending), matching the leaderboard layout of Tables 5/6.
+[[nodiscard]] std::vector<ScoredEntry> score_track(const std::vector<Entry>& entries,
+                                                   const TrackConfig& cfg);
+
+}  // namespace sky::dacsdc

@@ -1,0 +1,44 @@
+#include "dacsdc/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sky::dacsdc {
+
+SizeHistogram size_histogram(const std::vector<float>& area_ratios, int bins,
+                             double max_ratio) {
+    if (bins <= 0 || max_ratio <= 0.0)
+        throw std::invalid_argument("size_histogram: bad configuration");
+    SizeHistogram h;
+    h.bin_edges.resize(static_cast<std::size_t>(bins) + 1);
+    for (int b = 0; b <= bins; ++b)
+        h.bin_edges[static_cast<std::size_t>(b)] = max_ratio * b / bins;
+    h.frequency.assign(static_cast<std::size_t>(bins), 0.0);
+    if (area_ratios.empty()) {
+        h.cumulative.assign(static_cast<std::size_t>(bins), 0.0);
+        return h;
+    }
+    for (float r : area_ratios) {
+        int b = static_cast<int>(static_cast<double>(r) / max_ratio * bins);
+        b = std::clamp(b, 0, bins - 1);
+        h.frequency[static_cast<std::size_t>(b)] += 1.0;
+    }
+    const double inv = 1.0 / static_cast<double>(area_ratios.size());
+    double acc = 0.0;
+    h.cumulative.resize(static_cast<std::size_t>(bins));
+    for (int b = 0; b < bins; ++b) {
+        h.frequency[static_cast<std::size_t>(b)] *= inv;
+        acc += h.frequency[static_cast<std::size_t>(b)];
+        h.cumulative[static_cast<std::size_t>(b)] = acc;
+    }
+    return h;
+}
+
+double fraction_below(const std::vector<float>& area_ratios, double threshold) {
+    if (area_ratios.empty()) return 0.0;
+    const auto count = std::count_if(area_ratios.begin(), area_ratios.end(),
+                                     [&](float r) { return r < threshold; });
+    return static_cast<double>(count) / static_cast<double>(area_ratios.size());
+}
+
+}  // namespace sky::dacsdc

@@ -1,0 +1,24 @@
+// Dataset statistics tooling for Fig. 6: the distribution of ground-truth
+// bounding-box relative size (box area / image area), as histogram bars plus
+// the cumulative curve, and the two headline numbers the paper quotes (91%
+// of objects below 9% of the image, 31% below 1%).
+#pragma once
+
+#include <vector>
+
+namespace sky::dacsdc {
+
+struct SizeHistogram {
+    std::vector<double> bin_edges;   ///< size B+1
+    std::vector<double> frequency;   ///< size B, fraction per bin
+    std::vector<double> cumulative;  ///< size B, CDF at each bin's right edge
+};
+
+/// Histogram of area ratios over [0, max_ratio] with `bins` equal bins.
+[[nodiscard]] SizeHistogram size_histogram(const std::vector<float>& area_ratios, int bins,
+                                           double max_ratio);
+
+/// Fraction of ratios strictly below `threshold`.
+[[nodiscard]] double fraction_below(const std::vector<float>& area_ratios, double threshold);
+
+}  // namespace sky::dacsdc

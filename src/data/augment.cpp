@@ -1,0 +1,132 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sky::data {
+
+Tensor resize_bilinear(const Tensor& img, int out_h, int out_w) {
+    const Shape s = img.shape();
+    Tensor out({s.n, s.c, out_h, out_w});
+    const float sy = static_cast<float>(s.h) / static_cast<float>(out_h);
+    const float sx = static_cast<float>(s.w) / static_cast<float>(out_w);
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < s.c; ++c) {
+            const float* src = img.plane(n, c);
+            float* dst = out.plane(n, c);
+            for (int y = 0; y < out_h; ++y) {
+                const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+                const int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0, s.h - 1);
+                const int y1 = std::min(y0 + 1, s.h - 1);
+                const float wy = std::clamp(fy - static_cast<float>(y0), 0.0f, 1.0f);
+                for (int x = 0; x < out_w; ++x) {
+                    const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+                    const int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0, s.w - 1);
+                    const int x1 = std::min(x0 + 1, s.w - 1);
+                    const float wx = std::clamp(fx - static_cast<float>(x0), 0.0f, 1.0f);
+                    const float v00 = src[static_cast<std::int64_t>(y0) * s.w + x0];
+                    const float v01 = src[static_cast<std::int64_t>(y0) * s.w + x1];
+                    const float v10 = src[static_cast<std::int64_t>(y1) * s.w + x0];
+                    const float v11 = src[static_cast<std::int64_t>(y1) * s.w + x1];
+                    dst[static_cast<std::int64_t>(y) * out_w + x] =
+                        (1 - wy) * ((1 - wx) * v00 + wx * v01) +
+                        wy * ((1 - wx) * v10 + wx * v11);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor crop_resize(const Tensor& img, float x1, float y1, float x2, float y2, int out_h,
+                   int out_w) {
+    const Shape s = img.shape();
+    Tensor out({s.n, s.c, out_h, out_w});
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < s.c; ++c) {
+            const float* src = img.plane(n, c);
+            float* dst = out.plane(n, c);
+            for (int y = 0; y < out_h; ++y) {
+                const float v = y1 + (y2 - y1) * (static_cast<float>(y) + 0.5f) /
+                                         static_cast<float>(out_h);
+                const float fy = v * static_cast<float>(s.h) - 0.5f;
+                for (int x = 0; x < out_w; ++x) {
+                    const float u = x1 + (x2 - x1) * (static_cast<float>(x) + 0.5f) /
+                                             static_cast<float>(out_w);
+                    const float fx = u * static_cast<float>(s.w) - 0.5f;
+                    float val = 0.0f;
+                    if (fy >= -1.0f && fy <= static_cast<float>(s.h) && fx >= -1.0f &&
+                        fx <= static_cast<float>(s.w)) {
+                        const int iy0 = static_cast<int>(std::floor(fy));
+                        const int ix0 = static_cast<int>(std::floor(fx));
+                        const float wy = fy - static_cast<float>(iy0);
+                        const float wx = fx - static_cast<float>(ix0);
+                        auto sample = [&](int yy, int xx) -> float {
+                            if (yy < 0 || yy >= s.h || xx < 0 || xx >= s.w) return 0.0f;
+                            return src[static_cast<std::int64_t>(yy) * s.w + xx];
+                        };
+                        val = (1 - wy) * ((1 - wx) * sample(iy0, ix0) +
+                                          wx * sample(iy0, ix0 + 1)) +
+                              wy * ((1 - wx) * sample(iy0 + 1, ix0) +
+                                    wx * sample(iy0 + 1, ix0 + 1));
+                    }
+                    dst[static_cast<std::int64_t>(y) * out_w + x] = val;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor hflip(const Tensor& img) {
+    const Shape s = img.shape();
+    Tensor out(s);
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < s.c; ++c) {
+            const float* src = img.plane(n, c);
+            float* dst = out.plane(n, c);
+            for (int y = 0; y < s.h; ++y)
+                for (int x = 0; x < s.w; ++x)
+                    dst[static_cast<std::int64_t>(y) * s.w + x] =
+                        src[static_cast<std::int64_t>(y) * s.w + (s.w - 1 - x)];
+        }
+    }
+    return out;
+}
+
+detect::BBox flip_box(const detect::BBox& b) { return {1.0f - b.cx, b.cy, b.w, b.h}; }
+
+Tensor photometric(const Tensor& img, Rng& rng, float contrast, float brightness) {
+    const Shape s = img.shape();
+    Tensor out(s);
+    const float shift = static_cast<float>(rng.uniform(-brightness, brightness));
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < s.c; ++c) {
+            const float gain = static_cast<float>(rng.uniform(1.0 - contrast, 1.0 + contrast));
+            const float* src = img.plane(n, c);
+            float* dst = out.plane(n, c);
+            const std::int64_t plane = static_cast<std::int64_t>(s.h) * s.w;
+            for (std::int64_t i = 0; i < plane; ++i)
+                dst[i] = std::clamp(src[i] * gain + shift, 0.0f, 1.0f);
+        }
+    }
+    return out;
+}
+
+Tensor jitter_crop(const Tensor& img, detect::BBox& box, Rng& rng, float max_margin) {
+    // Crop window in normalised coords that still contains the box.
+    const float bx1 = box.x1(), by1 = box.y1(), bx2 = box.x2(), by2 = box.y2();
+    const float cx1 = static_cast<float>(rng.uniform(0.0, std::min<double>(max_margin, std::max(0.0f, bx1))));
+    const float cy1 = static_cast<float>(rng.uniform(0.0, std::min<double>(max_margin, std::max(0.0f, by1))));
+    const float cx2 = 1.0f - static_cast<float>(rng.uniform(
+                                 0.0, std::min<double>(max_margin, std::max(0.0f, 1.0f - bx2))));
+    const float cy2 = 1.0f - static_cast<float>(rng.uniform(
+                                 0.0, std::min<double>(max_margin, std::max(0.0f, 1.0f - by2))));
+    const Shape s = img.shape();
+    Tensor out = crop_resize(img, cx1, cy1, cx2, cy2, s.h, s.w);
+    const float sw = cx2 - cx1, sh = cy2 - cy1;
+    box = detect::BBox{(box.cx - cx1) / sw, (box.cy - cy1) / sh, box.w / sw, box.h / sh};
+    return out;
+}
+
+}  // namespace sky::data

@@ -1,0 +1,210 @@
+#include "data/synth_detection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/augment.hpp"
+
+namespace sky::data {
+namespace {
+
+// Fig. 6 calibration: with r = box area / image area and log10(r) ~ N(mu,
+// sigma), solving P(r < 0.01) = 0.31 and P(r < 0.09) = 0.91 gives
+// mu = -1.742, sigma = 0.519.
+constexpr float kLogMu = -1.742f;
+constexpr float kLogSigma = 0.519f;
+
+float clampf(float v, float lo, float hi) { return std::clamp(v, lo, hi); }
+
+}  // namespace
+
+void render_background(Tensor& img, Rng& rng) {
+    const Shape s = img.shape();
+    // Sum of a few random low-frequency plane waves per channel + mild noise:
+    // looks like terrain/roads from a UAV without being learnable shortcuts.
+    for (int c = 0; c < s.c; ++c) {
+        const float base = static_cast<float>(rng.uniform(0.25, 0.6));
+        float fx[3], fy[3], ph[3], amp[3];
+        for (int k = 0; k < 3; ++k) {
+            fx[k] = static_cast<float>(rng.uniform(0.5, 4.0));
+            fy[k] = static_cast<float>(rng.uniform(0.5, 4.0));
+            ph[k] = static_cast<float>(rng.uniform(0.0, 6.28));
+            amp[k] = static_cast<float>(rng.uniform(0.02, 0.08));
+        }
+        float* p = img.plane(0, c);
+        for (int y = 0; y < s.h; ++y) {
+            const float v = static_cast<float>(y) / static_cast<float>(s.h);
+            for (int x = 0; x < s.w; ++x) {
+                const float u = static_cast<float>(x) / static_cast<float>(s.w);
+                float val = base;
+                for (int k = 0; k < 3; ++k)
+                    val += amp[k] * std::sin(6.28f * (fx[k] * u + fy[k] * v) + ph[k]);
+                p[static_cast<std::int64_t>(y) * s.w + x] = clampf(val, 0.0f, 1.0f);
+            }
+        }
+    }
+    // Speckle noise.
+    float* p = img.data();
+    const std::int64_t n = img.size();
+    for (std::int64_t i = 0; i < n; ++i)
+        p[i] = clampf(p[i] + static_cast<float>(rng.normal(0.0, 0.02)), 0.0f, 1.0f);
+}
+
+void render_object(Tensor& img, const detect::BBox& box, int category, float phase) {
+    const Shape s = img.shape();
+    const int x1 = std::max(0, static_cast<int>(box.x1() * static_cast<float>(s.w)));
+    const int y1 = std::max(0, static_cast<int>(box.y1() * static_cast<float>(s.h)));
+    const int x2 = std::min(s.w - 1, static_cast<int>(box.x2() * static_cast<float>(s.w)));
+    const int y2 = std::min(s.h - 1, static_cast<int>(box.y2() * static_cast<float>(s.h)));
+    if (x2 <= x1 || y2 <= y1) return;
+    const float cx = 0.5f * static_cast<float>(x1 + x2);
+    const float cy = 0.5f * static_cast<float>(y1 + y2);
+    const float rx = 0.5f * static_cast<float>(x2 - x1);
+    const float ry = 0.5f * static_cast<float>(y2 - y1);
+    // Per-category palette; category 0 is "the target": bright body with a
+    // dark diagonal cross (a quadcopter silhouette from above).
+    const float palette[12][3] = {
+        {0.95f, 0.95f, 0.92f}, {0.8f, 0.2f, 0.2f}, {0.2f, 0.7f, 0.3f},
+        {0.2f, 0.3f, 0.85f},   {0.9f, 0.8f, 0.2f}, {0.7f, 0.3f, 0.8f},
+        {0.3f, 0.8f, 0.8f},    {0.9f, 0.5f, 0.2f}, {0.5f, 0.5f, 0.5f},
+        {0.85f, 0.6f, 0.7f},   {0.4f, 0.6f, 0.2f}, {0.6f, 0.4f, 0.3f},
+    };
+    const int cat = std::clamp(category, 0, 11);
+    for (int y = y1; y <= y2; ++y) {
+        for (int x = x1; x <= x2; ++x) {
+            const float u = (static_cast<float>(x) - cx) / std::max(rx, 1.0f);  // [-1,1]
+            const float v = (static_cast<float>(y) - cy) / std::max(ry, 1.0f);
+            const float rad = u * u + v * v;
+            if (rad > 1.0f) continue;  // elliptical footprint
+            float tex = 1.0f;
+            switch (cat % 6) {
+                case 0: {  // diagonal cross over bright body
+                    const float d1 = std::fabs(u - v), d2 = std::fabs(u + v);
+                    tex = (d1 < 0.25f || d2 < 0.25f) ? 0.25f : 1.0f;
+                    break;
+                }
+                case 1:  // concentric ring
+                    tex = (rad > 0.35f && rad < 0.75f) ? 0.3f : 1.0f;
+                    break;
+                case 2:  // horizontal stripes (animated by phase)
+                    tex = std::sin(8.0f * v + phase) > 0.0f ? 1.0f : 0.45f;
+                    break;
+                case 3:  // checker
+                    tex = (std::sin(6.0f * u + phase) * std::sin(6.0f * v) > 0.0f) ? 1.0f
+                                                                                   : 0.4f;
+                    break;
+                case 4:  // radial gradient
+                    tex = 1.0f - 0.6f * rad;
+                    break;
+                case 5:  // vertical stripes
+                    tex = std::sin(8.0f * u + phase) > 0.0f ? 1.0f : 0.45f;
+                    break;
+            }
+            const float edge = clampf(4.0f * (1.0f - rad), 0.0f, 1.0f);  // soft rim
+            for (int c = 0; c < std::min(3, s.c); ++c) {
+                float& px = img.plane(0, c)[static_cast<std::int64_t>(y) * s.w + x];
+                const float col = palette[cat][c] * tex;
+                px = px * (1.0f - edge) + col * edge;
+            }
+        }
+    }
+}
+
+DetectionDataset::DetectionDataset(Config cfg) : cfg_(cfg), stream_(cfg.seed) {}
+
+float DetectionDataset::sample_area_ratio(Rng& rng) const {
+    const float z = static_cast<float>(rng.normal());
+    const float log_r = clampf(kLogMu + kLogSigma * z, -3.0f, -0.4f);
+    return std::pow(10.0f, log_r);
+}
+
+DetectionSample DetectionDataset::sample(Rng& rng) const {
+    DetectionSample out;
+    out.image = Tensor({1, 3, cfg_.height, cfg_.width});
+    render_background(out.image, rng);
+
+    const float area = sample_area_ratio(rng);
+    const float aspect = static_cast<float>(rng.uniform(0.6, 1.7));  // w/h of the box
+    // box.w * box.h = area (normalised units), box.w / box.h = aspect.
+    float bh = std::sqrt(area / aspect);
+    float bw = area / bh;
+    bw = clampf(bw, 0.02f, 0.9f);
+    bh = clampf(bh, 0.02f, 0.9f);
+    const float bx = static_cast<float>(rng.uniform(bw / 2.0, 1.0 - bw / 2.0));
+    const float by = static_cast<float>(rng.uniform(bh / 2.0, 1.0 - bh / 2.0));
+    out.box = detect::BBox{bx, by, bw, bh};
+    out.category = 0;
+
+    // Distractors first so the target stays on top if they overlap.
+    const int distractors = rng.uniform_int(0, cfg_.max_distractors);
+    for (int d = 0; d < distractors; ++d) {
+        const float da = sample_area_ratio(rng);
+        float dh = std::sqrt(da / aspect);
+        float dw = da / dh;
+        dw = clampf(dw, 0.02f, 0.5f);
+        dh = clampf(dh, 0.02f, 0.5f);
+        const detect::BBox db{static_cast<float>(rng.uniform(dw / 2.0, 1.0 - dw / 2.0)),
+                              static_cast<float>(rng.uniform(dh / 2.0, 1.0 - dh / 2.0)), dw,
+                              dh};
+        if (detect::iou(db, out.box) > 0.05f) continue;  // keep the target unambiguous
+        render_object(out.image, db, 1 + rng.uniform_int(0, 10),
+                      static_cast<float>(rng.uniform(0.0, 6.28)));
+    }
+    render_object(out.image, out.box, 0, static_cast<float>(rng.uniform(0.0, 6.28)));
+
+    if (cfg_.augment) {
+        out.image = photometric(out.image, rng);
+        if (rng.chance(0.5)) {
+            out.image = hflip(out.image);
+            out.box = flip_box(out.box);
+        }
+        if (rng.chance(0.5)) out.image = jitter_crop(out.image, out.box, rng);
+    }
+    return out;
+}
+
+MultiSample DetectionDataset::sample_multi(Rng& rng, int max_targets) const {
+    MultiSample out;
+    out.image = Tensor({1, 3, cfg_.height, cfg_.width});
+    render_background(out.image, rng);
+    const int targets = rng.uniform_int(1, std::max(1, max_targets));
+    for (int t = 0; t < targets; ++t) {
+        const float area = sample_area_ratio(rng);
+        const float aspect = static_cast<float>(rng.uniform(0.6, 1.7));
+        float bh = std::sqrt(area / aspect);
+        float bw = area / bh;
+        bw = clampf(bw, 0.03f, 0.5f);
+        bh = clampf(bh, 0.03f, 0.5f);
+        const detect::BBox box{static_cast<float>(rng.uniform(bw / 2.0, 1.0 - bw / 2.0)),
+                               static_cast<float>(rng.uniform(bh / 2.0, 1.0 - bh / 2.0)),
+                               bw, bh};
+        // Keep targets separated so the ground truth is unambiguous.
+        bool overlaps = false;
+        for (const auto& other : out.boxes) overlaps |= detect::iou(box, other) > 0.02f;
+        if (overlaps) continue;
+        render_object(out.image, box, 0, static_cast<float>(rng.uniform(0.0, 6.28)));
+        out.boxes.push_back(box);
+    }
+    return out;
+}
+
+DetectionBatch DetectionDataset::batch(int n) {
+    DetectionBatch out;
+    out.images = Tensor({n, 3, cfg_.height, cfg_.width});
+    out.boxes.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        DetectionSample s = sample(stream_);
+        std::copy_n(s.image.data(), s.image.size(), out.images.plane(i, 0));
+        out.boxes[static_cast<std::size_t>(i)] = s.box;
+    }
+    return out;
+}
+
+DetectionBatch DetectionDataset::validation(int n) const {
+    DetectionDataset fixed(cfg_);
+    fixed.cfg_.augment = false;
+    fixed.stream_ = Rng(cfg_.seed ^ 0xDA7A5E7ull);
+    return fixed.batch(n);
+}
+
+}  // namespace sky::data

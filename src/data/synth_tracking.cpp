@@ -1,0 +1,100 @@
+#include "data/synth_tracking.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sky::data {
+namespace {
+
+struct MovingObject {
+    float cx, cy, vx, vy, log_scale, base_w, base_h, phase;
+    int category;
+};
+
+void step(MovingObject& o, Rng& rng, const TrackingDataset::Config& cfg) {
+    o.vx += static_cast<float>(rng.normal(0.0, cfg.max_speed * 0.3));
+    o.vy += static_cast<float>(rng.normal(0.0, cfg.max_speed * 0.3));
+    o.vx = std::clamp(o.vx, -cfg.max_speed, cfg.max_speed);
+    o.vy = std::clamp(o.vy, -cfg.max_speed, cfg.max_speed);
+    o.cx += o.vx;
+    o.cy += o.vy;
+    // Bounce off the frame so the target never leaves the image.
+    const float half_w = o.base_w * std::exp(o.log_scale) * 0.5f;
+    const float half_h = o.base_h * std::exp(o.log_scale) * 0.5f;
+    if (o.cx < half_w || o.cx > 1.0f - half_w) o.vx = -o.vx;
+    if (o.cy < half_h || o.cy > 1.0f - half_h) o.vy = -o.vy;
+    o.cx = std::clamp(o.cx, half_w, 1.0f - half_w);
+    o.cy = std::clamp(o.cy, half_h, 1.0f - half_h);
+    o.log_scale = std::clamp(
+        o.log_scale + static_cast<float>(rng.normal(0.0, cfg.scale_drift)), -0.4f, 0.4f);
+    o.phase += 0.3f;
+}
+
+detect::BBox box_of(const MovingObject& o) {
+    const float s = std::exp(o.log_scale);
+    return {o.cx, o.cy, o.base_w * s, o.base_h * s};
+}
+
+}  // namespace
+
+TrackingDataset::TrackingDataset(Config cfg) : cfg_(cfg), stream_(cfg.seed) {}
+
+TrackingSequence TrackingDataset::sequence(Rng& rng) const {
+    TrackingSequence seq;
+    seq.reserve(static_cast<std::size_t>(cfg_.frames));
+
+    MovingObject target{};
+    target.base_w = static_cast<float>(rng.uniform(0.12, 0.3));
+    target.base_h = target.base_w * static_cast<float>(rng.uniform(0.7, 1.4));
+    target.cx = static_cast<float>(rng.uniform(0.3, 0.7));
+    target.cy = static_cast<float>(rng.uniform(0.3, 0.7));
+    target.vx = static_cast<float>(rng.uniform(-cfg_.max_speed, cfg_.max_speed));
+    target.vy = static_cast<float>(rng.uniform(-cfg_.max_speed, cfg_.max_speed));
+    target.phase = static_cast<float>(rng.uniform(0.0, 6.28));
+    target.category = 0;
+
+    std::vector<MovingObject> distractors;
+    for (int d = 0; d < cfg_.distractors; ++d) {
+        MovingObject o = target;
+        o.category = 1 + rng.uniform_int(0, 10);
+        o.cx = static_cast<float>(rng.uniform(0.2, 0.8));
+        o.cy = static_cast<float>(rng.uniform(0.2, 0.8));
+        o.phase = static_cast<float>(rng.uniform(0.0, 6.28));
+        distractors.push_back(o);
+    }
+
+    // One background reused with slow drift: render once larger, crop a
+    // sliding window.
+    Tensor bg({1, 3, cfg_.height + 16, cfg_.width + 16});
+    Rng bg_rng = rng.split();
+    render_background(bg, bg_rng);
+    float drift_x = 0.0f, drift_y = 0.0f;
+
+    for (int f = 0; f < cfg_.frames; ++f) {
+        TrackingFrame frame;
+        drift_x = std::clamp(drift_x + static_cast<float>(rng.normal(0.0, 0.4)), 0.0f, 16.0f);
+        drift_y = std::clamp(drift_y + static_cast<float>(rng.normal(0.0, 0.4)), 0.0f, 16.0f);
+        frame.image = Tensor({1, 3, cfg_.height, cfg_.width});
+        const int ox = static_cast<int>(drift_x), oy = static_cast<int>(drift_y);
+        for (int c = 0; c < 3; ++c) {
+            const float* src = bg.plane(0, c);
+            float* dst = frame.image.plane(0, c);
+            for (int y = 0; y < cfg_.height; ++y)
+                std::copy_n(src + static_cast<std::int64_t>(y + oy) * (cfg_.width + 16) + ox,
+                            cfg_.width, dst + static_cast<std::int64_t>(y) * cfg_.width);
+        }
+        for (auto& d : distractors) {
+            render_object(frame.image, box_of(d), d.category, d.phase);
+            step(d, rng, cfg_);
+        }
+        render_object(frame.image, box_of(target), 0, target.phase);
+        frame.box = box_of(target);
+        step(target, rng, cfg_);
+        seq.push_back(std::move(frame));
+    }
+    return seq;
+}
+
+TrackingSequence TrackingDataset::next() { return sequence(stream_); }
+
+}  // namespace sky::data

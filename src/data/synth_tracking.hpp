@@ -1,0 +1,45 @@
+// Synthetic GOT-10k-style tracking sequences (§7).
+//
+// A target object (same procedural renderer as the detection set) moves
+// through a drifting background with a smooth random-walk velocity, slow
+// scale oscillation and animated texture phase; distractor objects move
+// independently.  Each frame carries the ground-truth box, which is exactly
+// what the GOT-10k AO / SR protocol needs.
+#pragma once
+
+#include "data/synth_detection.hpp"
+
+namespace sky::data {
+
+struct TrackingFrame {
+    Tensor image;  ///< {1, 3, h, w}
+    detect::BBox box;
+};
+
+using TrackingSequence = std::vector<TrackingFrame>;
+
+class TrackingDataset {
+public:
+    struct Config {
+        int height = 96;
+        int width = 96;
+        int frames = 24;
+        int distractors = 1;
+        float max_speed = 0.025f;   ///< per-frame centre motion (normalised)
+        float scale_drift = 0.02f;  ///< per-frame log-scale random walk
+        std::uint64_t seed = 23;
+    };
+
+    explicit TrackingDataset(Config cfg);
+
+    [[nodiscard]] TrackingSequence sequence(Rng& rng) const;
+    /// Next sequence from the dataset's own deterministic stream.
+    [[nodiscard]] TrackingSequence next();
+    [[nodiscard]] const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+    Rng stream_;
+};
+
+}  // namespace sky::data

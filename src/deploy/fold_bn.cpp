@@ -1,0 +1,135 @@
+#include "deploy/fold_bn.hpp"
+
+#include <stdexcept>
+
+namespace sky::deploy {
+
+void fold_into_conv(Tensor& weight, Tensor& bias, const nn::BatchNorm2d& bn) {
+    std::vector<float> scale, shift;
+    bn.fused_affine(scale, shift);
+    const Shape ws = weight.shape();
+    if (ws.n != static_cast<int>(scale.size()))
+        throw std::invalid_argument("fold_into_conv: channel mismatch");
+    const std::int64_t per_out = ws.per_item();
+    for (int oc = 0; oc < ws.n; ++oc) {
+        float* wp = weight.data() + oc * per_out;
+        const float g = scale[static_cast<std::size_t>(oc)];
+        for (std::int64_t i = 0; i < per_out; ++i) wp[i] *= g;
+        bias[oc] = g * bias[oc] + shift[static_cast<std::size_t>(oc)];
+    }
+}
+
+std::unique_ptr<nn::Sequential> fold_batch_norms(std::unique_ptr<nn::Sequential> seq,
+                                                 int* folded) {
+    auto modules = seq->take_modules();
+    auto out = std::make_unique<nn::Sequential>();
+    int count = 0;
+    for (std::size_t i = 0; i < modules.size(); ++i) {
+        nn::Module* next = i + 1 < modules.size() ? modules[i + 1].get() : nullptr;
+        auto* bn = dynamic_cast<nn::BatchNorm2d*>(next);
+        bool fused = false;
+        if (bn != nullptr) {
+            if (auto* conv = dynamic_cast<nn::Conv2d*>(modules[i].get())) {
+                conv->enable_bias();
+                fold_into_conv(conv->weight(), conv->bias(), *bn);
+                fused = true;
+            } else if (auto* pw = dynamic_cast<nn::PWConv1*>(modules[i].get())) {
+                pw->enable_bias();
+                fold_into_conv(pw->weight(), pw->bias(), *bn);
+                fused = true;
+            } else if (auto* dw = dynamic_cast<nn::DWConv3*>(modules[i].get())) {
+                // Depthwise has no bias: scale the filters, keep the shift
+                // as a per-channel bias layer in place of the BN.
+                std::vector<float> scale, shift;
+                bn->fused_affine(scale, shift);
+                Tensor& w = dw->weight();
+                for (int c = 0; c < dw->channels(); ++c) {
+                    float* wp = w.plane(c, 0);
+                    for (int t = 0; t < 9; ++t)
+                        wp[t] *= scale[static_cast<std::size_t>(c)];
+                }
+                out->add(std::move(modules[i]));
+                out->emplace<ChannelBias>(shift);
+                ++count;
+                ++i;  // skip the BN
+                continue;
+            }
+        }
+        if (fused) {
+            out->add(std::move(modules[i]));
+            ++count;
+            ++i;  // skip the BN
+        } else if (auto* inner = dynamic_cast<nn::Sequential*>(modules[i].get())) {
+            // Recurse into nested chains (bundles are Sequentials).
+            auto owned = std::unique_ptr<nn::Sequential>(inner);
+            modules[i].release();
+            int inner_count = 0;
+            out->add(fold_batch_norms(std::move(owned), &inner_count));
+            count += inner_count;
+        } else {
+            out->add(std::move(modules[i]));
+        }
+    }
+    if (folded != nullptr) *folded = count;
+    return out;
+}
+
+int fold_graph_bn(nn::Graph& g) {
+    // Consumer counts: how many nodes read each node's output.
+    std::vector<int> consumers(g.node_count(), 0);
+    for (std::size_t i = 0; i < g.node_count(); ++i)
+        for (int in : g.node_inputs(i)) ++consumers[static_cast<std::size_t>(in)];
+
+    int count = 0;
+    for (std::size_t i = 0; i < g.node_count(); ++i) {
+        auto* bn = dynamic_cast<nn::BatchNorm2d*>(g.node_module(i));
+        if (bn == nullptr) continue;
+        const auto& ins = g.node_inputs(i);
+        if (ins.size() != 1) continue;
+        const std::size_t j = static_cast<std::size_t>(ins[0]);
+        if (consumers[j] != 1) continue;  // the conv output is used elsewhere
+        if (auto* conv = dynamic_cast<nn::Conv2d*>(g.node_module(j))) {
+            conv->enable_bias();
+            fold_into_conv(conv->weight(), conv->bias(), *bn);
+            g.replace_module(i, std::make_unique<Identity>());
+            ++count;
+        } else if (auto* pw = dynamic_cast<nn::PWConv1*>(g.node_module(j))) {
+            pw->enable_bias();
+            fold_into_conv(pw->weight(), pw->bias(), *bn);
+            g.replace_module(i, std::make_unique<Identity>());
+            ++count;
+        } else if (auto* dw = dynamic_cast<nn::DWConv3*>(g.node_module(j))) {
+            std::vector<float> scale, shift;
+            bn->fused_affine(scale, shift);
+            Tensor& w = dw->weight();
+            for (int c = 0; c < dw->channels(); ++c) {
+                float* wp = w.plane(c, 0);
+                for (int t = 0; t < 9; ++t) wp[t] *= scale[static_cast<std::size_t>(c)];
+            }
+            g.replace_module(i, std::make_unique<ChannelBias>(shift));
+            ++count;
+        }
+    }
+    return count;
+}
+
+ChannelBias::ChannelBias(std::vector<float> bias) : bias_(std::move(bias)) {}
+
+Tensor ChannelBias::forward(const Tensor& x) {
+    const Shape s = x.shape();
+    if (s.c != static_cast<int>(bias_.size()))
+        throw std::invalid_argument("ChannelBias: channel mismatch");
+    Tensor y = x;
+    const std::int64_t plane = static_cast<std::int64_t>(s.h) * s.w;
+    for (int n = 0; n < s.n; ++n)
+        for (int c = 0; c < s.c; ++c) {
+            float* p = y.plane(n, c);
+            const float b = bias_[static_cast<std::size_t>(c)];
+            for (std::int64_t i = 0; i < plane; ++i) p[i] += b;
+        }
+    return y;
+}
+
+Tensor ChannelBias::backward(const Tensor& grad_out) { return grad_out; }
+
+}  // namespace sky::deploy

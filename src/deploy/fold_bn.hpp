@@ -1,0 +1,71 @@
+// Deployment-time batch-norm folding.
+//
+// Every DAC-SDC entry (Table 1) ships its network with BN folded into the
+// preceding convolution: y = BN(conv(x)) becomes a single conv with weights
+// W' = scale * W and bias b' = scale * b + shift, where (scale, shift) is
+// BatchNorm2d::fused_affine().  Folding removes the BN memory traffic and
+// is a prerequisite for the fixed-point datapath (§6.4.1).
+//
+// fold_batch_norms() walks a layer sequence described by `enumerate()` and
+// produces an inference-only Sequential with the BN layers absorbed.  It
+// handles the patterns this code base emits: {Conv2d|DWConv3|PWConv1}
+// followed (immediately) by BatchNorm2d.  Graph-structured networks fold
+// per branch via their Sequential sub-chains.
+#pragma once
+
+#include "nn/batchnorm.hpp"
+#include "nn/graph.hpp"
+#include "nn/conv.hpp"
+#include "nn/dwconv.hpp"
+#include "nn/pwconv.hpp"
+#include "nn/sequential.hpp"
+
+namespace sky::deploy {
+
+/// Fold `bn` into a generic convolution weight [out_ch, *, k, k] and bias.
+/// The weight's leading dimension must equal bn's channel count.
+void fold_into_conv(Tensor& weight, Tensor& bias, const nn::BatchNorm2d& bn);
+
+/// Rebuild `seq` with every (conv-like, BN) pair fused; other layers are
+/// moved through unchanged, nested Sequentials fold recursively.  The input
+/// Sequential is consumed.  The number of folded BN layers is returned via
+/// `folded` (optional).
+[[nodiscard]] std::unique_ptr<nn::Sequential> fold_batch_norms(
+    std::unique_ptr<nn::Sequential> seq, int* folded = nullptr);
+
+/// Fold BN nodes of a Graph into their producing conv nodes (the SkyNet
+/// models are Graphs).  A BN folds when its single input is a Conv2d /
+/// PWConv1 / DWConv3 module node consumed only by that BN; the BN node is
+/// replaced by an Identity (or a ChannelBias for bias-less depthwise
+/// convs).  Returns the number of BN layers folded.
+int fold_graph_bn(nn::Graph& g);
+
+/// Pass-through module left behind where a folded layer used to be.
+class Identity : public nn::Module {
+public:
+    Tensor forward(const Tensor& x) override { return x; }
+    Tensor backward(const Tensor& grad_out) override { return grad_out; }
+    [[nodiscard]] std::string name() const override { return "Identity"; }
+    [[nodiscard]] std::string kind() const override { return "identity"; }
+    [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
+};
+
+/// Per-channel constant bias — what remains of a BN folded into a bias-less
+/// depthwise convolution.
+class ChannelBias : public nn::Module {
+public:
+    explicit ChannelBias(std::vector<float> bias);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& grad_out) override;
+
+    [[nodiscard]] std::string name() const override { return "ChannelBias"; }
+    [[nodiscard]] std::string kind() const override { return "bias"; }
+    [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
+    [[nodiscard]] const std::vector<float>& values() const { return bias_; }
+
+private:
+    std::vector<float> bias_;
+};
+
+}  // namespace sky::deploy

@@ -1,0 +1,33 @@
+#include "detect/bbox.hpp"
+
+#include <algorithm>
+
+namespace sky::detect {
+
+float iou(const BBox& a, const BBox& b) {
+    const float ix1 = std::max(a.x1(), b.x1());
+    const float iy1 = std::max(a.y1(), b.y1());
+    const float ix2 = std::min(a.x2(), b.x2());
+    const float iy2 = std::min(a.y2(), b.y2());
+    const float iw = std::max(0.0f, ix2 - ix1);
+    const float ih = std::max(0.0f, iy2 - iy1);
+    const float inter = iw * ih;
+    const float uni = a.area() + b.area() - inter;
+    return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+float wh_iou(float w1, float h1, float w2, float h2) {
+    const float inter = std::min(w1, w2) * std::min(h1, h2);
+    const float uni = w1 * h1 + w2 * h2 - inter;
+    return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+BBox clip_unit(const BBox& b) {
+    const float x1 = std::clamp(b.x1(), 0.0f, 1.0f);
+    const float y1 = std::clamp(b.y1(), 0.0f, 1.0f);
+    const float x2 = std::clamp(b.x2(), 0.0f, 1.0f);
+    const float y2 = std::clamp(b.y2(), 0.0f, 1.0f);
+    return BBox{(x1 + x2) * 0.5f, (y1 + y2) * 0.5f, x2 - x1, y2 - y1};
+}
+
+}  // namespace sky::detect

@@ -1,0 +1,35 @@
+// Axis-aligned bounding boxes and IoU.
+//
+// Boxes are stored in normalised image coordinates (centre x/y, width,
+// height, all in [0,1]) so the same ground truth works across the
+// multi-scale training resolutions the paper uses.
+#pragma once
+
+#include <vector>
+
+namespace sky::detect {
+
+struct BBox {
+    float cx = 0.0f;
+    float cy = 0.0f;
+    float w = 0.0f;
+    float h = 0.0f;
+
+    [[nodiscard]] float x1() const { return cx - w * 0.5f; }
+    [[nodiscard]] float y1() const { return cy - h * 0.5f; }
+    [[nodiscard]] float x2() const { return cx + w * 0.5f; }
+    [[nodiscard]] float y2() const { return cy + h * 0.5f; }
+    [[nodiscard]] float area() const { return w * h; }
+};
+
+/// Intersection-over-union of two boxes; 0 when either is degenerate.
+[[nodiscard]] float iou(const BBox& a, const BBox& b);
+
+/// IoU of the width/height pair only (both boxes centred at the origin);
+/// used for anchor matching.
+[[nodiscard]] float wh_iou(float w1, float h1, float w2, float h2);
+
+/// Clip a box to the unit square.
+[[nodiscard]] BBox clip_unit(const BBox& b);
+
+}  // namespace sky::detect

@@ -1,0 +1,27 @@
+#include "detect/metrics.hpp"
+
+#include <stdexcept>
+
+namespace sky::detect {
+
+double mean_iou(const std::vector<BBox>& pred, const std::vector<BBox>& gt) {
+    if (pred.size() != gt.size())
+        throw std::invalid_argument("mean_iou: size mismatch");
+    if (pred.empty()) return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < pred.size(); ++i) acc += iou(pred[i], gt[i]);
+    return acc / static_cast<double>(pred.size());
+}
+
+double success_rate(const std::vector<BBox>& pred, const std::vector<BBox>& gt,
+                    double threshold) {
+    if (pred.size() != gt.size())
+        throw std::invalid_argument("success_rate: size mismatch");
+    if (pred.empty()) return 0.0;
+    int hits = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i)
+        if (iou(pred[i], gt[i]) > threshold) ++hits;
+    return static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+}  // namespace sky::detect

@@ -1,0 +1,16 @@
+// Detection metrics: mean IoU (the DAC-SDC accuracy metric, Eq. 2) and
+// success rate at an IoU threshold (also used by the tracking evaluation).
+#pragma once
+
+#include "detect/bbox.hpp"
+
+namespace sky::detect {
+
+/// Mean IoU over matched prediction/ground-truth pairs (R_IoU of Eq. 2).
+[[nodiscard]] double mean_iou(const std::vector<BBox>& pred, const std::vector<BBox>& gt);
+
+/// Fraction of pairs with IoU > threshold.
+[[nodiscard]] double success_rate(const std::vector<BBox>& pred, const std::vector<BBox>& gt,
+                                  double threshold);
+
+}  // namespace sky::detect

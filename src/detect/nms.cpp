@@ -1,0 +1,25 @@
+#include "detect/nms.hpp"
+
+#include <algorithm>
+
+namespace sky::detect {
+
+std::vector<Detection> nms(std::vector<Detection> detections, float iou_threshold) {
+    std::sort(detections.begin(), detections.end(),
+              [](const Detection& a, const Detection& b) { return a.score > b.score; });
+    std::vector<Detection> kept;
+    kept.reserve(detections.size());
+    for (const Detection& d : detections) {
+        bool suppressed = false;
+        for (const Detection& k : kept) {
+            if (iou(d.box, k.box) > iou_threshold) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed) kept.push_back(d);
+    }
+    return kept;
+}
+
+}  // namespace sky::detect

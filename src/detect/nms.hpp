@@ -1,0 +1,22 @@
+// Multi-object decoding support: scored detections and greedy
+// non-maximum suppression.  DAC-SDC is single-object, but the detector head
+// is a dense YOLO grid, so multi-object decoding (used with
+// YoloHead::decode_all) comes almost for free and makes the library usable
+// beyond the contest task — e.g. the distractor-rich scenes of Fig. 7.
+#pragma once
+
+#include "detect/bbox.hpp"
+
+namespace sky::detect {
+
+struct Detection {
+    BBox box;
+    float score = 0.0f;
+};
+
+/// Greedy NMS: keep detections in descending score order, dropping any box
+/// whose IoU with an already-kept box exceeds `iou_threshold`.
+[[nodiscard]] std::vector<Detection> nms(std::vector<Detection> detections,
+                                         float iou_threshold);
+
+}  // namespace sky::detect

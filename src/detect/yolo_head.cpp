@@ -1,0 +1,261 @@
+#include "detect/yolo_head.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sky::detect {
+namespace {
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+YoloHead::YoloHead(std::vector<Anchor> anchors) : anchors_(std::move(anchors)) {
+    if (anchors_.empty()) throw std::invalid_argument("YoloHead needs >= 1 anchor");
+}
+
+std::vector<BBox> YoloHead::decode(const Tensor& raw) const {
+    const Shape s = raw.shape();
+    const int A = num_anchors();
+    if (s.c != 5 * A)
+        throw std::invalid_argument("YoloHead::decode: expected " +
+                                    std::to_string(5 * A) + " channels, got " +
+                                    std::to_string(s.c));
+    std::vector<BBox> out(static_cast<std::size_t>(s.n));
+    for (int n = 0; n < s.n; ++n) {
+        float best_obj = -1e30f;
+        BBox best{};
+        for (int a = 0; a < A; ++a) {
+            const float* tx = raw.plane(n, a * 5 + 0);
+            const float* ty = raw.plane(n, a * 5 + 1);
+            const float* tw = raw.plane(n, a * 5 + 2);
+            const float* th = raw.plane(n, a * 5 + 3);
+            const float* to = raw.plane(n, a * 5 + 4);
+            for (int gy = 0; gy < s.h; ++gy) {
+                for (int gx = 0; gx < s.w; ++gx) {
+                    const std::int64_t i = static_cast<std::int64_t>(gy) * s.w + gx;
+                    if (to[i] > best_obj) {
+                        best_obj = to[i];
+                        best.cx = (static_cast<float>(gx) + sigmoid(tx[i])) /
+                                  static_cast<float>(s.w);
+                        best.cy = (static_cast<float>(gy) + sigmoid(ty[i])) /
+                                  static_cast<float>(s.h);
+                        best.w = anchors_[static_cast<std::size_t>(a)].w *
+                                 std::exp(std::min(tw[i], 8.0f));
+                        best.h = anchors_[static_cast<std::size_t>(a)].h *
+                                 std::exp(std::min(th[i], 8.0f));
+                    }
+                }
+            }
+        }
+        out[static_cast<std::size_t>(n)] = clip_unit(best);
+    }
+    return out;
+}
+
+std::vector<std::vector<Detection>> YoloHead::decode_all(const Tensor& raw,
+                                                         float conf_threshold,
+                                                         float nms_iou) const {
+    const Shape s = raw.shape();
+    const int A = num_anchors();
+    if (s.c != 5 * A)
+        throw std::invalid_argument("YoloHead::decode_all: channel count mismatch");
+    std::vector<std::vector<Detection>> out(static_cast<std::size_t>(s.n));
+    for (int n = 0; n < s.n; ++n) {
+        std::vector<Detection> dets;
+        for (int a = 0; a < A; ++a) {
+            const float* tx = raw.plane(n, a * 5 + 0);
+            const float* ty = raw.plane(n, a * 5 + 1);
+            const float* tw = raw.plane(n, a * 5 + 2);
+            const float* th = raw.plane(n, a * 5 + 3);
+            const float* to = raw.plane(n, a * 5 + 4);
+            for (int gy = 0; gy < s.h; ++gy) {
+                for (int gx = 0; gx < s.w; ++gx) {
+                    const std::int64_t i = static_cast<std::int64_t>(gy) * s.w + gx;
+                    const float score = sigmoid(to[i]);
+                    if (score < conf_threshold) continue;
+                    Detection d;
+                    d.score = score;
+                    d.box.cx = (static_cast<float>(gx) + sigmoid(tx[i])) /
+                               static_cast<float>(s.w);
+                    d.box.cy = (static_cast<float>(gy) + sigmoid(ty[i])) /
+                               static_cast<float>(s.h);
+                    d.box.w = anchors_[static_cast<std::size_t>(a)].w *
+                              std::exp(std::min(tw[i], 8.0f));
+                    d.box.h = anchors_[static_cast<std::size_t>(a)].h *
+                              std::exp(std::min(th[i], 8.0f));
+                    d.box = clip_unit(d.box);
+                    dets.push_back(d);
+                }
+            }
+        }
+        out[static_cast<std::size_t>(n)] = nms(std::move(dets), nms_iou);
+    }
+    return out;
+}
+
+float YoloHead::loss(const Tensor& raw, const std::vector<BBox>& gt, Tensor& grad,
+                     const YoloLossConfig& cfg) const {
+    const Shape s = raw.shape();
+    const int A = num_anchors();
+    if (static_cast<int>(gt.size()) != s.n)
+        throw std::invalid_argument("YoloHead::loss: gt size mismatch");
+    grad = Tensor(s);
+    double total = 0.0;
+    const float inv_n = 1.0f / static_cast<float>(s.n);
+    for (int n = 0; n < s.n; ++n) {
+        const BBox& g = gt[static_cast<std::size_t>(n)];
+        // Responsible cell and anchor.
+        const int gx = std::clamp(static_cast<int>(g.cx * static_cast<float>(s.w)), 0, s.w - 1);
+        const int gy = std::clamp(static_cast<int>(g.cy * static_cast<float>(s.h)), 0, s.h - 1);
+        int best_a = 0;
+        float best_match = -1.0f;
+        for (int a = 0; a < A; ++a) {
+            const float m = wh_iou(g.w, g.h, anchors_[static_cast<std::size_t>(a)].w,
+                                   anchors_[static_cast<std::size_t>(a)].h);
+            if (m > best_match) {
+                best_match = m;
+                best_a = a;
+            }
+        }
+        for (int a = 0; a < A; ++a) {
+            const float* to = raw.plane(n, a * 5 + 4);
+            float* gobj = grad.plane(n, a * 5 + 4);
+            for (int cy = 0; cy < s.h; ++cy) {
+                for (int cx = 0; cx < s.w; ++cx) {
+                    const std::int64_t i = static_cast<std::int64_t>(cy) * s.w + cx;
+                    const bool responsible = (a == best_a && cx == gx && cy == gy);
+                    const float target = responsible ? 1.0f : 0.0f;
+                    const float p = sigmoid(to[i]);
+                    const float w = responsible ? cfg.obj_weight : cfg.noobj_weight;
+                    // BCE with logits: dL/dlogit = p - target.
+                    const float eps = 1e-7f;
+                    total += -w *
+                             (target * std::log(p + eps) +
+                              (1.0f - target) * std::log(1.0f - p + eps)) *
+                             inv_n;
+                    gobj[i] += w * (p - target) * inv_n;
+                }
+            }
+        }
+        // Box terms on the responsible anchor cell.
+        const std::int64_t i = static_cast<std::int64_t>(gy) * s.w + gx;
+        const float* tx = raw.plane(n, best_a * 5 + 0);
+        const float* ty = raw.plane(n, best_a * 5 + 1);
+        const float* tw = raw.plane(n, best_a * 5 + 2);
+        const float* th = raw.plane(n, best_a * 5 + 3);
+        float* gtx = grad.plane(n, best_a * 5 + 0);
+        float* gty = grad.plane(n, best_a * 5 + 1);
+        float* gtw = grad.plane(n, best_a * 5 + 2);
+        float* gth = grad.plane(n, best_a * 5 + 3);
+        const Anchor& an = anchors_[static_cast<std::size_t>(best_a)];
+        const float target_tx = g.cx * static_cast<float>(s.w) - static_cast<float>(gx);
+        const float target_ty = g.cy * static_cast<float>(s.h) - static_cast<float>(gy);
+        const float target_tw = std::log(std::max(g.w, 1e-4f) / an.w);
+        const float target_th = std::log(std::max(g.h, 1e-4f) / an.h);
+        const float px = sigmoid(tx[i]);
+        const float py = sigmoid(ty[i]);
+        const float dx = px - target_tx;
+        const float dy = py - target_ty;
+        const float dw = tw[i] - target_tw;
+        const float dh = th[i] - target_th;
+        total += 0.5 * cfg.coord_weight * (dx * dx + dy * dy + dw * dw + dh * dh) * inv_n;
+        gtx[i] += cfg.coord_weight * dx * px * (1.0f - px) * inv_n;
+        gty[i] += cfg.coord_weight * dy * py * (1.0f - py) * inv_n;
+        gtw[i] += cfg.coord_weight * dw * inv_n;
+        gth[i] += cfg.coord_weight * dh * inv_n;
+    }
+    return static_cast<float>(total);
+}
+
+float YoloHead::loss_multi(const Tensor& raw, const std::vector<std::vector<BBox>>& gt,
+                           Tensor& grad, const YoloLossConfig& cfg) const {
+    const Shape s = raw.shape();
+    const int A = num_anchors();
+    if (static_cast<int>(gt.size()) != s.n)
+        throw std::invalid_argument("YoloHead::loss_multi: gt size mismatch");
+    grad = Tensor(s);
+    double total = 0.0;
+    const float inv_n = 1.0f / static_cast<float>(s.n);
+    const float eps = 1e-7f;
+    for (int n = 0; n < s.n; ++n) {
+        // Assign every ground-truth box to its (anchor, cell); later boxes
+        // do not overwrite earlier claims (targets were generated
+        // non-overlapping, so collisions are rare).
+        std::vector<int> owner(static_cast<std::size_t>(A) * s.h * s.w, -1);
+        const auto& boxes = gt[static_cast<std::size_t>(n)];
+        for (std::size_t b = 0; b < boxes.size(); ++b) {
+            const BBox& g = boxes[b];
+            const int gx =
+                std::clamp(static_cast<int>(g.cx * static_cast<float>(s.w)), 0, s.w - 1);
+            const int gy =
+                std::clamp(static_cast<int>(g.cy * static_cast<float>(s.h)), 0, s.h - 1);
+            int best_a = 0;
+            float best = -1.0f;
+            for (int a = 0; a < A; ++a) {
+                const float m = wh_iou(g.w, g.h, anchors_[static_cast<std::size_t>(a)].w,
+                                       anchors_[static_cast<std::size_t>(a)].h);
+                if (m > best) {
+                    best = m;
+                    best_a = a;
+                }
+            }
+            auto& slot = owner[static_cast<std::size_t>(
+                (best_a * s.h + gy) * s.w + gx)];
+            if (slot < 0) slot = static_cast<int>(b);
+        }
+        // Objectness everywhere + box terms at claimed cells.
+        for (int a = 0; a < A; ++a) {
+            const float* to = raw.plane(n, a * 5 + 4);
+            float* gobj = grad.plane(n, a * 5 + 4);
+            for (int cy = 0; cy < s.h; ++cy) {
+                for (int cx = 0; cx < s.w; ++cx) {
+                    const std::int64_t i = static_cast<std::int64_t>(cy) * s.w + cx;
+                    const int own = owner[static_cast<std::size_t>(
+                        (a * s.h + cy) * s.w + cx)];
+                    const bool pos = own >= 0;
+                    const float target = pos ? 1.0f : 0.0f;
+                    const float w = pos ? cfg.obj_weight : cfg.noobj_weight;
+                    const float p = sigmoid(to[i]);
+                    total += -w *
+                             (target * std::log(p + eps) +
+                              (1.0f - target) * std::log(1.0f - p + eps)) *
+                             inv_n;
+                    gobj[i] += w * (p - target) * inv_n;
+                    if (!pos) continue;
+
+                    const BBox& g = boxes[static_cast<std::size_t>(own)];
+                    const Anchor& an = anchors_[static_cast<std::size_t>(a)];
+                    const float target_tx =
+                        g.cx * static_cast<float>(s.w) - static_cast<float>(cx);
+                    const float target_ty =
+                        g.cy * static_cast<float>(s.h) - static_cast<float>(cy);
+                    const float target_tw = std::log(std::max(g.w, 1e-4f) / an.w);
+                    const float target_th = std::log(std::max(g.h, 1e-4f) / an.h);
+                    const float* tx = raw.plane(n, a * 5 + 0);
+                    const float* ty = raw.plane(n, a * 5 + 1);
+                    const float* tw = raw.plane(n, a * 5 + 2);
+                    const float* th = raw.plane(n, a * 5 + 3);
+                    const float px = sigmoid(tx[i]);
+                    const float py = sigmoid(ty[i]);
+                    const float dx = px - target_tx;
+                    const float dy = py - target_ty;
+                    const float dw = tw[i] - target_tw;
+                    const float dh = th[i] - target_th;
+                    total += 0.5 * cfg.coord_weight *
+                             (dx * dx + dy * dy + dw * dw + dh * dh) * inv_n;
+                    grad.plane(n, a * 5 + 0)[i] +=
+                        cfg.coord_weight * dx * px * (1.0f - px) * inv_n;
+                    grad.plane(n, a * 5 + 1)[i] +=
+                        cfg.coord_weight * dy * py * (1.0f - py) * inv_n;
+                    grad.plane(n, a * 5 + 2)[i] += cfg.coord_weight * dw * inv_n;
+                    grad.plane(n, a * 5 + 3)[i] += cfg.coord_weight * dh * inv_n;
+                }
+            }
+        }
+    }
+    return static_cast<float>(total);
+}
+
+}  // namespace sky::detect

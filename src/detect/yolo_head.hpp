@@ -1,0 +1,69 @@
+// YOLO-style single-object detection head, adapted as in the paper:
+// "SkyNet adapts the YOLO detector head by removing the classification
+// output and use two anchors for bounding box regression" (§5.1).
+//
+// The backbone emits a raw map of shape {n, 5*A, gh, gw} (A anchors, 5
+// values per anchor: tx, ty, tw, th, objectness).  Decoding follows YOLOv2:
+//   cx = (gx + sigmoid(tx)) / gw        w = anchor_w * exp(tw)
+//   cy = (gy + sigmoid(ty)) / gh        h = anchor_h * exp(th)
+// DAC-SDC is single-object, so decode() returns the box of the
+// highest-objectness anchor cell per image.
+//
+// The head also owns the training loss (squared error on the responsible
+// anchor's box terms + binary cross-entropy on objectness) and produces the
+// gradient w.r.t. the raw map, which feeds straight into Graph::backward.
+#pragma once
+
+#include "detect/bbox.hpp"
+#include "detect/nms.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sky::detect {
+
+struct Anchor {
+    float w;  ///< normalised to image width
+    float h;  ///< normalised to image height
+};
+
+/// Loss weights, YOLOv2-style.
+struct YoloLossConfig {
+    float coord_weight = 5.0f;
+    float noobj_weight = 0.5f;
+    float obj_weight = 1.0f;
+};
+
+class YoloHead {
+public:
+    /// Default: the two anchors used by our SkyNet configuration, one small
+    /// and one medium, chosen from the Fig. 6 size statistics.
+    explicit YoloHead(std::vector<Anchor> anchors = {{0.05f, 0.08f}, {0.15f, 0.22f}});
+
+    [[nodiscard]] int num_anchors() const { return static_cast<int>(anchors_.size()); }
+    [[nodiscard]] int out_channels() const { return 5 * num_anchors(); }
+    [[nodiscard]] const std::vector<Anchor>& anchors() const { return anchors_; }
+
+    /// Best box per batch item.
+    [[nodiscard]] std::vector<BBox> decode(const Tensor& raw) const;
+
+    /// All boxes with objectness above `conf_threshold`, per batch item,
+    /// NMS-suppressed at `nms_iou` (multi-object mode; see detect/nms.hpp).
+    [[nodiscard]] std::vector<std::vector<Detection>> decode_all(
+        const Tensor& raw, float conf_threshold = 0.5f, float nms_iou = 0.45f) const;
+
+    /// Loss for single-object ground truth; writes dL/d(raw) into `grad`
+    /// (same shape as raw).  Returns mean loss over the batch.
+    float loss(const Tensor& raw, const std::vector<BBox>& gt, Tensor& grad,
+               const YoloLossConfig& cfg = YoloLossConfig{}) const;
+
+    /// Multi-object variant: any number of ground-truth boxes per image.
+    /// Each box claims its (best-anchor, cell) pair; unclaimed cells are
+    /// negatives.  DAC-SDC itself is single-object, but the dense grid makes
+    /// this a free generalisation (used with decode_all / sample_multi).
+    float loss_multi(const Tensor& raw, const std::vector<std::vector<BBox>>& gt,
+                     Tensor& grad, const YoloLossConfig& cfg = YoloLossConfig{}) const;
+
+private:
+    std::vector<Anchor> anchors_;
+};
+
+}  // namespace sky::detect

@@ -1,0 +1,67 @@
+#include "hwsim/device.hpp"
+
+namespace sky::hwsim {
+
+DeviceProfile tx2() {
+    DeviceProfile d;
+    d.name = "TX2";
+    d.kind = DeviceKind::kGpu;
+    d.peak_gmacs = 332.5;  // 665 GFLOPS fp32 (paper, §6.4)
+    d.mem_bw_gbps = 58.3;
+    d.clock_mhz = 1300.0;
+    d.idle_power_w = 5.0;
+    d.peak_power_w = 15.0;
+    d.launch_overhead_us = 35.0;  // Jetson kernel dispatch is expensive
+    d.efficiency_scale = 0.40;    // small-net cuDNN on TX2 sits far from peak
+    return d;
+}
+
+DeviceProfile gtx1080ti() {
+    DeviceProfile d;
+    d.name = "1080Ti";
+    d.kind = DeviceKind::kGpu;
+    d.peak_gmacs = 5670.0;  // 11.34 TFLOPS fp32
+    d.mem_bw_gbps = 484.0;
+    d.clock_mhz = 1582.0;
+    d.idle_power_w = 55.0;
+    d.peak_power_w = 250.0;
+    d.launch_overhead_us = 6.0;
+    d.efficiency_scale = 0.55;  // single-image inference (no batching)
+    return d;
+}
+
+DeviceProfile ultra96() {
+    DeviceProfile d;
+    d.name = "Ultra96";
+    d.kind = DeviceKind::kFpga;
+    d.peak_gmacs = 72.0;  // 144 GOPS @ 200 MHz (paper, §6.4) = 360 DSP * 200 MHz
+    d.mem_bw_gbps = 2.2;  // sustained PS DDR4 bandwidth via one AXI HP port
+    d.clock_mhz = 200.0;
+    d.idle_power_w = 2.2;
+    d.peak_power_w = 9.0;
+    d.launch_overhead_us = 150.0;  // per-layer buffer swap + IP reconfig
+    d.efficiency_scale = 0.30;     // sustained fraction of lanes x clock
+    d.dsp_total = 360;
+    d.bram18k_total = 432;  // ZU3EG: 216 x 36Kb = 432 x 18Kb
+    d.lut_total = 70560;
+    return d;
+}
+
+DeviceProfile pynqz1() {
+    DeviceProfile d;
+    d.name = "Pynq-Z1";
+    d.kind = DeviceKind::kFpga;
+    d.peak_gmacs = 31.2;  // 220 DSP @ 142 MHz
+    d.mem_bw_gbps = 1.2;
+    d.clock_mhz = 142.0;
+    d.idle_power_w = 1.4;
+    d.peak_power_w = 4.5;
+    d.launch_overhead_us = 220.0;
+    d.efficiency_scale = 0.30;
+    d.dsp_total = 220;
+    d.bram18k_total = 280;
+    d.lut_total = 53200;
+    return d;
+}
+
+}  // namespace sky::hwsim

@@ -1,0 +1,54 @@
+// Device profiles for the embedded platforms of DAC-SDC and the tracking
+// study.  These are *calibrated simulators*: each profile carries the
+// published peak compute, memory bandwidth, clock and resource counts of
+// the real silicon (TX2's 665 GFLOPS @ 1300 MHz and Ultra96's 144 GOPS
+// @ 200 MHz are quoted directly in §6.4), and every latency/energy number in
+// the benches derives from these plus the analytical models in
+// gpu_model.hpp / fpga_model.hpp — no per-table constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sky::hwsim {
+
+enum class DeviceKind { kGpu, kFpga };
+
+struct DeviceProfile {
+    std::string name;
+    DeviceKind kind = DeviceKind::kGpu;
+
+    double peak_gmacs = 0.0;    ///< peak multiply-accumulates per second, in G
+    double mem_bw_gbps = 0.0;   ///< DRAM bandwidth, GB/s
+    double clock_mhz = 0.0;
+    double idle_power_w = 0.0;  ///< board power at idle
+    double peak_power_w = 0.0;  ///< board power at full utilisation
+    double launch_overhead_us = 0.0;  ///< per-kernel / per-layer dispatch cost
+    /// Fraction of the nominal per-kind kernel efficiency this device
+    /// actually reaches (embedded GPUs on small nets sit well below a
+    /// desktop GPU running large batches).
+    double efficiency_scale = 1.0;
+
+    // FPGA-only resources.
+    int dsp_total = 0;
+    int bram18k_total = 0;  ///< 18 Kbit block RAM count
+    std::int64_t lut_total = 0;
+
+    [[nodiscard]] bool is_fpga() const { return kind == DeviceKind::kFpga; }
+};
+
+/// NVIDIA Jetson TX2 (embedded GPU, GPU track of DAC-SDC).
+/// 665 GFLOPS fp32 => 332.5 G MAC/s; LPDDR4 58.3 GB/s.
+[[nodiscard]] DeviceProfile tx2();
+
+/// NVIDIA GTX 1080 Ti (the tracking evaluation GPU of §7).
+[[nodiscard]] DeviceProfile gtx1080ti();
+
+/// Ultra96 (Zynq UltraScale+ ZU3EG; FPGA track 2019).
+/// Paper: peak 144 GOPS @ 200 MHz => 360 DSP * 2 ops.
+[[nodiscard]] DeviceProfile ultra96();
+
+/// Pynq-Z1 (Zynq-7020; FPGA track 2018).
+[[nodiscard]] DeviceProfile pynqz1();
+
+}  // namespace sky::hwsim

@@ -1,0 +1,16 @@
+#include "hwsim/energy.hpp"
+
+#include <algorithm>
+
+namespace sky::hwsim {
+
+EnergyEstimate estimate_energy(const DeviceProfile& profile, double utilization,
+                               double fps) {
+    EnergyEstimate e;
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    e.power_w = profile.idle_power_w + u * (profile.peak_power_w - profile.idle_power_w);
+    e.energy_per_image_j = fps > 0.0 ? e.power_w / fps : 0.0;
+    return e;
+}
+
+}  // namespace sky::hwsim

@@ -1,0 +1,24 @@
+// Board-level power / energy model shared by both device families.
+//
+// Power interpolates between the profile's idle and peak power with achieved
+// utilisation; energy per frame divides by throughput.  These feed the
+// DAC-SDC energy score (Eq. 3-4) in dacsdc/scoring.hpp.
+#pragma once
+
+#include "hwsim/device.hpp"
+
+namespace sky::hwsim {
+
+struct EnergyEstimate {
+    double power_w = 0.0;
+    double energy_per_image_j = 0.0;
+    /// Energy to process a whole test set of `images` frames.
+    [[nodiscard]] double total_j(int images) const { return energy_per_image_j * images; }
+};
+
+/// `utilization` in [0,1] is the accelerator's achieved fraction of peak;
+/// `fps` is end-to-end system throughput.
+[[nodiscard]] EnergyEstimate estimate_energy(const DeviceProfile& profile,
+                                             double utilization, double fps);
+
+}  // namespace sky::hwsim

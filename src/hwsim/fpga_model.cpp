@@ -1,0 +1,194 @@
+#include "hwsim/fpga_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sky::hwsim {
+namespace {
+
+constexpr double kBram18kBits = 18 * 1024.0;
+
+/// Scale a layer list's spatial dims by the input resize factor (Fig. 2b).
+/// The batch_tile of Fig. 9 is handled in estimate_layers: the stitched
+/// inputs stream tile-by-tile through the *same* shared buffer (that is the
+/// scheme's whole point), so buffer sizing uses single-image shapes while
+/// compute and feature-map traffic scale with the tile count and the
+/// weights are fetched once per macro-image.
+std::vector<nn::LayerInfo> apply_input_transform(std::vector<nn::LayerInfo> layers,
+                                                 const FpgaBuildConfig& cfg) {
+    const double r = cfg.resize_factor;
+    for (auto& li : layers) {
+        auto scale_shape = [&](Shape s) {
+            s.h = std::max(1, static_cast<int>(std::lround(s.h * r)));
+            s.w = std::max(1, static_cast<int>(std::lround(s.w * r)));
+            s.n = 1;
+            return s;
+        };
+        li.macs = static_cast<std::int64_t>(static_cast<double>(li.macs) * r * r);
+        li.in = scale_shape(li.in);
+        li.out = scale_shape(li.out);
+    }
+    return layers;
+}
+
+}  // namespace
+
+FpgaModel::FpgaModel(DeviceProfile profile) : profile_(std::move(profile)) {}
+
+double FpgaModel::dsps_per_mac(int weight_bits, int fm_bits, bool double_pumped) {
+    double per_mac;
+    if (weight_bits <= 0 || fm_bits <= 0) {
+        per_mac = 3.0;  // float32 multiply-add from DSP48 cascades
+    } else if (weight_bits + fm_bits <= 30) {
+        per_mac = 0.5;  // two products packed per DSP (Fig. 2c: W14/FM16)
+    } else {
+        per_mac = 1.0;  // one product per DSP (27x18 multiplier)
+    }
+    if (double_pumped) per_mac *= 0.5;  // DSP column clocked at 2x
+    return per_mac;
+}
+
+int FpgaModel::dsp_count(int parallelism, int weight_bits, int fm_bits, bool double_pumped) {
+    return static_cast<int>(std::ceil(static_cast<double>(parallelism) *
+                                      dsps_per_mac(weight_bits, fm_bits, double_pumped)));
+}
+
+FpgaResources FpgaModel::resources(const std::vector<nn::LayerInfo>& layers,
+                                   const FpgaBuildConfig& cfg, int parallelism) const {
+    FpgaResources res;
+    res.dsp = dsp_count(parallelism, cfg.weight_bits, cfg.fm_bits, cfg.double_pumped);
+
+    const int fm_bits = cfg.fm_bits > 0 ? cfg.fm_bits : 32;
+    const int w_bits = cfg.weight_bits > 0 ? cfg.weight_bits : 32;
+
+    // Shared FM buffer (Fig. 9): sized once for the largest per-layer
+    // feature map, ping-pong (x2 for in/out overlap).  Weight buffer holds
+    // the largest single layer's weights.
+    std::int64_t max_fm_elems = 0;
+    std::int64_t max_w_elems = 0;
+    for (const auto& li : layers) {
+        max_fm_elems = std::max({max_fm_elems, li.in.count(), li.out.count()});
+        max_w_elems = std::max(max_w_elems, li.params);
+    }
+
+    // Spatial tiling until the double-buffered FM fits in 60% of BRAM.
+    const double budget_bits = static_cast<double>(profile_.bram18k_total) * kBram18kBits;
+    int tiles = 1;
+    double fm_bits_needed = 2.0 * static_cast<double>(max_fm_elems) * fm_bits;
+    if (cfg.allow_fm_tiling)
+        while (fm_bits_needed / tiles > 0.6 * budget_bits && tiles < 64) tiles *= 2;
+    res.fm_tiles = tiles;
+
+    // Banked BRAM allocation: the IP reads/writes several words per cycle,
+    // so buffers are partitioned; each bank rounds up to whole BRAM18Ks.
+    // Bank count saturates — wide IPs use wider BRAM data ports instead of
+    // ever more banks.
+    const int banks = std::clamp(
+        static_cast<int>(std::lround(std::sqrt(parallelism))), 1, 16);
+    auto brams_for = [&](double bits, int nbanks) {
+        const double per_bank = bits / nbanks;
+        return nbanks * static_cast<int>(std::ceil(per_bank / kBram18kBits));
+    };
+    const int fm_brams = brams_for(fm_bits_needed / tiles, banks);
+    const int w_brams =
+        brams_for(static_cast<double>(max_w_elems) * w_bits, std::min(banks, 4));
+    res.bram18k = fm_brams + w_brams;
+
+    // LUT model: base control plus per-MAC-lane datapath plus per-layer
+    // configuration entries (layers share the IP, so a layer costs a
+    // descriptor, not its own datapath).
+    res.lut = 6000 + 55LL * parallelism + 250LL * static_cast<std::int64_t>(layers.size());
+
+    res.fits = res.dsp <= profile_.dsp_total && res.bram18k <= profile_.bram18k_total &&
+               res.lut <= profile_.lut_total;
+    return res;
+}
+
+FpgaEstimate FpgaModel::estimate(const nn::Module& net, Shape input,
+                                 const FpgaBuildConfig& cfg) const {
+    input.n = 1;
+    std::vector<nn::LayerInfo> layers;
+    net.enumerate(input, layers);
+    return estimate_layers(std::move(layers), cfg);
+}
+
+FpgaEstimate FpgaModel::estimate_layers(std::vector<nn::LayerInfo> layers,
+                                        const FpgaBuildConfig& cfg) const {
+    layers = apply_input_transform(std::move(layers), cfg);
+    // Pick the largest power-of-two parallelism whose resources fit.
+    int best_p = 0;
+    for (int p = 8; p <= 4096; p *= 2)
+        if (resources(layers, cfg, p).fits) best_p = p;
+    if (best_p == 0) best_p = 8;  // nothing fits: report the smallest config
+    return estimate_at(layers, cfg, best_p);
+}
+
+std::vector<FpgaEstimate> FpgaModel::design_space(const nn::Module& net, Shape input,
+                                                  const FpgaBuildConfig& cfg) const {
+    input.n = 1;
+    std::vector<nn::LayerInfo> layers;
+    net.enumerate(input, layers);
+    layers = apply_input_transform(std::move(layers), cfg);
+    std::vector<FpgaEstimate> points;
+    for (int p = 8; p <= 4096; p *= 2) points.push_back(estimate_at(layers, cfg, p));
+    return points;
+}
+
+FpgaEstimate FpgaModel::estimate_at(const std::vector<nn::LayerInfo>& layers,
+                                    const FpgaBuildConfig& cfg, int parallelism) const {
+    FpgaEstimate est;
+    const int best_p = parallelism;
+    est.parallelism = best_p;
+    est.resources = resources(layers, cfg, best_p);
+    const FpgaResources& best_res = est.resources;
+
+    // Sustained IP throughput sits well below lanes x clock: pipeline
+    // fill/drain at tile borders, edge effects and DMA stalls.
+    const double clock_hz = profile_.clock_mhz * 1e6 * profile_.efficiency_scale;
+    const double bw = profile_.mem_bw_gbps * 1e9;
+    // Per-layer fixed cost: buffer swap + IP reconfiguration.
+    const double layer_overhead_us = profile_.launch_overhead_us;
+    const int fm_bits = cfg.fm_bits > 0 ? cfg.fm_bits : 32;
+    const int w_bits = cfg.weight_bits > 0 ? cfg.weight_bits : 32;
+    // Halo overhead per extra tiling level (re-fetched borders).
+    const double tile_overhead = 1.0 + 0.1 * std::log2(static_cast<double>(best_res.fm_tiles));
+
+    const double tiles = static_cast<double>(std::max(1, cfg.batch_tile));
+    double total_us = 0.0;
+    double total_macs = 0.0;
+    for (const auto& li : layers) {
+        FpgaLayerLatency ll;
+        ll.info = li;
+        total_macs += static_cast<double>(li.macs) * tiles;
+        if (li.macs > 0) {
+            // The shared IP sustains best_p MACs/cycle on conv-style layers;
+            // elementwise layers are fused into the conv pipeline.  All
+            // batch_tile stitched inputs stream through (Fig. 9).
+            ll.compute_us = static_cast<double>(li.macs) * tiles /
+                            (static_cast<double>(best_p) * clock_hz) * 1e6;
+        }
+        // Feature maps move once per image; weights once per macro-image —
+        // that is the weight-reuse benefit the tiling+batch scheme buys.
+        const double fm_traffic_bits =
+            (static_cast<double>(li.in.count()) + static_cast<double>(li.out.count())) *
+            fm_bits * tile_overhead * tiles;
+        const double w_traffic_bits = static_cast<double>(li.params) * w_bits;
+        // FM stays on chip between fused layers (bn/act/pool); only conv
+        // boundaries move data when the shared buffer is reused.
+        const double fuse_discount = (li.macs == 0) ? 0.15 : 1.0;
+        ll.memory_us = (fm_traffic_bits + w_traffic_bits) * fuse_discount / 8.0 / bw * 1e6;
+        ll.total_us = std::max(ll.compute_us, ll.memory_us) +
+                      (li.macs > 0 ? layer_overhead_us : 0.0);
+        total_us += ll.total_us;
+        est.layers.push_back(ll);
+    }
+    est.latency_ms = total_us / 1e3;
+    est.fps = tiles / (total_us * 1e-6);
+    est.utilization = total_us > 0.0
+                          ? std::min(1.0, total_macs / (static_cast<double>(best_p) *
+                                                        clock_hz * total_us * 1e-6))
+                          : 0.0;
+    return est;
+}
+
+}  // namespace sky::hwsim

@@ -1,0 +1,100 @@
+// Analytical FPGA accelerator model, following the IP-based mapping strategy
+// of Hao et al. (DAC'19) that the paper's Stage-2 latency estimation uses:
+// all layers of one type share a single configurable Conv IP; the IP is
+// configured as large as the resource budget allows; per-layer latency and
+// end-to-end performance follow from the IP configuration.
+//
+// The model covers everything the paper's FPGA figures need:
+//  - DSP cost as a function of weight/FM bit-widths, with two-products-per-
+//    DSP packing below a bit-width threshold and the double-pumped option
+//    (Fig. 2c / Table 1 optimisation 6);
+//  - BRAM for the shared ping-pong feature-map buffers and weight buffer,
+//    including the input tiling+batch scheme of Fig. 9 (one buffer sized
+//    once, reused by every layer) and the input-resize study of Fig. 2b;
+//  - per-layer latency = max(compute, DMA) with the IP's parallelism.
+#pragma once
+
+#include "hwsim/device.hpp"
+#include "nn/module.hpp"
+
+namespace sky::hwsim {
+
+struct FpgaBuildConfig {
+    int weight_bits = 11;  ///< 0 = float32 (costs 3 DSP per MAC)
+    int fm_bits = 9;
+    bool double_pumped = false;  ///< run DSPs at 2x clock (halves DSP count)
+    int batch_tile = 4;          ///< Fig. 9: inputs stitched into one macro-image
+    double resize_factor = 1.0;  ///< input resize before inference (Fig. 2b)
+    bool allow_fm_tiling = true;  ///< false reports the raw buffer requirement
+                                  ///< (capacity studies like Fig. 2b)
+};
+
+struct FpgaResources {
+    int dsp = 0;
+    int bram18k = 0;
+    std::int64_t lut = 0;
+    bool fits = false;
+    int fm_tiles = 1;  ///< spatial tiling needed to fit the FM buffer
+};
+
+struct FpgaLayerLatency {
+    nn::LayerInfo info;
+    double compute_us = 0.0;
+    double memory_us = 0.0;
+    double total_us = 0.0;
+};
+
+struct FpgaEstimate {
+    double latency_ms = 0.0;  ///< one batch_tile macro-image
+    double fps = 0.0;         ///< single-image throughput
+    double utilization = 0.0;
+    int parallelism = 0;  ///< MACs per cycle of the chosen IP
+    FpgaResources resources;
+    std::vector<FpgaLayerLatency> layers;
+};
+
+class FpgaModel {
+public:
+    explicit FpgaModel(DeviceProfile profile);
+
+    /// DSPs needed per simultaneous MAC at the given precisions.
+    /// Packing rule: two products share one DSP48 when wbits + fmbits <= 30;
+    /// double-pumping halves the count again; float32 costs 3 DSPs.
+    [[nodiscard]] static double dsps_per_mac(int weight_bits, int fm_bits,
+                                             bool double_pumped);
+
+    /// DSP count of an IP with `parallelism` MACs/cycle (Fig. 2c).
+    [[nodiscard]] static int dsp_count(int parallelism, int weight_bits, int fm_bits,
+                                       bool double_pumped = false);
+
+    /// Resource usage for a network mapped at a given parallelism.
+    [[nodiscard]] FpgaResources resources(const std::vector<nn::LayerInfo>& layers,
+                                          const FpgaBuildConfig& cfg,
+                                          int parallelism) const;
+
+    /// Full estimate: picks the largest feasible IP, then computes latency.
+    [[nodiscard]] FpgaEstimate estimate(const nn::Module& net, Shape input,
+                                        const FpgaBuildConfig& cfg = FpgaBuildConfig{}) const;
+
+    [[nodiscard]] FpgaEstimate estimate_layers(std::vector<nn::LayerInfo> layers,
+                                               const FpgaBuildConfig& cfg) const;
+
+    /// Estimate at an explicitly chosen IP parallelism (no search).
+    [[nodiscard]] FpgaEstimate estimate_at(const std::vector<nn::LayerInfo>& layers,
+                                           const FpgaBuildConfig& cfg,
+                                           int parallelism) const;
+
+    /// Design-space exploration: one estimate per power-of-two parallelism
+    /// (8..4096), feasible or not — the latency/resource trade-off curve the
+    /// IP-based flow of Hao et al. navigates.
+    [[nodiscard]] std::vector<FpgaEstimate> design_space(const nn::Module& net,
+                                                         Shape input,
+                                                         const FpgaBuildConfig& cfg) const;
+
+    [[nodiscard]] const DeviceProfile& profile() const { return profile_; }
+
+private:
+    DeviceProfile profile_;
+};
+
+}  // namespace sky::hwsim

@@ -1,0 +1,64 @@
+#include "hwsim/gpu_model.hpp"
+
+#include <algorithm>
+
+namespace sky::hwsim {
+
+GpuModel::GpuModel(DeviceProfile profile) : profile_(std::move(profile)) {}
+
+double GpuModel::kind_efficiency(const std::string& kind) {
+    // Fractions of peak MAC throughput achieved by cuDNN-class kernels.
+    if (kind == "conv") return 0.55;
+    if (kind == "pwconv") return 0.45;
+    if (kind == "dwconv") return 0.10;  // memory-bound, poor GPU utilisation
+    if (kind == "fc") return 0.35;
+    return 0.25;  // anything else with MACs
+}
+
+GpuEstimate GpuModel::estimate(const nn::Module& net, Shape input,
+                               const GpuRunConfig& cfg) const {
+    input.n = cfg.batch;
+    std::vector<nn::LayerInfo> layers;
+    net.enumerate(input, layers);
+    return estimate_layers(layers, cfg);
+}
+
+GpuEstimate GpuModel::estimate_layers(const std::vector<nn::LayerInfo>& layers,
+                                      const GpuRunConfig& cfg) const {
+    GpuEstimate est;
+    const double bytes_per_el = cfg.fp16 ? 2.0 : 4.0;
+    const double peak_macs = profile_.peak_gmacs * 1e9 * (cfg.fp16 ? 2.0 : 1.0) *
+                             profile_.efficiency_scale;
+    const double bw = profile_.mem_bw_gbps * 1e9;
+    double total_us = 0.0;
+    double total_macs = 0.0;
+    for (const nn::LayerInfo& li : layers) {
+        LayerLatency ll;
+        ll.info = li;
+        const double macs = static_cast<double>(li.macs);
+        total_macs += macs;
+        if (macs > 0.0) {
+            ll.compute_us = macs / (peak_macs * kind_efficiency(li.kind)) * 1e6;
+        }
+        // Elementwise layers (bn/act/pool/reorder) are memory traffic only;
+        // assume they fuse with the producing conv when adjacent, modelled
+        // as a 50% traffic discount.
+        const double traffic =
+            (static_cast<double>(li.in.count()) + static_cast<double>(li.out.count())) *
+                bytes_per_el +
+            static_cast<double>(li.params) * bytes_per_el;
+        const double fuse_discount = (li.macs == 0) ? 0.5 : 1.0;
+        ll.memory_us = traffic * fuse_discount / bw * 1e6;
+        ll.total_us = std::max(ll.compute_us, ll.memory_us) + profile_.launch_overhead_us;
+        total_us += ll.total_us;
+        est.layers.push_back(ll);
+    }
+    est.latency_ms = total_us / 1e3;
+    const int batch = layers.empty() ? cfg.batch : layers.front().in.n;
+    est.fps = batch / (total_us * 1e-6);
+    est.utilization =
+        total_us > 0.0 ? std::min(1.0, total_macs / (peak_macs * total_us * 1e-6)) : 0.0;
+    return est;
+}
+
+}  // namespace sky::hwsim

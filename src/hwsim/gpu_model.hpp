@@ -1,0 +1,59 @@
+// Analytical GPU latency / utilisation model (roofline with per-layer-kind
+// efficiency), §4.2 "Latency estimation" for the GPU path.
+//
+// Per layer: t = max(compute time, memory time) + launch overhead, where
+// compute time uses an efficiency factor per layer kind — depthwise convs
+// achieve a small fraction of peak on GPUs (low arithmetic intensity, poor
+// cuDNN kernels), dense convs and 1x1 convs are much closer to peak.  This
+// is exactly the effect that makes SkyNet's bundle cheap in MACs yet not
+// proportionally faster on the GPU, and the model reproduces it.
+#pragma once
+
+#include "hwsim/device.hpp"
+#include "nn/module.hpp"
+
+namespace sky::hwsim {
+
+struct GpuRunConfig {
+    int batch = 1;
+    bool fp16 = false;  ///< TensorRT-style half precision (halves bytes,
+                        ///< doubles effective peak)
+};
+
+struct LayerLatency {
+    nn::LayerInfo info;
+    double compute_us = 0.0;
+    double memory_us = 0.0;
+    double total_us = 0.0;
+};
+
+struct GpuEstimate {
+    double latency_ms = 0.0;  ///< one batch
+    double fps = 0.0;         ///< images per second at the given batch
+    double utilization = 0.0;  ///< achieved MACs / peak MACs over the run
+    std::vector<LayerLatency> layers;
+};
+
+class GpuModel {
+public:
+    explicit GpuModel(DeviceProfile profile);
+
+    /// Estimate a network at the given input shape (shape.n overridden by
+    /// cfg.batch).
+    [[nodiscard]] GpuEstimate estimate(const nn::Module& net, Shape input,
+                                       const GpuRunConfig& cfg = GpuRunConfig{}) const;
+
+    /// Estimate from a pre-enumerated layer list.
+    [[nodiscard]] GpuEstimate estimate_layers(const std::vector<nn::LayerInfo>& layers,
+                                              const GpuRunConfig& cfg) const;
+
+    [[nodiscard]] const DeviceProfile& profile() const { return profile_; }
+
+    /// Compute-efficiency factor for a layer kind (fraction of peak).
+    [[nodiscard]] static double kind_efficiency(const std::string& kind);
+
+private:
+    DeviceProfile profile_;
+};
+
+}  // namespace sky::hwsim

@@ -1,0 +1,59 @@
+#include "hwsim/pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sky::hwsim {
+
+PipelineReport simulate_pipeline(const std::vector<PipelineStage>& stages, int batch_size,
+                                 int batches) {
+    if (stages.empty() || batches <= 0 || batch_size <= 0)
+        throw std::invalid_argument("simulate_pipeline: empty configuration");
+    PipelineReport rep;
+    for (const auto& s : stages) rep.serial_ms_per_batch += s.latency_ms;
+
+    // Discrete-event schedule.
+    const std::size_t ns = stages.size();
+    std::vector<double> prev_done(ns, 0.0);  // done[s] for the previous batch
+    double last = 0.0;
+    for (int b = 0; b < batches; ++b) {
+        double upstream = 0.0;  // completion of this batch in the previous stage
+        for (std::size_t s = 0; s < ns; ++s) {
+            const double start = std::max(prev_done[s], upstream);
+            const double done = start + stages[s].latency_ms;
+            prev_done[s] = done;
+            upstream = done;
+        }
+        last = upstream;
+    }
+    rep.makespan_ms = last;
+    const double bottleneck =
+        std::max_element(stages.begin(), stages.end(), [](const auto& a, const auto& b) {
+            return a.latency_ms < b.latency_ms;
+        })->latency_ms;
+    rep.pipelined_ms_per_batch = bottleneck;
+    rep.speedup = rep.serial_ms_per_batch / bottleneck;
+    rep.serial_fps = 1e3 * batch_size / rep.serial_ms_per_batch;
+    // Steady-state pipelined throughput from the simulated makespan.
+    rep.pipelined_fps = 1e3 * batch_size * batches / rep.makespan_ms;
+    return rep;
+}
+
+std::vector<PipelineStage> merge_stages(std::vector<PipelineStage> stages, std::size_t first,
+                                        std::size_t count) {
+    if (first + count > stages.size() || count < 2)
+        throw std::invalid_argument("merge_stages: bad range");
+    PipelineStage merged;
+    for (std::size_t i = first; i < first + count; ++i) {
+        if (!merged.name.empty()) merged.name += "+";
+        merged.name += stages[i].name;
+        merged.latency_ms += stages[i].latency_ms;
+    }
+    stages.erase(stages.begin() + static_cast<std::ptrdiff_t>(first + 1),
+                 stages.begin() + static_cast<std::ptrdiff_t>(first + count));
+    stages[first] = std::move(merged);
+    return stages;
+}
+
+}  // namespace sky::hwsim

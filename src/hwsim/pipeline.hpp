@@ -1,0 +1,41 @@
+// System-level pipeline simulator (Fig. 10 / §6.3).
+//
+// Running a detector end-to-end is four steps: 1) input fetch from storage,
+// 2) pre-processing (resize + normalise), 3) DNN inference, 4) post-
+// processing (box decode + buffering).  Executed serially these underutilise
+// the system; the paper merges steps 1-2 and overlaps all stages with
+// multithreading for a 3.35x speedup on TX2.  simulate() is a discrete-event
+// model of that schedule: stage s finishes batch i at
+//   done[s][i] = max(done[s][i-1], done[s-1][i]) + latency[s]
+// so the steady-state rate is governed by the slowest stage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sky::hwsim {
+
+struct PipelineStage {
+    std::string name;
+    double latency_ms = 0.0;  ///< per batch
+};
+
+struct PipelineReport {
+    double serial_ms_per_batch = 0.0;
+    double pipelined_ms_per_batch = 0.0;  ///< steady-state
+    double speedup = 0.0;
+    double serial_fps = 0.0;
+    double pipelined_fps = 0.0;
+    double makespan_ms = 0.0;  ///< total simulated time for all batches
+};
+
+/// Simulate `batches` batches of `batch_size` images through the stages.
+[[nodiscard]] PipelineReport simulate_pipeline(const std::vector<PipelineStage>& stages,
+                                               int batch_size, int batches);
+
+/// Merge consecutive stages (the paper merges fetch+pre-process): the merged
+/// stage's latency is the sum, and one pipeline slot is saved.
+[[nodiscard]] std::vector<PipelineStage> merge_stages(std::vector<PipelineStage> stages,
+                                                      std::size_t first, std::size_t count);
+
+}  // namespace sky::hwsim

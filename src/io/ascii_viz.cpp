@@ -1,0 +1,65 @@
+#include "io/ascii_viz.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sky::io {
+namespace {
+
+// Dark -> bright luminance ramp.
+constexpr char kRamp[] = " .:-=+*%@";
+constexpr int kRampLen = static_cast<int>(sizeof(kRamp)) - 2;
+
+}  // namespace
+
+std::string render_ascii(const Tensor& image, int n, const std::vector<VizBox>& boxes,
+                         int cols) {
+    const Shape s = image.shape();
+    cols = std::max(8, cols);
+    // A terminal character is ~2x taller than wide: halve the row count.
+    const int rows =
+        std::max(4, static_cast<int>(std::lround(static_cast<double>(cols) * s.h /
+                                                 (2.0 * s.w))));
+    std::vector<std::string> canvas(static_cast<std::size_t>(rows),
+                                    std::string(static_cast<std::size_t>(cols), ' '));
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const int y = std::clamp(
+                static_cast<int>((static_cast<double>(r) + 0.5) / rows * s.h), 0,
+                s.h - 1);
+            const int x = std::clamp(
+                static_cast<int>((static_cast<double>(c) + 0.5) / cols * s.w), 0,
+                s.w - 1);
+            float lum = 0.0f;
+            for (int ch = 0; ch < std::min(3, s.c); ++ch) lum += image.at(n, ch, y, x);
+            lum /= static_cast<float>(std::min(3, s.c));
+            const int idx = std::clamp(static_cast<int>(lum * kRampLen), 0, kRampLen);
+            canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+                kRamp[idx];
+        }
+    }
+    // Box borders on top.
+    for (const VizBox& vb : boxes) {
+        const int x1 = std::clamp(static_cast<int>(vb.box.x1() * cols), 0, cols - 1);
+        const int x2 = std::clamp(static_cast<int>(vb.box.x2() * cols), 0, cols - 1);
+        const int y1 = std::clamp(static_cast<int>(vb.box.y1() * rows), 0, rows - 1);
+        const int y2 = std::clamp(static_cast<int>(vb.box.y2() * rows), 0, rows - 1);
+        for (int x = x1; x <= x2; ++x) {
+            canvas[static_cast<std::size_t>(y1)][static_cast<std::size_t>(x)] = vb.glyph;
+            canvas[static_cast<std::size_t>(y2)][static_cast<std::size_t>(x)] = vb.glyph;
+        }
+        for (int y = y1; y <= y2; ++y) {
+            canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(x1)] = vb.glyph;
+            canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(x2)] = vb.glyph;
+        }
+    }
+    std::string out;
+    out.reserve(static_cast<std::size_t>(rows) * (static_cast<std::size_t>(cols) + 1));
+    for (const std::string& line : canvas) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace sky::io

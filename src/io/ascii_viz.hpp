@@ -1,0 +1,26 @@
+// Terminal visualisation: render an image tensor (and optional boxes) as
+// ASCII art.  The examples use this so detection and tracking results are
+// inspectable in a terminal-only environment — each character cell shows
+// luminance, box borders are drawn with '#' (prediction) and '+' (ground
+// truth).
+#pragma once
+
+#include <string>
+
+#include "detect/bbox.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sky::io {
+
+struct VizBox {
+    detect::BBox box;
+    char glyph = '#';
+};
+
+/// Render item `n` of `image` {N,3,H,W} to a `cols`-wide ASCII block
+/// (rows follow from the aspect ratio; terminal cells are ~2x taller than
+/// wide, which the renderer compensates for).
+[[nodiscard]] std::string render_ascii(const Tensor& image, int n,
+                                       const std::vector<VizBox>& boxes, int cols = 72);
+
+}  // namespace sky::io

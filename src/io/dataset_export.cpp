@@ -1,0 +1,111 @@
+#include "io/dataset_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace sky::io {
+
+void write_ppm(const Tensor& image, const std::string& path) {
+    const Shape s = image.shape();
+    if (s.c < 3) throw std::invalid_argument("write_ppm: need 3 channels");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+    out << "P6\n" << s.w << " " << s.h << "\n255\n";
+    std::vector<unsigned char> row(static_cast<std::size_t>(s.w) * 3);
+    for (int y = 0; y < s.h; ++y) {
+        for (int x = 0; x < s.w; ++x)
+            for (int c = 0; c < 3; ++c)
+                row[static_cast<std::size_t>(x) * 3 + static_cast<std::size_t>(c)] =
+                    static_cast<unsigned char>(
+                        std::clamp(image.at(0, c, y, x), 0.0f, 1.0f) * 255.0f + 0.5f);
+        out.write(reinterpret_cast<const char*>(row.data()),
+                  static_cast<std::streamsize>(row.size()));
+    }
+    if (!out) throw std::runtime_error("write_ppm: write failed");
+}
+
+Tensor read_ppm(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("read_ppm: cannot open " + path);
+    std::string magic;
+    int w = 0, h = 0, maxval = 0;
+    in >> magic >> w >> h >> maxval;
+    if (magic != "P6" || maxval != 255 || w <= 0 || h <= 0)
+        throw std::runtime_error("read_ppm: unsupported PPM " + path);
+    in.get();  // the single whitespace after the header
+    Tensor img({1, 3, h, w});
+    std::vector<unsigned char> row(static_cast<std::size_t>(w) * 3);
+    for (int y = 0; y < h; ++y) {
+        in.read(reinterpret_cast<char*>(row.data()),
+                static_cast<std::streamsize>(row.size()));
+        if (!in) throw std::runtime_error("read_ppm: truncated " + path);
+        for (int x = 0; x < w; ++x)
+            for (int c = 0; c < 3; ++c)
+                img.at(0, c, y, x) =
+                    static_cast<float>(
+                        row[static_cast<std::size_t>(x) * 3 +
+                            static_cast<std::size_t>(c)]) /
+                    255.0f;
+    }
+    return img;
+}
+
+ExportStats export_detection_dataset(data::DetectionDataset& dataset, int count,
+                                     const std::string& dir) {
+    std::ofstream csv(dir + "/labels.csv", std::ios::trunc);
+    if (!csv) throw std::runtime_error("export: cannot open " + dir + "/labels.csv");
+    csv << "image,cx,cy,w,h\n";
+    ExportStats stats;
+    for (int i = 0; i < count; ++i) {
+        const data::DetectionBatch b = dataset.batch(1);
+        char name[32];
+        std::snprintf(name, sizeof(name), "img_%06d.ppm", i);
+        write_ppm(b.images, dir + "/" + name);
+        for (const detect::BBox& box : b.boxes) {
+            csv << name << "," << box.cx << "," << box.cy << "," << box.w << ","
+                << box.h << "\n";
+            ++stats.boxes;
+        }
+        ++stats.images;
+    }
+    if (!csv) throw std::runtime_error("export: CSV write failed");
+    return stats;
+}
+
+std::vector<LabeledImage> read_labels(const std::string& dir) {
+    std::ifstream csv(dir + "/labels.csv");
+    if (!csv) throw std::runtime_error("read_labels: cannot open " + dir + "/labels.csv");
+    std::string line;
+    std::getline(csv, line);  // header
+    std::vector<LabeledImage> out;
+    std::map<std::string, std::size_t> index;
+    while (std::getline(csv, line)) {
+        if (line.empty()) continue;
+        std::stringstream ss(line);
+        std::string file, tok;
+        detect::BBox box;
+        std::getline(ss, file, ',');
+        std::getline(ss, tok, ',');
+        box.cx = std::stof(tok);
+        std::getline(ss, tok, ',');
+        box.cy = std::stof(tok);
+        std::getline(ss, tok, ',');
+        box.w = std::stof(tok);
+        std::getline(ss, tok, ',');
+        box.h = std::stof(tok);
+        auto it = index.find(file);
+        if (it == index.end()) {
+            index.emplace(file, out.size());
+            out.push_back({file, {box}});
+        } else {
+            out[it->second].boxes.push_back(box);
+        }
+    }
+    return out;
+}
+
+}  // namespace sky::io

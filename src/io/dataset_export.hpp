@@ -1,0 +1,41 @@
+// Dataset materialisation: write synthetic scenes to disk as binary PPM
+// images plus a CSV label index, and read them back.  Lets the synthetic
+// workloads interoperate with external tooling (image viewers, other
+// training stacks) and gives the repo a stable on-disk corpus format.
+//
+// Layout:
+//   <dir>/labels.csv          image,cx,cy,w,h   (one row per box)
+//   <dir>/img_000000.ppm      P6 binary, 8-bit RGB
+#pragma once
+
+#include <string>
+
+#include "data/synth_detection.hpp"
+
+namespace sky::io {
+
+/// Write a {1,3,H,W} tensor in [0,1] as binary P6 PPM.
+void write_ppm(const Tensor& image, const std::string& path);
+
+/// Read a binary P6 PPM back into a {1,3,H,W} tensor in [0,1].
+[[nodiscard]] Tensor read_ppm(const std::string& path);
+
+struct ExportStats {
+    int images = 0;
+    int boxes = 0;
+};
+
+/// Generate `count` single-target samples from `dataset` and materialise
+/// them under `dir` (which must exist).  Returns counts.
+ExportStats export_detection_dataset(data::DetectionDataset& dataset, int count,
+                                     const std::string& dir);
+
+struct LabeledImage {
+    std::string file;
+    std::vector<detect::BBox> boxes;
+};
+
+/// Parse labels.csv back into per-image box lists (ordered as written).
+[[nodiscard]] std::vector<LabeledImage> read_labels(const std::string& dir);
+
+}  // namespace sky::io

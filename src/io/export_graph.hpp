@@ -1,0 +1,21 @@
+// Topology export: serialise a network's layer structure (not its weights)
+// to a JSON document — layer names, kinds, shapes, MACs, parameters, and
+// for Graphs the node edges.  Lets external tooling (visualisers,
+// spreadsheet analyses) consume the architecture without linking the
+// library.
+#pragma once
+
+#include <string>
+
+#include "nn/graph.hpp"
+
+namespace sky::io {
+
+/// JSON for any module: a flat `layers` array from enumerate().
+[[nodiscard]] std::string export_layers_json(const nn::Module& net, const Shape& input);
+
+/// JSON for a Graph: `nodes` with kind/inputs plus the flat layer table of
+/// each module node.
+[[nodiscard]] std::string export_graph_json(const nn::Graph& graph, const Shape& input);
+
+}  // namespace sky::io

@@ -1,0 +1,76 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "nn/fm_hook.hpp"
+
+namespace sky::nn {
+
+const char* act_name(Act a) {
+    switch (a) {
+        case Act::kReLU: return "ReLU";
+        case Act::kReLU6: return "ReLU6";
+        case Act::kLeaky: return "LeakyReLU";
+        case Act::kSigmoid: return "Sigmoid";
+    }
+    return "?";
+}
+
+Activation::Activation(Act kind, float leaky_slope) : kind_(kind), slope_(leaky_slope) {}
+
+std::string Activation::name() const { return act_name(kind_); }
+
+Tensor Activation::forward(const Tensor& x) {
+    if (training_) input_ = x;
+    Tensor y(x.shape());
+    const float* xp = x.data();
+    float* yp = y.data();
+    const std::int64_t n = x.size();
+    switch (kind_) {
+        case Act::kReLU:
+            for (std::int64_t i = 0; i < n; ++i) yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
+            break;
+        case Act::kReLU6:
+            for (std::int64_t i = 0; i < n; ++i) {
+                const float v = xp[i];
+                yp[i] = v <= 0.0f ? 0.0f : (v >= 6.0f ? 6.0f : v);
+            }
+            break;
+        case Act::kLeaky:
+            for (std::int64_t i = 0; i < n; ++i) yp[i] = xp[i] > 0.0f ? xp[i] : slope_ * xp[i];
+            break;
+        case Act::kSigmoid:
+            for (std::int64_t i = 0; i < n; ++i) yp[i] = 1.0f / (1.0f + std::exp(-xp[i]));
+            if (training_) input_ = y;  // sigmoid backward uses the output
+            break;
+    }
+    if (!training_ && fm_hook()) fm_hook()(y);
+    return y;
+}
+
+Tensor Activation::backward(const Tensor& grad_out) {
+    Tensor gi(grad_out.shape());
+    const float* xp = input_.data();
+    const float* gp = grad_out.data();
+    float* op = gi.data();
+    const std::int64_t n = grad_out.size();
+    switch (kind_) {
+        case Act::kReLU:
+            for (std::int64_t i = 0; i < n; ++i) op[i] = xp[i] > 0.0f ? gp[i] : 0.0f;
+            break;
+        case Act::kReLU6:
+            for (std::int64_t i = 0; i < n; ++i)
+                op[i] = (xp[i] > 0.0f && xp[i] < 6.0f) ? gp[i] : 0.0f;
+            break;
+        case Act::kLeaky:
+            for (std::int64_t i = 0; i < n; ++i) op[i] = xp[i] > 0.0f ? gp[i] : slope_ * gp[i];
+            break;
+        case Act::kSigmoid:
+            // input_ holds sigmoid(x)
+            for (std::int64_t i = 0; i < n; ++i) op[i] = gp[i] * xp[i] * (1.0f - xp[i]);
+            break;
+    }
+    return gi;
+}
+
+}  // namespace sky::nn

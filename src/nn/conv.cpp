@@ -1,0 +1,134 @@
+#include "nn/conv.hpp"
+
+#include <stdexcept>
+
+namespace sky::nn {
+
+Conv2d::Conv2d(int in_ch, int out_ch, int k, int stride, int pad, bool bias, Rng& rng)
+    : in_ch_(in_ch),
+      out_ch_(out_ch),
+      k_(k),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_({out_ch, in_ch, k, k}),
+      bias_({1, out_ch, 1, 1}),
+      grad_weight_({out_ch, in_ch, k, k}),
+      grad_bias_({1, out_ch, 1, 1}) {
+    weight_.kaiming(rng, in_ch * k * k);
+}
+
+Shape Conv2d::out_shape(const Shape& in) const {
+    const int oh = (in.h + 2 * pad_ - k_) / stride_ + 1;
+    const int ow = (in.w + 2 * pad_ - k_) / stride_ + 1;
+    return {in.n, out_ch_, oh, ow};
+}
+
+std::int64_t Conv2d::macs(const Shape& in) const {
+    const Shape o = out_shape(in);
+    return static_cast<std::int64_t>(o.n) * o.c * o.h * o.w * in_ch_ * k_ * k_;
+}
+
+std::int64_t Conv2d::param_count() const {
+    return static_cast<std::int64_t>(out_ch_) * in_ch_ * k_ * k_ +
+           (has_bias_ ? out_ch_ : 0);
+}
+
+std::string Conv2d::name() const {
+    return "Conv" + std::to_string(k_) + "x" + std::to_string(k_) + "(" +
+           std::to_string(in_ch_) + "->" + std::to_string(out_ch_) + ",s" +
+           std::to_string(stride_) + ")";
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+    if (x.shape().c != in_ch_)
+        throw std::invalid_argument(name() + ": got input " + x.shape().str());
+    if (training_) input_ = x;
+    const Shape in = x.shape();
+    const Shape os = out_shape(in);
+    Tensor y(os);
+    for (int n = 0; n < in.n; ++n) {
+        for (int oc = 0; oc < out_ch_; ++oc) {
+            float* yp = y.plane(n, oc);
+            if (has_bias_) {
+                const float b = bias_[oc];
+                for (std::int64_t i = 0; i < static_cast<std::int64_t>(os.h) * os.w; ++i)
+                    yp[i] = b;
+            }
+            for (int ic = 0; ic < in_ch_; ++ic) {
+                const float* xp = x.plane(n, ic);
+                const float* wp = weight_.plane(oc, ic);  // k x k
+                for (int kh = 0; kh < k_; ++kh) {
+                    for (int kw = 0; kw < k_; ++kw) {
+                        const float wv = wp[kh * k_ + kw];
+                        if (wv == 0.0f) continue;
+                        for (int oh = 0; oh < os.h; ++oh) {
+                            const int ih = oh * stride_ - pad_ + kh;
+                            if (ih < 0 || ih >= in.h) continue;
+                            const float* xrow = xp + static_cast<std::int64_t>(ih) * in.w;
+                            float* yrow = yp + static_cast<std::int64_t>(oh) * os.w;
+                            for (int ow = 0; ow < os.w; ++ow) {
+                                const int iw = ow * stride_ - pad_ + kw;
+                                if (iw < 0 || iw >= in.w) continue;
+                                yrow[ow] += wv * xrow[iw];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+    const Shape in = input_.shape();
+    const Shape os = grad_out.shape();
+    Tensor grad_in(in);
+    for (int n = 0; n < in.n; ++n) {
+        for (int oc = 0; oc < out_ch_; ++oc) {
+            const float* gp = grad_out.plane(n, oc);
+            if (has_bias_) {
+                double acc = 0.0;
+                for (std::int64_t i = 0; i < static_cast<std::int64_t>(os.h) * os.w; ++i)
+                    acc += gp[i];
+                grad_bias_[oc] += static_cast<float>(acc);
+            }
+            for (int ic = 0; ic < in_ch_; ++ic) {
+                const float* xp = input_.plane(n, ic);
+                float* gxp = grad_in.plane(n, ic);
+                const float* wp = weight_.plane(oc, ic);
+                float* gwp = grad_weight_.plane(oc, ic);
+                for (int kh = 0; kh < k_; ++kh) {
+                    for (int kw = 0; kw < k_; ++kw) {
+                        const float wv = wp[kh * k_ + kw];
+                        double wacc = 0.0;
+                        for (int oh = 0; oh < os.h; ++oh) {
+                            const int ih = oh * stride_ - pad_ + kh;
+                            if (ih < 0 || ih >= in.h) continue;
+                            const float* xrow = xp + static_cast<std::int64_t>(ih) * in.w;
+                            float* gxrow = gxp + static_cast<std::int64_t>(ih) * in.w;
+                            const float* grow = gp + static_cast<std::int64_t>(oh) * os.w;
+                            for (int ow = 0; ow < os.w; ++ow) {
+                                const int iw = ow * stride_ - pad_ + kw;
+                                if (iw < 0 || iw >= in.w) continue;
+                                const float g = grow[ow];
+                                wacc += static_cast<double>(g) * xrow[iw];
+                                gxrow[iw] += wv * g;
+                            }
+                        }
+                        gwp[kh * k_ + kw] += static_cast<float>(wacc);
+                    }
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+void Conv2d::collect_params(std::vector<ParamRef>& out) {
+    out.push_back({&weight_, &grad_weight_});
+    if (has_bias_) out.push_back({&bias_, &grad_bias_});
+}
+
+}  // namespace sky::nn

@@ -1,0 +1,100 @@
+#include "nn/dwconv.hpp"
+
+#include <stdexcept>
+
+namespace sky::nn {
+
+DWConv3::DWConv3(int channels, Rng& rng)
+    : channels_(channels), weight_({channels, 1, 3, 3}), grad_weight_({channels, 1, 3, 3}) {
+    weight_.kaiming(rng, 9);
+}
+
+std::int64_t DWConv3::macs(const Shape& in) const {
+    return static_cast<std::int64_t>(in.n) * in.c * in.h * in.w * 9;
+}
+
+std::int64_t DWConv3::param_count() const { return static_cast<std::int64_t>(channels_) * 9; }
+
+std::string DWConv3::name() const { return "DW-Conv3(" + std::to_string(channels_) + ")"; }
+
+Tensor DWConv3::forward(const Tensor& x) {
+    if (x.shape().c != channels_)
+        throw std::invalid_argument(name() + ": got input " + x.shape().str());
+    if (training_) input_ = x;
+    const Shape s = x.shape();
+    Tensor y(s);
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < channels_; ++c) {
+            const float* xp = x.plane(n, c);
+            float* yp = y.plane(n, c);
+            const float* w = weight_.plane(c, 0);
+            for (int oh = 0; oh < s.h; ++oh) {
+                float* yrow = yp + static_cast<std::int64_t>(oh) * s.w;
+                for (int kh = 0; kh < 3; ++kh) {
+                    const int ih = oh - 1 + kh;
+                    if (ih < 0 || ih >= s.h) continue;
+                    const float* xrow = xp + static_cast<std::int64_t>(ih) * s.w;
+                    const float w0 = w[kh * 3 + 0];
+                    const float w1 = w[kh * 3 + 1];
+                    const float w2 = w[kh * 3 + 2];
+                    // interior columns all in-bounds: unrolled taps
+                    for (int ow = 1; ow + 1 < s.w; ++ow)
+                        yrow[ow] += w0 * xrow[ow - 1] + w1 * xrow[ow] + w2 * xrow[ow + 1];
+                    // left edge
+                    if (s.w > 0) {
+                        yrow[0] += w1 * xrow[0];
+                        if (s.w > 1) yrow[0] += w2 * xrow[1];
+                    }
+                    // right edge
+                    if (s.w > 1) {
+                        const int last = s.w - 1;
+                        yrow[last] += w0 * xrow[last - 1] + w1 * xrow[last];
+                    }
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor DWConv3::backward(const Tensor& grad_out) {
+    const Shape s = input_.shape();
+    Tensor grad_in(s);
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < channels_; ++c) {
+            const float* xp = input_.plane(n, c);
+            const float* gp = grad_out.plane(n, c);
+            float* gxp = grad_in.plane(n, c);
+            const float* w = weight_.plane(c, 0);
+            float* gw = grad_weight_.plane(c, 0);
+            for (int oh = 0; oh < s.h; ++oh) {
+                const float* grow = gp + static_cast<std::int64_t>(oh) * s.w;
+                for (int kh = 0; kh < 3; ++kh) {
+                    const int ih = oh - 1 + kh;
+                    if (ih < 0 || ih >= s.h) continue;
+                    const float* xrow = xp + static_cast<std::int64_t>(ih) * s.w;
+                    float* gxrow = gxp + static_cast<std::int64_t>(ih) * s.w;
+                    for (int kw = 0; kw < 3; ++kw) {
+                        const float wv = w[kh * 3 + kw];
+                        double wacc = 0.0;
+                        for (int ow = 0; ow < s.w; ++ow) {
+                            const int iw = ow - 1 + kw;
+                            if (iw < 0 || iw >= s.w) continue;
+                            const float g = grow[ow];
+                            wacc += static_cast<double>(g) * xrow[iw];
+                            gxrow[iw] += wv * g;
+                        }
+                        gw[kh * 3 + kw] += static_cast<float>(wacc);
+                    }
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+void DWConv3::collect_params(std::vector<ParamRef>& out) {
+    out.push_back({&weight_, &grad_weight_});
+}
+
+}  // namespace sky::nn

@@ -1,0 +1,38 @@
+// 3x3 depthwise convolution — the "DW-Conv3" half of the SkyNet Bundle.
+//
+// Each channel is convolved with its own 3x3 filter (stride 1, pad 1), so the
+// spatial size is preserved and the MAC count is C*H*W*9 instead of
+// C^2*H*W*9.  This is the layer that makes SkyNet hardware-efficient, so it
+// gets a dedicated kernel rather than going through the generic Conv2d.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace sky::nn {
+
+class DWConv3 : public Module {
+public:
+    DWConv3(int channels, Rng& rng);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& grad_out) override;
+    void collect_params(std::vector<ParamRef>& out) override;
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
+    [[nodiscard]] std::int64_t macs(const Shape& in) const override;
+    [[nodiscard]] std::int64_t param_count() const override;
+
+    [[nodiscard]] Tensor& weight() { return weight_; }
+    [[nodiscard]] const Tensor& weight() const { return weight_; }
+    [[nodiscard]] int channels() const { return channels_; }
+    [[nodiscard]] std::string kind() const override { return "dwconv"; }
+
+private:
+    int channels_;
+    Tensor weight_;  ///< [channels, 1, 3, 3]
+    Tensor grad_weight_;
+    Tensor input_;
+};
+
+}  // namespace sky::nn

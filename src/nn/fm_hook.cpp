@@ -1,0 +1,23 @@
+#include "nn/fm_hook.hpp"
+
+namespace sky::nn {
+namespace {
+
+FmHook& hook_slot() {
+    static FmHook hook;
+    return hook;
+}
+
+}  // namespace
+
+void set_fm_hook(FmHook hook) { hook_slot() = std::move(hook); }
+
+const FmHook& fm_hook() { return hook_slot(); }
+
+FmHookGuard::FmHookGuard(FmHook hook) : previous_(hook_slot()) {
+    hook_slot() = std::move(hook);
+}
+
+FmHookGuard::~FmHookGuard() { hook_slot() = std::move(previous_); }
+
+}  // namespace sky::nn

@@ -1,0 +1,31 @@
+// Feature-map hook: an optional global transform applied by Activation (and
+// the network output) after each forward.  The quantization study installs a
+// fixed-point rounding hook here to simulate quantised feature maps on any
+// network without rebuilding it; see quant/quantizer.hpp.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace sky::nn {
+
+using FmHook = std::function<void(Tensor&)>;
+
+/// Install (or clear, with nullptr) the global feature-map hook.
+void set_fm_hook(FmHook hook);
+[[nodiscard]] const FmHook& fm_hook();
+
+/// RAII installer: sets the hook for a scope, restores the previous on exit.
+class FmHookGuard {
+public:
+    explicit FmHookGuard(FmHook hook);
+    ~FmHookGuard();
+    FmHookGuard(const FmHookGuard&) = delete;
+    FmHookGuard& operator=(const FmHookGuard&) = delete;
+
+private:
+    FmHook previous_;
+};
+
+}  // namespace sky::nn

@@ -1,0 +1,181 @@
+#include "nn/graph.hpp"
+
+#include <stdexcept>
+
+namespace sky::nn {
+
+Graph::Graph() {
+    nodes_.push_back(Node{Kind::kInput, nullptr, {}, {}});
+}
+
+int Graph::add(ModulePtr m, int in) {
+    nodes_.push_back(Node{Kind::kModule, std::move(m), {in}, {}});
+    output_ = static_cast<int>(nodes_.size()) - 1;
+    return output_;
+}
+
+int Graph::add_concat(std::vector<int> ins) {
+    nodes_.push_back(Node{Kind::kConcat, nullptr, std::move(ins), {}});
+    output_ = static_cast<int>(nodes_.size()) - 1;
+    return output_;
+}
+
+int Graph::add_add(int a, int b) {
+    nodes_.push_back(Node{Kind::kAdd, nullptr, {a, b}, {}});
+    output_ = static_cast<int>(nodes_.size()) - 1;
+    return output_;
+}
+
+void Graph::set_output(int node) { output_ = node; }
+
+Tensor Graph::forward(const Tensor& x) {
+    outputs_.assign(nodes_.size(), Tensor{});
+    outputs_[0] = x;
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+        Node& node = nodes_[i];
+        switch (node.kind) {
+            case Kind::kInput:
+                break;
+            case Kind::kModule:
+                outputs_[i] = node.module->forward(outputs_[static_cast<std::size_t>(
+                    node.inputs[0])]);
+                break;
+            case Kind::kConcat: {
+                std::vector<const Tensor*> parts;
+                node.concat_channels.clear();
+                for (int in : node.inputs) {
+                    parts.push_back(&outputs_[static_cast<std::size_t>(in)]);
+                    node.concat_channels.push_back(
+                        outputs_[static_cast<std::size_t>(in)].shape().c);
+                }
+                outputs_[i] = Tensor::concat_channels(parts);
+                break;
+            }
+            case Kind::kAdd: {
+                outputs_[i] = outputs_[static_cast<std::size_t>(node.inputs[0])];
+                outputs_[i].axpy(1.0f, outputs_[static_cast<std::size_t>(node.inputs[1])]);
+                break;
+            }
+        }
+    }
+    return outputs_[static_cast<std::size_t>(output_)];
+}
+
+Tensor Graph::backward(const Tensor& grad_out) {
+    std::vector<Tensor> grads(nodes_.size());
+    grads[static_cast<std::size_t>(output_)] = grad_out;
+    auto accumulate = [&](int node, Tensor&& g) {
+        auto& slot = grads[static_cast<std::size_t>(node)];
+        if (slot.empty())
+            slot = std::move(g);
+        else
+            slot.axpy(1.0f, g);
+    };
+    for (std::size_t i = nodes_.size(); i-- > 1;) {
+        Node& node = nodes_[i];
+        Tensor& g = grads[i];
+        if (g.empty()) continue;  // node not on any path to the output
+        switch (node.kind) {
+            case Kind::kInput:
+                break;
+            case Kind::kModule:
+                accumulate(node.inputs[0], node.module->backward(g));
+                break;
+            case Kind::kConcat: {
+                auto parts = Tensor::split_channels(g, node.concat_channels);
+                for (std::size_t p = 0; p < node.inputs.size(); ++p)
+                    accumulate(node.inputs[p], std::move(parts[p]));
+                break;
+            }
+            case Kind::kAdd: {
+                Tensor copy = g;
+                accumulate(node.inputs[0], std::move(copy));
+                accumulate(node.inputs[1], std::move(g));
+                break;
+            }
+        }
+    }
+    if (grads[0].empty()) return Tensor(outputs_[0].shape());
+    return std::move(grads[0]);
+}
+
+void Graph::collect_params(std::vector<ParamRef>& out) {
+    for (auto& n : nodes_)
+        if (n.module) n.module->collect_params(out);
+}
+
+void Graph::collect_state(std::vector<Tensor*>& out) {
+    for (auto& n : nodes_)
+        if (n.module) n.module->collect_state(out);
+}
+
+void Graph::set_training(bool training) {
+    Module::set_training(training);
+    for (auto& n : nodes_)
+        if (n.module) n.module->set_training(training);
+}
+
+std::vector<Shape> Graph::infer_shapes(const Shape& in) const {
+    std::vector<Shape> shapes(nodes_.size());
+    shapes[0] = in;
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+        const Node& node = nodes_[i];
+        switch (node.kind) {
+            case Kind::kInput:
+                break;
+            case Kind::kModule:
+                shapes[i] = node.module->out_shape(
+                    shapes[static_cast<std::size_t>(node.inputs[0])]);
+                break;
+            case Kind::kConcat: {
+                Shape s = shapes[static_cast<std::size_t>(node.inputs[0])];
+                int c = 0;
+                for (int inn : node.inputs) c += shapes[static_cast<std::size_t>(inn)].c;
+                s.c = c;
+                shapes[i] = s;
+                break;
+            }
+            case Kind::kAdd:
+                shapes[i] = shapes[static_cast<std::size_t>(node.inputs[0])];
+                break;
+        }
+    }
+    return shapes;
+}
+
+void Graph::enumerate(const Shape& in, std::vector<LayerInfo>& out) const {
+    const auto shapes = infer_shapes(in);
+    for (std::size_t i = 1; i < nodes_.size(); ++i)
+        if (nodes_[i].module)
+            nodes_[i].module->enumerate(
+                shapes[static_cast<std::size_t>(nodes_[i].inputs[0])], out);
+}
+
+Shape Graph::out_shape(const Shape& in) const {
+    return infer_shapes(in)[static_cast<std::size_t>(output_)];
+}
+
+std::int64_t Graph::macs(const Shape& in) const {
+    const auto shapes = infer_shapes(in);
+    std::int64_t total = 0;
+    for (std::size_t i = 1; i < nodes_.size(); ++i)
+        if (nodes_[i].module)
+            total += nodes_[i].module->macs(
+                shapes[static_cast<std::size_t>(nodes_[i].inputs[0])]);
+    return total;
+}
+
+std::int64_t Graph::param_count() const {
+    std::int64_t total = 0;
+    for (const auto& n : nodes_)
+        if (n.module) total += n.module->param_count();
+    return total;
+}
+
+const Tensor& Graph::node_output(int node) const {
+    if (node < 0 || node >= static_cast<int>(outputs_.size()))
+        throw std::out_of_range("Graph::node_output: bad node id");
+    return outputs_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace sky::nn

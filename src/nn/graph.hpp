@@ -1,0 +1,89 @@
+// Small DAG container for networks with skip connections.
+//
+// Supports exactly the topologies this reproduction needs: single-input
+// chains with channel-concatenation joins (SkyNet's bypass, Fig. 4) and
+// elementwise-add joins (ResNet residuals).  Nodes are added in topological
+// order by construction; forward caches every node output, backward
+// accumulates gradients in reverse order.  Graph is itself a Module so a
+// residual block can live inside a Sequential and vice versa.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace sky::nn {
+
+class Graph : public Module {
+public:
+    Graph();
+
+    /// Node id of the graph input (always 0).
+    [[nodiscard]] int input() const { return 0; }
+
+    /// Add a single-input module node; returns its node id.
+    int add(ModulePtr m, int in);
+    /// Channel concatenation of several nodes (same n/h/w).
+    int add_concat(std::vector<int> ins);
+    /// Elementwise sum of two nodes (same shape).
+    int add_add(int a, int b);
+
+    /// Designate the node whose output forward() returns.
+    void set_output(int node);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& grad_out) override;
+    void collect_params(std::vector<ParamRef>& out) override;
+    void collect_state(std::vector<Tensor*>& out) override;
+    void set_training(bool training) override;
+
+    [[nodiscard]] std::string name() const override { return "Graph"; }
+    void enumerate(const Shape& in, std::vector<LayerInfo>& out) const override;
+    [[nodiscard]] Shape out_shape(const Shape& in) const override;
+    [[nodiscard]] std::int64_t macs(const Shape& in) const override;
+    [[nodiscard]] std::int64_t param_count() const override;
+
+    /// Output tensor of an arbitrary node after the last forward()
+    /// (used by trackers that read intermediate features).
+    [[nodiscard]] const Tensor& node_output(int node) const;
+
+    // --- Introspection for rewrite passes (deploy::fold_graph_bn etc.) ---
+    enum class NodeKind { kInput, kModule, kConcat, kAdd };
+    [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+    [[nodiscard]] NodeKind node_kind(std::size_t i) const {
+        switch (nodes_[i].kind) {
+            case Kind::kInput: return NodeKind::kInput;
+            case Kind::kModule: return NodeKind::kModule;
+            case Kind::kConcat: return NodeKind::kConcat;
+            case Kind::kAdd: return NodeKind::kAdd;
+        }
+        return NodeKind::kInput;
+    }
+    [[nodiscard]] int output_node() const { return output_; }
+    /// Module owned by a node, or nullptr for input/concat/add nodes.
+    [[nodiscard]] Module* node_module(std::size_t i) { return nodes_[i].module.get(); }
+    [[nodiscard]] const Module* node_module(std::size_t i) const {
+        return nodes_[i].module.get();
+    }
+    [[nodiscard]] const std::vector<int>& node_inputs(std::size_t i) const {
+        return nodes_[i].inputs;
+    }
+    /// Swap a module node's implementation (shapes must stay compatible).
+    void replace_module(std::size_t i, ModulePtr m) { nodes_[i].module = std::move(m); }
+
+private:
+    enum class Kind { kInput, kModule, kConcat, kAdd };
+    struct Node {
+        Kind kind;
+        ModulePtr module;        // kModule only
+        std::vector<int> inputs;
+        std::vector<int> concat_channels;  // filled during forward for kConcat
+    };
+
+    /// Shapes of every node for a given input shape (for macs/out_shape).
+    [[nodiscard]] std::vector<Shape> infer_shapes(const Shape& in) const;
+
+    std::vector<Node> nodes_;
+    int output_ = 0;
+    std::vector<Tensor> outputs_;  // per-node forward cache
+};
+
+}  // namespace sky::nn

@@ -1,0 +1,70 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+namespace sky::nn {
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_({out_features, in_features, 1, 1}),
+      bias_({1, out_features, 1, 1}),
+      grad_weight_({out_features, in_features, 1, 1}),
+      grad_bias_({1, out_features, 1, 1}) {
+    weight_.kaiming(rng, in_features);
+}
+
+std::string Linear::name() const {
+    return "Linear(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+Tensor Linear::forward(const Tensor& x) {
+    if (x.shape().per_item() != in_)
+        throw std::invalid_argument(name() + ": got input " + x.shape().str());
+    Tensor flat = x.reshaped({x.shape().n, in_, 1, 1});
+    if (training_) {
+        input_ = flat;
+        in_shape_ = x.shape();
+    }
+    const int n = flat.shape().n;
+    Tensor y({n, out_, 1, 1});
+    for (int b = 0; b < n; ++b) {
+        const float* xp = flat.plane(b, 0);
+        float* yp = y.plane(b, 0);
+        for (int o = 0; o < out_; ++o) {
+            const float* wrow = weight_.plane(o, 0);
+            double acc = bias_[o];
+            for (int i = 0; i < in_; ++i) acc += static_cast<double>(wrow[i]) * xp[i];
+            yp[o] = static_cast<float>(acc);
+        }
+    }
+    return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+    const int n = input_.shape().n;
+    Tensor gi({n, in_, 1, 1});
+    for (int b = 0; b < n; ++b) {
+        const float* xp = input_.plane(b, 0);
+        const float* gp = grad_out.plane(b, 0);
+        float* gxp = gi.plane(b, 0);
+        for (int o = 0; o < out_; ++o) {
+            const float g = gp[o];
+            grad_bias_[o] += g;
+            const float* wrow = weight_.plane(o, 0);
+            float* gwrow = grad_weight_.plane(o, 0);
+            for (int i = 0; i < in_; ++i) {
+                gwrow[i] += g * xp[i];
+                gxp[i] += g * wrow[i];
+            }
+        }
+    }
+    return gi.reshaped(in_shape_);
+}
+
+void Linear::collect_params(std::vector<ParamRef>& out) {
+    out.push_back({&weight_, &grad_weight_});
+    out.push_back({&bias_, &grad_bias_});
+}
+
+}  // namespace sky::nn

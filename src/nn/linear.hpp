@@ -1,0 +1,43 @@
+// Fully-connected layer over the flattened per-item features.
+//
+// Input {n, F, 1, 1} (or any shape whose per-item count equals in_features) ->
+// output {n, out_features, 1, 1}.  Used by the classifier backbones (AlexNet,
+// VGG) whose FC layers dominate the parameter-compression study of Fig. 2a.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace sky::nn {
+
+class Linear : public Module {
+public:
+    Linear(int in_features, int out_features, Rng& rng);
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& grad_out) override;
+    void collect_params(std::vector<ParamRef>& out) override;
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] Shape out_shape(const Shape& in) const override {
+        return {in.n, out_, 1, 1};
+    }
+    [[nodiscard]] std::int64_t macs(const Shape& in) const override {
+        return static_cast<std::int64_t>(in.n) * in_ * out_;
+    }
+    [[nodiscard]] std::int64_t param_count() const override {
+        return static_cast<std::int64_t>(in_) * out_ + out_;
+    }
+
+    [[nodiscard]] Tensor& weight() { return weight_; }
+    [[nodiscard]] std::string kind() const override { return "fc"; }
+
+private:
+    int in_, out_;
+    Tensor weight_;  ///< [out, in, 1, 1]
+    Tensor bias_;
+    Tensor grad_weight_, grad_bias_;
+    Tensor input_;    ///< flattened {n, in, 1, 1}
+    Shape in_shape_;  ///< original input shape (restored in backward)
+};
+
+}  // namespace sky::nn

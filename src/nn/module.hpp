@@ -1,0 +1,87 @@
+// Layer interface for the training-capable NN stack.
+//
+// Every layer implements both forward() and backward(); backward() consumes
+// dL/d(output) and returns dL/d(input), accumulating dL/d(parameter) into the
+// layer-owned gradient tensors exposed through params().  Layers cache
+// whatever activations they need between forward and backward, so a module
+// instance is single-use per step (forward then backward), which is exactly
+// how the Sequential / Graph containers drive them.
+//
+// Layers also expose the static metadata the hardware-aware design flow
+// needs: output shape inference, FLOP count and parameter count for a given
+// input shape.  The hwsim latency/resource models consume this metadata, so
+// the same module object serves training, inference and hardware estimation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sky::nn {
+
+/// A learnable parameter and its gradient accumulator.
+struct ParamRef {
+    Tensor* value = nullptr;
+    Tensor* grad = nullptr;
+};
+
+/// Static description of one leaf layer at a given input shape — the
+/// interface between networks and the hwsim latency/resource models.
+struct LayerInfo {
+    std::string name;
+    std::string kind;  ///< conv / dwconv / pwconv / bn / act / pool / fc / reorder / shuffle
+    Shape in;
+    Shape out;
+    std::int64_t macs = 0;
+    std::int64_t params = 0;
+};
+
+class Module {
+public:
+    virtual ~Module() = default;
+
+    virtual Tensor forward(const Tensor& x) = 0;
+    /// dL/d(input) given dL/d(output).  Parameter gradients accumulate.
+    virtual Tensor backward(const Tensor& grad_out) = 0;
+
+    /// Append this module's learnable parameters to `out`.
+    virtual void collect_params(std::vector<ParamRef>& out) { (void)out; }
+
+    /// Append non-trainable state tensors (e.g. BN running statistics) —
+    /// everything beyond collect_params() that a checkpoint must carry.
+    virtual void collect_state(std::vector<Tensor*>& out) { (void)out; }
+
+    virtual void set_training(bool training) { training_ = training; }
+    [[nodiscard]] bool training() const { return training_; }
+
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] virtual Shape out_shape(const Shape& in) const = 0;
+    /// Multiply-accumulate count for one forward pass at the given input shape.
+    [[nodiscard]] virtual std::int64_t macs(const Shape& in) const {
+        (void)in;
+        return 0;
+    }
+    [[nodiscard]] virtual std::int64_t param_count() const { return 0; }
+
+    /// Layer-kind tag consumed by the hardware models.
+    [[nodiscard]] virtual std::string kind() const { return "other"; }
+
+    /// Append the leaf layers of this module (containers recurse) for input
+    /// shape `in`.  Default: this module is itself a leaf.
+    virtual void enumerate(const Shape& in, std::vector<LayerInfo>& out) const {
+        out.push_back({name(), kind(), in, out_shape(in), macs(in), param_count()});
+    }
+
+protected:
+    bool training_ = true;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+/// Total parameter count of a set of modules.
+[[nodiscard]] std::int64_t total_params(const std::vector<ParamRef>& params);
+
+}  // namespace sky::nn

@@ -1,0 +1,84 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace sky::nn {
+
+SGD::SGD(std::vector<ParamRef> params, Config cfg) : params_(std::move(params)), cfg_(cfg) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) velocity_.emplace_back(p.value->shape());
+}
+
+void SGD::zero_grad() {
+    for (auto& p : params_) p.grad->zero();
+}
+
+void SGD::step() {
+    float clip_scale = 1.0f;
+    if (cfg_.grad_clip > 0.0f) {
+        double sq = 0.0;
+        for (const auto& p : params_) sq += p.grad->sq_norm();
+        const double norm = std::sqrt(sq);
+        if (norm > cfg_.grad_clip) clip_scale = static_cast<float>(cfg_.grad_clip / norm);
+    }
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Tensor& w = *params_[i].value;
+        Tensor& g = *params_[i].grad;
+        Tensor& v = velocity_[i];
+        float* wp = w.data();
+        float* gp = g.data();
+        float* vp = v.data();
+        const std::int64_t n = w.size();
+        for (std::int64_t j = 0; j < n; ++j) {
+            const float grad = gp[j] * clip_scale + cfg_.weight_decay * wp[j];
+            vp[j] = cfg_.momentum * vp[j] + grad;
+            wp[j] -= cfg_.lr * vp[j];
+        }
+    }
+}
+
+Adam::Adam(std::vector<ParamRef> params, Config cfg) : params_(std::move(params)), cfg_(cfg) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const auto& p : params_) {
+        m_.emplace_back(p.value->shape());
+        v_.emplace_back(p.value->shape());
+    }
+}
+
+void Adam::zero_grad() {
+    for (auto& p : params_) p.grad->zero();
+}
+
+void Adam::step() {
+    ++t_;
+    const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Tensor& w = *params_[i].value;
+        Tensor& g = *params_[i].grad;
+        Tensor& m = m_[i];
+        Tensor& v = v_[i];
+        const std::int64_t n = w.size();
+        for (std::int64_t j = 0; j < n; ++j) {
+            const float grad = g[j] + cfg_.weight_decay * w[j];
+            m[j] = cfg_.beta1 * m[j] + (1.0f - cfg_.beta1) * grad;
+            v[j] = cfg_.beta2 * v[j] + (1.0f - cfg_.beta2) * grad * grad;
+            const float mhat = m[j] / bc1;
+            const float vhat = v[j] / bc2;
+            w[j] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+        }
+    }
+}
+
+ExpSchedule::ExpSchedule(float lr_start, float lr_end, int total_steps)
+    : lr_start_(lr_start), lr_end_(lr_end), total_steps_(total_steps) {}
+
+float ExpSchedule::at(int step) const {
+    if (total_steps_ <= 1) return lr_start_;
+    const float t = static_cast<float>(step) / static_cast<float>(total_steps_ - 1);
+    const float clamped = t < 0.0f ? 0.0f : (t > 1.0f ? 1.0f : t);
+    return lr_start_ * std::pow(lr_end_ / lr_start_, clamped);
+}
+
+}  // namespace sky::nn

@@ -1,0 +1,72 @@
+// SGD with momentum and weight decay, plus the learning-rate schedules used
+// in the paper's experiments (exponential decay from 1e-4 to 1e-7 for
+// detection, 1e-3 to 1e-5 / 1e-4 for the trackers).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace sky::nn {
+
+class SGD {
+public:
+    struct Config {
+        float lr = 1e-2f;
+        float momentum = 0.9f;
+        float weight_decay = 0.0f;
+        float grad_clip = 0.0f;  ///< 0 disables clipping (by global norm)
+    };
+
+    SGD(std::vector<ParamRef> params, Config cfg);
+
+    void zero_grad();
+    void step();
+
+    void set_lr(float lr) { cfg_.lr = lr; }
+    [[nodiscard]] float lr() const { return cfg_.lr; }
+    [[nodiscard]] const std::vector<ParamRef>& params() const { return params_; }
+
+private:
+    std::vector<ParamRef> params_;
+    std::vector<Tensor> velocity_;
+    Config cfg_;
+};
+
+/// Adam (Kingma & Ba) — not used by the paper's recipes (which are SGD),
+/// but a standard library citizen for downstream users.
+class Adam {
+public:
+    struct Config {
+        float lr = 1e-3f;
+        float beta1 = 0.9f;
+        float beta2 = 0.999f;
+        float eps = 1e-8f;
+        float weight_decay = 0.0f;
+    };
+
+    Adam(std::vector<ParamRef> params, Config cfg);
+
+    void zero_grad();
+    void step();
+
+    void set_lr(float lr) { cfg_.lr = lr; }
+    [[nodiscard]] float lr() const { return cfg_.lr; }
+
+private:
+    std::vector<ParamRef> params_;
+    std::vector<Tensor> m_, v_;
+    Config cfg_;
+    int t_ = 0;
+};
+
+/// Exponential decay from lr_start to lr_end over total_steps.
+class ExpSchedule {
+public:
+    ExpSchedule(float lr_start, float lr_end, int total_steps);
+    [[nodiscard]] float at(int step) const;
+
+private:
+    float lr_start_, lr_end_;
+    int total_steps_;
+};
+
+}  // namespace sky::nn

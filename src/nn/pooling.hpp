@@ -1,0 +1,47 @@
+// Pooling layers: 2x2 max pooling (the only pooling SkyNet uses) and
+// global average pooling (used by the classifier backbones).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace sky::nn {
+
+/// 2x2 max pooling with stride 2.  Odd trailing rows/columns are dropped,
+/// matching the usual floor-division convention.
+class MaxPool2 : public Module {
+public:
+    MaxPool2() = default;
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& grad_out) override;
+
+    [[nodiscard]] std::string name() const override { return "MaxPool2x2"; }
+    [[nodiscard]] std::string kind() const override { return "pool"; }
+    [[nodiscard]] Shape out_shape(const Shape& in) const override {
+        return {in.n, in.c, in.h / 2, in.w / 2};
+    }
+
+private:
+    Shape in_shape_;
+    std::vector<std::int32_t> argmax_;  ///< flat input index per output element
+};
+
+/// Global average pooling to 1x1.
+class GlobalAvgPool : public Module {
+public:
+    GlobalAvgPool() = default;
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& grad_out) override;
+
+    [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+    [[nodiscard]] std::string kind() const override { return "pool"; }
+    [[nodiscard]] Shape out_shape(const Shape& in) const override {
+        return {in.n, in.c, 1, 1};
+    }
+
+private:
+    Shape in_shape_;
+};
+
+}  // namespace sky::nn

@@ -1,0 +1,112 @@
+#include "nn/pwconv.hpp"
+
+#include <stdexcept>
+
+namespace sky::nn {
+namespace {
+
+/// Validated before any member uses it (division in the initializer list).
+int checked_groups(int groups, int in_ch, int out_ch) {
+    if (groups < 1 || in_ch % groups != 0 || out_ch % groups != 0)
+        throw std::invalid_argument("PWConv1: bad group count");
+    return groups;
+}
+
+}  // namespace
+
+PWConv1::PWConv1(int in_ch, int out_ch, bool bias, Rng& rng, int groups)
+    : in_ch_(in_ch),
+      out_ch_(out_ch),
+      groups_(checked_groups(groups, in_ch, out_ch)),
+      has_bias_(bias),
+      weight_({out_ch, in_ch / groups, 1, 1}),
+      bias_({1, out_ch, 1, 1}),
+      grad_weight_({out_ch, in_ch / groups, 1, 1}),
+      grad_bias_({1, out_ch, 1, 1}) {
+    weight_.kaiming(rng, in_ch / groups);
+}
+
+std::int64_t PWConv1::macs(const Shape& in) const {
+    return static_cast<std::int64_t>(in.n) * in.h * in.w * (in_ch_ / groups_) * out_ch_;
+}
+
+std::int64_t PWConv1::param_count() const {
+    return static_cast<std::int64_t>(out_ch_) * (in_ch_ / groups_) +
+           (has_bias_ ? out_ch_ : 0);
+}
+
+std::string PWConv1::name() const {
+    std::string s = "PW-Conv1(" + std::to_string(in_ch_) + "->" + std::to_string(out_ch_);
+    if (groups_ > 1) s += ",g" + std::to_string(groups_);
+    return s + ")";
+}
+
+Tensor PWConv1::forward(const Tensor& x) {
+    if (x.shape().c != in_ch_)
+        throw std::invalid_argument(name() + ": got input " + x.shape().str());
+    if (training_) input_ = x;
+    const Shape s = x.shape();
+    Tensor y({s.n, out_ch_, s.h, s.w});
+    const std::int64_t plane = static_cast<std::int64_t>(s.h) * s.w;
+    const int ipg = in_ch_ / groups_;   // input channels per group
+    const int opg = out_ch_ / groups_;  // output channels per group
+    for (int n = 0; n < s.n; ++n) {
+        for (int oc = 0; oc < out_ch_; ++oc) {
+            const int g = oc / opg;
+            float* yp = y.plane(n, oc);
+            if (has_bias_) {
+                const float b = bias_[oc];
+                for (std::int64_t i = 0; i < plane; ++i) yp[i] = b;
+            }
+            const float* wrow = weight_.plane(oc, 0);
+            for (int k = 0; k < ipg; ++k) {
+                const float wv = wrow[k];
+                if (wv == 0.0f) continue;
+                const float* xp = x.plane(n, g * ipg + k);
+                for (std::int64_t i = 0; i < plane; ++i) yp[i] += wv * xp[i];
+            }
+        }
+    }
+    return y;
+}
+
+Tensor PWConv1::backward(const Tensor& grad_out) {
+    const Shape s = input_.shape();
+    const std::int64_t plane = static_cast<std::int64_t>(s.h) * s.w;
+    const int ipg = in_ch_ / groups_;
+    const int opg = out_ch_ / groups_;
+    Tensor grad_in(s);
+    for (int n = 0; n < s.n; ++n) {
+        for (int oc = 0; oc < out_ch_; ++oc) {
+            const int g = oc / opg;
+            const float* gp = grad_out.plane(n, oc);
+            if (has_bias_) {
+                double acc = 0.0;
+                for (std::int64_t i = 0; i < plane; ++i) acc += gp[i];
+                grad_bias_[oc] += static_cast<float>(acc);
+            }
+            const float* wrow = weight_.plane(oc, 0);
+            float* gwrow = grad_weight_.plane(oc, 0);
+            for (int k = 0; k < ipg; ++k) {
+                const float* xp = input_.plane(n, g * ipg + k);
+                float* gxp = grad_in.plane(n, g * ipg + k);
+                const float wv = wrow[k];
+                double wacc = 0.0;
+                for (std::int64_t i = 0; i < plane; ++i) {
+                    const float gv = gp[i];
+                    wacc += static_cast<double>(gv) * xp[i];
+                    gxp[i] += wv * gv;
+                }
+                gwrow[k] += static_cast<float>(wacc);
+            }
+        }
+    }
+    return grad_in;
+}
+
+void PWConv1::collect_params(std::vector<ParamRef>& out) {
+    out.push_back({&weight_, &grad_weight_});
+    if (has_bias_) out.push_back({&bias_, &grad_bias_});
+}
+
+}  // namespace sky::nn

@@ -1,0 +1,71 @@
+#include "nn/sequential.hpp"
+
+namespace sky::nn {
+
+std::int64_t total_params(const std::vector<ParamRef>& params) {
+    std::int64_t total = 0;
+    for (const auto& p : params) total += p.value->size();
+    return total;
+}
+
+Sequential& Sequential::add(ModulePtr m) {
+    modules_.push_back(std::move(m));
+    return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+    Tensor cur = x;
+    for (auto& m : modules_) cur = m->forward(cur);
+    return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+    Tensor cur = grad_out;
+    for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) cur = (*it)->backward(cur);
+    return cur;
+}
+
+void Sequential::collect_params(std::vector<ParamRef>& out) {
+    for (auto& m : modules_) m->collect_params(out);
+}
+
+void Sequential::collect_state(std::vector<Tensor*>& out) {
+    for (auto& m : modules_) m->collect_state(out);
+}
+
+void Sequential::set_training(bool training) {
+    Module::set_training(training);
+    for (auto& m : modules_) m->set_training(training);
+}
+
+void Sequential::enumerate(const Shape& in, std::vector<LayerInfo>& out) const {
+    Shape cur = in;
+    for (const auto& m : modules_) {
+        m->enumerate(cur, out);
+        cur = m->out_shape(cur);
+    }
+}
+
+Shape Sequential::out_shape(const Shape& in) const {
+    Shape cur = in;
+    for (const auto& m : modules_) cur = m->out_shape(cur);
+    return cur;
+}
+
+std::int64_t Sequential::macs(const Shape& in) const {
+    Shape cur = in;
+    std::int64_t total = 0;
+    for (const auto& m : modules_) {
+        total += m->macs(cur);
+        cur = m->out_shape(cur);
+    }
+    return total;
+}
+
+std::int64_t Sequential::param_count() const {
+    std::int64_t total = 0;
+    for (const auto& m : modules_) total += m->param_count();
+    return total;
+}
+
+}  // namespace sky::nn

@@ -1,0 +1,47 @@
+// Sequential container: a chain of modules, itself a Module (so chains can
+// nest inside Graph nodes and vice versa).
+#pragma once
+
+#include <utility>
+
+#include "nn/module.hpp"
+
+namespace sky::nn {
+
+class Sequential : public Module {
+public:
+    Sequential() = default;
+
+    /// Append a module; returns *this for fluent building.
+    Sequential& add(ModulePtr m);
+
+    /// Construct-and-append helper.
+    template <typename M, typename... Args>
+    Sequential& emplace(Args&&... args) {
+        return add(std::make_unique<M>(std::forward<Args>(args)...));
+    }
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& grad_out) override;
+    void collect_params(std::vector<ParamRef>& out) override;
+    void collect_state(std::vector<Tensor*>& out) override;
+    void set_training(bool training) override;
+
+    [[nodiscard]] std::string name() const override { return "Sequential"; }
+    void enumerate(const Shape& in, std::vector<LayerInfo>& out) const override;
+    [[nodiscard]] Shape out_shape(const Shape& in) const override;
+    [[nodiscard]] std::int64_t macs(const Shape& in) const override;
+    [[nodiscard]] std::int64_t param_count() const override;
+
+    [[nodiscard]] std::size_t size() const { return modules_.size(); }
+    /// Move the owned modules out (used by deployment rewrite passes); the
+    /// Sequential is left empty.
+    [[nodiscard]] std::vector<ModulePtr> take_modules() { return std::move(modules_); }
+    [[nodiscard]] Module& at(std::size_t i) { return *modules_[i]; }
+    [[nodiscard]] const Module& at(std::size_t i) const { return *modules_[i]; }
+
+private:
+    std::vector<ModulePtr> modules_;
+};
+
+}  // namespace sky::nn

@@ -1,0 +1,45 @@
+#include "nn/shuffle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sky::nn {
+namespace {
+
+/// out channel index for input channel c with C channels in g groups:
+/// view as (g, C/g), transpose to (C/g, g).
+int shuffled_index(int c, int channels, int groups) {
+    const int per = channels / groups;
+    const int grp = c / per;
+    const int k = c % per;
+    return k * groups + grp;
+}
+
+Tensor permute_channels(const Tensor& x, int groups, bool inverse) {
+    const Shape s = x.shape();
+    if (s.c % groups != 0)
+        throw std::invalid_argument("ChannelShuffle: channels not divisible by groups");
+    Tensor y(s);
+    const std::int64_t plane = static_cast<std::int64_t>(s.h) * s.w;
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < s.c; ++c) {
+            const int to = shuffled_index(c, s.c, groups);
+            const int src = inverse ? to : c;
+            const int dst = inverse ? c : to;
+            std::copy_n(x.plane(n, src), plane, y.plane(n, dst));
+        }
+    }
+    return y;
+}
+
+}  // namespace
+
+Tensor ChannelShuffle::forward(const Tensor& x) {
+    return permute_channels(x, groups_, /*inverse=*/false);
+}
+
+Tensor ChannelShuffle::backward(const Tensor& grad_out) {
+    return permute_channels(grad_out, groups_, /*inverse=*/true);
+}
+
+}  // namespace sky::nn

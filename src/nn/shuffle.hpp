@@ -1,0 +1,27 @@
+// Channel shuffle (ShuffleNet): after a grouped 1x1 conv, interleave the
+// channels across groups so information flows between groups.  Pure
+// permutation — backward applies the inverse permutation.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace sky::nn {
+
+class ChannelShuffle : public Module {
+public:
+    explicit ChannelShuffle(int groups) : groups_(groups) {}
+
+    Tensor forward(const Tensor& x) override;
+    Tensor backward(const Tensor& grad_out) override;
+
+    [[nodiscard]] std::string name() const override {
+        return "ChannelShuffle(g=" + std::to_string(groups_) + ")";
+    }
+    [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
+    [[nodiscard]] std::string kind() const override { return "shuffle"; }
+
+private:
+    int groups_;
+};
+
+}  // namespace sky::nn

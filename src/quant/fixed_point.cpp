@@ -1,0 +1,61 @@
+#include "quant/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sky::quant {
+
+double FixedPointFormat::step() const { return std::ldexp(1.0, -frac_bits); }
+
+double FixedPointFormat::max_val() const {
+    return (std::ldexp(1.0, total_bits - 1) - 1.0) * step();
+}
+
+double FixedPointFormat::min_val() const {
+    return -std::ldexp(1.0, total_bits - 1) * step();
+}
+
+float FixedPointFormat::quantize(float v) const {
+    const double s = step();
+    const double q = std::nearbyint(static_cast<double>(v) / s);
+    const double lo = -std::ldexp(1.0, total_bits - 1);
+    const double hi = std::ldexp(1.0, total_bits - 1) - 1.0;
+    return static_cast<float>(std::clamp(q, lo, hi) * s);
+}
+
+FixedPointFormat choose_format(int total_bits, float abs_max) {
+    // Integer bits needed to cover abs_max (sign bit excluded).
+    int int_bits = 0;
+    double cover = 1.0;
+    const double target = std::max(static_cast<double>(abs_max), 1e-12);
+    // Allow negative integer bits (all-fractional formats) for small ranges.
+    while (cover < target && int_bits < total_bits - 1) {
+        ++int_bits;
+        cover *= 2.0;
+    }
+    while (int_bits > -(62 - total_bits) && cover * 0.5 >= target) {
+        --int_bits;
+        cover *= 0.5;
+    }
+    return {total_bits, total_bits - 1 - int_bits};
+}
+
+void quantize_tensor(Tensor& t, const FixedPointFormat& fmt) {
+    float* p = t.data();
+    const std::int64_t n = t.size();
+    for (std::int64_t i = 0; i < n; ++i) p[i] = fmt.quantize(p[i]);
+}
+
+double quantization_mse(const Tensor& t, const FixedPointFormat& fmt) {
+    const float* p = t.data();
+    const std::int64_t n = t.size();
+    if (n == 0) return 0.0;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(p[i]) - fmt.quantize(p[i]);
+        acc += d * d;
+    }
+    return acc / static_cast<double>(n);
+}
+
+}  // namespace sky::quant

@@ -1,0 +1,382 @@
+#include "quant/qengine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "deploy/fold_bn.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dwconv.hpp"
+#include "nn/pooling.hpp"
+#include "nn/pwconv.hpp"
+#include "nn/space_to_depth.hpp"
+
+namespace sky::quant {
+namespace {
+
+std::int32_t saturate(std::int64_t v, int bits) {
+    const std::int64_t hi = (1LL << (bits - 1)) - 1;
+    const std::int64_t lo = -(1LL << (bits - 1));
+    return static_cast<std::int32_t>(std::clamp(v, lo, hi));
+}
+
+/// Round-to-nearest arithmetic right shift (ties away from zero).
+std::int64_t round_shift(std::int64_t v, int shift) {
+    if (shift <= 0) return v << (-shift);
+    const std::int64_t half = 1LL << (shift - 1);
+    return v >= 0 ? (v + half) >> shift : -((-v + half) >> shift);
+}
+
+std::vector<std::int32_t> quantize_weights_to_int(const Tensor& w,
+                                                  const FixedPointFormat& fmt) {
+    std::vector<std::int32_t> out(static_cast<std::size_t>(w.size()));
+    const double inv_step = 1.0 / fmt.step();
+    for (std::int64_t i = 0; i < w.size(); ++i)
+        out[static_cast<std::size_t>(i)] = saturate(
+            static_cast<std::int64_t>(std::llround(w[i] * inv_step)), fmt.total_bits);
+    return out;
+}
+
+}  // namespace
+
+QEngine::QEngine(const nn::Graph& graph, const QEngineConfig& cfg)
+    : cfg_(cfg), fm_fmt_(choose_format(cfg.fm_bits, cfg.fm_abs_max)) {
+    output_node_ = graph.output_node();
+    layers_.resize(graph.node_count());
+    weight_frac_.assign(graph.node_count(), 0);
+    for (std::size_t i = 0; i < graph.node_count(); ++i) {
+        QLayer& l = layers_[i];
+        l.inputs = graph.node_inputs(i);
+        switch (graph.node_kind(i)) {
+            case nn::Graph::NodeKind::kInput:
+                l.op = QLayer::Op::kInput;
+                continue;
+            case nn::Graph::NodeKind::kConcat:
+                l.op = QLayer::Op::kConcat;
+                continue;
+            case nn::Graph::NodeKind::kAdd:
+                l.op = QLayer::Op::kAdd;
+                continue;
+            case nn::Graph::NodeKind::kModule:
+                break;
+        }
+        const nn::Module* m = graph.node_module(i);
+        if (auto* conv = dynamic_cast<const nn::Conv2d*>(m)) {
+            l.op = QLayer::Op::kConv;
+            l.in_ch = conv->in_channels();
+            l.out_ch = conv->out_channels();
+            l.k = conv->kernel();
+            l.stride = conv->stride();
+            l.pad = conv->padding();
+            const FixedPointFormat wf =
+                choose_format(cfg.weight_bits, conv->weight().abs_max());
+            weight_frac_[i] = wf.frac_bits;
+            l.weights = quantize_weights_to_int(conv->weight(), wf);
+            l.bias.assign(static_cast<std::size_t>(l.out_ch), 0);
+            if (conv->has_bias()) {
+                const double scale = std::ldexp(1.0, wf.frac_bits + fm_fmt_.frac_bits);
+                for (int oc = 0; oc < l.out_ch; ++oc)
+                    l.bias[static_cast<std::size_t>(oc)] = static_cast<std::int64_t>(
+                        std::llround(conv->bias()[oc] * scale));
+            }
+        } else if (auto* pw = dynamic_cast<const nn::PWConv1*>(m)) {
+            if (pw->groups() != 1)
+                throw std::invalid_argument("QEngine: grouped 1x1 conv unsupported");
+            l.op = QLayer::Op::kConv;
+            l.in_ch = pw->in_channels();
+            l.out_ch = pw->out_channels();
+            l.k = 1;
+            l.stride = 1;
+            l.pad = 0;
+            const FixedPointFormat wf =
+                choose_format(cfg.weight_bits, pw->weight().abs_max());
+            weight_frac_[i] = wf.frac_bits;
+            l.weights = quantize_weights_to_int(pw->weight(), wf);
+            l.bias.assign(static_cast<std::size_t>(l.out_ch), 0);
+            if (pw->has_bias()) {
+                const double scale = std::ldexp(1.0, wf.frac_bits + fm_fmt_.frac_bits);
+                for (int oc = 0; oc < l.out_ch; ++oc)
+                    l.bias[static_cast<std::size_t>(oc)] = static_cast<std::int64_t>(
+                        std::llround(pw->bias()[oc] * scale));
+            }
+        } else if (auto* dw = dynamic_cast<const nn::DWConv3*>(m)) {
+            l.op = QLayer::Op::kDwConv3;
+            l.in_ch = l.out_ch = dw->channels();
+            l.k = 3;
+            const FixedPointFormat wf =
+                choose_format(cfg.weight_bits, dw->weight().abs_max());
+            weight_frac_[i] = wf.frac_bits;
+            l.weights = quantize_weights_to_int(dw->weight(), wf);
+        } else if (dynamic_cast<const nn::MaxPool2*>(m)) {
+            l.op = QLayer::Op::kPool;
+        } else if (auto* act = dynamic_cast<const nn::Activation*>(m)) {
+            if (act->act_kind() == nn::Act::kReLU)
+                l.op = QLayer::Op::kRelu;
+            else if (act->act_kind() == nn::Act::kReLU6)
+                l.op = QLayer::Op::kRelu6;
+            else
+                throw std::invalid_argument("QEngine: unsupported activation");
+        } else if (auto* s2d = dynamic_cast<const nn::SpaceToDepth*>(m)) {
+            l.op = QLayer::Op::kReorder;
+            l.reorder_block = s2d->block();
+        } else if (auto* cb = dynamic_cast<const deploy::ChannelBias*>(m)) {
+            // The folded BN shift, expressed on the FM grid.
+            l.op = QLayer::Op::kBias;
+            l.bias.reserve(cb->values().size());
+            const double inv_step = 1.0 / fm_fmt_.step();
+            for (float b : cb->values())
+                l.bias.push_back(static_cast<std::int64_t>(std::llround(b * inv_step)));
+        } else if (dynamic_cast<const deploy::Identity*>(m)) {
+            l.op = QLayer::Op::kIdentity;
+        } else if (m->kind() == "bn") {
+            throw std::invalid_argument(
+                "QEngine: fold batch norms before compiling (deploy::fold_graph_bn)");
+        } else {
+            throw std::invalid_argument("QEngine: unsupported layer " + m->name());
+        }
+    }
+}
+
+QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) const {
+    const int fm_bits = fm_fmt_.total_bits;
+    switch (l.op) {
+        case QLayer::Op::kInput:
+            throw std::logic_error("QEngine: input node executed");
+        case QLayer::Op::kIdentity:
+            return outputs[static_cast<std::size_t>(l.inputs[0])];
+        case QLayer::Op::kRelu: {
+            QTensor y = outputs[static_cast<std::size_t>(l.inputs[0])];
+            for (auto& v : y.data) v = std::max(v, 0);
+            return y;
+        }
+        case QLayer::Op::kRelu6: {
+            QTensor y = outputs[static_cast<std::size_t>(l.inputs[0])];
+            const std::int32_t six = saturate(
+                static_cast<std::int64_t>(6) << fm_fmt_.frac_bits, fm_bits);
+            for (auto& v : y.data) v = std::clamp(v, 0, six);
+            return y;
+        }
+        case QLayer::Op::kPool: {
+            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
+            QTensor y;
+            y.shape = {x.shape.n, x.shape.c, x.shape.h / 2, x.shape.w / 2};
+            y.data.resize(static_cast<std::size_t>(y.shape.count()));
+            std::size_t oi = 0;
+            for (int n = 0; n < x.shape.n; ++n)
+                for (int c = 0; c < x.shape.c; ++c) {
+                    const std::int32_t* xp =
+                        x.data.data() +
+                        (static_cast<std::int64_t>(n) * x.shape.c + c) * x.shape.h *
+                            x.shape.w;
+                    for (int oh = 0; oh < y.shape.h; ++oh)
+                        for (int ow = 0; ow < y.shape.w; ++ow) {
+                            const std::int64_t base =
+                                static_cast<std::int64_t>(oh * 2) * x.shape.w + ow * 2;
+                            y.data[oi++] = std::max(
+                                std::max(xp[base], xp[base + 1]),
+                                std::max(xp[base + x.shape.w], xp[base + x.shape.w + 1]));
+                        }
+                }
+            return y;
+        }
+        case QLayer::Op::kReorder: {
+            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
+            const int b = l.reorder_block;
+            QTensor y;
+            y.shape = {x.shape.n, x.shape.c * b * b, x.shape.h / b, x.shape.w / b};
+            y.data.resize(static_cast<std::size_t>(y.shape.count()));
+            for (int n = 0; n < x.shape.n; ++n)
+                for (int c = 0; c < x.shape.c; ++c)
+                    for (int dy = 0; dy < b; ++dy)
+                        for (int dx = 0; dx < b; ++dx) {
+                            const int oc = c * b * b + dy * b + dx;
+                            for (int oh = 0; oh < y.shape.h; ++oh)
+                                for (int ow = 0; ow < y.shape.w; ++ow) {
+                                    const std::int64_t src =
+                                        ((static_cast<std::int64_t>(n) * x.shape.c + c) *
+                                             x.shape.h +
+                                         (oh * b + dy)) *
+                                            x.shape.w +
+                                        (ow * b + dx);
+                                    const std::int64_t dst =
+                                        ((static_cast<std::int64_t>(n) * y.shape.c + oc) *
+                                             y.shape.h +
+                                         oh) *
+                                            y.shape.w +
+                                        ow;
+                                    y.data[static_cast<std::size_t>(dst)] =
+                                        x.data[static_cast<std::size_t>(src)];
+                                }
+                        }
+            return y;
+        }
+        case QLayer::Op::kConcat: {
+            const QTensor& first = outputs[static_cast<std::size_t>(l.inputs[0])];
+            QTensor y;
+            y.shape = first.shape;
+            y.shape.c = 0;
+            for (int in : l.inputs) y.shape.c += outputs[static_cast<std::size_t>(in)].shape.c;
+            y.data.resize(static_cast<std::size_t>(y.shape.count()));
+            const std::int64_t plane =
+                static_cast<std::int64_t>(first.shape.h) * first.shape.w;
+            for (int n = 0; n < y.shape.n; ++n) {
+                std::int64_t off =
+                    static_cast<std::int64_t>(n) * y.shape.c * plane;
+                for (int in : l.inputs) {
+                    const QTensor& part = outputs[static_cast<std::size_t>(in)];
+                    const std::int64_t bytes =
+                        static_cast<std::int64_t>(part.shape.c) * plane;
+                    std::copy_n(part.data.begin() +
+                                    static_cast<std::int64_t>(n) * bytes,
+                                bytes, y.data.begin() + off);
+                    off += bytes;
+                }
+            }
+            return y;
+        }
+        case QLayer::Op::kAdd: {
+            QTensor y = outputs[static_cast<std::size_t>(l.inputs[0])];
+            const QTensor& b = outputs[static_cast<std::size_t>(l.inputs[1])];
+            for (std::size_t i = 0; i < y.data.size(); ++i)
+                y.data[i] = saturate(static_cast<std::int64_t>(y.data[i]) + b.data[i],
+                                     fm_bits);
+            return y;
+        }
+        case QLayer::Op::kBias: {
+            QTensor y = outputs[static_cast<std::size_t>(l.inputs[0])];
+            const std::int64_t plane =
+                static_cast<std::int64_t>(y.shape.h) * y.shape.w;
+            for (int n = 0; n < y.shape.n; ++n)
+                for (int c = 0; c < y.shape.c; ++c) {
+                    const std::int64_t b = l.bias[static_cast<std::size_t>(c)];
+                    std::int32_t* p =
+                        y.data.data() +
+                        (static_cast<std::int64_t>(n) * y.shape.c + c) * plane;
+                    for (std::int64_t i = 0; i < plane; ++i)
+                        p[i] = saturate(static_cast<std::int64_t>(p[i]) + b, fm_bits);
+                }
+            return y;
+        }
+        case QLayer::Op::kDwConv3:
+        case QLayer::Op::kConv:
+            throw std::logic_error("QEngine: conv ops are handled in run()");
+    }
+    throw std::logic_error("QEngine: unreachable");
+}
+
+Tensor QEngine::run(const Tensor& input) const {
+    std::vector<QTensor> outputs(layers_.size());
+    // Quantise the input onto the FM grid.
+    QTensor in;
+    in.shape = input.shape();
+    in.data.resize(static_cast<std::size_t>(input.size()));
+    const double inv_step = 1.0 / fm_fmt_.step();
+    for (std::int64_t i = 0; i < input.size(); ++i)
+        in.data[static_cast<std::size_t>(i)] = saturate(
+            static_cast<std::int64_t>(std::llround(input[i] * inv_step)),
+            fm_fmt_.total_bits);
+    outputs[0] = std::move(in);
+
+    for (std::size_t i = 1; i < layers_.size(); ++i) {
+        const QLayer& l = layers_[i];
+        if (l.op == QLayer::Op::kConv || l.op == QLayer::Op::kDwConv3) {
+            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
+            const int shift = weight_frac_[i];  // acc frac = fm_frac + shift
+            QTensor y;
+            if (l.op == QLayer::Op::kDwConv3) {
+                y.shape = x.shape;
+                y.data.resize(static_cast<std::size_t>(y.shape.count()));
+                const int H = x.shape.h, W = x.shape.w;
+                for (int n = 0; n < x.shape.n; ++n)
+                    for (int c = 0; c < x.shape.c; ++c) {
+                        const std::int32_t* xp =
+                            x.data.data() +
+                            (static_cast<std::int64_t>(n) * x.shape.c + c) * H * W;
+                        std::int32_t* yp =
+                            y.data.data() +
+                            (static_cast<std::int64_t>(n) * y.shape.c + c) * H * W;
+                        const std::int32_t* w =
+                            l.weights.data() + static_cast<std::int64_t>(c) * 9;
+                        for (int oh = 0; oh < H; ++oh)
+                            for (int ow = 0; ow < W; ++ow) {
+                                std::int64_t acc = 0;
+                                for (int kh = 0; kh < 3; ++kh)
+                                    for (int kw = 0; kw < 3; ++kw) {
+                                        const int ih = oh - 1 + kh;
+                                        const int iw = ow - 1 + kw;
+                                        if (ih < 0 || ih >= H || iw < 0 || iw >= W)
+                                            continue;
+                                        acc += static_cast<std::int64_t>(
+                                                   w[kh * 3 + kw]) *
+                                               xp[static_cast<std::int64_t>(ih) * W + iw];
+                                    }
+                                yp[static_cast<std::int64_t>(oh) * W + ow] = saturate(
+                                    round_shift(acc, shift), fm_fmt_.total_bits);
+                            }
+                    }
+            } else {
+                const int oh = (x.shape.h + 2 * l.pad - l.k) / l.stride + 1;
+                const int ow = (x.shape.w + 2 * l.pad - l.k) / l.stride + 1;
+                y.shape = {x.shape.n, l.out_ch, oh, ow};
+                y.data.resize(static_cast<std::size_t>(y.shape.count()));
+                const int H = x.shape.h, W = x.shape.w;
+                for (int n = 0; n < x.shape.n; ++n)
+                    for (int oc = 0; oc < l.out_ch; ++oc) {
+                        std::int32_t* yp =
+                            y.data.data() +
+                            (static_cast<std::int64_t>(n) * l.out_ch + oc) * oh * ow;
+                        const std::int32_t* wbase =
+                            l.weights.data() +
+                            static_cast<std::int64_t>(oc) * l.in_ch * l.k * l.k;
+                        const std::int64_t b =
+                            l.bias.empty() ? 0 : l.bias[static_cast<std::size_t>(oc)];
+                        for (int yy = 0; yy < oh; ++yy)
+                            for (int xx = 0; xx < ow; ++xx) {
+                                std::int64_t acc = b;
+                                for (int ic = 0; ic < l.in_ch; ++ic) {
+                                    const std::int32_t* xp =
+                                        x.data.data() +
+                                        (static_cast<std::int64_t>(n) * x.shape.c + ic) *
+                                            H * W;
+                                    const std::int32_t* w =
+                                        wbase + static_cast<std::int64_t>(ic) * l.k * l.k;
+                                    for (int kh = 0; kh < l.k; ++kh)
+                                        for (int kw = 0; kw < l.k; ++kw) {
+                                            const int ih = yy * l.stride - l.pad + kh;
+                                            const int iw = xx * l.stride - l.pad + kw;
+                                            if (ih < 0 || ih >= H || iw < 0 || iw >= W)
+                                                continue;
+                                            acc += static_cast<std::int64_t>(
+                                                       w[kh * l.k + kw]) *
+                                                   xp[static_cast<std::int64_t>(ih) * W +
+                                                      iw];
+                                        }
+                                }
+                                yp[static_cast<std::int64_t>(yy) * ow + xx] = saturate(
+                                    round_shift(acc, shift), fm_fmt_.total_bits);
+                            }
+                    }
+            }
+            outputs[i] = std::move(y);
+        } else {
+            outputs[i] = execute(l, outputs);
+        }
+    }
+
+    const QTensor& out = outputs[static_cast<std::size_t>(output_node_)];
+    Tensor result(out.shape);
+    const float step = static_cast<float>(fm_fmt_.step());
+    for (std::size_t i = 0; i < out.data.size(); ++i)
+        result[static_cast<std::int64_t>(i)] = static_cast<float>(out.data[i]) * step;
+    return result;
+}
+
+std::int64_t QEngine::weight_bytes() const {
+    std::int64_t bits = 0;
+    for (const QLayer& l : layers_)
+        bits += static_cast<std::int64_t>(l.weights.size()) * cfg_.weight_bits;
+    return bits / 8;
+}
+
+}  // namespace sky::quant

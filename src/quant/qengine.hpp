@@ -1,0 +1,84 @@
+// Bit-true integer inference engine — the FPGA datapath of §6.4 executed in
+// software with genuine integer arithmetic, not float emulation.
+//
+// A BN-folded Graph (see deploy::fold_graph_bn) is compiled into integer
+// form: every feature map lives in ONE shared fixed-point format (fm_bits
+// total, fm_frac fractional — the single-buffer constraint of the IP-shared
+// accelerator), every layer's weights are quantised per-layer to
+// weight_bits, convolutions accumulate in int64 and requantise back to the
+// FM grid with round-to-nearest and saturation.  ReLU6's clip constant is
+// exact on the grid.
+//
+// The engine is the executable specification of what the Table 7 schemes
+// actually compute; tests validate it against the float network at high
+// bit-widths and against the FM-hook emulation for trend.
+#pragma once
+
+#include "nn/graph.hpp"
+#include "quant/fixed_point.hpp"
+
+namespace sky::quant {
+
+struct QEngineConfig {
+    int fm_bits = 9;       ///< feature-map word width
+    int weight_bits = 11;  ///< weight word width
+    float fm_abs_max = 8.0f;  ///< calibrated FM range; sets the shared format
+};
+
+/// Integer feature map: int32 payload on the shared FM grid.
+struct QTensor {
+    Shape shape;
+    std::vector<std::int32_t> data;
+};
+
+class QEngine {
+public:
+    /// Compile `graph` (BN layers must already be folded).  Throws
+    /// std::invalid_argument if an unsupported/unfolded layer remains.
+    QEngine(const nn::Graph& graph, const QEngineConfig& cfg);
+
+    /// Quantise `input` to the FM grid, run the integer pass, return the
+    /// output dequantised to float (every value lies on the FM grid).
+    [[nodiscard]] Tensor run(const Tensor& input) const;
+
+    [[nodiscard]] const FixedPointFormat& fm_format() const { return fm_fmt_; }
+    [[nodiscard]] const QEngineConfig& config() const { return cfg_; }
+    /// Total integer-weight bytes (the deployed model size).
+    [[nodiscard]] std::int64_t weight_bytes() const;
+
+private:
+    struct QLayer {
+        enum class Op {
+            kInput,
+            kConv,     // generic kxk (covers PW as k=1)
+            kDwConv3,
+            kPool,
+            kRelu,
+            kRelu6,
+            kReorder,
+            kBias,     // ChannelBias from depthwise folding
+            kIdentity,
+            kConcat,
+            kAdd,
+        };
+        Op op = Op::kIdentity;
+        std::vector<int> inputs;
+        // Conv parameters.
+        int in_ch = 0, out_ch = 0, k = 0, stride = 1, pad = 0;
+        std::vector<std::int32_t> weights;  // integer weights
+        std::vector<std::int64_t> bias;     // in accumulator scale (fm+w frac)
+        int reorder_block = 2;
+    };
+
+    [[nodiscard]] QTensor execute(const QLayer& l,
+                                  const std::vector<QTensor>& outputs) const;
+
+    QEngineConfig cfg_;
+    FixedPointFormat fm_fmt_;
+    int weight_frac_shared_ = 0;  // unused: weights are per-layer scaled
+    std::vector<QLayer> layers_;
+    std::vector<int> weight_frac_;  // per compiled layer
+    int output_node_ = 0;
+};
+
+}  // namespace sky::quant

@@ -1,0 +1,48 @@
+#include "quant/qmodel.hpp"
+
+#include "detect/metrics.hpp"
+#include "train/trainer.hpp"
+
+namespace sky::quant {
+
+double detector_iou_quantized(nn::Module& net, const detect::YoloHead& head,
+                              const data::DetectionBatch& val, int fm_bits,
+                              int weight_bits, float fm_abs_max) {
+    ParamSnapshot snapshot(net);
+    if (weight_bits > 0) quantize_weights(net, weight_bits);
+    double iou = 0.0;
+    {
+        nn::FmHook hook;
+        if (fm_bits > 0)
+            hook = fm_abs_max > 0.0f ? make_static_fm_hook(fm_bits, fm_abs_max)
+                                     : make_fm_hook(fm_bits);
+        nn::FmHookGuard guard(hook);
+        net.set_training(false);
+        Tensor raw = net.forward(val.images);
+        // The accelerator emits its output map in fixed point too.
+        if (hook) hook(raw);
+        iou = detect::mean_iou(head.decode(raw), val.boxes);
+    }
+    snapshot.restore();
+    return iou;
+}
+
+double classifier_acc_quantized(nn::Module& net, const data::ClassificationBatch& val,
+                                int fm_bits, int weight_bits, float fm_abs_max) {
+    ParamSnapshot snapshot(net);
+    if (weight_bits > 0) quantize_weights(net, weight_bits);
+    double acc = 0.0;
+    {
+        nn::FmHookGuard guard(fm_bits > 0
+                                  ? (fm_abs_max > 0.0f
+                                         ? make_static_fm_hook(fm_bits, fm_abs_max)
+                                         : make_fm_hook(fm_bits))
+                                  : nn::FmHook{});
+        net.set_training(false);
+        acc = train::evaluate_classifier(net, val);
+    }
+    snapshot.restore();
+    return acc;
+}
+
+}  // namespace sky::quant

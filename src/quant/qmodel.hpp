@@ -1,0 +1,27 @@
+// Quantised evaluation drivers: run a trained detector / classifier under a
+// (feature-map bits, weight bits) scheme without destroying the float
+// master weights.  Used by Table 7, Fig. 2a and the FPGA deployment path.
+#pragma once
+
+#include "data/synth_classification.hpp"
+#include "data/synth_detection.hpp"
+#include "detect/yolo_head.hpp"
+#include "quant/quantizer.hpp"
+
+namespace sky::quant {
+
+/// Mean IoU of the detector under the scheme (0 bits = float on that axis).
+/// fm_abs_max > 0 switches the feature-map hook to a single static format
+/// covering [-fm_abs_max, fm_abs_max] (the shared-buffer FPGA regime);
+/// fm_abs_max == 0 uses idealised per-tensor calibration.
+[[nodiscard]] double detector_iou_quantized(nn::Module& net, const detect::YoloHead& head,
+                                            const data::DetectionBatch& val, int fm_bits,
+                                            int weight_bits, float fm_abs_max = 0.0f);
+
+/// Classification accuracy under the scheme (same semantics).
+[[nodiscard]] double classifier_acc_quantized(nn::Module& net,
+                                              const data::ClassificationBatch& val,
+                                              int fm_bits, int weight_bits,
+                                              float fm_abs_max = 0.0f);
+
+}  // namespace sky::quant

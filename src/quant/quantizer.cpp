@@ -1,0 +1,57 @@
+#include "quant/quantizer.hpp"
+
+#include <algorithm>
+
+namespace sky::quant {
+
+ParamSnapshot::ParamSnapshot(nn::Module& net) {
+    net.collect_params(params_);
+    saved_.reserve(params_.size());
+    for (const auto& p : params_) saved_.push_back(*p.value);
+}
+
+void ParamSnapshot::restore() {
+    for (std::size_t i = 0; i < params_.size(); ++i) *params_[i].value = saved_[i];
+}
+
+std::int64_t quantize_weights(nn::Module& net, int bits) {
+    std::vector<nn::ParamRef> params;
+    net.collect_params(params);
+    std::int64_t elements = 0;
+    for (auto& p : params) {
+        const FixedPointFormat fmt = choose_format(bits, p.value->abs_max());
+        quantize_tensor(*p.value, fmt);
+        elements += p.value->size();
+    }
+    return elements * bits / 8;
+}
+
+nn::FmHook make_fm_hook(int bits) {
+    return [bits](Tensor& t) {
+        const FixedPointFormat fmt = choose_format(bits, t.abs_max());
+        quantize_tensor(t, fmt);
+    };
+}
+
+nn::FmHook make_static_fm_hook(int bits, float abs_max) {
+    const FixedPointFormat fmt = choose_format(bits, abs_max);
+    return [fmt](Tensor& t) { quantize_tensor(t, fmt); };
+}
+
+float calibrate_fm_abs_max(nn::Module& net, const Tensor& calibration) {
+    float max_abs = 0.0f;
+    {
+        nn::FmHookGuard guard([&max_abs](Tensor& t) {
+            max_abs = std::max(max_abs, t.abs_max());
+        });
+        net.set_training(false);
+        (void)net.forward(calibration);
+    }
+    return max_abs;
+}
+
+std::vector<QuantScheme> table7_schemes() {
+    return {{0, 0, 0}, {1, 9, 11}, {2, 9, 10}, {3, 8, 11}, {4, 8, 10}};
+}
+
+}  // namespace sky::quant

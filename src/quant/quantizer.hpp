@@ -1,0 +1,50 @@
+// Network-level quantisation: per-tensor weight rounding and a feature-map
+// hook, with snapshot/restore so sweeps (Table 7, Fig. 2a) are
+// non-destructive.
+#pragma once
+
+#include "nn/fm_hook.hpp"
+#include "nn/module.hpp"
+#include "quant/fixed_point.hpp"
+
+namespace sky::quant {
+
+/// Capture / restore all parameters of a network (float master copy).
+class ParamSnapshot {
+public:
+    explicit ParamSnapshot(nn::Module& net);
+    void restore();
+
+private:
+    std::vector<nn::ParamRef> params_;
+    std::vector<Tensor> saved_;
+};
+
+/// Quantise every parameter tensor of `net` in place to `bits`, each with
+/// its own calibrated format.  Returns total parameter bytes at that width.
+std::int64_t quantize_weights(nn::Module& net, int bits);
+
+/// Feature-map quantisation hook: each activation tensor is rounded to a
+/// `bits`-wide fixed-point format calibrated to its own dynamic range
+/// (idealised per-layer calibration).
+[[nodiscard]] nn::FmHook make_fm_hook(int bits);
+
+/// Static variant: one fixed-point format shared by every feature map, with
+/// the range chosen offline (`abs_max`).  This is what an IP-shared FPGA
+/// design with a single FM buffer format actually deploys, and it is the
+/// regime where activation precision dominates accuracy (Fig. 2a).
+[[nodiscard]] nn::FmHook make_static_fm_hook(int bits, float abs_max);
+
+/// Largest activation magnitude `net` produces on `calibration` (runs one
+/// eval-mode forward with a recording hook installed).
+[[nodiscard]] float calibrate_fm_abs_max(nn::Module& net, const Tensor& calibration);
+
+/// The five FPGA deployment schemes of Table 7 (scheme 0 = float baseline).
+struct QuantScheme {
+    int id;
+    int fm_bits;      ///< 0 = float32
+    int weight_bits;  ///< 0 = float32
+};
+[[nodiscard]] std::vector<QuantScheme> table7_schemes();
+
+}  // namespace sky::quant

@@ -1,0 +1,53 @@
+// Stage 1 of the bottom-up flow (§4.1): Bundle selection and evaluation.
+//
+// Every candidate Bundle from the component pool is scored two ways:
+//  - hardware: latency and resources of a representative instantiation on
+//    the target FPGA (the paper evaluates against the FPGA because its
+//    budget is the more restrictive of the two targets);
+//  - software: the validation accuracy of a "DNN sketch" — a network with a
+//    fixed front-end (input) and back-end (bounding-box head) and the
+//    candidate Bundle stacked in the middle — after fast training.
+// Bundles on the (accuracy, latency) Pareto frontier proceed to Stage 2.
+#pragma once
+
+#include "data/synth_detection.hpp"
+#include "hwsim/fpga_model.hpp"
+#include "skynet/bundle.hpp"
+
+namespace sky::search {
+
+struct BundleEvalConfig {
+    int sketch_stacks = 3;      ///< Bundle replications in the sketch
+    int base_channels = 16;     ///< sketch channel ladder: base, 2x, 3x
+    int train_steps = 120;      ///< "quick training" budget (paper: 20 epochs)
+    int train_batch = 8;
+    int probe_h = 40;           ///< shape used for hardware evaluation
+    int probe_w = 80;
+    int probe_channels = 48;
+    hwsim::FpgaBuildConfig fpga;
+    std::uint64_t seed = 99;
+};
+
+struct BundleEval {
+    BundleSpec spec;
+    double sketch_iou = 0.0;   ///< accuracy potential
+    double latency_us = 0.0;   ///< FPGA latency of the probe instantiation
+    int dsp = 0;
+    int bram18k = 0;
+    bool pareto = false;
+};
+
+/// Build the DNN sketch for a bundle: [bundle, pool] x stacks + YOLO head.
+[[nodiscard]] nn::ModulePtr build_sketch(const BundleSpec& spec,
+                                         const BundleEvalConfig& cfg, Rng& rng);
+
+/// Evaluate all candidate bundles on `dataset`; marks the Pareto-optimal
+/// ones (maximise sketch_iou, minimise latency_us).
+[[nodiscard]] std::vector<BundleEval> evaluate_bundles(
+    const std::vector<BundleSpec>& candidates, data::DetectionDataset& dataset,
+    const hwsim::FpgaModel& fpga, const BundleEvalConfig& cfg);
+
+/// Indices of Pareto-optimal entries (max iou, min latency).
+[[nodiscard]] std::vector<std::size_t> pareto_front(const std::vector<BundleEval>& evals);
+
+}  // namespace sky::search

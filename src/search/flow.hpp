@@ -1,0 +1,38 @@
+// The complete three-stage bottom-up design flow (Fig. 3): Stage 1 Bundle
+// selection -> Stage 2 group-based PSO search -> Stage 3 manual feature
+// addition (bypass + reordering, ReLU6).  run_flow() is the end-to-end
+// driver used by examples/nas_search.cpp and the search bench.
+#pragma once
+
+#include "search/bundle_search.hpp"
+#include "search/pso.hpp"
+
+namespace sky::search {
+
+struct FlowConfig {
+    BundleEvalConfig stage1;
+    PsoConfig stage2;
+    int max_groups = 3;  ///< Pareto bundles carried into Stage 2
+    /// Stage 3: training budget when comparing feature additions.
+    int stage3_train_steps = 150;
+    int stage3_batch = 8;
+    bool verbose = false;
+};
+
+struct FeatureAdditionResult {
+    std::string description;
+    double val_iou = 0.0;
+    double fpga_latency_ms = 0.0;
+};
+
+struct FlowResult {
+    std::vector<BundleEval> stage1;
+    PsoResult stage2;
+    std::vector<FeatureAdditionResult> stage3;  ///< plain / +ReLU6 / +bypass variants
+};
+
+[[nodiscard]] FlowResult run_flow(data::DetectionDataset& dataset,
+                                  const hwsim::GpuModel& gpu, const hwsim::FpgaModel& fpga,
+                                  const FlowConfig& cfg);
+
+}  // namespace sky::search

@@ -1,0 +1,86 @@
+// Stage 2 of the bottom-up flow (§4.2): hardware-aware DNN search with
+// group-based particle swarm optimisation (Algorithm 1).
+//
+// Each particle is a DNN built from one Bundle type, described by two
+// tunable dimensions: dim1 — the output channel count of every Bundle
+// replication; dim2 — the positions of the pooling layers between Bundles.
+// Particles of the same Bundle type form a group and only evolve within it
+// (velocity pulls toward the group best); the global best is tracked across
+// groups.  Fitness is Eq. 1:
+//     Fit_j = Acc_j + alpha * sum_h beta_h * |Est_h(n_j) - Req_h|
+// with alpha < 0 (the latency term is a penalty) and beta_FPGA > beta_GPU
+// because the FPGA budget binds harder (§4.2).
+#pragma once
+
+#include "data/synth_detection.hpp"
+#include "hwsim/fpga_model.hpp"
+#include "hwsim/gpu_model.hpp"
+#include "skynet/bundle.hpp"
+
+namespace sky::search {
+
+struct Particle {
+    BundleSpec bundle;
+    std::vector<int> channels;    ///< dim1: out channels per Bundle replication
+    std::vector<int> pool_after;  ///< dim2: bundle indices followed by a 2x2 pool
+    double accuracy = 0.0;
+    double gpu_latency_ms = 0.0;
+    double fpga_latency_ms = 0.0;
+    double fitness = -1e30;
+};
+
+struct PsoConfig {
+    int particles_per_group = 3;
+    int iterations = 3;
+    int stack_len = 4;       ///< Bundles per candidate DNN
+    int num_pools = 2;       ///< pooling layers to place
+    int min_channels = 8;
+    int max_channels = 64;
+    // Eq. 1 parameters.
+    float alpha = -1.0f;
+    float beta_fpga = 1.0f;
+    float beta_gpu = 0.25f;
+    double target_fpga_ms = 3.0;  ///< Req_h
+    double target_gpu_ms = 1.0;
+    // Training budget; e_itr = base * (itr + 1), growing as the paper does.
+    int base_train_steps = 40;
+    int train_batch = 8;
+    int val_images = 32;
+    std::uint64_t seed = 1234;
+    bool verbose = false;
+};
+
+struct PsoResult {
+    Particle global_best;
+    std::vector<Particle> group_best;          ///< one per group
+    std::vector<double> best_fitness_history;  ///< per iteration
+};
+
+class PsoSearch {
+public:
+    PsoSearch(std::vector<BundleSpec> groups, PsoConfig cfg, data::DetectionDataset& data,
+              const hwsim::GpuModel& gpu, const hwsim::FpgaModel& fpga);
+
+    [[nodiscard]] PsoResult run();
+
+    /// Build the trainable DNN a particle encodes (with the fixed YOLO
+    /// back-end appended).
+    [[nodiscard]] static nn::ModulePtr build_particle_net(const Particle& p, nn::Act act,
+                                                          Rng& rng);
+
+    /// Eq. 1.
+    [[nodiscard]] double fitness(double accuracy, double gpu_ms, double fpga_ms) const;
+
+private:
+    void evaluate(Particle& p, int iteration);
+    void evolve_toward(Particle& p, const Particle& best);
+
+    std::vector<BundleSpec> groups_;
+    PsoConfig cfg_;
+    data::DetectionDataset& data_;
+    const hwsim::GpuModel& gpu_;
+    const hwsim::FpgaModel& fpga_;
+    Rng rng_;
+};
+
+}  // namespace sky::search

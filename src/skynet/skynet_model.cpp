@@ -1,0 +1,116 @@
+#include "skynet/skynet_model.hpp"
+
+#include <algorithm>
+
+#include "nn/batchnorm.hpp"
+#include "nn/dwconv.hpp"
+#include "nn/pooling.hpp"
+#include "nn/pwconv.hpp"
+#include "nn/space_to_depth.hpp"
+
+namespace sky {
+namespace {
+
+int scaled(int ch, float mult) {
+    const int s = static_cast<int>(static_cast<float>(ch) * mult + 0.5f);
+    return std::max(8, (s + 3) / 4 * 4);  // round up to multiple of 4, floor 8
+}
+
+/// DW-Conv3 + BN + act + PW-Conv1 + BN + act appended as graph nodes.
+int add_bundle(nn::Graph& g, int in_node, int in_ch, int out_ch, nn::Act act, Rng& rng) {
+    int n = g.add(std::make_unique<nn::DWConv3>(in_ch, rng), in_node);
+    n = g.add(std::make_unique<nn::BatchNorm2d>(in_ch), n);
+    n = g.add(std::make_unique<nn::Activation>(act), n);
+    n = g.add(std::make_unique<nn::PWConv1>(in_ch, out_ch, /*bias=*/false, rng), n);
+    n = g.add(std::make_unique<nn::BatchNorm2d>(out_ch), n);
+    n = g.add(std::make_unique<nn::Activation>(act), n);
+    return n;
+}
+
+}  // namespace
+
+const char* variant_name(SkyNetVariant v) {
+    switch (v) {
+        case SkyNetVariant::kA: return "A";
+        case SkyNetVariant::kB: return "B";
+        case SkyNetVariant::kC: return "C";
+    }
+    return "?";
+}
+
+std::string SkyNetConfig::name() const {
+    return std::string("SkyNet ") + variant_name(variant) + " - " + nn::act_name(act);
+}
+
+SkyNetModel build_skynet(const SkyNetConfig& cfg, Rng& rng) {
+    const float m = cfg.width_mult;
+    const int c1 = scaled(48, m), c2 = scaled(96, m), c3 = scaled(192, m),
+              c4 = scaled(384, m), c5 = scaled(512, m);
+    SkyNetModel model;
+    model.config = cfg;
+    model.net = std::make_unique<nn::Graph>();
+    nn::Graph& g = *model.net;
+    const nn::Act act = cfg.act;
+
+    int n = add_bundle(g, g.input(), 3, c1, act, rng);       // Bundle #1
+    n = g.add(std::make_unique<nn::MaxPool2>(), n);
+    n = add_bundle(g, n, c1, c2, act, rng);                   // Bundle #2
+    n = g.add(std::make_unique<nn::MaxPool2>(), n);
+    const int b3 = add_bundle(g, n, c2, c3, act, rng);        // Bundle #3 (bypass source)
+    n = g.add(std::make_unique<nn::MaxPool2>(), b3);
+    n = add_bundle(g, n, c3, c4, act, rng);                   // Bundle #4
+    const int b5 = add_bundle(g, n, c4, c5, act, rng);        // Bundle #5
+
+    const int head_anchors_ch = 5 * cfg.anchors;
+    int feat = b5;
+    int feat_ch = c5;
+    if (cfg.variant == SkyNetVariant::kA) {
+        model.backbone_feature_node = b5;
+        model.backbone_channels = c5;
+        n = g.add(std::make_unique<nn::PWConv1>(c5, head_anchors_ch, /*bias=*/true, rng),
+                  b5);
+    } else {
+        // Bypass: reorder Bundle-#3 output (c3 -> 4*c3 at half resolution)
+        // and concatenate with the Bundle-#5 output.
+        const int reordered = g.add(std::make_unique<nn::SpaceToDepth>(2), b3);
+        const int cat = g.add_concat({b5, reordered});
+        const int cat_ch = c5 + 4 * c3;
+        const int mid = cfg.variant == SkyNetVariant::kB ? scaled(48, m) : scaled(96, m);
+        // Final Bundle #6 on the concatenated maps.
+        feat = add_bundle(g, cat, cat_ch, mid, act, rng);
+        feat_ch = mid;
+        model.backbone_feature_node = feat;
+        model.backbone_channels = mid;
+        n = g.add(std::make_unique<nn::PWConv1>(mid, head_anchors_ch, /*bias=*/true, rng),
+                  feat);
+    }
+    (void)feat;
+    (void)feat_ch;
+    g.set_output(n);
+    model.head = detect::YoloHead();
+    return model;
+}
+
+SkyNetModel build_skynet_backbone(float width_mult, nn::Act act, Rng& rng) {
+    const float m = width_mult;
+    const int c1 = scaled(48, m), c2 = scaled(96, m), c3 = scaled(192, m),
+              c4 = scaled(384, m), c5 = scaled(512, m);
+    SkyNetModel model;
+    model.config = SkyNetConfig{SkyNetVariant::kC, act, 2, width_mult};
+    model.net = std::make_unique<nn::Graph>();
+    nn::Graph& g = *model.net;
+    int n = add_bundle(g, g.input(), 3, c1, act, rng);
+    n = g.add(std::make_unique<nn::MaxPool2>(), n);
+    n = add_bundle(g, n, c1, c2, act, rng);
+    n = g.add(std::make_unique<nn::MaxPool2>(), n);
+    n = add_bundle(g, n, c2, c3, act, rng);
+    n = g.add(std::make_unique<nn::MaxPool2>(), n);
+    n = add_bundle(g, n, c3, c4, act, rng);
+    n = add_bundle(g, n, c4, c5, act, rng);
+    g.set_output(n);
+    model.backbone_feature_node = n;
+    model.backbone_channels = c5;
+    return model;
+}
+
+}  // namespace sky

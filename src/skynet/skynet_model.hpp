@@ -1,0 +1,57 @@
+// The SkyNet detector family — models A, B and C of Table 3 / Fig. 4.
+//
+// Six stacked DW3+PW1 Bundles with channels 48-96-192-384-512, three 2x2
+// max-poolings, and (for B/C) a feature-map bypass: the Bundle-#3 output is
+// space-to-depth reordered (192 -> 768 channels at half resolution) and
+// concatenated with the Bundle-#5 output before the final Bundle.  The head
+// is a 1x1 conv to 5*anchors channels (two anchors, no class output).
+//
+// `width_mult` scales every channel count (rounded to a multiple of 8, min
+// 8) so the same architecture trains quickly on CPU at reduced width; 1.0
+// reproduces the paper's parameter sizes (Table 4: 1.27 / 1.57 / 1.82 MB).
+#pragma once
+
+#include <memory>
+
+#include "detect/yolo_head.hpp"
+#include "nn/activations.hpp"
+#include "nn/graph.hpp"
+
+namespace sky {
+
+enum class SkyNetVariant { kA, kB, kC };
+
+[[nodiscard]] const char* variant_name(SkyNetVariant v);
+
+struct SkyNetConfig {
+    SkyNetVariant variant = SkyNetVariant::kC;
+    nn::Act act = nn::Act::kReLU6;
+    int anchors = 2;
+    float width_mult = 1.0f;
+
+    [[nodiscard]] std::string name() const;
+};
+
+/// A built SkyNet: the trainable graph plus its head metadata.
+struct SkyNetModel {
+    std::unique_ptr<nn::Graph> net;
+    detect::YoloHead head;
+    SkyNetConfig config;
+    int backbone_feature_node = 0;  ///< graph node emitting the last Bundle output
+                                    ///< (pre-head features; used by the trackers)
+    int backbone_channels = 0;
+
+    [[nodiscard]] std::int64_t param_count() const { return net->param_count(); }
+    /// Parameter size in MB at float32 (what Table 4 reports).
+    [[nodiscard]] double param_mb() const {
+        return static_cast<double>(param_count()) * 4.0 / 1e6;
+    }
+};
+
+[[nodiscard]] SkyNetModel build_skynet(const SkyNetConfig& cfg, Rng& rng);
+
+/// Backbone-only builder (no detection head): the feature extractor used as
+/// the Siamese-tracker backbone in §7.  Output stride 8, 512*width channels.
+[[nodiscard]] SkyNetModel build_skynet_backbone(float width_mult, nn::Act act, Rng& rng);
+
+}  // namespace sky

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the library (weight init, synthetic data,
+// augmentation, PSO search) draws from sky::Rng so that every test, example
+// and benchmark is bit-reproducible from a seed.  The generator is
+// xoshiro256**, seeded through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+
+namespace sky {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x5339424Eull);  // "S9BN"
+
+    /// Uniform 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, 1).
+    double uniform();
+
+    /// Uniform in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    int uniform_int(int lo, int hi);
+
+    /// Standard normal via Box-Muller.
+    double normal();
+
+    /// Normal with given mean / stddev.
+    double normal(double mean, double stddev);
+
+    /// Bernoulli trial.
+    bool chance(double p);
+
+    /// Split off an independent stream (for parallel-safe sub-generators).
+    Rng split();
+
+private:
+    std::uint64_t s_[4];
+    bool has_spare_ = false;
+    double spare_ = 0.0;
+};
+
+}  // namespace sky

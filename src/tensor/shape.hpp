@@ -1,0 +1,35 @@
+// Shape of an NCHW tensor.
+//
+// Everything in this library is a 4-D NCHW tensor; vectors and matrices are
+// represented with trailing singleton dimensions (a fully-connected activation
+// of F features is {n, F, 1, 1}).  Keeping the rank fixed makes layer code
+// simple and keeps Shape trivially copyable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sky {
+
+struct Shape {
+    int n = 1;  ///< batch
+    int c = 1;  ///< channels (or features)
+    int h = 1;  ///< height
+    int w = 1;  ///< width
+
+    [[nodiscard]] std::int64_t count() const {
+        return static_cast<std::int64_t>(n) * c * h * w;
+    }
+    /// Elements per batch item.
+    [[nodiscard]] std::int64_t per_item() const {
+        return static_cast<std::int64_t>(c) * h * w;
+    }
+    [[nodiscard]] bool operator==(const Shape& o) const = default;
+
+    [[nodiscard]] std::string str() const {
+        return "[" + std::to_string(n) + "," + std::to_string(c) + "," +
+               std::to_string(h) + "," + std::to_string(w) + "]";
+    }
+};
+
+}  // namespace sky

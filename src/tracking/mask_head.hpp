@@ -1,0 +1,42 @@
+// SiamMask-style mask branch: at every response location, predict an
+// M x M binary segmentation of the target within that location's receptive
+// window (flattened into M*M channels).  The tracker derives its box from
+// the thresholded mask at the best-scoring location, which is what lets
+// SiamMask outperform pure box regression (Table 9).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace sky::tracking {
+
+class MaskHead {
+public:
+    MaskHead(int embed_dim, int mask_size, Rng& rng);
+
+    /// {N, M*M, h, w} mask logits.
+    [[nodiscard]] Tensor forward(const Tensor& response);
+    [[nodiscard]] Tensor backward(const Tensor& grad);
+
+    /// Sigmoid mask {M, M} at one location of one item.
+    [[nodiscard]] Tensor mask_at(const Tensor& logits, int n, int y, int x) const;
+
+    /// BCE against a ground-truth mask {M, M} at the positive location.
+    float loss(const Tensor& logits, const std::vector<Tensor>& gt_masks,
+               const std::vector<std::pair<int, int>>& pos_yx, Tensor& grad) const;
+
+    /// Tight bounding box (normalised to the mask window, centre/size) of
+    /// mask values above `threshold`; returns false if the mask is empty.
+    static bool mask_to_box(const Tensor& mask, float threshold, float& cx, float& cy,
+                            float& w, float& h);
+
+    void collect_params(std::vector<nn::ParamRef>& out);
+    void set_training(bool training);
+    [[nodiscard]] std::int64_t param_count() const;
+    [[nodiscard]] int mask_size() const { return mask_size_; }
+
+private:
+    nn::ModulePtr branch_;
+    int mask_size_;
+};
+
+}  // namespace sky::tracking

@@ -1,0 +1,67 @@
+#include "tracking/metrics.hpp"
+
+#include <chrono>
+
+namespace sky::tracking {
+
+TrackingMetrics summarize(const std::vector<float>& ious) {
+    TrackingMetrics m;
+    m.frames = static_cast<int>(ious.size());
+    if (ious.empty()) return m;
+    double acc = 0.0;
+    int s50 = 0, s75 = 0;
+    for (float v : ious) {
+        acc += v;
+        if (v > 0.50f) ++s50;
+        if (v > 0.75f) ++s75;
+    }
+    m.ao = acc / static_cast<double>(ious.size());
+    m.sr50 = static_cast<double>(s50) / static_cast<double>(ious.size());
+    m.sr75 = static_cast<double>(s75) / static_cast<double>(ious.size());
+    return m;
+}
+
+SuccessCurve success_curve(const std::vector<float>& ious, int points) {
+    SuccessCurve c;
+    if (points < 2) points = 2;
+    c.thresholds.reserve(static_cast<std::size_t>(points));
+    c.success.reserve(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(points);
+        int hits = 0;
+        for (float v : ious)
+            if (v > t) ++hits;
+        c.thresholds.push_back(t);
+        c.success.push_back(ious.empty() ? 0.0
+                                         : static_cast<double>(hits) /
+                                               static_cast<double>(ious.size()));
+    }
+    // Trapezoid-free mean (uniform grid) approximates the AUC.
+    double acc = 0.0;
+    for (double s : c.success) acc += s;
+    c.auc = acc / static_cast<double>(points);
+    return c;
+}
+
+TrackerEvaluation evaluate_tracker(SiamTracker& tracker, data::TrackingDataset& dataset,
+                                   int sequences) {
+    std::vector<float> ious;
+    double tracked_frames = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int s = 0; s < sequences; ++s) {
+        const data::TrackingSequence seq = dataset.next();
+        const std::vector<detect::BBox> pred = tracker.track(seq);
+        for (std::size_t f = 1; f < seq.size(); ++f) {
+            ious.push_back(detect::iou(pred[f], seq[f].box));
+            tracked_frames += 1.0;
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    TrackerEvaluation ev;
+    ev.metrics = summarize(ious);
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    ev.wall_fps = secs > 0.0 ? tracked_frames / secs : 0.0;
+    return ev;
+}
+
+}  // namespace sky::tracking

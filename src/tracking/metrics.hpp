@@ -1,0 +1,41 @@
+// GOT-10k evaluation protocol (§7): average overlap (AO) — the mean IoU
+// between prediction and ground truth over all frames — and success rate
+// SR@t — the fraction of frames whose IoU exceeds t (the paper reports
+// SR@0.50 and SR@0.75).  Frame 0 is the initialisation and is excluded.
+#pragma once
+
+#include "data/synth_tracking.hpp"
+#include "tracking/tracker.hpp"
+
+namespace sky::tracking {
+
+struct TrackingMetrics {
+    double ao = 0.0;
+    double sr50 = 0.0;
+    double sr75 = 0.0;
+    int frames = 0;
+};
+
+/// Metrics over per-frame IoUs (already excluding initialisation frames).
+[[nodiscard]] TrackingMetrics summarize(const std::vector<float>& ious);
+
+/// GOT-10k success curve: SR@t for `points` thresholds t in [0, 1), plus
+/// its area under the curve (which equals AO in expectation).
+struct SuccessCurve {
+    std::vector<double> thresholds;
+    std::vector<double> success;  ///< SR at each threshold
+    double auc = 0.0;
+};
+[[nodiscard]] SuccessCurve success_curve(const std::vector<float>& ious, int points = 21);
+
+struct TrackerEvaluation {
+    TrackingMetrics metrics;
+    double wall_fps = 0.0;  ///< measured frames/second of the C++ tracker on CPU
+};
+
+/// Run the tracker over `sequences` fresh sequences and evaluate.
+[[nodiscard]] TrackerEvaluation evaluate_tracker(SiamTracker& tracker,
+                                                 data::TrackingDataset& dataset,
+                                                 int sequences);
+
+}  // namespace sky::tracking

@@ -1,0 +1,56 @@
+// SiamRPN++-style head on the correlation response: a classification branch
+// (objectness per response location) and a regression branch (dx, dy,
+// log-w, log-h per location).  Single anchor per location — the anchor box
+// is the exemplar's own box, which SiamRPN++'s depthwise-correlation
+// formulation effectively assumes at our reduced scale.
+#pragma once
+
+#include "detect/bbox.hpp"
+#include "nn/module.hpp"
+
+namespace sky::tracking {
+
+/// Decoded head prediction for one item.
+struct RpnPrediction {
+    int best_y = 0;
+    int best_x = 0;
+    float score = 0.0f;        ///< sigmoid objectness at the best location
+    float dx = 0.0f, dy = 0.0f;  ///< sub-cell offset in [-0.5, 0.5] cells
+    float dw = 0.0f, dh = 0.0f;  ///< log-scale change vs the anchor box
+};
+
+struct RpnTarget {
+    int pos_y = 0;
+    int pos_x = 0;
+    float dx = 0.0f, dy = 0.0f, dw = 0.0f, dh = 0.0f;
+};
+
+class RpnHead {
+public:
+    RpnHead(int embed_dim, Rng& rng);
+
+    /// cls {N,1,h,w} and reg {N,4,h,w} from the response map.
+    struct Output {
+        Tensor cls;
+        Tensor reg;
+    };
+    [[nodiscard]] Output forward(const Tensor& response);
+    /// Combine head gradients back into dL/d(response).
+    [[nodiscard]] Tensor backward(const Tensor& grad_cls, const Tensor& grad_reg);
+
+    [[nodiscard]] std::vector<RpnPrediction> decode(const Output& out) const;
+
+    /// BCE on cls + smooth-L1 on reg at the positive cell; fills gradients.
+    float loss(const Output& out, const std::vector<RpnTarget>& targets, Tensor& grad_cls,
+               Tensor& grad_reg) const;
+
+    void collect_params(std::vector<nn::ParamRef>& out);
+    void set_training(bool training);
+    [[nodiscard]] std::int64_t param_count() const;
+
+private:
+    nn::ModulePtr cls_branch_;
+    nn::ModulePtr reg_branch_;
+};
+
+}  // namespace sky::tracking

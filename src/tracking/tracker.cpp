@@ -1,0 +1,288 @@
+#include "tracking/tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/augment.hpp"
+
+namespace sky::tracking {
+namespace {
+
+/// Copy items [start, start+count) of a batched tensor.
+Tensor slice_batch(const Tensor& t, int start, int count) {
+    const Shape s = t.shape();
+    Tensor out({count, s.c, s.h, s.w});
+    std::copy_n(t.plane(start, 0), out.size(), out.data());
+    return out;
+}
+
+void paste_batch(Tensor& dst, const Tensor& src, int start) {
+    std::copy_n(src.data(), src.size(), dst.plane(start, 0));
+}
+
+float clampf(float v, float lo, float hi) { return std::clamp(v, lo, hi); }
+
+}  // namespace
+
+SiamTracker::SiamTracker(SiameseEmbed embed, TrackerConfig cfg, Rng& rng)
+    : embed_(std::move(embed)),
+      rpn_(embed_.embed_dim(), rng),
+      mask_(embed_.embed_dim(), cfg.mask_size, rng),
+      cfg_(cfg),
+      jitter_(rng.next_u64()) {}
+
+SiamTracker::CropGeom SiamTracker::crop_window(const detect::BBox& box,
+                                               float context) const {
+    // A square window (in pixel space) of side context * max box dimension.
+    // Frames are handled in normalised coordinates; the window fractions
+    // differ per axis when the frame is not square.
+    const float side = context * std::max(box.w, box.h);
+    return {box.cx - side * 0.5f, box.cy - side * 0.5f, box.cx + side * 0.5f,
+            box.cy + side * 0.5f};
+}
+
+Tensor SiamTracker::make_crop(const Tensor& frame, const CropGeom& g) const {
+    return data::crop_resize(frame, g.x1, g.y1, g.x2, g.y2, cfg_.crop_size, cfg_.crop_size);
+}
+
+std::vector<nn::ParamRef> SiamTracker::params() {
+    std::vector<nn::ParamRef> p;
+    embed_.collect_params(p);
+    rpn_.collect_params(p);
+    if (cfg_.use_mask) mask_.collect_params(p);
+    return p;
+}
+
+void SiamTracker::set_training(bool training) {
+    embed_.set_training(training);
+    rpn_.set_training(training);
+    mask_.set_training(training);
+}
+
+std::int64_t SiamTracker::param_count() const {
+    return embed_.param_count() + rpn_.param_count() +
+           (cfg_.use_mask ? mask_.param_count() : 0);
+}
+
+float SiamTracker::train_step(const std::vector<const data::TrackingFrame*>& exemplars,
+                              const std::vector<const data::TrackingFrame*>& searches,
+                              nn::SGD& optimizer) {
+    const int n = static_cast<int>(exemplars.size());
+    const int S = cfg_.crop_size;
+    const int f = S / 8;                       // feature cells
+    const int k = cfg_.kernel_cells;           // kernel cells
+    const int r = f - k + 1;                   // response cells
+    Tensor batch({2 * n, 3, S, S});
+
+    std::vector<CropGeom> search_geom(static_cast<std::size_t>(n));
+    std::vector<RpnTarget> targets(static_cast<std::size_t>(n));
+    std::vector<Tensor> gt_masks;
+    std::vector<std::pair<int, int>> pos_yx(static_cast<std::size_t>(n));
+
+    for (int i = 0; i < n; ++i) {
+        const detect::BBox& eb = exemplars[static_cast<std::size_t>(i)]->box;
+        paste_batch(batch,
+                    make_crop(exemplars[static_cast<std::size_t>(i)]->image,
+                              crop_window(eb, cfg_.exemplar_context)),
+                    i);
+        // Jitter the search window so the target is not always centred.
+        const detect::BBox& gb = searches[static_cast<std::size_t>(i)]->box;
+        detect::BBox jb = gb;
+        jb.cx += static_cast<float>(jitter_.uniform(-0.2, 0.2)) * jb.w;
+        jb.cy += static_cast<float>(jitter_.uniform(-0.2, 0.2)) * jb.h;
+        jb.w *= std::exp(static_cast<float>(jitter_.uniform(-0.15, 0.15)));
+        jb.h *= std::exp(static_cast<float>(jitter_.uniform(-0.15, 0.15)));
+        const CropGeom sg = crop_window(jb, cfg_.search_context);
+        search_geom[static_cast<std::size_t>(i)] = sg;
+        paste_batch(batch,
+                    make_crop(searches[static_cast<std::size_t>(i)]->image, sg), n + i);
+
+        // Ground truth in search-crop coordinates.
+        const float gw = gb.w / (sg.x2 - sg.x1);
+        const float gh = gb.h / (sg.y2 - sg.y1);
+        const float gx = (gb.cx - sg.x1) / (sg.x2 - sg.x1);
+        const float gy = (gb.cy - sg.y1) / (sg.y2 - sg.y1);
+        // Anchor = jittered window's nominal target size in crop coords.
+        const float aw = jb.w / (sg.x2 - sg.x1);
+        const float ah = jb.h / (sg.y2 - sg.y1);
+        RpnTarget t;
+        const float fx = gx * static_cast<float>(f) - static_cast<float>(k) * 0.5f;
+        const float fy = gy * static_cast<float>(f) - static_cast<float>(k) * 0.5f;
+        t.pos_x = std::clamp(static_cast<int>(std::lround(fx)), 0, r - 1);
+        t.pos_y = std::clamp(static_cast<int>(std::lround(fy)), 0, r - 1);
+        t.dx = clampf(fx - static_cast<float>(t.pos_x), -0.5f, 0.5f);
+        t.dy = clampf(fy - static_cast<float>(t.pos_y), -0.5f, 0.5f);
+        t.dw = clampf(std::log(std::max(gw, 1e-4f) / std::max(aw, 1e-4f)), -1.0f, 1.0f);
+        t.dh = clampf(std::log(std::max(gh, 1e-4f) / std::max(ah, 1e-4f)), -1.0f, 1.0f);
+        targets[static_cast<std::size_t>(i)] = t;
+        pos_yx[static_cast<std::size_t>(i)] = {t.pos_y, t.pos_x};
+
+        if (cfg_.use_mask) {
+            // Ground-truth ellipse rasterised into the positive location's
+            // receptive window.
+            const int M = cfg_.mask_size;
+            Tensor gm({1, 1, M, M});
+            const float win = static_cast<float>(k) / static_cast<float>(f);
+            const float ox = (static_cast<float>(t.pos_x)) / static_cast<float>(f);
+            const float oy = (static_cast<float>(t.pos_y)) / static_cast<float>(f);
+            for (int my = 0; my < M; ++my)
+                for (int mx = 0; mx < M; ++mx) {
+                    const float u = ox + (static_cast<float>(mx) + 0.5f) /
+                                             static_cast<float>(M) * win;
+                    const float v = oy + (static_cast<float>(my) + 0.5f) /
+                                             static_cast<float>(M) * win;
+                    const float du = (u - gx) / std::max(gw * 0.5f, 1e-4f);
+                    const float dv = (v - gy) / std::max(gh * 0.5f, 1e-4f);
+                    gm.at(0, 0, my, mx) = (du * du + dv * dv) <= 1.0f ? 1.0f : 0.0f;
+                }
+            gt_masks.push_back(std::move(gm));
+        }
+    }
+
+    set_training(true);
+    Tensor feats = embed_.forward(batch);
+    Tensor ex_feat = slice_batch(feats, 0, n);
+    Tensor se_feat = slice_batch(feats, n, n);
+    Tensor kernel = center_crop(ex_feat, k, k);
+    Tensor resp = depthwise_xcorr(se_feat, kernel);
+
+    RpnHead::Output out = rpn_.forward(resp);
+    Tensor grad_cls, grad_reg;
+    float loss = rpn_.loss(out, targets, grad_cls, grad_reg);
+    Tensor grad_resp = rpn_.backward(grad_cls, grad_reg);
+    if (cfg_.use_mask) {
+        Tensor mask_logits = mask_.forward(resp);
+        Tensor grad_mask;
+        loss += mask_.loss(mask_logits, gt_masks, pos_yx, grad_mask);
+        grad_resp.axpy(1.0f, mask_.backward(grad_mask));
+    }
+
+    Tensor grad_search, grad_kernel;
+    depthwise_xcorr_backward(se_feat, kernel, grad_resp, grad_search, grad_kernel);
+    Tensor grad_ex(ex_feat.shape());
+    scatter_center_grad(grad_kernel, grad_ex);
+
+    Tensor grad_feats(feats.shape());
+    paste_batch(grad_feats, grad_ex, 0);
+    paste_batch(grad_feats, grad_search, n);
+
+    optimizer.zero_grad();
+    embed_.backward(grad_feats);
+    optimizer.step();
+    return loss;
+}
+
+std::vector<detect::BBox> SiamTracker::track(const data::TrackingSequence& seq) {
+    std::vector<detect::BBox> out;
+    if (seq.empty()) return out;
+    set_training(false);
+    const int S = cfg_.crop_size;
+    const int f = S / 8;
+    const int k = cfg_.kernel_cells;
+
+    detect::BBox box = seq.front().box;
+    out.push_back(box);
+    Tensor ex_feat = embed_.forward(
+        make_crop(seq.front().image, crop_window(box, cfg_.exemplar_context)));
+    const Tensor kernel = center_crop(ex_feat, k, k);
+
+    for (std::size_t t = 1; t < seq.size(); ++t) {
+        const CropGeom sg = crop_window(box, cfg_.search_context);
+        Tensor feat = embed_.forward(make_crop(seq[t].image, sg));
+        Tensor resp = depthwise_xcorr(feat, kernel);
+        RpnHead::Output ho = rpn_.forward(resp);
+        const RpnPrediction p = rpn_.decode(ho)[0];
+
+        const float sw = sg.x2 - sg.x1;
+        const float sh = sg.y2 - sg.y1;
+        // Regression decode (always computed: it anchors the update).
+        const float u = (static_cast<float>(p.best_x) + static_cast<float>(k) * 0.5f +
+                         p.dx) /
+                        static_cast<float>(f);
+        const float v = (static_cast<float>(p.best_y) + static_cast<float>(k) * 0.5f +
+                         p.dy) /
+                        static_cast<float>(f);
+        float new_cx = sg.x1 + u * sw;
+        float new_cy = sg.y1 + v * sh;
+        float new_w = (box.w / sw) * std::exp(p.dw) * sw;
+        float new_h = (box.h / sh) * std::exp(p.dh) * sh;
+        if (!cfg_.use_regression) {
+            // SiamFC-style baseline: the correlation peak gives position
+            // only; the box size is carried over unchanged.
+            const float uc = (static_cast<float>(p.best_x) +
+                              static_cast<float>(k) * 0.5f) /
+                             static_cast<float>(f);
+            const float vc = (static_cast<float>(p.best_y) +
+                              static_cast<float>(k) * 0.5f) /
+                             static_cast<float>(f);
+            new_cx = sg.x1 + uc * sw;
+            new_cy = sg.y1 + vc * sh;
+            new_w = box.w;
+            new_h = box.h;
+        }
+        if (cfg_.use_mask) {
+            Tensor logits = mask_.forward(resp);
+            Tensor m = mask_.mask_at(logits, 0, p.best_y, p.best_x);
+            // SiamMask-lite: refine the box from the segmentation when the
+            // mask is a confident, compact blob; an uncertain mask (sigmoids
+            // hovering near 0.5) covers the whole window and must not drive
+            // the box.
+            const float area = m.sum() / static_cast<float>(m.size());
+            float mcx, mcy, mw, mh;
+            if (area > 0.02f && area < 0.45f &&
+                MaskHead::mask_to_box(m, 0.6f, mcx, mcy, mw, mh)) {
+                const float win = static_cast<float>(k) / static_cast<float>(f);
+                const float ox = static_cast<float>(p.best_x) / static_cast<float>(f);
+                const float oy = static_cast<float>(p.best_y) / static_cast<float>(f);
+                // Blend: mask localises the blob better than the coarse
+                // regression grid, half-weight on size.
+                new_cx = 0.5f * new_cx + 0.5f * (sg.x1 + (ox + mcx * win) * sw);
+                new_cy = 0.5f * new_cy + 0.5f * (sg.y1 + (oy + mcy * win) * sh);
+                new_w = 0.5f * new_w + 0.5f * (mw * win * sw);
+                new_h = 0.5f * new_h + 0.5f * (mh * win * sh);
+            }
+        }
+        box.cx = clampf(new_cx, 0.0f, 1.0f);
+        box.cy = clampf(new_cy, 0.0f, 1.0f);
+        // Scale penalty: bound the per-frame size change so one bad mask /
+        // regression cannot blow the search window up (and lose the target).
+        const float step = cfg_.max_scale_step;
+        new_w = clampf(new_w, box.w / step, box.w * step);
+        new_h = clampf(new_h, box.h / step, box.h * step);
+        box.w = clampf((1.0f - cfg_.size_lerp) * box.w + cfg_.size_lerp * new_w, 0.02f, 0.9f);
+        box.h = clampf((1.0f - cfg_.size_lerp) * box.h + cfg_.size_lerp * new_h, 0.02f, 0.9f);
+        out.push_back(box);
+    }
+    return out;
+}
+
+float train_tracker(SiamTracker& tracker, data::TrackingDataset& dataset,
+                    const TrackerTrainConfig& cfg, Rng& rng) {
+    nn::SGD opt(tracker.params(),
+                {cfg.lr_start, cfg.momentum, cfg.weight_decay, cfg.grad_clip});
+    nn::ExpSchedule sched(cfg.lr_start, cfg.lr_end, cfg.steps);
+    float loss = 0.0f;
+    for (int step = 0; step < cfg.steps; ++step) {
+        opt.set_lr(sched.at(step));
+        // Draw pairs of frames from fresh sequences.
+        std::vector<data::TrackingSequence> seqs;
+        std::vector<const data::TrackingFrame*> ex, se;
+        seqs.reserve(static_cast<std::size_t>(cfg.batch));
+        for (int b = 0; b < cfg.batch; ++b) {
+            seqs.push_back(dataset.next());
+            const auto& s = seqs.back();
+            const int i = rng.uniform_int(0, static_cast<int>(s.size()) - 2);
+            const int j =
+                std::min<int>(static_cast<int>(s.size()) - 1,
+                              i + 1 + rng.uniform_int(0, 4));
+            ex.push_back(&s[static_cast<std::size_t>(i)]);
+            se.push_back(&s[static_cast<std::size_t>(j)]);
+        }
+        loss = tracker.train_step(ex, se, opt);
+        if (cfg.verbose && step % 25 == 0)
+            std::printf("  tracker step %4d  loss %.4f\n", step, loss);
+    }
+    return loss;
+}
+
+}  // namespace sky::tracking

@@ -1,0 +1,83 @@
+// The full Siamese tracker: SiamRPN++-lite (box regression head) and
+// SiamMask-lite (box-from-mask), §7 of the paper.
+//
+// Geometry follows the SiamFC/SiamRPN convention at reduced scale: exemplar
+// and search crops are square windows around the target (context factors
+// ~2x and ~4x the box size), both resized to `crop_size` so the two towers
+// share one batched backbone pass; the exemplar "kernel" is the centre
+// `kernel_cells` of its feature map.  The paper's 127/255 exemplar/search
+// sizes correspond to crop_size 64/127-ish at our resolution.
+#pragma once
+
+#include "data/synth_tracking.hpp"
+#include "nn/optimizer.hpp"
+#include "tracking/mask_head.hpp"
+#include "tracking/rpn_head.hpp"
+#include "tracking/siamese.hpp"
+
+namespace sky::tracking {
+
+struct TrackerConfig {
+    int crop_size = 64;      ///< both crops resized to this (must be /8)
+    int kernel_cells = 4;    ///< centre crop of the exemplar feature map
+    float exemplar_context = 2.0f;  ///< crop side = context * max(bw, bh)
+    float search_context = 4.0f;
+    bool use_mask = false;  ///< SiamMask mode: box comes from the mask branch
+    int mask_size = 8;
+    bool use_regression = true;  ///< false: SiamFC-style baseline — position
+                                 ///< from the correlation argmax only, box
+                                 ///< size carried over
+    float size_lerp = 0.35f;   ///< per-frame box-size smoothing
+    float max_scale_step = 1.35f;  ///< per-frame size change clamp (scale
+                                   ///< penalty, as in SiamRPN/SiamMask)
+};
+
+class SiamTracker {
+public:
+    SiamTracker(SiameseEmbed embed, TrackerConfig cfg, Rng& rng);
+
+    /// One SGD step on (exemplar frame, search frame) pairs drawn from
+    /// sequences.  Returns the loss.
+    float train_step(const std::vector<const data::TrackingFrame*>& exemplars,
+                     const std::vector<const data::TrackingFrame*>& searches,
+                     nn::SGD& optimizer);
+
+    [[nodiscard]] std::vector<nn::ParamRef> params();
+    void set_training(bool training);
+    [[nodiscard]] std::int64_t param_count() const;
+    [[nodiscard]] const TrackerConfig& config() const { return cfg_; }
+    [[nodiscard]] const SiameseEmbed& embed() const { return embed_; }
+
+    /// Track a sequence: initialise on frame 0's ground truth, return the
+    /// predicted box for every frame (frame 0 echoes the ground truth).
+    [[nodiscard]] std::vector<detect::BBox> track(const data::TrackingSequence& seq);
+
+private:
+    struct CropGeom {
+        float x1, y1, x2, y2;  ///< normalised window in the frame
+    };
+    [[nodiscard]] CropGeom crop_window(const detect::BBox& box, float context) const;
+    [[nodiscard]] Tensor make_crop(const Tensor& frame, const CropGeom& g) const;
+
+    SiameseEmbed embed_;
+    RpnHead rpn_;
+    MaskHead mask_;
+    TrackerConfig cfg_;
+    Rng jitter_;
+};
+
+/// Train a tracker on the synthetic sequence generator.
+struct TrackerTrainConfig {
+    int steps = 300;
+    int batch = 4;
+    float lr_start = 0.03f;
+    float lr_end = 0.003f;
+    float momentum = 0.9f;
+    float weight_decay = 1e-4f;
+    float grad_clip = 5.0f;
+    bool verbose = false;
+};
+float train_tracker(SiamTracker& tracker, data::TrackingDataset& dataset,
+                    const TrackerTrainConfig& cfg, Rng& rng);
+
+}  // namespace sky::tracking

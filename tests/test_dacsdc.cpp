@@ -1,0 +1,94 @@
+// DAC-SDC scoring (Eq. 2-5) and the Fig. 6 statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dacsdc/scoring.hpp"
+#include "dacsdc/stats.hpp"
+
+namespace sky::dacsdc {
+namespace {
+
+TEST(Scoring, EnergyOfEntry) {
+    // 10 W at 50 FPS over 50k images: 10 * 50000 / 50 = 10 kJ.
+    EXPECT_NEAR(entry_energy_j({"t", 0.7, 50.0, 10.0}, 50000), 10000.0, 1e-6);
+    EXPECT_THROW((void)entry_energy_j({"t", 0.7, 0.0, 10.0}, 50000),
+                 std::invalid_argument);
+}
+
+TEST(Scoring, AverageEntryGetsEnergyScoreOne) {
+    // An entry whose energy equals the track mean has ES = 1 (Eq. 4), so
+    // its total score is 2 * IoU (Eq. 5).
+    std::vector<Entry> entries = {{"a", 0.5, 10.0, 5.0}, {"b", 0.5, 10.0, 5.0}};
+    const auto scored = score_track(entries, {10.0, 1000});
+    for (const auto& s : scored) {
+        EXPECT_NEAR(s.energy_score, 1.0, 1e-9);
+        EXPECT_NEAR(s.total_score, 1.0, 1e-9);
+    }
+}
+
+TEST(Scoring, LogBaseMattersForOffMeanEntries) {
+    // The same energy gap is rewarded more under base 2 (FPGA track) than
+    // base 10 (GPU track).
+    std::vector<Entry> entries = {{"good", 0.6, 20.0, 5.0}, {"bad", 0.6, 10.0, 10.0}};
+    const auto gpu = score_track(entries, {10.0, 1000});
+    const auto fpga = score_track(entries, {2.0, 1000});
+    // "good" leads in both; margin bigger in FPGA scoring.
+    EXPECT_EQ(gpu[0].entry.team, "good");
+    EXPECT_EQ(fpga[0].entry.team, "good");
+    const double gpu_gap = gpu[0].energy_score - gpu[1].energy_score;
+    const double fpga_gap = fpga[0].energy_score - fpga[1].energy_score;
+    EXPECT_GT(fpga_gap, gpu_gap);
+}
+
+TEST(Scoring, EnergyScoreFloorsAtZero) {
+    // A wildly inefficient entry cannot go below ES = 0.
+    std::vector<Entry> entries = {{"eff", 0.6, 100.0, 1.0}, {"hog", 0.6, 1.0, 1000.0}};
+    const auto scored = score_track(entries, {10.0, 1000});
+    const auto& hog = scored[0].entry.team == "hog" ? scored[0] : scored[1];
+    EXPECT_GE(hog.energy_score, 0.0);
+    EXPECT_NEAR(hog.total_score, hog.entry.iou * (1.0 + hog.energy_score), 1e-12);
+}
+
+TEST(Scoring, SortedByTotalScore) {
+    std::vector<Entry> entries = {
+        {"low", 0.3, 30.0, 10.0}, {"high", 0.8, 30.0, 10.0}, {"mid", 0.5, 30.0, 10.0}};
+    const auto scored = score_track(entries, {10.0, 50000});
+    EXPECT_EQ(scored[0].entry.team, "high");
+    EXPECT_EQ(scored[2].entry.team, "low");
+}
+
+TEST(Scoring, ReproducesPaperSkynetGpuScore) {
+    // Sanity: with the paper's IoU and an ES near 1, the total score lands
+    // near the published 1.504 (Table 5).  ES ~= 1.03 gives exactly 1.504.
+    const double iou = 0.731;
+    const double es = 1.0576;
+    EXPECT_NEAR(iou * (1.0 + es), 1.504, 1e-3);
+}
+
+TEST(Stats, HistogramAndCdf) {
+    std::vector<float> ratios = {0.005f, 0.005f, 0.02f, 0.08f, 0.3f};
+    const SizeHistogram h = size_histogram(ratios, 10, 0.5);
+    ASSERT_EQ(h.frequency.size(), 10u);
+    EXPECT_NEAR(h.frequency[0], 3.0 / 5.0, 1e-9);  // the three ratios < 0.05
+    EXPECT_NEAR(h.frequency[1], 1.0 / 5.0, 1e-9);  // 0.08 lands in [0.05, 0.10)
+    EXPECT_NEAR(h.cumulative.back(), 1.0, 1e-9);
+    // CDF monotone
+    for (std::size_t i = 1; i < h.cumulative.size(); ++i)
+        EXPECT_GE(h.cumulative[i], h.cumulative[i - 1]);
+}
+
+TEST(Stats, FractionBelow) {
+    std::vector<float> ratios = {0.005f, 0.02f, 0.05f, 0.2f};
+    EXPECT_NEAR(fraction_below(ratios, 0.01), 0.25, 1e-9);
+    EXPECT_NEAR(fraction_below(ratios, 0.09), 0.75, 1e-9);
+    EXPECT_NEAR(fraction_below({}, 0.5), 0.0, 1e-9);
+}
+
+TEST(Stats, HistogramRejectsBadConfig) {
+    EXPECT_THROW((void)size_histogram({}, 0, 0.5), std::invalid_argument);
+    EXPECT_THROW((void)size_histogram({}, 10, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sky::dacsdc

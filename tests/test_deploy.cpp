@@ -1,0 +1,187 @@
+// Deployment passes: BN folding (sequential and graph forms) must preserve
+// eval-mode outputs exactly (up to float rounding) while removing the BN
+// layers; the model-summary report must account MACs/params consistently.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "deploy/fold_bn.hpp"
+
+#include "nn/activations.hpp"
+#include "deploy/report.hpp"
+#include "detect/nms.hpp"
+#include "detect/yolo_head.hpp"
+#include "skynet/skynet_model.hpp"
+
+namespace sky::deploy {
+namespace {
+
+/// Run random data through the net in eval mode.
+Tensor eval_forward(nn::Module& net, const Shape& in_shape, std::uint64_t seed) {
+    net.set_training(false);
+    Tensor x(in_shape);
+    Rng rng(seed);
+    x.rand_uniform(rng, 0.0f, 1.0f);
+    return net.forward(x);
+}
+
+/// Train-mode warmup so BN running stats are meaningful.
+void warm_bn(nn::Module& net, const Shape& in_shape) {
+    net.set_training(true);
+    Rng rng(123);
+    for (int i = 0; i < 3; ++i) {
+        Tensor x(in_shape);
+        x.randn(rng, 0.3f, 0.8f);
+        (void)net.forward(x);
+    }
+}
+
+TEST(FoldBn, SequentialConvBnFoldsExactly) {
+    Rng rng(1);
+    auto seq = std::make_unique<nn::Sequential>();
+    seq->emplace<nn::Conv2d>(3, 8, 3, 1, 1, /*bias=*/false, rng);
+    seq->emplace<nn::BatchNorm2d>(8);
+    seq->emplace<nn::Activation>(nn::Act::kReLU6);
+    seq->emplace<nn::DWConv3>(8, rng);
+    seq->emplace<nn::BatchNorm2d>(8);
+    seq->emplace<nn::PWConv1>(8, 4, /*bias=*/true, rng);
+    seq->emplace<nn::BatchNorm2d>(4);
+    warm_bn(*seq, {2, 3, 8, 8});
+    const Tensor before = eval_forward(*seq, {1, 3, 8, 8}, 7);
+
+    int folded = 0;
+    auto fused = fold_batch_norms(std::move(seq), &folded);
+    EXPECT_EQ(folded, 3);
+    const Tensor after = eval_forward(*fused, {1, 3, 8, 8}, 7);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::int64_t i = 0; i < before.size(); ++i)
+        EXPECT_NEAR(before[i], after[i], 1e-4f) << i;
+
+    // No BN layers remain.
+    std::vector<nn::LayerInfo> layers;
+    fused->enumerate({1, 3, 8, 8}, layers);
+    for (const auto& li : layers) EXPECT_NE(li.kind, "bn");
+}
+
+TEST(FoldBn, NestedSequentialFolds) {
+    Rng rng(2);
+    auto inner = std::make_unique<nn::Sequential>();
+    inner->emplace<nn::PWConv1>(4, 6, false, rng);
+    inner->emplace<nn::BatchNorm2d>(6);
+    auto outer = std::make_unique<nn::Sequential>();
+    outer->emplace<nn::Conv2d>(3, 4, 3, 1, 1, false, rng);
+    outer->emplace<nn::BatchNorm2d>(4);
+    outer->add(std::move(inner));
+    warm_bn(*outer, {2, 3, 6, 6});
+    const Tensor before = eval_forward(*outer, {1, 3, 6, 6}, 9);
+    int folded = 0;
+    auto fused = fold_batch_norms(std::move(outer), &folded);
+    EXPECT_EQ(folded, 2);
+    const Tensor after = eval_forward(*fused, {1, 3, 6, 6}, 9);
+    for (std::int64_t i = 0; i < before.size(); ++i)
+        EXPECT_NEAR(before[i], after[i], 1e-4f);
+}
+
+TEST(FoldBn, SkyNetGraphFoldsAllBn) {
+    Rng rng(3);
+    SkyNetModel m = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.2f}, rng);
+    warm_bn(*m.net, {2, 3, 32, 64});
+    const Tensor before = eval_forward(*m.net, {1, 3, 32, 64}, 11);
+
+    const int folded = fold_graph_bn(*m.net);
+    // Model C has 12 conv layers with BN (6 bundles x 2 convs).
+    EXPECT_EQ(folded, 12);
+    const Tensor after = eval_forward(*m.net, {1, 3, 32, 64}, 11);
+    for (std::int64_t i = 0; i < before.size(); ++i)
+        EXPECT_NEAR(before[i], after[i], 2e-4f) << i;
+}
+
+TEST(FoldBn, GraphFoldSkipsSharedConvOutputs) {
+    // If the conv output feeds both a BN and something else, folding would
+    // change the other consumer: the pass must leave it alone.
+    Rng rng(4);
+    nn::Graph g;
+    const int conv = g.add(std::make_unique<nn::PWConv1>(2, 2, false, rng), g.input());
+    const int bn = g.add(std::make_unique<nn::BatchNorm2d>(2), conv);
+    const int sum = g.add_add(bn, conv);  // second consumer of `conv`
+    g.set_output(sum);
+    warm_bn(g, {2, 2, 4, 4});
+    EXPECT_EQ(fold_graph_bn(g), 0);
+}
+
+TEST(FoldBn, ChannelBiasAddsPerChannel) {
+    ChannelBias cb({1.0f, -2.0f});
+    Tensor x({1, 2, 2, 2}, 0.5f);
+    Tensor y = cb.forward(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.5f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, 1, 1), -1.5f);
+    Tensor bad({1, 3, 2, 2});
+    EXPECT_THROW((void)cb.forward(bad), std::invalid_argument);
+}
+
+TEST(Report, SummaryTotalsMatchModule) {
+    Rng rng(5);
+    SkyNetModel m = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.25f}, rng);
+    const Shape in{1, 3, 80, 160};
+    const ModelSummary s = summarize(*m.net, in, hwsim::tx2());
+    EXPECT_EQ(s.total_macs, m.net->macs(in));
+    EXPECT_EQ(s.total_params, m.net->param_count());
+    EXPECT_GT(s.rows.size(), 30u);
+    // Depthwise layers on a GPU-class roofline are memory-bound.
+    for (const auto& r : s.rows)
+        if (r.info.kind == "dwconv") EXPECT_FALSE(r.compute_bound);
+}
+
+TEST(Report, PrintSummaryWritesTable) {
+    Rng rng(6);
+    SkyNetModel m = build_skynet({SkyNetVariant::kA, nn::Act::kReLU6, 2, 0.15f}, rng);
+    const ModelSummary s = summarize(*m.net, {1, 3, 32, 64}, hwsim::ultra96());
+    const std::string path = std::string(::testing::TempDir()) + "summary.txt";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    print_summary(s, "test model", f);
+    std::fclose(f);
+    std::ifstream in(path);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("test model"), std::string::npos);
+    EXPECT_NE(all.find("dwconv"), std::string::npos);
+    EXPECT_NE(all.find("total:"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Nms, SuppressesOverlapsKeepsBest) {
+    std::vector<detect::Detection> dets = {
+        {{0.5f, 0.5f, 0.2f, 0.2f}, 0.9f},
+        {{0.51f, 0.5f, 0.2f, 0.2f}, 0.8f},  // heavy overlap with #1
+        {{0.2f, 0.2f, 0.1f, 0.1f}, 0.7f},
+    };
+    const auto kept = detect::nms(dets, 0.45f);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_FLOAT_EQ(kept[0].score, 0.9f);
+    EXPECT_FLOAT_EQ(kept[1].score, 0.7f);
+}
+
+TEST(Nms, ThresholdOneKeepsAll) {
+    std::vector<detect::Detection> dets = {
+        {{0.5f, 0.5f, 0.2f, 0.2f}, 0.9f},
+        {{0.5f, 0.5f, 0.2f, 0.2f}, 0.8f},
+    };
+    EXPECT_EQ(detect::nms(dets, 1.1f).size(), 2u);
+}
+
+TEST(Nms, DecodeAllFindsPlantedObjects) {
+    // Plant two confident cells far apart; decode_all must return both.
+    detect::YoloHead h;
+    Tensor raw({1, 10, 8, 8});
+    raw.fill(-10.0f);
+    raw.plane(0, 4)[1 * 8 + 1] = 8.0f;  // anchor 0 at (1,1)
+    raw.plane(0, 9)[6 * 8 + 6] = 8.0f;  // anchor 1 at (6,6)
+    const auto dets = h.decode_all(raw, 0.5f, 0.45f);
+    ASSERT_EQ(dets.size(), 1u);
+    EXPECT_EQ(dets[0].size(), 2u);
+}
+
+}  // namespace
+}  // namespace sky::deploy

@@ -1,0 +1,130 @@
+// Detection primitives: IoU, box clipping, YOLO head decode/loss coupling,
+// and the detection metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/metrics.hpp"
+#include "detect/yolo_head.hpp"
+
+namespace sky::detect {
+namespace {
+
+TEST(BBox, CornerConversions) {
+    BBox b{0.5f, 0.5f, 0.2f, 0.4f};
+    EXPECT_FLOAT_EQ(b.x1(), 0.4f);
+    EXPECT_FLOAT_EQ(b.x2(), 0.6f);
+    EXPECT_FLOAT_EQ(b.y1(), 0.3f);
+    EXPECT_FLOAT_EQ(b.y2(), 0.7f);
+    EXPECT_NEAR(b.area(), 0.08f, 1e-6f);
+}
+
+TEST(BBox, IoUIdentityAndDisjoint) {
+    BBox a{0.5f, 0.5f, 0.2f, 0.2f};
+    EXPECT_FLOAT_EQ(iou(a, a), 1.0f);
+    BBox b{0.9f, 0.9f, 0.1f, 0.1f};
+    EXPECT_FLOAT_EQ(iou(a, b), 0.0f);
+}
+
+TEST(BBox, IoUHalfOverlap) {
+    // Two unit-width boxes offset by half a width: inter = 1/2, union = 3/2.
+    BBox a{0.5f, 0.5f, 0.2f, 0.2f};
+    BBox b{0.6f, 0.5f, 0.2f, 0.2f};
+    EXPECT_NEAR(iou(a, b), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(BBox, IoUDegenerateIsZero) {
+    BBox a{0.5f, 0.5f, 0.0f, 0.0f};
+    BBox b{0.5f, 0.5f, 0.2f, 0.2f};
+    EXPECT_FLOAT_EQ(iou(a, b), 0.0f);
+}
+
+TEST(BBox, WhIoUSymmetric) {
+    EXPECT_NEAR(wh_iou(0.2f, 0.2f, 0.1f, 0.1f), 0.25f, 1e-5f);
+    EXPECT_FLOAT_EQ(wh_iou(0.2f, 0.3f, 0.2f, 0.3f), 1.0f);
+}
+
+TEST(BBox, ClipUnitKeepsInterior) {
+    BBox b{0.05f, 0.5f, 0.3f, 0.2f};  // spills past x=0
+    BBox c = clip_unit(b);
+    EXPECT_GE(c.x1(), 0.0f);
+    EXPECT_NEAR(c.x2(), b.x2(), 1e-5f);
+}
+
+TEST(YoloHead, OutChannels) {
+    YoloHead h;
+    EXPECT_EQ(h.num_anchors(), 2);
+    EXPECT_EQ(h.out_channels(), 10);
+}
+
+TEST(YoloHead, DecodePicksHighestObjectness) {
+    YoloHead h({{0.1f, 0.1f}});
+    Tensor raw({1, 5, 4, 4});
+    raw.fill(-10.0f);
+    // Make cell (1, 2) of the only anchor the confident one, zero offsets.
+    raw.plane(0, 4)[1 * 4 + 2] = 10.0f;  // objectness
+    raw.plane(0, 0)[1 * 4 + 2] = 0.0f;   // sigmoid(0) = 0.5
+    raw.plane(0, 1)[1 * 4 + 2] = 0.0f;
+    raw.plane(0, 2)[1 * 4 + 2] = 0.0f;   // w = anchor
+    raw.plane(0, 3)[1 * 4 + 2] = 0.0f;
+    const auto boxes = h.decode(raw);
+    ASSERT_EQ(boxes.size(), 1u);
+    EXPECT_NEAR(boxes[0].cx, (2.0f + 0.5f) / 4.0f, 1e-5f);
+    EXPECT_NEAR(boxes[0].cy, (1.0f + 0.5f) / 4.0f, 1e-5f);
+    EXPECT_NEAR(boxes[0].w, 0.1f, 1e-5f);
+}
+
+TEST(YoloHead, LossGradMatchesFiniteDifference) {
+    YoloHead h;
+    Rng rng(1);
+    Tensor raw({2, 10, 4, 6});
+    raw.randn(rng, 0.0f, 0.5f);
+    std::vector<BBox> gt = {{0.3f, 0.4f, 0.06f, 0.1f}, {0.7f, 0.6f, 0.2f, 0.25f}};
+    Tensor grad;
+    (void)h.loss(raw, gt, grad);
+    Rng pick(2);
+    const float eps = 1e-3f;
+    for (int s = 0; s < 20; ++s) {
+        const std::int64_t i = pick.uniform_int(0, static_cast<int>(raw.size() - 1));
+        Tensor tmp;
+        const float orig = raw[i];
+        raw[i] = orig + eps;
+        const float lp = h.loss(raw, gt, tmp);
+        raw[i] = orig - eps;
+        const float lm = h.loss(raw, gt, tmp);
+        raw[i] = orig;
+        const double num = (static_cast<double>(lp) - lm) / (2.0 * eps);
+        EXPECT_NEAR(grad[i], num, 2e-2 * std::max(1.0, std::abs(num))) << "at " << i;
+    }
+}
+
+TEST(YoloHead, PerfectLogitsDecodeToGt) {
+    // Construct raw outputs that encode the ground truth exactly; decode
+    // must recover it (up to sigmoid/exp inversion).
+    YoloHead h;
+    const BBox gt{0.37f, 0.55f, 0.08f, 0.12f};
+    Tensor raw({1, 10, 8, 8});
+    raw.fill(-8.0f);
+    // Choose anchor 0 (closer in wh-IoU to this box).
+    const int gx = static_cast<int>(gt.cx * 8), gy = static_cast<int>(gt.cy * 8);
+    const float tx = gt.cx * 8 - gx, ty = gt.cy * 8 - gy;
+    auto logit = [](float p) { return std::log(p / (1.0f - p)); };
+    raw.plane(0, 0)[gy * 8 + gx] = logit(tx);
+    raw.plane(0, 1)[gy * 8 + gx] = logit(ty);
+    raw.plane(0, 2)[gy * 8 + gx] = std::log(gt.w / h.anchors()[0].w);
+    raw.plane(0, 3)[gy * 8 + gx] = std::log(gt.h / h.anchors()[0].h);
+    raw.plane(0, 4)[gy * 8 + gx] = 10.0f;
+    const auto boxes = h.decode(raw);
+    EXPECT_GT(iou(boxes[0], gt), 0.98f);
+}
+
+TEST(Metrics, MeanIoUAndSuccessRate) {
+    std::vector<BBox> gt = {{0.5f, 0.5f, 0.2f, 0.2f}, {0.2f, 0.2f, 0.1f, 0.1f}};
+    std::vector<BBox> pred = {gt[0], {0.8f, 0.8f, 0.1f, 0.1f}};
+    EXPECT_NEAR(mean_iou(pred, gt), 0.5, 1e-6);
+    EXPECT_NEAR(success_rate(pred, gt, 0.5), 0.5, 1e-6);
+    EXPECT_THROW((void)mean_iou(pred, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sky::detect

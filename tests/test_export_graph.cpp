@@ -1,0 +1,54 @@
+// Topology export: structural JSON must reflect the network faithfully
+// (node counts, edges, kinds) and be syntactically sane.
+#include <gtest/gtest.h>
+
+#include "io/export_graph.hpp"
+#include "skynet/skynet_model.hpp"
+
+namespace sky::io {
+namespace {
+
+int count_occurrences(const std::string& hay, const std::string& needle) {
+    int n = 0;
+    std::size_t pos = 0;
+    while ((pos = hay.find(needle, pos)) != std::string::npos) {
+        ++n;
+        pos += needle.size();
+    }
+    return n;
+}
+
+TEST(ExportGraph, LayersJsonListsEveryLeaf) {
+    Rng rng(1);
+    SkyNetModel m = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.2f}, rng);
+    std::vector<nn::LayerInfo> layers;
+    m.net->enumerate({1, 3, 32, 64}, layers);
+    const std::string json = export_layers_json(*m.net, {1, 3, 32, 64});
+    EXPECT_EQ(count_occurrences(json, "\"name\""), static_cast<int>(layers.size()));
+    EXPECT_NE(json.find("\"kind\": \"dwconv\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"reorder\""), std::string::npos);
+}
+
+TEST(ExportGraph, GraphJsonHasNodesAndEdges) {
+    Rng rng(2);
+    SkyNetModel m = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.2f}, rng);
+    const std::string json = export_graph_json(*m.net, {1, 3, 32, 64});
+    EXPECT_EQ(count_occurrences(json, "\"id\""),
+              static_cast<int>(m.net->node_count()));
+    EXPECT_EQ(count_occurrences(json, "\"kind\": \"concat\""), 1);  // the bypass join
+    EXPECT_NE(json.find("\"output_node\""), std::string::npos);
+    // Balanced braces (cheap well-formedness check).
+    EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+    EXPECT_EQ(count_occurrences(json, "["), count_occurrences(json, "]"));
+}
+
+TEST(ExportGraph, EscapesQuotesInNames) {
+    // No layer names contain quotes today; the escaper must still be sound.
+    Rng rng(3);
+    SkyNetModel m = build_skynet({SkyNetVariant::kA, nn::Act::kReLU, 2, 0.15f}, rng);
+    const std::string json = export_graph_json(*m.net, {1, 3, 16, 16});
+    EXPECT_EQ(json.find("\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sky::io

@@ -1,0 +1,87 @@
+// Extension features: multi-target scenes + NMS decode, tracking success
+// curves, and the FPGA design-space exploration API.
+#include <gtest/gtest.h>
+
+#include "data/synth_detection.hpp"
+#include "hwsim/fpga_model.hpp"
+#include "skynet/skynet_model.hpp"
+#include "tracking/metrics.hpp"
+
+namespace sky {
+namespace {
+
+TEST(MultiTarget, SampleMultiProducesSeparatedTargets) {
+    data::DetectionDataset ds({64, 128, 0, false, 3});
+    Rng rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        const data::MultiSample s = ds.sample_multi(rng, 4);
+        ASSERT_GE(s.boxes.size(), 1u);
+        ASSERT_LE(s.boxes.size(), 4u);
+        for (std::size_t i = 0; i < s.boxes.size(); ++i)
+            for (std::size_t j = i + 1; j < s.boxes.size(); ++j)
+                EXPECT_LE(detect::iou(s.boxes[i], s.boxes[j]), 0.02f);
+    }
+}
+
+TEST(MultiTarget, BoxesInsideImage) {
+    data::DetectionDataset ds({48, 96, 0, false, 5});
+    Rng rng(2);
+    const data::MultiSample s = ds.sample_multi(rng, 3);
+    for (const auto& b : s.boxes) {
+        EXPECT_GE(b.x1(), -1e-4f);
+        EXPECT_LE(b.x2(), 1.0f + 1e-4f);
+    }
+    EXPECT_GE(s.image.min(), 0.0f);
+    EXPECT_LE(s.image.max(), 1.0f);
+}
+
+TEST(SuccessCurve, MonotoneAndAucMatchesAo) {
+    const std::vector<float> ious = {0.9f, 0.7f, 0.5f, 0.3f, 0.85f, 0.1f};
+    const tracking::SuccessCurve c = tracking::success_curve(ious, 41);
+    // SR is non-increasing in the threshold.
+    for (std::size_t i = 1; i < c.success.size(); ++i)
+        EXPECT_LE(c.success[i], c.success[i - 1]);
+    // AUC approximates AO (mean IoU) for fine grids.
+    const tracking::TrackingMetrics m = tracking::summarize(ious);
+    EXPECT_NEAR(c.auc, m.ao, 0.05);
+    // Endpoints: everything beats threshold 0 (IoUs here are all > 0).
+    EXPECT_NEAR(c.success.front(), 1.0, 1e-9);
+}
+
+TEST(SuccessCurve, EmptyInput) {
+    const tracking::SuccessCurve c = tracking::success_curve({}, 11);
+    EXPECT_EQ(c.success.size(), 11u);
+    EXPECT_DOUBLE_EQ(c.auc, 0.0);
+}
+
+TEST(DesignSpace, LatencyFallsResourcesRiseWithParallelism) {
+    hwsim::FpgaModel u96(hwsim::ultra96());
+    Rng rng(3);
+    SkyNetModel m = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 1.0f}, rng);
+    const auto points = u96.design_space(*m.net, {1, 3, 160, 320}, {11, 9, false, 1, 1.0});
+    ASSERT_GE(points.size(), 8u);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_LE(points[i].latency_ms, points[i - 1].latency_ms + 1e-9);
+        EXPECT_GE(points[i].resources.dsp, points[i - 1].resources.dsp);
+        EXPECT_GE(points[i].parallelism, 2 * points[i - 1].parallelism);
+    }
+    // The frontier contains infeasible points at the top end.
+    EXPECT_FALSE(points.back().resources.fits);
+    EXPECT_TRUE(points.front().resources.fits);
+}
+
+TEST(DesignSpace, ChosenPointIsLargestFeasible) {
+    hwsim::FpgaModel u96(hwsim::ultra96());
+    Rng rng(4);
+    SkyNetModel m = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.5f}, rng);
+    const hwsim::FpgaBuildConfig cfg{11, 9, false, 1, 1.0};
+    const auto points = u96.design_space(*m.net, {1, 3, 80, 160}, cfg);
+    const auto chosen = u96.estimate(*m.net, {1, 3, 80, 160}, cfg);
+    int best_feasible = 0;
+    for (const auto& p : points)
+        if (p.resources.fits) best_feasible = p.parallelism;
+    EXPECT_EQ(chosen.parallelism, best_feasible);
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,120 @@
+// Bottom-up design flow: sketch construction, Pareto selection, Eq. 1
+// fitness, PSO mechanics (tiny budgets — these are unit tests, the full
+// flow runs in bench_search_flow).
+#include <gtest/gtest.h>
+
+#include "search/bundle_search.hpp"
+#include "search/flow.hpp"
+#include "search/pso.hpp"
+
+namespace sky::search {
+namespace {
+
+BundleEvalConfig tiny_stage1() {
+    BundleEvalConfig cfg;
+    cfg.sketch_stacks = 2;
+    cfg.base_channels = 8;
+    cfg.train_steps = 6;
+    cfg.train_batch = 4;
+    cfg.probe_h = 40;
+    cfg.probe_w = 80;
+    cfg.probe_channels = 48;
+    return cfg;
+}
+
+TEST(BundleSearch, SketchHasFixedBackEnd) {
+    Rng rng(1);
+    nn::ModulePtr sketch = build_sketch(skynet_bundle(), tiny_stage1(), rng);
+    // 10 output channels (2-anchor bbox back-end), stride 4 for 2 stacks.
+    EXPECT_EQ(sketch->out_shape({1, 3, 16, 32}), (Shape{1, 10, 4, 8}));
+}
+
+TEST(BundleSearch, ParetoFrontSelectsNonDominated) {
+    std::vector<BundleEval> evals(4);
+    evals[0].sketch_iou = 0.5;
+    evals[0].latency_us = 100.0;  // dominated by 1
+    evals[1].sketch_iou = 0.6;
+    evals[1].latency_us = 80.0;  // on front
+    evals[2].sketch_iou = 0.4;
+    evals[2].latency_us = 50.0;  // on front (fastest)
+    evals[3].sketch_iou = 0.7;
+    evals[3].latency_us = 200.0;  // on front (most accurate)
+    const auto front = pareto_front(evals);
+    EXPECT_EQ(front, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(BundleSearch, EvaluateProducesHardwareNumbers) {
+    data::DetectionDataset ds({32, 32, 0, false, 3});
+    hwsim::FpgaModel fpga(hwsim::ultra96());
+    const auto evals =
+        evaluate_bundles({skynet_bundle(), {"Conv3", {BundleOp::kConv3}}}, ds, fpga,
+                         tiny_stage1());
+    ASSERT_EQ(evals.size(), 2u);
+    for (const auto& ev : evals) {
+        EXPECT_GT(ev.latency_us, 0.0) << ev.spec.name;
+        EXPECT_GT(ev.dsp, 0) << ev.spec.name;
+        EXPECT_GE(ev.sketch_iou, 0.0) << ev.spec.name;
+    }
+    // DW3+PW1 has far fewer MACs than dense Conv3 at equal width: its
+    // shared-IP latency must be lower.
+    EXPECT_LT(evals[0].latency_us, evals[1].latency_us);
+    // At least one candidate is Pareto-optimal.
+    EXPECT_TRUE(evals[0].pareto || evals[1].pareto);
+}
+
+TEST(Pso, FitnessPenalisesLatencyDeviation) {
+    data::DetectionDataset ds({16, 16, 0, false, 3});
+    hwsim::GpuModel gpu(hwsim::tx2());
+    hwsim::FpgaModel fpga(hwsim::ultra96());
+    PsoConfig cfg;
+    PsoSearch pso({skynet_bundle()}, cfg, ds, gpu, fpga);
+    const double on_target = pso.fitness(0.5, cfg.target_gpu_ms, cfg.target_fpga_ms);
+    const double off_target = pso.fitness(0.5, cfg.target_gpu_ms, cfg.target_fpga_ms + 50.0);
+    EXPECT_GT(on_target, off_target);
+    EXPECT_NEAR(on_target, 0.5, 1e-9);
+}
+
+TEST(Pso, FpgaWeighsMoreThanGpu) {
+    data::DetectionDataset ds({16, 16, 0, false, 3});
+    hwsim::GpuModel gpu(hwsim::tx2());
+    hwsim::FpgaModel fpga(hwsim::ultra96());
+    PsoConfig cfg;
+    PsoSearch pso({skynet_bundle()}, cfg, ds, gpu, fpga);
+    const double fpga_miss = pso.fitness(0.5, cfg.target_gpu_ms, cfg.target_fpga_ms + 10.0);
+    const double gpu_miss = pso.fitness(0.5, cfg.target_gpu_ms + 10.0, cfg.target_fpga_ms);
+    EXPECT_LT(fpga_miss, gpu_miss);  // same deviation, bigger penalty on FPGA
+}
+
+TEST(Pso, ParticleNetRespectsEncoding) {
+    Particle p;
+    p.bundle = skynet_bundle();
+    p.channels = {8, 16, 24};
+    p.pool_after = {0, 2};
+    Rng rng(2);
+    nn::ModulePtr net = PsoSearch::build_particle_net(p, nn::Act::kReLU, rng);
+    // Two pools -> stride 4; head 10 channels.
+    EXPECT_EQ(net->out_shape({1, 3, 16, 16}), (Shape{1, 10, 4, 4}));
+}
+
+TEST(Pso, TinySearchRunsAndImproves) {
+    data::DetectionDataset ds({32, 32, 0, false, 17});
+    hwsim::GpuModel gpu(hwsim::tx2());
+    hwsim::FpgaModel fpga(hwsim::ultra96());
+    PsoConfig cfg;
+    cfg.particles_per_group = 2;
+    cfg.iterations = 2;
+    cfg.stack_len = 2;
+    cfg.num_pools = 2;
+    cfg.max_channels = 24;
+    cfg.base_train_steps = 5;
+    cfg.val_images = 16;
+    PsoSearch pso({skynet_bundle()}, cfg, ds, gpu, fpga);
+    const PsoResult res = pso.run();
+    ASSERT_EQ(res.best_fitness_history.size(), 2u);
+    EXPECT_GE(res.best_fitness_history[1], res.best_fitness_history[0]);
+    EXPECT_EQ(res.global_best.channels.size(), 2u);
+    EXPECT_GT(res.global_best.fpga_latency_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace sky::search

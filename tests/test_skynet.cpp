@@ -1,0 +1,125 @@
+// SkyNet model family: Table 3 architecture fidelity — parameter sizes
+// (Table 4's 1.27 / 1.57 / 1.82 MB), shapes through the bypass, the 0.44M
+// backbone parameter count of Table 2, and bundle instantiation.
+#include <gtest/gtest.h>
+
+#include "skynet/bundle.hpp"
+#include "skynet/skynet_model.hpp"
+
+namespace sky {
+namespace {
+
+TEST(Bundle, SkyNetBundleIsDwPw) {
+    const BundleSpec b = skynet_bundle();
+    ASSERT_EQ(b.ops.size(), 2u);
+    EXPECT_EQ(b.ops[0], BundleOp::kDWConv3);
+    EXPECT_EQ(b.ops[1], BundleOp::kPWConv1);
+}
+
+TEST(Bundle, EnumerationContainsWinner) {
+    const auto pool = enumerate_bundles();
+    EXPECT_GE(pool.size(), 6u);
+    bool found = false;
+    for (const auto& b : pool) found |= b.name == "DW3+PW1";
+    EXPECT_TRUE(found);
+}
+
+TEST(Bundle, InstantiateShapesAndChannels) {
+    Rng rng(1);
+    for (const auto& spec : enumerate_bundles()) {
+        nn::ModulePtr m = instantiate(spec, 16, 32, nn::Act::kReLU6, rng);
+        EXPECT_EQ(m->out_shape({1, 16, 8, 8}), (Shape{1, 32, 8, 8})) << spec.name;
+        Tensor x({1, 16, 8, 8});
+        Rng r2(2);
+        x.randn(r2);
+        EXPECT_NO_THROW((void)m->forward(x)) << spec.name;
+    }
+}
+
+TEST(SkyNet, Table4ParameterSizes) {
+    // Paper Table 4: A = 1.27 MB, B = 1.57 MB, C = 1.82 MB (float32).
+    Rng rng(3);
+    SkyNetModel a = build_skynet({SkyNetVariant::kA, nn::Act::kReLU6, 2, 1.0f}, rng);
+    SkyNetModel b = build_skynet({SkyNetVariant::kB, nn::Act::kReLU6, 2, 1.0f}, rng);
+    SkyNetModel c = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 1.0f}, rng);
+    EXPECT_NEAR(a.param_mb(), 1.27, 0.10);
+    EXPECT_NEAR(b.param_mb(), 1.57, 0.10);
+    EXPECT_NEAR(c.param_mb(), 1.82, 0.10);
+    EXPECT_LT(a.param_count(), b.param_count());
+    EXPECT_LT(b.param_count(), c.param_count());
+}
+
+TEST(SkyNet, Table2BackboneSize) {
+    // Paper Table 2: SkyNet 0.44M parameters (the full detector with head).
+    Rng rng(4);
+    SkyNetModel c = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 1.0f}, rng);
+    EXPECT_NEAR(static_cast<double>(c.param_count()) / 1e6, 0.44, 0.03);
+}
+
+TEST(SkyNet, OutputGridIsStride8TenChannels) {
+    Rng rng(5);
+    for (SkyNetVariant v : {SkyNetVariant::kA, SkyNetVariant::kB, SkyNetVariant::kC}) {
+        SkyNetModel m = build_skynet({v, nn::Act::kReLU6, 2, 0.25f}, rng);
+        const Shape out = m.net->out_shape({1, 3, 80, 160});
+        EXPECT_EQ(out, (Shape{1, 10, 10, 20})) << variant_name(v);
+    }
+}
+
+TEST(SkyNet, ForwardRunsAtPaperScaleShape) {
+    // Full-width model C at a reduced spatial size (shape check only).
+    Rng rng(6);
+    SkyNetModel c = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 1.0f}, rng);
+    c.net->set_training(false);
+    Tensor x({1, 3, 32, 64});
+    Rng r2(7);
+    x.rand_uniform(r2, 0.0f, 1.0f);
+    Tensor y = c.net->forward(x);
+    EXPECT_EQ(y.shape(), (Shape{1, 10, 4, 8}));
+}
+
+TEST(SkyNet, BypassAddsReorderedChannels) {
+    // Model C's final bundle consumes 512 + 4*192 = 1280 channels at width 1.
+    Rng rng(8);
+    SkyNetModel c = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 1.0f}, rng);
+    std::vector<nn::LayerInfo> layers;
+    c.net->enumerate({1, 3, 80, 160}, layers);
+    bool found_1280 = false;
+    for (const auto& li : layers) found_1280 |= (li.kind == "dwconv" && li.in.c == 1280);
+    EXPECT_TRUE(found_1280);
+    // And exactly one reorder layer.
+    int reorders = 0;
+    for (const auto& li : layers) reorders += li.kind == "reorder";
+    EXPECT_EQ(reorders, 1);
+}
+
+TEST(SkyNet, VariantAHasNoReorder) {
+    Rng rng(9);
+    SkyNetModel a = build_skynet({SkyNetVariant::kA, nn::Act::kReLU6, 2, 1.0f}, rng);
+    std::vector<nn::LayerInfo> layers;
+    a.net->enumerate({1, 3, 80, 160}, layers);
+    for (const auto& li : layers) EXPECT_NE(li.kind, "reorder");
+}
+
+TEST(SkyNet, BackboneBuilderEndsAt512Wide) {
+    Rng rng(10);
+    SkyNetModel bb = build_skynet_backbone(1.0f, nn::Act::kReLU6, rng);
+    EXPECT_EQ(bb.backbone_channels, 512);
+    EXPECT_EQ(bb.net->out_shape({1, 3, 64, 64}), (Shape{1, 512, 8, 8}));
+    // The tracking claim: ~37x fewer parameters than ResNet-50 (23.5M).
+    EXPECT_LT(bb.param_count(), 1'000'000);
+}
+
+TEST(SkyNet, WidthMultScalesParams) {
+    Rng rng(11);
+    SkyNetModel full = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 1.0f}, rng);
+    SkyNetModel half = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.5f}, rng);
+    EXPECT_LT(half.param_count(), full.param_count() / 2);
+}
+
+TEST(SkyNet, ConfigName) {
+    SkyNetConfig cfg{SkyNetVariant::kB, nn::Act::kReLU, 2, 1.0f};
+    EXPECT_EQ(cfg.name(), "SkyNet B - ReLU");
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,126 @@
+// Wide parameterised sweeps over the model zoo: every backbone builds,
+// runs forward AND one full training step at several widths; every SkyNet
+// variant x activation x width obeys its contracts.  These are the
+// "does the whole zoo actually work" tests that catch integration rot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "backbones/registry.hpp"
+#include "detect/yolo_head.hpp"
+#include "nn/optimizer.hpp"
+#include "skynet/skynet_model.hpp"
+
+namespace sky {
+namespace {
+
+using BackboneParam = std::tuple<std::string, float>;
+
+class BackboneSweep : public ::testing::TestWithParam<BackboneParam> {};
+
+TEST_P(BackboneSweep, BuildForwardTrainStep) {
+    const auto [name, width] = GetParam();
+    Rng rng(11);
+    backbones::Backbone bb = backbones::build_by_name(name, width, rng);
+    const std::int64_t params_before = bb.param_count();
+    EXPECT_GT(params_before, 0);
+
+    nn::ModulePtr det = backbones::make_detector(std::move(bb), 2, rng);
+    const Shape in{2, 3, 16, 32};
+    EXPECT_EQ(det->out_shape(in), (Shape{2, 10, 2, 4}));
+
+    // Forward in eval mode.
+    det->set_training(false);
+    Tensor x(in);
+    Rng xr(3);
+    x.rand_uniform(xr, 0.0f, 1.0f);
+    Tensor y = det->forward(x);
+    EXPECT_EQ(y.shape(), (Shape{2, 10, 2, 4}));
+    for (std::int64_t i = 0; i < y.size(); ++i) ASSERT_TRUE(std::isfinite(y[i]));
+
+    // One full training step must change the parameters and not blow up.
+    det->set_training(true);
+    std::vector<nn::ParamRef> ps;
+    det->collect_params(ps);
+    nn::SGD opt(ps, {0.01f, 0.9f, 0.0f, 5.0f});
+    const detect::YoloHead head;
+    Tensor raw = det->forward(x);
+    Tensor grad;
+    const float loss = head.loss(raw, {{0.4f, 0.5f, 0.1f, 0.1f}, {0.6f, 0.4f, 0.2f, 0.2f}},
+                                 grad);
+    EXPECT_TRUE(std::isfinite(loss));
+    opt.zero_grad();
+    det->backward(grad);
+    opt.step();
+    det->set_training(false);
+    Tensor y2 = det->forward(x);
+    bool changed = false;
+    for (std::int64_t i = 0; i < y.size() && !changed; ++i)
+        changed = std::abs(y2[i] - y[i]) > 1e-7f;
+    EXPECT_TRUE(changed) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, BackboneSweep,
+    ::testing::Combine(::testing::Values("alexnet", "vgg16", "resnet18", "resnet34",
+                                         "resnet50", "mobilenet", "shufflenet",
+                                         "squeezenet", "tinyyolo"),
+                       ::testing::Values(0.15f, 0.3f)),
+    [](const ::testing::TestParamInfo<BackboneParam>& info) {
+        return std::get<0>(info.param) + "_w" +
+               std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+using SkyNetParam = std::tuple<SkyNetVariant, nn::Act, float>;
+
+class SkyNetSweep : public ::testing::TestWithParam<SkyNetParam> {};
+
+TEST_P(SkyNetSweep, ContractsHold) {
+    const auto [variant, act, width] = GetParam();
+    Rng rng(13);
+    SkyNetModel m = build_skynet({variant, act, 2, width}, rng);
+    // 1. Output contract.
+    EXPECT_EQ(m.net->out_shape({1, 3, 32, 64}), (Shape{1, 10, 4, 8}));
+    // 2. Params positive and monotone in variant (A < B < C at equal width).
+    EXPECT_GT(m.param_count(), 0);
+    // 3. Eval forward finite; ReLU6 variants bounded pre-head.
+    m.net->set_training(false);
+    Tensor x({1, 3, 32, 64});
+    Rng xr(7);
+    x.rand_uniform(xr, 0.0f, 1.0f);
+    const Tensor y = m.net->forward(x);
+    for (std::int64_t i = 0; i < y.size(); ++i) ASSERT_TRUE(std::isfinite(y[i]));
+    // 4. MAC count consistent with enumerate().
+    std::vector<nn::LayerInfo> layers;
+    m.net->enumerate({1, 3, 32, 64}, layers);
+    std::int64_t macs = 0;
+    for (const auto& li : layers) macs += li.macs;
+    EXPECT_EQ(macs, m.net->macs({1, 3, 32, 64}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Family, SkyNetSweep,
+    ::testing::Combine(::testing::Values(SkyNetVariant::kA, SkyNetVariant::kB,
+                                         SkyNetVariant::kC),
+                       ::testing::Values(nn::Act::kReLU, nn::Act::kReLU6),
+                       ::testing::Values(0.2f, 0.5f)),
+    [](const ::testing::TestParamInfo<SkyNetParam>& info) {
+        return std::string(variant_name(std::get<0>(info.param))) + "_" +
+               nn::act_name(std::get<1>(info.param)) + "_w" +
+               std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+TEST(SkyNetOrdering, ParamsMonotoneAcrossVariants) {
+    for (float w : {0.25f, 0.5f, 1.0f}) {
+        Rng rng(17);
+        const auto a = build_skynet({SkyNetVariant::kA, nn::Act::kReLU6, 2, w}, rng);
+        const auto b = build_skynet({SkyNetVariant::kB, nn::Act::kReLU6, 2, w}, rng);
+        const auto c = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, w}, rng);
+        EXPECT_LT(a.param_count(), b.param_count()) << w;
+        EXPECT_LT(b.param_count(), c.param_count()) << w;
+    }
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,193 @@
+// Tracking machinery: cross-correlation forward/backward, centre crop,
+// heads, metrics, and a smoke test of the online tracker loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "skynet/skynet_model.hpp"
+#include "tracking/metrics.hpp"
+#include "tracking/tracker.hpp"
+
+namespace sky::tracking {
+namespace {
+
+TEST(XCorr, MatchesManualCorrelation) {
+    Tensor search({1, 1, 3, 3});
+    for (int i = 0; i < 9; ++i) search[i] = static_cast<float>(i);
+    Tensor kernel({1, 1, 2, 2}, std::vector<float>{1.0f, 0.0f, 0.0f, 1.0f});
+    Tensor r = depthwise_xcorr(search, kernel);
+    EXPECT_EQ(r.shape(), (Shape{1, 1, 2, 2}));
+    // r(y,x) = s(y,x) + s(y+1,x+1)
+    EXPECT_FLOAT_EQ(r.at(0, 0, 0, 0), 0.0f + 4.0f);
+    EXPECT_FLOAT_EQ(r.at(0, 0, 0, 1), 1.0f + 5.0f);
+    EXPECT_FLOAT_EQ(r.at(0, 0, 1, 1), 4.0f + 8.0f);
+}
+
+TEST(XCorr, PeakAtMatchingOffset) {
+    // Embed the kernel pattern at a known offset; correlation must peak there.
+    Rng rng(1);
+    Tensor kernel({1, 2, 3, 3});
+    kernel.randn(rng);
+    Tensor search({1, 2, 8, 8});
+    search.randn(rng, 0.0f, 0.1f);
+    const int oy = 3, ox = 2;
+    for (int c = 0; c < 2; ++c)
+        for (int y = 0; y < 3; ++y)
+            for (int x = 0; x < 3; ++x)
+                search.at(0, c, oy + y, ox + x) = kernel.at(0, c, y, x) * 3.0f;
+    Tensor r = depthwise_xcorr(search, kernel);
+    // Sum response over channels, find argmax.
+    int best_y = -1, best_x = -1;
+    float best = -1e30f;
+    for (int y = 0; y < r.shape().h; ++y)
+        for (int x = 0; x < r.shape().w; ++x) {
+            const float v = r.at(0, 0, y, x) + r.at(0, 1, y, x);
+            if (v > best) {
+                best = v;
+                best_y = y;
+                best_x = x;
+            }
+        }
+    EXPECT_EQ(best_y, oy);
+    EXPECT_EQ(best_x, ox);
+}
+
+TEST(XCorr, BackwardMatchesFiniteDifference) {
+    Rng rng(2);
+    Tensor search({1, 2, 5, 5}), kernel({1, 2, 3, 3});
+    search.randn(rng);
+    kernel.randn(rng);
+    Tensor r = depthwise_xcorr(search, kernel);
+    Tensor proj(r.shape());
+    proj.randn(rng);
+    auto loss = [&]() {
+        Tensor rr = depthwise_xcorr(search, kernel);
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < rr.size(); ++i)
+            acc += static_cast<double>(rr[i]) * proj[i];
+        return acc;
+    };
+    Tensor gs, gk;
+    depthwise_xcorr_backward(search, kernel, proj, gs, gk);
+    const float eps = 1e-3f;
+    Rng pick(3);
+    for (int s = 0; s < 8; ++s) {
+        const std::int64_t i = pick.uniform_int(0, static_cast<int>(search.size() - 1));
+        const float orig = search[i];
+        search[i] = orig + eps;
+        const double lp = loss();
+        search[i] = orig - eps;
+        const double lm = loss();
+        search[i] = orig;
+        EXPECT_NEAR(gs[i], (lp - lm) / (2 * eps), 1e-2);
+    }
+    for (int s = 0; s < 8; ++s) {
+        const std::int64_t i = pick.uniform_int(0, static_cast<int>(kernel.size() - 1));
+        const float orig = kernel[i];
+        kernel[i] = orig + eps;
+        const double lp = loss();
+        kernel[i] = orig - eps;
+        const double lm = loss();
+        kernel[i] = orig;
+        EXPECT_NEAR(gk[i], (lp - lm) / (2 * eps), 1e-2);
+    }
+}
+
+TEST(XCorr, CenterCropAndScatterAreAdjoint) {
+    Rng rng(4);
+    Tensor feat({2, 3, 8, 8});
+    feat.randn(rng);
+    Tensor crop = center_crop(feat, 4, 4);
+    EXPECT_EQ(crop.shape(), (Shape{2, 3, 4, 4}));
+    EXPECT_FLOAT_EQ(crop.at(0, 0, 0, 0), feat.at(0, 0, 2, 2));
+    Tensor g(feat.shape());
+    scatter_center_grad(crop, g);
+    EXPECT_FLOAT_EQ(g.at(1, 2, 3, 3), crop.at(1, 2, 1, 1));
+    EXPECT_FLOAT_EQ(g.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Metrics, SummarizeAoSr) {
+    const TrackingMetrics m = summarize({0.9f, 0.6f, 0.3f, 0.8f});
+    EXPECT_NEAR(m.ao, 0.65, 1e-6);
+    EXPECT_NEAR(m.sr50, 0.75, 1e-6);
+    EXPECT_NEAR(m.sr75, 0.5, 1e-6);
+    EXPECT_EQ(m.frames, 4);
+}
+
+TEST(MaskHeadT, MaskToBoxTight) {
+    Tensor mask({1, 1, 4, 4});
+    mask.fill(0.0f);
+    mask.at(0, 0, 1, 1) = 1.0f;
+    mask.at(0, 0, 2, 2) = 1.0f;
+    float cx, cy, w, h;
+    ASSERT_TRUE(MaskHead::mask_to_box(mask, 0.5f, cx, cy, w, h));
+    EXPECT_NEAR(w, 0.5f, 1e-6f);
+    EXPECT_NEAR(h, 0.5f, 1e-6f);
+    EXPECT_NEAR(cx, 0.5f, 1e-6f);
+    Tensor empty({1, 1, 4, 4});
+    EXPECT_FALSE(MaskHead::mask_to_box(empty, 0.5f, cx, cy, w, h));
+}
+
+SiamTracker make_tiny_tracker(bool use_mask, Rng& rng) {
+    SkyNetModel bb = build_skynet_backbone(0.12f, nn::Act::kReLU6, rng);
+    SiameseEmbed embed(std::move(bb.net), bb.backbone_channels, 16, rng);
+    TrackerConfig cfg;
+    cfg.crop_size = 32;
+    cfg.kernel_cells = 2;
+    cfg.use_mask = use_mask;
+    cfg.mask_size = 4;
+    return SiamTracker(std::move(embed), cfg, rng);
+}
+
+TEST(Tracker, TrainStepReducesLossOnFixedBatch) {
+    Rng rng(5);
+    SiamTracker tracker = make_tiny_tracker(false, rng);
+    data::TrackingDataset ds({48, 48, 6, 0, 0.02f, 0.01f, 9});
+    const data::TrackingSequence seq = ds.sequence(rng);
+    std::vector<const data::TrackingFrame*> ex = {&seq[0], &seq[0]};
+    std::vector<const data::TrackingFrame*> se = {&seq[2], &seq[3]};
+    nn::SGD opt(tracker.params(), {0.05f, 0.9f, 0.0f, 5.0f});
+    // Optimisation through BN batch statistics is noisy step to step;
+    // compare the mean of the first and last few losses over a longer run.
+    std::vector<float> losses;
+    for (int i = 0; i < 30; ++i) losses.push_back(tracker.train_step(ex, se, opt));
+    const float head3 = (losses[0] + losses[1] + losses[2]) / 3.0f;
+    float tail5 = 0.0f;
+    for (std::size_t i = losses.size() - 5; i < losses.size(); ++i) tail5 += losses[i];
+    tail5 /= 5.0f;
+    EXPECT_LT(tail5, head3 * 0.8f);
+}
+
+TEST(Tracker, TrackReturnsBoxPerFrame) {
+    Rng rng(6);
+    SiamTracker tracker = make_tiny_tracker(false, rng);
+    data::TrackingDataset ds({48, 48, 8, 1, 0.02f, 0.01f, 11});
+    const data::TrackingSequence seq = ds.next();
+    const auto boxes = tracker.track(seq);
+    ASSERT_EQ(boxes.size(), seq.size());
+    // Frame 0 echoes the ground truth.
+    EXPECT_FLOAT_EQ(boxes[0].cx, seq[0].box.cx);
+    for (const auto& b : boxes) {
+        EXPECT_GT(b.w, 0.0f);
+        EXPECT_LE(b.w, 0.95f);
+    }
+}
+
+TEST(Tracker, MaskModeTracksToo) {
+    Rng rng(7);
+    SiamTracker tracker = make_tiny_tracker(true, rng);
+    data::TrackingDataset ds({48, 48, 5, 0, 0.02f, 0.01f, 13});
+    const auto boxes = tracker.track(ds.next());
+    EXPECT_EQ(boxes.size(), 5u);
+}
+
+TEST(Tracker, ParamCountIncludesHeads) {
+    Rng rng(8);
+    SiamTracker with_mask = make_tiny_tracker(true, rng);
+    Rng rng2(8);
+    SiamTracker without = make_tiny_tracker(false, rng2);
+    EXPECT_GT(with_mask.param_count(), without.param_count());
+}
+
+}  // namespace
+}  // namespace sky::tracking

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_pipeline.dir/bench_fig10_pipeline.cpp.o"
+  "CMakeFiles/bench_fig10_pipeline.dir/bench_fig10_pipeline.cpp.o.d"
+  "bench_fig10_pipeline"
+  "bench_fig10_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

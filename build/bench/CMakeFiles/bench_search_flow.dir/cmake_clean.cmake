@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_flow.dir/bench_search_flow.cpp.o"
+  "CMakeFiles/bench_search_flow.dir/bench_search_flow.cpp.o.d"
+  "bench_search_flow"
+  "bench_search_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

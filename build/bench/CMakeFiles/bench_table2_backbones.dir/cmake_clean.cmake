@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_backbones.dir/bench_table2_backbones.cpp.o"
+  "CMakeFiles/bench_table2_backbones.dir/bench_table2_backbones.cpp.o.d"
+  "bench_table2_backbones"
+  "bench_table2_backbones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_backbones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_gpu.dir/bench_table5_gpu.cpp.o"
+  "CMakeFiles/bench_table5_gpu.dir/bench_table5_gpu.cpp.o.d"
+  "bench_table5_gpu"
+  "bench_table5_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_fpga.dir/bench_table6_fpga.cpp.o"
+  "CMakeFiles/bench_table6_fpga.dir/bench_table6_fpga.cpp.o.d"
+  "bench_table6_fpga"
+  "bench_table6_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

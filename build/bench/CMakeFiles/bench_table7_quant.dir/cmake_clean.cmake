@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_quant.dir/bench_table7_quant.cpp.o"
+  "CMakeFiles/bench_table7_quant.dir/bench_table7_quant.cpp.o.d"
+  "bench_table7_quant"
+  "bench_table7_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_siamrpn.dir/bench_table8_siamrpn.cpp.o"
+  "CMakeFiles/bench_table8_siamrpn.dir/bench_table8_siamrpn.cpp.o.d"
+  "bench_table8_siamrpn"
+  "bench_table8_siamrpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_siamrpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

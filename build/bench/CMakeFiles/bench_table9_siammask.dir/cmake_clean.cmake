@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_siammask.dir/bench_table9_siammask.cpp.o"
+  "CMakeFiles/bench_table9_siammask.dir/bench_table9_siammask.cpp.o.d"
+  "bench_table9_siammask"
+  "bench_table9_siammask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_siammask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

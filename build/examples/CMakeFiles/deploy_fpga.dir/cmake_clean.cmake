@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_fpga.dir/deploy_fpga.cpp.o"
+  "CMakeFiles/deploy_fpga.dir/deploy_fpga.cpp.o.d"
+  "deploy_fpga"
+  "deploy_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for deploy_fpga.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_multi.dir/detect_multi.cpp.o"
+  "CMakeFiles/detect_multi.dir/detect_multi.cpp.o.d"
+  "detect_multi"
+  "detect_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

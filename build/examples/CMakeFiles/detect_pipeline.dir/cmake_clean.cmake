@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_pipeline.dir/detect_pipeline.cpp.o"
+  "CMakeFiles/detect_pipeline.dir/detect_pipeline.cpp.o.d"
+  "detect_pipeline"
+  "detect_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

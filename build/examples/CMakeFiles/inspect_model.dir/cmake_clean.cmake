@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_model.dir/inspect_model.cpp.o"
+  "CMakeFiles/inspect_model.dir/inspect_model.cpp.o.d"
+  "inspect_model"
+  "inspect_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_search.dir/nas_search.cpp.o"
+  "CMakeFiles/nas_search.dir/nas_search.cpp.o.d"
+  "nas_search"
+  "nas_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

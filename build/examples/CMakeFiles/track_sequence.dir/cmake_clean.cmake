@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_sequence.dir/track_sequence.cpp.o"
+  "CMakeFiles/track_sequence.dir/track_sequence.cpp.o.d"
+  "track_sequence"
+  "track_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

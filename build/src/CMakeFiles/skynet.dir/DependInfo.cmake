@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backbones/alexnet.cpp" "src/CMakeFiles/skynet.dir/backbones/alexnet.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/backbones/alexnet.cpp.o.d"
+  "/root/repo/src/backbones/mobilenet.cpp" "src/CMakeFiles/skynet.dir/backbones/mobilenet.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/backbones/mobilenet.cpp.o.d"
+  "/root/repo/src/backbones/registry.cpp" "src/CMakeFiles/skynet.dir/backbones/registry.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/backbones/registry.cpp.o.d"
+  "/root/repo/src/backbones/resnet.cpp" "src/CMakeFiles/skynet.dir/backbones/resnet.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/backbones/resnet.cpp.o.d"
+  "/root/repo/src/backbones/shufflenet.cpp" "src/CMakeFiles/skynet.dir/backbones/shufflenet.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/backbones/shufflenet.cpp.o.d"
+  "/root/repo/src/backbones/squeezenet.cpp" "src/CMakeFiles/skynet.dir/backbones/squeezenet.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/backbones/squeezenet.cpp.o.d"
+  "/root/repo/src/backbones/tinyyolo.cpp" "src/CMakeFiles/skynet.dir/backbones/tinyyolo.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/backbones/tinyyolo.cpp.o.d"
+  "/root/repo/src/backbones/vgg.cpp" "src/CMakeFiles/skynet.dir/backbones/vgg.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/backbones/vgg.cpp.o.d"
+  "/root/repo/src/dacsdc/scheme_select.cpp" "src/CMakeFiles/skynet.dir/dacsdc/scheme_select.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/dacsdc/scheme_select.cpp.o.d"
+  "/root/repo/src/dacsdc/scoring.cpp" "src/CMakeFiles/skynet.dir/dacsdc/scoring.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/dacsdc/scoring.cpp.o.d"
+  "/root/repo/src/dacsdc/stats.cpp" "src/CMakeFiles/skynet.dir/dacsdc/stats.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/dacsdc/stats.cpp.o.d"
+  "/root/repo/src/data/augment.cpp" "src/CMakeFiles/skynet.dir/data/augment.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/data/augment.cpp.o.d"
+  "/root/repo/src/data/synth_classification.cpp" "src/CMakeFiles/skynet.dir/data/synth_classification.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/data/synth_classification.cpp.o.d"
+  "/root/repo/src/data/synth_detection.cpp" "src/CMakeFiles/skynet.dir/data/synth_detection.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/data/synth_detection.cpp.o.d"
+  "/root/repo/src/data/synth_tracking.cpp" "src/CMakeFiles/skynet.dir/data/synth_tracking.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/data/synth_tracking.cpp.o.d"
+  "/root/repo/src/deploy/fold_bn.cpp" "src/CMakeFiles/skynet.dir/deploy/fold_bn.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/deploy/fold_bn.cpp.o.d"
+  "/root/repo/src/deploy/report.cpp" "src/CMakeFiles/skynet.dir/deploy/report.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/deploy/report.cpp.o.d"
+  "/root/repo/src/detect/bbox.cpp" "src/CMakeFiles/skynet.dir/detect/bbox.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/detect/bbox.cpp.o.d"
+  "/root/repo/src/detect/metrics.cpp" "src/CMakeFiles/skynet.dir/detect/metrics.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/detect/metrics.cpp.o.d"
+  "/root/repo/src/detect/nms.cpp" "src/CMakeFiles/skynet.dir/detect/nms.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/detect/nms.cpp.o.d"
+  "/root/repo/src/detect/yolo_head.cpp" "src/CMakeFiles/skynet.dir/detect/yolo_head.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/detect/yolo_head.cpp.o.d"
+  "/root/repo/src/hwsim/device.cpp" "src/CMakeFiles/skynet.dir/hwsim/device.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/hwsim/device.cpp.o.d"
+  "/root/repo/src/hwsim/energy.cpp" "src/CMakeFiles/skynet.dir/hwsim/energy.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/hwsim/energy.cpp.o.d"
+  "/root/repo/src/hwsim/fpga_model.cpp" "src/CMakeFiles/skynet.dir/hwsim/fpga_model.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/hwsim/fpga_model.cpp.o.d"
+  "/root/repo/src/hwsim/gpu_model.cpp" "src/CMakeFiles/skynet.dir/hwsim/gpu_model.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/hwsim/gpu_model.cpp.o.d"
+  "/root/repo/src/hwsim/pipeline.cpp" "src/CMakeFiles/skynet.dir/hwsim/pipeline.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/hwsim/pipeline.cpp.o.d"
+  "/root/repo/src/io/ascii_viz.cpp" "src/CMakeFiles/skynet.dir/io/ascii_viz.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/io/ascii_viz.cpp.o.d"
+  "/root/repo/src/io/dataset_export.cpp" "src/CMakeFiles/skynet.dir/io/dataset_export.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/io/dataset_export.cpp.o.d"
+  "/root/repo/src/io/export_graph.cpp" "src/CMakeFiles/skynet.dir/io/export_graph.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/io/export_graph.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/skynet.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/skynet.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/skynet.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/skynet.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/dwconv.cpp" "src/CMakeFiles/skynet.dir/nn/dwconv.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/dwconv.cpp.o.d"
+  "/root/repo/src/nn/fm_hook.cpp" "src/CMakeFiles/skynet.dir/nn/fm_hook.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/fm_hook.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/CMakeFiles/skynet.dir/nn/graph.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/graph.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/skynet.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/skynet.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/skynet.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/pwconv.cpp" "src/CMakeFiles/skynet.dir/nn/pwconv.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/pwconv.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/skynet.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/shuffle.cpp" "src/CMakeFiles/skynet.dir/nn/shuffle.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/shuffle.cpp.o.d"
+  "/root/repo/src/nn/space_to_depth.cpp" "src/CMakeFiles/skynet.dir/nn/space_to_depth.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/nn/space_to_depth.cpp.o.d"
+  "/root/repo/src/quant/fixed_point.cpp" "src/CMakeFiles/skynet.dir/quant/fixed_point.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/quant/fixed_point.cpp.o.d"
+  "/root/repo/src/quant/qengine.cpp" "src/CMakeFiles/skynet.dir/quant/qengine.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/quant/qengine.cpp.o.d"
+  "/root/repo/src/quant/qmodel.cpp" "src/CMakeFiles/skynet.dir/quant/qmodel.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/quant/qmodel.cpp.o.d"
+  "/root/repo/src/quant/quantizer.cpp" "src/CMakeFiles/skynet.dir/quant/quantizer.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/quant/quantizer.cpp.o.d"
+  "/root/repo/src/search/bundle_search.cpp" "src/CMakeFiles/skynet.dir/search/bundle_search.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/search/bundle_search.cpp.o.d"
+  "/root/repo/src/search/flow.cpp" "src/CMakeFiles/skynet.dir/search/flow.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/search/flow.cpp.o.d"
+  "/root/repo/src/search/pso.cpp" "src/CMakeFiles/skynet.dir/search/pso.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/search/pso.cpp.o.d"
+  "/root/repo/src/skynet/bundle.cpp" "src/CMakeFiles/skynet.dir/skynet/bundle.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/skynet/bundle.cpp.o.d"
+  "/root/repo/src/skynet/skynet_model.cpp" "src/CMakeFiles/skynet.dir/skynet/skynet_model.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/skynet/skynet_model.cpp.o.d"
+  "/root/repo/src/tensor/rng.cpp" "src/CMakeFiles/skynet.dir/tensor/rng.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/tensor/rng.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/skynet.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/tracking/mask_head.cpp" "src/CMakeFiles/skynet.dir/tracking/mask_head.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/tracking/mask_head.cpp.o.d"
+  "/root/repo/src/tracking/metrics.cpp" "src/CMakeFiles/skynet.dir/tracking/metrics.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/tracking/metrics.cpp.o.d"
+  "/root/repo/src/tracking/rpn_head.cpp" "src/CMakeFiles/skynet.dir/tracking/rpn_head.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/tracking/rpn_head.cpp.o.d"
+  "/root/repo/src/tracking/siamese.cpp" "src/CMakeFiles/skynet.dir/tracking/siamese.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/tracking/siamese.cpp.o.d"
+  "/root/repo/src/tracking/tracker.cpp" "src/CMakeFiles/skynet.dir/tracking/tracker.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/tracking/tracker.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/CMakeFiles/skynet.dir/train/trainer.cpp.o" "gcc" "src/CMakeFiles/skynet.dir/train/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for skynet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_backbones.cpp" "tests/CMakeFiles/skynet_tests.dir/test_backbones.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_backbones.cpp.o.d"
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/skynet_tests.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_dacsdc.cpp" "tests/CMakeFiles/skynet_tests.dir/test_dacsdc.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_dacsdc.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/skynet_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_dataset_export.cpp" "tests/CMakeFiles/skynet_tests.dir/test_dataset_export.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_dataset_export.cpp.o.d"
+  "/root/repo/tests/test_deploy.cpp" "tests/CMakeFiles/skynet_tests.dir/test_deploy.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_deploy.cpp.o.d"
+  "/root/repo/tests/test_detect.cpp" "tests/CMakeFiles/skynet_tests.dir/test_detect.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_detect.cpp.o.d"
+  "/root/repo/tests/test_export_graph.cpp" "tests/CMakeFiles/skynet_tests.dir/test_export_graph.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_export_graph.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/skynet_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_features2.cpp" "tests/CMakeFiles/skynet_tests.dir/test_features2.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_features2.cpp.o.d"
+  "/root/repo/tests/test_gradcheck.cpp" "tests/CMakeFiles/skynet_tests.dir/test_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_gradcheck.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/skynet_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hwsim.cpp" "tests/CMakeFiles/skynet_tests.dir/test_hwsim.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_hwsim.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/skynet_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_layers.cpp" "tests/CMakeFiles/skynet_tests.dir/test_layers.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_layers.cpp.o.d"
+  "/root/repo/tests/test_more_coverage.cpp" "tests/CMakeFiles/skynet_tests.dir/test_more_coverage.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_more_coverage.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/skynet_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_qengine.cpp" "tests/CMakeFiles/skynet_tests.dir/test_qengine.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_qengine.cpp.o.d"
+  "/root/repo/tests/test_quant.cpp" "tests/CMakeFiles/skynet_tests.dir/test_quant.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_quant.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/skynet_tests.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_skynet.cpp" "tests/CMakeFiles/skynet_tests.dir/test_skynet.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_skynet.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/skynet_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_sweeps.cpp" "tests/CMakeFiles/skynet_tests.dir/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_sweeps.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/skynet_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_tracking.cpp" "tests/CMakeFiles/skynet_tests.dir/test_tracking.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_tracking.cpp.o.d"
+  "/root/repo/tests/test_train_integration.cpp" "tests/CMakeFiles/skynet_tests.dir/test_train_integration.cpp.o" "gcc" "tests/CMakeFiles/skynet_tests.dir/test_train_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skynet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

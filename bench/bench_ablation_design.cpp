@@ -73,7 +73,7 @@ TapNet build_tap_net(int tap, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sky;
     const int steps = bench::steps(180);
 
@@ -101,6 +101,7 @@ int main() {
         Rng tr(9);
         const double iou = train::train_detector(*m.net, m.head, ds, cfg, tr).val_iou;
         std::printf("%8d %12d %9.3f\n", anchors, 5 * anchors, iou);
+        bench::record("ablation.anchors" + std::to_string(anchors) + ".iou", iou);
     }
 
     // ---------------- 2. bypass tap position ----------------
@@ -122,6 +123,8 @@ int main() {
         const double lat = u96.estimate(*t.net, {1, 3, 48, 96}).latency_ms;
         std::printf("%12s %9.3f %12.2f\n",
                     tap == 0 ? "none" : (tap == 2 ? "bundle #2" : "bundle #3"), iou, lat);
+        bench::record("ablation.tap" + std::to_string(tap) + ".iou", iou);
+        bench::record("ablation.tap" + std::to_string(tap) + ".fpga_ms", lat);
     }
 
     // ---------------- 3. width sweep ----------------
@@ -140,6 +143,9 @@ int main() {
         const double iou = train::train_detector(*m.net, m.head, ds, cfg, tr).val_iou;
         std::printf("%8.2f %10.3f %10.3f %9.3f\n", w, m.param_count() / 1e6,
                     m.net->macs({1, 3, 48, 96}) / 1e9, iou);
+        char key[48];
+        std::snprintf(key, sizeof(key), "ablation.width%.2f.iou", w);
+        bench::record(key, iou);
     }
 
     // ---------------- 4. hardware knobs (analytic) ----------------
@@ -165,6 +171,7 @@ int main() {
         const hwsim::FpgaEstimate est = u96.estimate(*full.net, in, k.cfg);
         std::printf("%-34s %6d %6d %6d %8.2f\n", k.name, est.resources.dsp,
                     est.resources.bram18k, est.parallelism, est.fps);
+        bench::record(std::string("ablation.knob.") + k.name + ".fps", est.fps);
     }
     // ---------------- 5. design-space curve ----------------
     std::printf("\n=== Ablation 5: IP parallelism design space (scheme 1) ===\n\n");
@@ -182,5 +189,5 @@ int main() {
                 "then saturate with width.  The analytic sweeps (4-5) are exact:\n"
                 "double-pumping/low bits buy parallelism, float32 collapses it, and\n"
                 "latency scales ~1/P until LUT/DSP infeasibility.\n");
-    return 0;
+    return bench::finish(argc, argv);
 }

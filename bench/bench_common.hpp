@@ -1,11 +1,15 @@
 // Shared helpers for the table/figure benches: an environment-controlled
 // step budget (SKYNET_BENCH_SCALE multiplies every training budget, default
-// 1.0) and small printing utilities.
+// 1.0), small printing utilities, and a shared obs::Registry through which
+// every bench records its headline numbers — `--json <path>` on any bench
+// binary dumps that registry as one uniform metrics document.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "obs/registry.hpp"
 
 namespace sky::bench {
 
@@ -22,6 +26,30 @@ inline int steps(int base) {
 inline void rule(char c = '-', int n = 72) {
     for (int i = 0; i < n; ++i) std::putchar(c);
     std::putchar('\n');
+}
+
+/// Registry shared by this bench binary's recorded results.
+inline obs::Registry& metrics() {
+    static obs::Registry registry;
+    return registry;
+}
+
+/// Record one headline result (a gauge) into the bench registry.
+inline void record(const std::string& name, double value) { metrics().set(name, value); }
+
+/// Call as the bench's return statement: honours `--json <path>` by dumping
+/// the metrics registry, and returns the process exit code.
+inline int finish(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+            if (!metrics().save_json(argv[i + 1])) {
+                std::fprintf(stderr, "failed to write metrics to %s\n", argv[i + 1]);
+                return 1;
+            }
+            std::printf("wrote metrics to %s\n", argv[i + 1]);
+        }
+    }
+    return 0;
 }
 
 }  // namespace sky::bench

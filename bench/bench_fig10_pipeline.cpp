@@ -7,6 +7,7 @@
 // CPU+FPGA to reach 25.05 FPS; the Fig. 9 tiling+batch scheme removes
 // buffer waste so a 4-image tile shares one FM buffer.
 #include <algorithm>
+#include <cstring>
 
 #include "backbones/registry.hpp"
 #include "bench_common.hpp"
@@ -15,8 +16,14 @@
 #include "hwsim/pipeline.hpp"
 #include "skynet/skynet_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sky;
+    // `--trace <path>` dumps the TX2 discrete-event schedule for
+    // chrome://tracing — the Fig. 10 overlap, visually.
+    const char* trace_path = nullptr;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+    obs::TraceSession trace;
     Rng rng(1);
     SkyNetModel model = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 1.0f}, rng);
     const Shape in{1, 3, 160, 320};
@@ -40,13 +47,17 @@ int main() {
     auto merged = hwsim::merge_stages(stages, 0, 2);
     merged[0].latency_ms /= 4.0;  // multithreaded fetch+pre-process
     merged[2].latency_ms /= 4.0;  // multithreaded post-process
-    const hwsim::PipelineReport rep = hwsim::simulate_pipeline(merged, 4, 500);
+    const hwsim::PipelineReport rep =
+        hwsim::simulate_pipeline(merged, 4, 500, trace_path ? &trace : nullptr);
     std::printf("\n  serial:    %6.2f ms/batch -> %6.2f FPS\n", serial,
                 4e3 / serial);
     std::printf("  pipelined: %6.2f ms/batch -> %6.2f FPS  (speedup %.2fx)\n",
                 rep.pipelined_ms_per_batch, rep.pipelined_fps,
                 serial / rep.pipelined_ms_per_batch);
     std::printf("  paper:     3.35x speedup, 67.33 FPS peak\n\n");
+    bench::record("fig10.tx2.serial_ms_per_batch", serial);
+    bench::record("fig10.tx2.pipelined_fps", rep.pipelined_fps);
+    bench::record("fig10.tx2.speedup", serial / rep.pipelined_ms_per_batch);
 
     // ---- Ultra96 (Fig. 10 bottom): CPU pre/post + FPGA inference overlap.
     hwsim::FpgaModel u96(hwsim::ultra96());
@@ -64,6 +75,8 @@ int main() {
     std::printf("\n  serial:    %6.2f FPS;  pipelined: %6.2f FPS (speedup %.2fx)\n",
                 4e3 / fserial, frep.pipelined_fps, frep.speedup);
     std::printf("  paper:     25.05 FPS with all three tasks overlapped\n\n");
+    bench::record("fig10.ultra96.pipelined_fps", frep.pipelined_fps);
+    bench::record("fig10.ultra96.speedup", frep.speedup);
 
     // ---- Fig. 9: tiling+batch vs naive batching.
     // Naive batching buffers all four images' feature maps at once (4x the
@@ -101,5 +114,9 @@ int main() {
                 "allows for feature maps) while weight traffic per image falls with the\n"
                 "tile count — the Fig. 9 data-reuse benefit.\n",
                 std::max(1, bram_naive / std::max(1, bram_tiled)));
-    return 0;
+    bench::record("fig9.bram_naive", bram_naive);
+    bench::record("fig9.bram_tiled", bram_tiled);
+    if (trace_path && trace.save(trace_path))
+        std::printf("wrote pipeline trace to %s (open in chrome://tracing)\n", trace_path);
+    return bench::finish(argc, argv);
 }

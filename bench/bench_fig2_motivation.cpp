@@ -16,7 +16,7 @@
 #include "skynet/skynet_model.hpp"
 #include "train/trainer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sky;
     const int train_steps = bench::steps(260);
 
@@ -36,6 +36,7 @@ int main() {
     cfg.val_images = 256;
     const double float_acc = train::train_classifier(*net, ds, cfg).val_accuracy;
     std::printf("float32 validation accuracy: %.3f\n\n", float_acc);
+    bench::record("fig2a.float_accuracy", float_acc);
 
     const data::ClassificationBatch val = ds.validation(256);
     // Offline calibration: the IP-shared FPGA design uses one FM format for
@@ -52,6 +53,8 @@ int main() {
             quant::classifier_acc_quantized(*net, val, bits, 0, fm_range);
         std::printf("%6d | %9.3f %13.1f | %9.3f %13.1fx\n", bits, acc_w,
                     ref_params * bits / 8.0 / 1e6, acc_f, 32.0 / bits);
+        bench::record("fig2a.acc_param_q" + std::to_string(bits), acc_w);
+        bench::record("fig2a.acc_fm_q" + std::to_string(bits), acc_f);
     }
     std::printf("\nshape check: accuracy degrades faster along the FM axis than the\n"
                 "parameter axis at matching bit-widths (the paper's Fig. 2a message).\n\n");
@@ -99,5 +102,7 @@ int main() {
     }
     std::printf("\nshape check: W15/FM16 needs 128 DSPs, W14/FM16 needs 64 (two products\n"
                 "pack into one DSP once w+fm <= 30), matching the paper's example.\n");
-    return 0;
+    bench::record("fig2c.dsp_w15_fm16", hwsim::FpgaModel::dsp_count(128, 15, 16));
+    bench::record("fig2c.dsp_w14_fm16", hwsim::FpgaModel::dsp_count(128, 14, 16));
+    return bench::finish(argc, argv);
 }

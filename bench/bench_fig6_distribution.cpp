@@ -3,10 +3,11 @@
 // two headline statistics (31% of boxes < 1% of the image area, 91% < 9%).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "dacsdc/stats.hpp"
 #include "data/synth_detection.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sky;
     data::DetectionDataset ds({80, 160, 2, false, 7});
     Rng rng(2024);
@@ -30,5 +31,7 @@ int main() {
     std::printf("measured: %.0f%% of boxes < 1%% of image,  %.0f%% < 9%%\n",
                 100.0 * dacsdc::fraction_below(ratios, 0.01),
                 100.0 * dacsdc::fraction_below(ratios, 0.09));
-    return 0;
+    bench::record("fig6.frac_below_1pct", dacsdc::fraction_below(ratios, 0.01));
+    bench::record("fig6.frac_below_9pct", dacsdc::fraction_below(ratios, 0.09));
+    return bench::finish(argc, argv);
 }

@@ -11,7 +11,7 @@
 #include "bench_common.hpp"
 #include "search/flow.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sky;
     data::DetectionDataset dataset({48, 96, 1, false, 21});
     hwsim::GpuModel gpu(hwsim::tx2());
@@ -63,5 +63,14 @@ int main() {
                 "short budgets (SKYNET_BENCH_SCALE < 1) their per-run ordering is noisy,\n"
                 "exactly the estimation noise the paper's 20-epoch sketches trade\n"
                 "against; run at scale >= 2 for stable Stage-3 bypass gains.\n");
-    return 0;
+    int pareto = 0;
+    for (const auto& ev : res.stage1) pareto += ev.pareto ? 1 : 0;
+    bench::record("flow.stage1.pareto_count", pareto);
+    if (!res.stage2.best_fitness_history.empty())
+        bench::record("flow.stage2.best_fitness", res.stage2.best_fitness_history.back());
+    bench::record("flow.stage2.best_accuracy", best.accuracy);
+    bench::record("flow.stage2.best_fpga_ms", best.fpga_latency_ms);
+    for (const auto& fr : res.stage3)
+        bench::record("flow.stage3." + fr.description + ".iou", fr.val_iou);
+    return bench::finish(argc, argv);
 }

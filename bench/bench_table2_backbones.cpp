@@ -18,7 +18,7 @@
 #include "skynet/skynet_model.hpp"
 #include "train/trainer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sky;
     const int train_steps = bench::steps(150);
 
@@ -72,8 +72,10 @@ int main() {
         }
         std::printf("%-12s %11.2fM %11.2fM | %9.2f %9.3f\n", r.name, r.paper_m, ours_m,
                     r.paper_iou, iou);
+        bench::record(std::string("table2.") + r.name + ".params_m", ours_m);
+        bench::record(std::string("table2.") + r.name + ".iou", iou);
     }
     std::printf("\nshape check: SkyNet reaches the best IoU with 25-50x fewer parameters;\n"
                 "bigger backbones do not imply better task accuracy.\n");
-    return 0;
+    return bench::finish(argc, argv);
 }

@@ -14,7 +14,7 @@
 #include "skynet/skynet_model.hpp"
 #include "train/trainer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sky;
     const int train_steps = bench::steps(220);
     const float width = 0.25f;
@@ -67,6 +67,9 @@ int main() {
         std::printf("%-18s %10.2f %10.2f | %9.3f %9.3f %9.3f\n",
                     model.config.name().c_str(), r.paper_mb, full.param_mb(), r.paper_iou,
                     iou, iou_q);
+        bench::record("table4." + model.config.name() + ".param_mb", full.param_mb());
+        bench::record("table4." + model.config.name() + ".iou", iou);
+        bench::record("table4." + model.config.name() + ".iou_q5", iou_q);
     }
     std::printf(
         "\nexpected shapes (stable at SKYNET_BENCH_SCALE >= 1): the bypass models\n"
@@ -74,5 +77,5 @@ int main() {
         "parameters of the bypass head lag the plain chain; ReLU6 >= ReLU under\n"
         "the coarse quantised-FM column (bounded dynamic range).  Parameter\n"
         "sizes are budget-independent and must match the paper (1.27/1.57/1.82 MB).\n");
-    return 0;
+    return bench::finish(argc, argv);
 }

@@ -20,7 +20,7 @@
 #include "hwsim/pipeline.hpp"
 #include "skynet/skynet_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sky;
     hwsim::GpuModel tx2(hwsim::tx2());
     const Shape in{1, 3, 160, 320};
@@ -125,8 +125,10 @@ int main() {
         std::printf("%-14s %6.3f %8.2f %7.2f %7.3f %8.3f | %11.3f\n",
                     sc.entry.team.c_str(), sc.entry.iou, sc.entry.fps, sc.entry.power_w,
                     sc.energy_score, sc.total_score, paper_total);
+        bench::record("table5." + sc.entry.team + ".fps", sc.entry.fps);
+        bench::record("table5." + sc.entry.team + ".total_score", sc.total_score);
     }
     std::printf("\nshape check: SkyNet has the highest FPS (its bundle does ~10x less\n"
                 "work) and the best total score; the 2019 pipelined entries beat 2018.\n");
-    return 0;
+    return bench::finish(argc, argv);
 }

@@ -14,7 +14,7 @@
 #include "skynet/skynet_model.hpp"
 #include "train/trainer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sky;
     const int train_steps = bench::steps(300);
 
@@ -54,6 +54,8 @@ int main() {
                     s.fm_bits ? std::to_string(s.fm_bits).c_str() : "fp32",
                     s.weight_bits ? std::to_string(s.weight_bits).c_str() : "fp32",
                     paper_iou[s.id], paper_drop, iou, our_drop);
+        bench::record("table7.scheme" + std::to_string(s.id) + ".iou", iou);
+        bench::record("table7.scheme" + std::to_string(s.id) + ".drop_pct", our_drop);
     }
     // Extended sweep: our reduced-scale substrate tolerates 8-9 bits (its
     // dynamic ranges are smaller than the full 160x320 model's), so the
@@ -73,5 +75,5 @@ int main() {
     std::printf("\nshape check: degradation is monotone in bit-width and the FM axis\n"
                 "dominates (as in the paper); at our reduced scale the knee sits a few\n"
                 "bits below the paper's 8-9 bit range.\n");
-    return 0;
+    return bench::finish(argc, argv);
 }

@@ -92,7 +92,7 @@ RowResult run_backbone(const BackboneChoice& bc, bool use_mask, int steps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sky;
     const int steps = bench::steps(300);
     const BackboneChoice choices[3] = {
@@ -115,6 +115,9 @@ int main() {
                     choices[i].name, paper[i][0], paper[i][1], paper[i][2], paper[i][3],
                     results[i].ao, results[i].sr50, results[i].sr75, results[i].cpu_fps,
                     results[i].model_fps, results[i].full_params_m);
+        bench::record(std::string("table8.") + choices[i].name + ".ao", results[i].ao);
+        bench::record(std::string("table8.") + choices[i].name + ".model_fps",
+                      results[i].model_fps);
     }
     std::printf("\nSkyNet vs ResNet-50: %.2fx faster (1080Ti model; paper 1.60x), "
                 "%.1fx fewer backbone parameters (paper 37.20x)\n",
@@ -125,5 +128,7 @@ int main() {
                 "ResNet-50 needs ~300 steps (SKYNET_BENCH_SCALE >= 1) to converge; at\n"
                 "smaller scales its AO reflects an under-trained backbone.  On the\n"
                 "synthetic task the shallow AlexNet over-performs its paper position.\n");
-    return 0;
+    bench::record("table8.speedup_vs_resnet50",
+                  results[2].model_fps / results[1].model_fps);
+    return bench::finish(argc, argv);
 }

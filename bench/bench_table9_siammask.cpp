@@ -13,7 +13,7 @@
 #include "tracking/metrics.hpp"
 #include "tracking/tracker.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace sky;
     const int steps = bench::steps(300);
 
@@ -84,13 +84,16 @@ int main() {
         std::printf("%-10s | %6.3f %7.3f %7.3f %8.2f | %6.3f %7.3f %7.3f %8.1f %8.1f\n",
                     r.name, r.paper[0], r.paper[1], r.paper[2], r.paper[3], ev.metrics.ao,
                     ev.metrics.sr50, ev.metrics.sr75, ev.wall_fps, model_fps[i]);
+        bench::record(std::string("table9.") + r.name + ".ao", ev.metrics.ao);
+        bench::record(std::string("table9.") + r.name + ".model_fps", model_fps[i]);
     }
     std::printf("\nSkyNet vs ResNet-50 speedup: %.2fx (paper: 1.73x)\n",
                 model_fps[1] / model_fps[0]);
+    bench::record("table9.speedup_vs_resnet50", model_fps[1] / model_fps[0]);
     std::printf("expected shapes: SkyNet tracks as well or better than ResNet-50 while\n"
                 "being much faster — the paper's Table 9 story.  ResNet-50 needs\n"
                 "SKYNET_BENCH_SCALE >= 1 to converge.  (Whether the mask branch beats\n"
                 "pure regression depends on the backbone at our scale; see\n"
                 "EXPERIMENTS.md.)\n");
-    return 0;
+    return bench::finish(argc, argv);
 }

@@ -7,7 +7,7 @@
 namespace sky::hwsim {
 
 PipelineReport simulate_pipeline(const std::vector<PipelineStage>& stages, int batch_size,
-                                 int batches) {
+                                 int batches, obs::TraceSession* trace) {
     if (stages.empty() || batches <= 0 || batch_size <= 0)
         throw std::invalid_argument("simulate_pipeline: empty configuration");
     PipelineReport rep;
@@ -22,6 +22,10 @@ PipelineReport simulate_pipeline(const std::vector<PipelineStage>& stages, int b
         for (std::size_t s = 0; s < ns; ++s) {
             const double start = std::max(prev_done[s], upstream);
             const double done = start + stages[s].latency_ms;
+            if (trace)
+                trace->record(stages[s].name + " b" + std::to_string(b), "pipeline",
+                              start * 1e3, stages[s].latency_ms * 1e3,
+                              static_cast<int>(s));
             prev_done[s] = done;
             upstream = done;
         }

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace sky::hwsim {
 
 struct PipelineStage {
@@ -30,8 +32,13 @@ struct PipelineReport {
 };
 
 /// Simulate `batches` batches of `batch_size` images through the stages.
+/// When `trace` is given, every (stage, batch) interval of the discrete-event
+/// schedule is recorded as a trace event (one lane per stage, simulated ms
+/// mapped to trace us), so the Fig. 10 overlap is inspectable in
+/// chrome://tracing.
 [[nodiscard]] PipelineReport simulate_pipeline(const std::vector<PipelineStage>& stages,
-                                               int batch_size, int batches);
+                                               int batch_size, int batches,
+                                               obs::TraceSession* trace = nullptr);
 
 /// Merge consecutive stages (the paper merges fetch+pre-process): the merged
 /// stage's latency is the sum, and one pipeline slot is saved.

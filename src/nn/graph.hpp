@@ -66,8 +66,13 @@ public:
     [[nodiscard]] const std::vector<int>& node_inputs(std::size_t i) const {
         return nodes_[i].inputs;
     }
-    /// Swap a module node's implementation (shapes must stay compatible).
-    void replace_module(std::size_t i, ModulePtr m) { nodes_[i].module = std::move(m); }
+    /// Swap a module node's implementation (shapes must stay compatible);
+    /// returns the displaced module so wrappers (obs::GraphProfiler) can
+    /// reinstall it later.
+    ModulePtr replace_module(std::size_t i, ModulePtr m) {
+        std::swap(nodes_[i].module, m);
+        return m;
+    }
 
 private:
     enum class Kind { kInput, kModule, kConcat, kAdd };

@@ -1,0 +1,69 @@
+#include "obs/logger.hpp"
+
+namespace sky::obs {
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kDebug: return "debug";
+        case LogLevel::kInfo: return "info";
+        case LogLevel::kWarn: return "warn";
+    }
+    return "?";
+}
+
+void Logger::vlogf(LogLevel level, const char* fmt, std::va_list args) {
+    char buf[1024];
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    write(level, buf);
+}
+
+void Logger::logf(LogLevel level, const char* fmt, ...) {
+    std::va_list args;
+    va_start(args, fmt);
+    vlogf(level, fmt, args);
+    va_end(args);
+}
+
+void Logger::debugf(const char* fmt, ...) {
+    std::va_list args;
+    va_start(args, fmt);
+    vlogf(LogLevel::kDebug, fmt, args);
+    va_end(args);
+}
+
+void Logger::infof(const char* fmt, ...) {
+    std::va_list args;
+    va_start(args, fmt);
+    vlogf(LogLevel::kInfo, fmt, args);
+    va_end(args);
+}
+
+void Logger::warnf(const char* fmt, ...) {
+    std::va_list args;
+    va_start(args, fmt);
+    vlogf(LogLevel::kWarn, fmt, args);
+    va_end(args);
+}
+
+void StreamLogger::write(LogLevel level, const std::string& msg) {
+    if (level < min_level_) return;
+    std::fprintf(out_, "%s\n", msg.c_str());
+    std::fflush(out_);
+}
+
+Logger& null_logger() {
+    static NullLogger logger;
+    return logger;
+}
+
+Logger& stdout_logger() {
+    static StreamLogger logger(stdout);
+    return logger;
+}
+
+Logger& resolve(Logger* log, bool verbose) {
+    if (log) return *log;
+    return verbose ? stdout_logger() : null_logger();
+}
+
+}  // namespace sky::obs

@@ -1,0 +1,64 @@
+// Pluggable logging sink for the library's progress output.
+//
+// Library code never writes to stdout directly: every component that used to
+// gate `std::printf` behind a `verbose` bool now takes an `obs::Logger*`
+// (nullptr by default) and routes its messages through `resolve()`.  The
+// default sink is a no-op, so instrumented code paths cost one pointer test
+// when observability is off; tests install a capturing logger to assert on
+// the emitted text.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace sky::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2 };
+
+[[nodiscard]] const char* level_name(LogLevel level);
+
+class Logger {
+public:
+    virtual ~Logger() = default;
+
+    /// Sink entry point: receive one complete message (no trailing newline).
+    virtual void write(LogLevel level, const std::string& msg) = 0;
+
+    // printf-style conveniences; messages longer than 1 KiB are truncated.
+    void logf(LogLevel level, const char* fmt, ...);
+    void debugf(const char* fmt, ...);
+    void infof(const char* fmt, ...);
+    void warnf(const char* fmt, ...);
+
+private:
+    void vlogf(LogLevel level, const char* fmt, std::va_list args);
+};
+
+/// Swallows everything (the default sink).
+class NullLogger final : public Logger {
+public:
+    void write(LogLevel, const std::string&) override {}
+};
+
+/// Prints to a stdio stream, one line per message.
+class StreamLogger final : public Logger {
+public:
+    explicit StreamLogger(std::FILE* out = stdout, LogLevel min_level = LogLevel::kDebug)
+        : out_(out), min_level_(min_level) {}
+    void write(LogLevel level, const std::string& msg) override;
+
+private:
+    std::FILE* out_;
+    LogLevel min_level_;
+};
+
+/// Process-wide singleton sinks.
+[[nodiscard]] Logger& null_logger();
+[[nodiscard]] Logger& stdout_logger();
+
+/// Config helper: an explicitly supplied sink always wins; otherwise the
+/// legacy `verbose` bool selects between stdout and the no-op sink.
+[[nodiscard]] Logger& resolve(Logger* log, bool verbose);
+
+}  // namespace sky::obs

@@ -1,0 +1,192 @@
+#include "obs/profiler.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/logger.hpp"
+#include "obs/trace.hpp"
+
+namespace sky::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Timing shim installed around each module node.  Owns the real module and
+/// forwards every Module virtual to it, so the wrapped graph behaves
+/// identically to training, serialization and the hardware estimators.
+class ProfiledModule final : public nn::Module {
+public:
+    ProfiledModule(nn::ModulePtr inner, LayerProfile* prof)
+        : inner_(std::move(inner)), prof_(prof) {}
+
+    Tensor forward(const Tensor& x) override {
+        Span span(prof_->name.c_str(), "layer");
+        const auto t0 = Clock::now();
+        Tensor y = inner_->forward(x);
+        prof_->fwd_ms += ms_since(t0);
+        ++prof_->fwd_calls;
+        prof_->in = x.shape();
+        prof_->out = y.shape();
+        prof_->macs = inner_->macs(x.shape());
+        double sum = 0.0, absmax = 0.0;
+        const float* p = y.data();
+        for (std::int64_t i = 0, n = y.size(); i < n; ++i) {
+            sum += p[i];
+            absmax = std::max(absmax, static_cast<double>(std::fabs(p[i])));
+        }
+        prof_->out_mean = y.size() ? sum / static_cast<double>(y.size()) : 0.0;
+        prof_->out_absmax = absmax;
+        return y;
+    }
+
+    Tensor backward(const Tensor& grad_out) override {
+        const auto t0 = Clock::now();
+        Tensor g = inner_->backward(grad_out);
+        prof_->bwd_ms += ms_since(t0);
+        ++prof_->bwd_calls;
+        return g;
+    }
+
+    void collect_params(std::vector<nn::ParamRef>& out) override {
+        inner_->collect_params(out);
+    }
+    void collect_state(std::vector<Tensor*>& out) override { inner_->collect_state(out); }
+    void set_training(bool training) override {
+        Module::set_training(training);
+        inner_->set_training(training);
+    }
+    [[nodiscard]] std::string name() const override { return inner_->name(); }
+    [[nodiscard]] Shape out_shape(const Shape& in) const override {
+        return inner_->out_shape(in);
+    }
+    [[nodiscard]] std::int64_t macs(const Shape& in) const override {
+        return inner_->macs(in);
+    }
+    [[nodiscard]] std::int64_t param_count() const override { return inner_->param_count(); }
+    [[nodiscard]] std::string kind() const override { return inner_->kind(); }
+    void enumerate(const Shape& in, std::vector<nn::LayerInfo>& out) const override {
+        inner_->enumerate(in, out);
+    }
+
+    [[nodiscard]] nn::ModulePtr release_inner() { return std::move(inner_); }
+
+private:
+    nn::ModulePtr inner_;
+    LayerProfile* prof_;
+};
+
+}  // namespace
+
+GraphProfiler::GraphProfiler(nn::Graph& graph) : graph_(&graph) {
+    for (std::size_t i = 0; i < graph.node_count(); ++i) {
+        if (graph.node_kind(i) != nn::Graph::NodeKind::kModule) continue;
+        auto prof = std::make_unique<LayerProfile>();
+        prof->node = static_cast<int>(i);
+        prof->name = graph.node_module(i)->name();
+        prof->kind = graph.node_module(i)->kind();
+        prof->params = graph.node_module(i)->param_count();
+        nn::ModulePtr original = graph.replace_module(i, nullptr);
+        graph.replace_module(
+            i, std::make_unique<ProfiledModule>(std::move(original), prof.get()));
+        slots_.push_back(std::move(prof));
+    }
+    attached_ = true;
+}
+
+GraphProfiler::~GraphProfiler() { detach(); }
+
+void GraphProfiler::detach() {
+    if (!attached_) return;
+    for (const auto& slot : slots_) {
+        const auto node = static_cast<std::size_t>(slot->node);
+        auto* shim = static_cast<ProfiledModule*>(graph_->node_module(node));
+        graph_->replace_module(node, shim->release_inner());
+    }
+    attached_ = false;
+}
+
+void GraphProfiler::reset() {
+    for (const auto& slot : slots_) {
+        slot->fwd_calls = 0;
+        slot->bwd_calls = 0;
+        slot->fwd_ms = 0.0;
+        slot->bwd_ms = 0.0;
+        slot->out_mean = 0.0;
+        slot->out_absmax = 0.0;
+    }
+}
+
+std::vector<LayerProfile> GraphProfiler::profiles() const {
+    std::vector<LayerProfile> out;
+    out.reserve(slots_.size());
+    for (const auto& slot : slots_) out.push_back(*slot);
+    return out;
+}
+
+double GraphProfiler::total_forward_ms() const {
+    double total = 0.0;
+    for (const auto& slot : slots_) total += slot->fwd_ms;
+    return total;
+}
+
+double GraphProfiler::total_backward_ms() const {
+    double total = 0.0;
+    for (const auto& slot : slots_) total += slot->bwd_ms;
+    return total;
+}
+
+std::string GraphProfiler::to_json() const {
+    std::ostringstream os;
+    os << "{\n  \"layers\": [";
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const LayerProfile& p = *slots_[i];
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "\"fwd_calls\": %d, \"bwd_calls\": %d, \"fwd_ms\": %.6f, "
+                      "\"bwd_ms\": %.6f, \"out_mean\": %.6g, \"out_absmax\": %.6g",
+                      p.fwd_calls, p.bwd_calls, p.fwd_ms, p.bwd_ms,
+                      std::isfinite(p.out_mean) ? p.out_mean : 0.0,
+                      std::isfinite(p.out_absmax) ? p.out_absmax : 0.0);
+        os << (i ? "," : "") << "\n    {\"node\": " << p.node << ", \"name\": \"" << p.name
+           << "\", \"kind\": \"" << p.kind << "\", \"in\": " << p.in.str()
+           << ", \"out\": " << p.out.str() << ", \"macs\": " << p.macs
+           << ", \"params\": " << p.params << ", " << buf << "}";
+    }
+    char totals[96];
+    std::snprintf(totals, sizeof totals,
+                  "\n  \"total_fwd_ms\": %.6f,\n  \"total_bwd_ms\": %.6f\n",
+                  total_forward_ms(), total_backward_ms());
+    os << (slots_.empty() ? "" : "\n  ") << "]," << totals << "}\n";
+    return os.str();
+}
+
+bool GraphProfiler::save_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_json();
+    return static_cast<bool>(out);
+}
+
+void GraphProfiler::print_table(Logger& log) const {
+    const double total_ms = total_forward_ms();
+    log.infof("%4s %-24s %-8s %-18s %12s %10s %10s %7s", "node", "layer", "kind", "out",
+              "MACs", "ms/call", "fwd ms", "%");
+    for (const auto& slot : slots_) {
+        const LayerProfile& p = *slot;
+        const double pct = total_ms > 0.0 ? 100.0 * p.fwd_ms / total_ms : 0.0;
+        log.infof("%4d %-24s %-8s %-18s %12lld %10.3f %10.3f %6.1f%%", p.node,
+                  p.name.c_str(), p.kind.c_str(), p.out.str().c_str(),
+                  static_cast<long long>(p.macs), p.fwd_ms_avg(), p.fwd_ms, pct);
+    }
+    log.infof("%4s %-24s %-8s %-18s %12s %10s %10.3f %6s", "", "total", "", "", "", "",
+              total_ms, "100%");
+}
+
+}  // namespace sky::obs

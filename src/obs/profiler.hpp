@@ -1,0 +1,75 @@
+// Per-layer profiler for Graph networks.
+//
+// GraphProfiler wraps every module node of a Graph in a timing shim (via
+// Graph::replace_module) that records forward/backward wall time, the MAC
+// count at the observed input shape, and output-tensor statistics — the
+// per-layer cost data behind the paper's Bundle latency models and roofline
+// analyses, measured instead of estimated.  While a trace session is
+// installed each layer forward also emits a span, so a profiled inference
+// shows up in chrome://tracing as a per-layer timeline.  The shims delegate
+// everything else (params, state, shapes, enumerate), so a profiled network
+// trains, checkpoints and estimates identically; detach() restores the
+// original modules.
+#pragma once
+
+#include <memory>
+
+#include "nn/graph.hpp"
+
+namespace sky::obs {
+
+class Logger;
+
+struct LayerProfile {
+    int node = 0;  ///< graph node id
+    std::string name;
+    std::string kind;
+    Shape in, out;              ///< shapes seen by the last forward
+    std::int64_t macs = 0;      ///< at the last forward's input shape
+    std::int64_t params = 0;
+    int fwd_calls = 0;
+    int bwd_calls = 0;
+    double fwd_ms = 0.0;  ///< accumulated
+    double bwd_ms = 0.0;
+    double out_mean = 0.0;    ///< over the last forward's output
+    double out_absmax = 0.0;
+
+    [[nodiscard]] double fwd_ms_avg() const {
+        return fwd_calls ? fwd_ms / fwd_calls : 0.0;
+    }
+};
+
+class GraphProfiler {
+public:
+    /// Wraps every kModule node of `graph`; the graph must outlive the
+    /// profiler (or detach() must be called first).
+    explicit GraphProfiler(nn::Graph& graph);
+    ~GraphProfiler();
+    GraphProfiler(const GraphProfiler&) = delete;
+    GraphProfiler& operator=(const GraphProfiler&) = delete;
+
+    /// Restore the original modules (idempotent; called by the destructor).
+    void detach();
+    /// Zero all accumulated timings and call counts.
+    void reset();
+
+    /// Number of profiled (module) nodes.
+    [[nodiscard]] std::size_t layer_count() const { return slots_.size(); }
+    [[nodiscard]] std::vector<LayerProfile> profiles() const;
+    [[nodiscard]] double total_forward_ms() const;
+    [[nodiscard]] double total_backward_ms() const;
+
+    /// {"layers": [...], "total_fwd_ms": ..., "total_bwd_ms": ...}
+    [[nodiscard]] std::string to_json() const;
+    bool save_json(const std::string& path) const;
+    /// Fixed-width per-layer table (name, kind, out shape, MACs, time, %).
+    void print_table(Logger& log) const;
+
+private:
+    nn::Graph* graph_;
+    // Heap slots so the shim modules hold stable LayerProfile pointers.
+    std::vector<std::unique_ptr<LayerProfile>> slots_;
+    bool attached_ = false;
+};
+
+}  // namespace sky::obs

@@ -1,0 +1,167 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sky::obs {
+namespace {
+
+// JSON number or null for non-finite values (NaN losses must not produce an
+// unparseable document).
+std::string num(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+}  // namespace
+
+void Registry::add(const std::string& name, double delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+}
+
+void Registry::set(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[name] = value;
+}
+
+void Registry::define_histogram(const std::string& name, std::vector<double> bounds) {
+    std::sort(bounds.begin(), bounds.end());
+    std::lock_guard<std::mutex> lock(mu_);
+    Histogram& h = histograms_[name];
+    h = Histogram{};
+    h.bounds = std::move(bounds);
+    h.counts.assign(h.bounds.size() + 1, 0);
+}
+
+void Registry::observe(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Histogram& h = histograms_[name];
+    if (h.counts.empty()) {
+        h.bounds = default_bounds();
+        h.counts.assign(h.bounds.size() + 1, 0);
+    }
+    std::size_t bucket = 0;
+    while (bucket < h.bounds.size() && value > h.bounds[bucket]) ++bucket;
+    ++h.counts[bucket];
+    if (h.count == 0) {
+        h.min = value;
+        h.max = value;
+    } else {
+        h.min = std::min(h.min, value);
+        h.max = std::max(h.max, value);
+    }
+    ++h.count;
+    h.sum += value;
+}
+
+double Registry::counter(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+double Registry::gauge(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramSnapshot Registry::histogram(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) return {};
+    const Histogram& h = it->second;
+    return {h.bounds, h.counts, h.count, h.sum, h.min, h.max};
+}
+
+RegistrySnapshot Registry::snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    RegistrySnapshot snap;
+    for (const auto& [name, v] : counters_) snap.counters.emplace_back(name, v);
+    for (const auto& [name, v] : gauges_) snap.gauges.emplace_back(name, v);
+    for (const auto& [name, h] : histograms_)
+        snap.histograms.emplace_back(
+            name, HistogramSnapshot{h.bounds, h.counts, h.count, h.sum, h.min, h.max});
+    return snap;
+}
+
+std::string Registry::to_json() const {
+    const RegistrySnapshot snap = snapshot();
+    std::ostringstream os;
+    os << "{\n  \"counters\": {";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i)
+        os << (i ? "," : "") << "\n    \"" << escape(snap.counters[i].first)
+           << "\": " << num(snap.counters[i].second);
+    os << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i)
+        os << (i ? "," : "") << "\n    \"" << escape(snap.gauges[i].first)
+           << "\": " << num(snap.gauges[i].second);
+    os << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+        const auto& [name, h] = snap.histograms[i];
+        os << (i ? "," : "") << "\n    \"" << escape(name) << "\": {\"count\": " << h.count
+           << ", \"sum\": " << num(h.sum) << ", \"min\": " << num(h.min)
+           << ", \"max\": " << num(h.max) << ", \"bounds\": [";
+        for (std::size_t j = 0; j < h.bounds.size(); ++j)
+            os << (j ? ", " : "") << num(h.bounds[j]);
+        os << "], \"counts\": [";
+        for (std::size_t j = 0; j < h.counts.size(); ++j)
+            os << (j ? ", " : "") << h.counts[j];
+        os << "]}";
+    }
+    os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+    return os.str();
+}
+
+std::string Registry::to_csv() const {
+    const RegistrySnapshot snap = snapshot();
+    std::ostringstream os;
+    os << "type,name,value,count,sum,min,max\n";
+    for (const auto& [name, v] : snap.counters) os << "counter," << name << "," << v << ",,,,\n";
+    for (const auto& [name, v] : snap.gauges) os << "gauge," << name << "," << v << ",,,,\n";
+    for (const auto& [name, h] : snap.histograms)
+        os << "histogram," << name << ",," << h.count << "," << h.sum << "," << h.min << ","
+           << h.max << "\n";
+    return os.str();
+}
+
+bool Registry::save_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_json();
+    return static_cast<bool>(out);
+}
+
+void Registry::clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+std::vector<double> Registry::default_bounds() {
+    return {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0};
+}
+
+Registry& default_registry() {
+    static Registry registry;
+    return registry;
+}
+
+}  // namespace sky::obs

@@ -1,0 +1,92 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// This is the single sink for every number the library wants to expose —
+// training losses, search-stage costs, bench headline results — so one
+// snapshot-to-JSON/CSV call produces a uniform machine-readable dump.  All
+// operations are thread-safe (one mutex; metric updates are far off any
+// per-element hot path).  Components take an `obs::Registry*` that defaults
+// to nullptr, so with observability off nothing is ever locked or allocated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sky::obs {
+
+struct HistogramSnapshot {
+    std::vector<double> bounds;         ///< ascending bucket upper bounds
+    std::vector<std::uint64_t> counts;  ///< bounds.size()+1 (last = overflow)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    [[nodiscard]] double mean() const {
+        return count ? sum / static_cast<double>(count) : 0.0;
+    }
+};
+
+struct RegistrySnapshot {
+    std::vector<std::pair<std::string, double>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class Registry {
+public:
+    /// Increment a (monotonic) counter, creating it at zero on first use.
+    void add(const std::string& name, double delta = 1.0);
+    /// Set a gauge to an instantaneous value.
+    void set(const std::string& name, double value);
+    /// Install explicit histogram bucket bounds (ascending upper bounds).
+    /// Observations land in the first bucket whose bound >= value; beyond the
+    /// last bound they land in the implicit overflow bucket.
+    void define_histogram(const std::string& name, std::vector<double> bounds);
+    /// Record one histogram observation; undeclared histograms get
+    /// default_bounds().
+    void observe(const std::string& name, double value);
+
+    [[nodiscard]] double counter(const std::string& name) const;  ///< 0 if absent
+    [[nodiscard]] double gauge(const std::string& name) const;    ///< 0 if absent
+    [[nodiscard]] HistogramSnapshot histogram(const std::string& name) const;
+    [[nodiscard]] RegistrySnapshot snapshot() const;
+
+    /// {"counters": {...}, "gauges": {...}, "histograms": {...}}, sorted by
+    /// name; non-finite values are emitted as null so the document always
+    /// parses.
+    [[nodiscard]] std::string to_json() const;
+    /// One line per metric: type,name,value,count,sum,min,max.
+    [[nodiscard]] std::string to_csv() const;
+    bool save_json(const std::string& path) const;
+
+    void clear();
+
+    /// Decade buckets 1e-3 .. 1e4 — wide enough for both microsecond layer
+    /// times and multi-second stage times in ms units.
+    [[nodiscard]] static std::vector<double> default_bounds();
+
+private:
+    struct Histogram {
+        std::vector<double> bounds;
+        std::vector<std::uint64_t> counts;
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::string, double> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+/// Process-wide registry for code that has no config to thread one through
+/// (the bench harness uses its own; library components take a pointer).
+[[nodiscard]] Registry& default_registry();
+
+}  // namespace sky::obs

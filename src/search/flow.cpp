@@ -1,7 +1,6 @@
 #include "search/flow.hpp"
 
-#include <cstdio>
-
+#include "obs/trace.hpp"
 #include "skynet/skynet_model.hpp"
 #include "train/trainer.hpp"
 
@@ -9,31 +8,41 @@ namespace sky::search {
 
 FlowResult run_flow(data::DetectionDataset& dataset, const hwsim::GpuModel& gpu,
                     const hwsim::FpgaModel& fpga, const FlowConfig& cfg) {
+    obs::Logger& log = obs::resolve(cfg.log, cfg.verbose);
+    obs::Span flow_span("flow", "search");
     FlowResult result;
 
     // ---- Stage 1: Bundle selection and evaluation.
-    result.stage1 = evaluate_bundles(enumerate_bundles(), dataset, fpga, cfg.stage1);
     std::vector<BundleSpec> selected;
-    for (const BundleEval& ev : result.stage1)
-        if (ev.pareto && static_cast<int>(selected.size()) < cfg.max_groups)
-            selected.push_back(ev.spec);
-    if (selected.empty()) selected.push_back(skynet_bundle());
-    if (cfg.verbose) {
-        std::printf("Stage 1: %zu bundles evaluated, %zu selected\n", result.stage1.size(),
-                    selected.size());
-        for (const auto& ev : result.stage1)
-            std::printf("  %-12s iou %.3f  lat %.1f us  dsp %d  bram %d %s\n",
-                        ev.spec.name.c_str(), ev.sketch_iou, ev.latency_us, ev.dsp,
-                        ev.bram18k, ev.pareto ? "[pareto]" : "");
+    {
+        obs::Span span("flow/stage1-bundle-selection", "search");
+        result.stage1 = evaluate_bundles(enumerate_bundles(), dataset, fpga, cfg.stage1);
+        for (const BundleEval& ev : result.stage1)
+            if (ev.pareto && static_cast<int>(selected.size()) < cfg.max_groups)
+                selected.push_back(ev.spec);
+        if (selected.empty()) selected.push_back(skynet_bundle());
     }
+    log.infof("Stage 1: %zu bundles evaluated, %zu selected", result.stage1.size(),
+              selected.size());
+    for (const auto& ev : result.stage1)
+        log.infof("  %-12s iou %.3f  lat %.1f us  dsp %d  bram %d %s",
+                  ev.spec.name.c_str(), ev.sketch_iou, ev.latency_us, ev.dsp, ev.bram18k,
+                  ev.pareto ? "[pareto]" : "");
 
     // ---- Stage 2: group-based PSO over the selected bundles.
-    PsoSearch pso(selected, cfg.stage2, dataset, gpu, fpga);
-    result.stage2 = pso.run();
+    {
+        obs::Span span("flow/stage2-pso", "search");
+        PsoConfig stage2 = cfg.stage2;
+        if (!stage2.log) stage2.log = cfg.log;
+        stage2.verbose = stage2.verbose || cfg.verbose;
+        PsoSearch pso(selected, stage2, dataset, gpu, fpga);
+        result.stage2 = pso.run();
+    }
 
     // ---- Stage 3: feature addition on top of the discovered family.
     // The paper adds the bypass+reordering and swaps ReLU for ReLU6; we
     // compare exactly those steps on the SkyNet topology at search width.
+    obs::Span stage3_span("flow/stage3-feature-addition", "search");
     struct Variant {
         const char* desc;
         SkyNetVariant v;
@@ -46,6 +55,7 @@ FlowResult run_flow(data::DetectionDataset& dataset, const hwsim::GpuModel& gpu,
     };
     const detect::YoloHead head;
     for (const Variant& v : variants) {
+        obs::Span span(v.desc, "search");
         Rng rng(cfg.stage2.seed ^ 0x57A6E3);
         SkyNetConfig sc;
         sc.variant = v.v;
@@ -66,11 +76,9 @@ FlowResult run_flow(data::DetectionDataset& dataset, const hwsim::GpuModel& gpu,
                           {1, 3, dataset.config().height, dataset.config().width})
                 .latency_ms;
         result.stage3.push_back(std::move(fr));
-        if (cfg.verbose)
-            std::printf("Stage 3: %-28s iou %.3f  fpga %.2f ms\n",
-                        result.stage3.back().description.c_str(),
-                        result.stage3.back().val_iou,
-                        result.stage3.back().fpga_latency_ms);
+        log.infof("Stage 3: %-28s iou %.3f  fpga %.2f ms",
+                  result.stage3.back().description.c_str(), result.stage3.back().val_iou,
+                  result.stage3.back().fpga_latency_ms);
     }
     (void)gpu;
     return result;

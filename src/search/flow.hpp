@@ -4,6 +4,7 @@
 // driver used by examples/nas_search.cpp and the search bench.
 #pragma once
 
+#include "obs/logger.hpp"
 #include "search/bundle_search.hpp"
 #include "search/pso.hpp"
 
@@ -16,7 +17,10 @@ struct FlowConfig {
     /// Stage 3: training budget when comparing feature additions.
     int stage3_train_steps = 150;
     int stage3_batch = 8;
-    bool verbose = false;
+    bool verbose = false;  ///< with no explicit `log`, selects the stdout sink
+    /// Progress sink for all three stages (propagated into the PSO unless
+    /// stage2 installs its own); nullptr falls back to `verbose`.
+    obs::Logger* log = nullptr;
 };
 
 struct FeatureAdditionResult {

@@ -130,10 +130,10 @@ PsoResult PsoSearch::run() {
             if (best->fitness > result.global_best.fitness) result.global_best = *best;
         }
         result.best_fitness_history.push_back(result.global_best.fitness);
-        if (cfg_.verbose)
-            std::printf("PSO iter %d: best fitness %.4f (acc %.3f, fpga %.2f ms)\n", itr,
-                        result.global_best.fitness, result.global_best.accuracy,
-                        result.global_best.fpga_latency_ms);
+        obs::resolve(cfg_.log, cfg_.verbose)
+            .infof("PSO iter %d: best fitness %.4f (acc %.3f, fpga %.2f ms)", itr,
+                   result.global_best.fitness, result.global_best.accuracy,
+                   result.global_best.fpga_latency_ms);
 
         // Velocity calculation and particle update (within each group).
         if (itr + 1 < cfg_.iterations)

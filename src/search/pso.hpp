@@ -15,6 +15,7 @@
 #include "data/synth_detection.hpp"
 #include "hwsim/fpga_model.hpp"
 #include "hwsim/gpu_model.hpp"
+#include "obs/logger.hpp"
 #include "skynet/bundle.hpp"
 
 namespace sky::search {
@@ -47,7 +48,8 @@ struct PsoConfig {
     int train_batch = 8;
     int val_images = 32;
     std::uint64_t seed = 1234;
-    bool verbose = false;
+    bool verbose = false;  ///< with no explicit `log`, selects the stdout sink
+    obs::Logger* log = nullptr;
 };
 
 struct PsoResult {

@@ -1,10 +1,11 @@
 #include "train/trainer.hpp"
 
-#include <cstdio>
+#include <chrono>
 
 #include "data/augment.hpp"
 #include "detect/metrics.hpp"
 #include "io/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace sky::train {
 
@@ -16,12 +17,16 @@ DetectTrainResult train_detector(nn::Module& net, const detect::YoloHead& head,
     nn::SGD opt(params, {cfg.lr_start, cfg.momentum, cfg.weight_decay, cfg.grad_clip});
     nn::ExpSchedule sched(cfg.lr_start, cfg.lr_end, cfg.steps);
 
+    obs::Logger& log = obs::resolve(cfg.log, cfg.verbose);
     DetectTrainResult result;
     net.set_training(true);
     const int base_h = dataset.config().height;
     const int base_w = dataset.config().width;
     const float scales[3] = {0.75f, 1.0f, 1.25f};
+    using Clock = std::chrono::steady_clock;
     for (int step = 0; step < cfg.steps; ++step) {
+        obs::Span span("train/step", "train");
+        const Clock::time_point t0 = cfg.metrics ? Clock::now() : Clock::time_point{};
         opt.set_lr(sched.at(step));
         data::DetectionBatch b = dataset.batch(cfg.batch);
         Tensor input = std::move(b.images);
@@ -41,8 +46,16 @@ DetectTrainResult train_detector(nn::Module& net, const detect::YoloHead& head,
         opt.zero_grad();
         net.backward(grad);
         opt.step();
-        if (cfg.verbose && step % 50 == 0)
-            std::printf("  step %4d  loss %.4f  lr %.4g\n", step, loss, opt.lr());
+        if (cfg.metrics) {
+            cfg.metrics->add("train.detect.steps");
+            cfg.metrics->set("train.detect.loss", loss);
+            cfg.metrics->set("train.detect.lr", opt.lr());
+            cfg.metrics->observe(
+                "train.detect.step_ms",
+                std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+        }
+        if (step % 50 == 0)
+            log.infof("  step %4d  loss %.4f  lr %.4g", step, loss, opt.lr());
         if (!cfg.checkpoint_path.empty() && cfg.checkpoint_every > 0 &&
             (step + 1) % cfg.checkpoint_every == 0)
             io::save_weights(net, cfg.checkpoint_path);
@@ -51,7 +64,15 @@ DetectTrainResult train_detector(nn::Module& net, const detect::YoloHead& head,
     if (!cfg.checkpoint_path.empty()) io::save_weights(net, cfg.checkpoint_path);
 
     net.set_training(false);
-    result.val_iou = evaluate_detector(net, head, dataset.validation(cfg.val_images));
+    {
+        obs::Span span("train/validate", "train");
+        result.val_iou = evaluate_detector(net, head, dataset.validation(cfg.val_images));
+    }
+    if (cfg.metrics) {
+        cfg.metrics->set("train.detect.final_loss", result.final_loss);
+        cfg.metrics->set("train.detect.val_iou", result.val_iou);
+    }
+    log.infof("  done: val IoU %.3f  final loss %.4f", result.val_iou, result.final_loss);
     return result;
 }
 
@@ -68,9 +89,13 @@ ClassifyTrainResult train_classifier(nn::Module& net, data::ClassificationDatase
     nn::SGD opt(params, {cfg.lr_start, cfg.momentum, cfg.weight_decay, cfg.grad_clip});
     nn::ExpSchedule sched(cfg.lr_start, cfg.lr_end, cfg.steps);
 
+    obs::Logger& log = obs::resolve(cfg.log, cfg.verbose);
     ClassifyTrainResult result;
     net.set_training(true);
+    using Clock = std::chrono::steady_clock;
     for (int step = 0; step < cfg.steps; ++step) {
+        obs::Span span("train/step", "train");
+        const Clock::time_point t0 = cfg.metrics ? Clock::now() : Clock::time_point{};
         opt.set_lr(sched.at(step));
         data::ClassificationBatch b = dataset.batch(cfg.batch);
         Tensor logits = net.forward(b.images);
@@ -80,11 +105,20 @@ ClassifyTrainResult train_classifier(nn::Module& net, data::ClassificationDatase
         opt.zero_grad();
         net.backward(grad);
         opt.step();
-        if (cfg.verbose && step % 50 == 0)
-            std::printf("  step %4d  loss %.4f  acc %.3f\n", step, ce.loss, ce.accuracy);
+        if (cfg.metrics) {
+            cfg.metrics->add("train.classify.steps");
+            cfg.metrics->set("train.classify.loss", ce.loss);
+            cfg.metrics->set("train.classify.batch_accuracy", ce.accuracy);
+            cfg.metrics->observe(
+                "train.classify.step_ms",
+                std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+        }
+        if (step % 50 == 0)
+            log.infof("  step %4d  loss %.4f  acc %.3f", step, ce.loss, ce.accuracy);
     }
     net.set_training(false);
     result.val_accuracy = evaluate_classifier(net, dataset.validation(cfg.val_images));
+    if (cfg.metrics) cfg.metrics->set("train.classify.val_accuracy", result.val_accuracy);
     return result;
 }
 

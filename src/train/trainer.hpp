@@ -11,6 +11,8 @@
 #include <string>
 
 #include "nn/optimizer.hpp"
+#include "obs/logger.hpp"
+#include "obs/registry.hpp"
 
 namespace sky::train {
 
@@ -24,7 +26,12 @@ struct DetectTrainConfig {
     float grad_clip = 5.0f;
     bool multi_scale = true;  ///< randomly rescale each batch by {0.75, 1, 1.25}
     int val_images = 64;
-    bool verbose = false;
+    bool verbose = false;  ///< with no explicit `log`, selects the stdout sink
+    /// Progress sink; nullptr falls back to `verbose` (obs::resolve).
+    obs::Logger* log = nullptr;
+    /// When set, receives step timing (`train.step_ms` histogram), loss and
+    /// validation metrics; nullptr records nothing.
+    obs::Registry* metrics = nullptr;
     /// When non-empty, save the weights to this path every
     /// `checkpoint_every` steps (and once more after training).
     std::string checkpoint_path;
@@ -57,7 +64,9 @@ struct ClassifyTrainConfig {
     float weight_decay = 1e-4f;
     float grad_clip = 5.0f;
     int val_images = 128;
-    bool verbose = false;
+    bool verbose = false;  ///< with no explicit `log`, selects the stdout sink
+    obs::Logger* log = nullptr;
+    obs::Registry* metrics = nullptr;
 };
 
 struct ClassifyTrainResult {

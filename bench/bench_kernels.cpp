@@ -1,95 +1,113 @@
-// Google-benchmark microbenchmarks for the layer kernels SkyNet is built
-// from.  These show on real silicon what the paper's Bundle choice exploits:
-// DW-Conv3 + PW-Conv1 does an order of magnitude less work than a dense
-// 3x3 convolution at equal width.
-#include <benchmark/benchmark.h>
+// Kernel-engine bench: layer kernels and the full SkyNet forward, each timed
+// single-threaded and with the kernel engine's full thread pool, so the
+// im2col+SGEMM path and the parallel_for speedup are both visible.  Also
+// shows on real silicon what the paper's Bundle choice exploits: DW-Conv3 +
+// PW-Conv1 does an order of magnitude less work than a dense 3x3 convolution
+// at equal width.
+//
+//   ./build/bench/bench_kernels [--json <path>]
+//
+// Thread count comes from SKYNET_THREADS (default: hardware concurrency).
+// Headline gauges: kernels.model.fwd_ms_1t / fwd_ms_nt / speedup / gflops_nt.
+#include <chrono>
+#include <cstdio>
 
-#include "nn/batchnorm.hpp"
+#include "bench_common.hpp"
+#include "core/thread_pool.hpp"
 #include "nn/conv.hpp"
 #include "nn/dwconv.hpp"
-#include "nn/pooling.hpp"
 #include "nn/pwconv.hpp"
-#include "nn/space_to_depth.hpp"
+#include "skynet/skynet_model.hpp"
 
 namespace {
 
 using namespace sky;
+using Clock = std::chrono::steady_clock;
 
-Tensor make_input(int c, int h, int w) {
+Tensor make_input(int n, int c, int h, int w) {
     Rng rng(1);
-    Tensor x({1, c, h, w});
-    x.randn(rng);
+    Tensor x({n, c, h, w});
+    x.rand_uniform(rng, 0.0f, 1.0f);
     return x;
 }
 
-void BM_Conv3x3(benchmark::State& state) {
-    const int ch = static_cast<int>(state.range(0));
-    Rng rng(2);
-    nn::Conv2d conv(ch, ch, 3, 1, 1, false, rng);
-    conv.set_training(false);
-    Tensor x = make_input(ch, 40, 80);
-    for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
-    state.SetItemsProcessed(state.iterations() * conv.macs(x.shape()));
+/// Best-of-`reps` wall time of fn() in ms (one untimed warmup).
+template <typename Fn>
+double time_ms(int reps, Fn&& fn) {
+    fn();
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = Clock::now();
+        fn();
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+        if (ms < best) best = ms;
+    }
+    return best;
 }
-BENCHMARK(BM_Conv3x3)->Arg(48)->Arg(96);
 
-void BM_DWConv3(benchmark::State& state) {
-    const int ch = static_cast<int>(state.range(0));
-    Rng rng(3);
-    nn::DWConv3 conv(ch, rng);
-    conv.set_training(false);
-    Tensor x = make_input(ch, 40, 80);
-    for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
-    state.SetItemsProcessed(state.iterations() * conv.macs(x.shape()));
+/// Time fn() at 1 thread and at `threads`, record and print the pair.
+template <typename Fn>
+void bench_pair(const std::string& name, std::int64_t macs, int threads, int reps,
+                Fn&& fn) {
+    core::ThreadPool::set_global_threads(1);
+    const double t1 = time_ms(reps, fn);
+    core::ThreadPool::set_global_threads(threads);
+    const double tn = time_ms(reps, fn);
+    const double speedup = tn > 0.0 ? t1 / tn : 0.0;
+    const double gflops = tn > 0.0 ? 2.0 * static_cast<double>(macs) / (tn * 1e6) : 0.0;
+    std::printf("%-28s %10.3f ms @1t %10.3f ms @%dt  x%.2f  %7.2f GFLOP/s\n",
+                name.c_str(), t1, tn, threads, speedup, gflops);
+    bench::record("kernels." + name + ".fwd_ms_1t", t1);
+    bench::record("kernels." + name + ".fwd_ms_nt", tn);
+    bench::record("kernels." + name + ".speedup", speedup);
+    bench::record("kernels." + name + ".gflops_nt", gflops);
 }
-BENCHMARK(BM_DWConv3)->Arg(48)->Arg(96);
-
-void BM_PWConv1(benchmark::State& state) {
-    const int ch = static_cast<int>(state.range(0));
-    Rng rng(4);
-    nn::PWConv1 conv(ch, ch, false, rng);
-    conv.set_training(false);
-    Tensor x = make_input(ch, 40, 80);
-    for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
-    state.SetItemsProcessed(state.iterations() * conv.macs(x.shape()));
-}
-BENCHMARK(BM_PWConv1)->Arg(48)->Arg(96);
-
-void BM_Bundle_DW_PW(benchmark::State& state) {
-    // The full SkyNet Bundle at channel width 48 (Bundle #1 scale).
-    const int ch = static_cast<int>(state.range(0));
-    Rng rng(5);
-    nn::DWConv3 dw(ch, rng);
-    nn::PWConv1 pw(ch, ch * 2, false, rng);
-    dw.set_training(false);
-    pw.set_training(false);
-    Tensor x = make_input(ch, 40, 80);
-    for (auto _ : state) benchmark::DoNotOptimize(pw.forward(dw.forward(x)));
-}
-BENCHMARK(BM_Bundle_DW_PW)->Arg(48);
-
-void BM_BatchNormEval(benchmark::State& state) {
-    nn::BatchNorm2d bn(96);
-    bn.set_training(false);
-    Tensor x = make_input(96, 40, 80);
-    for (auto _ : state) benchmark::DoNotOptimize(bn.forward(x));
-}
-BENCHMARK(BM_BatchNormEval);
-
-void BM_MaxPool2(benchmark::State& state) {
-    nn::MaxPool2 pool;
-    Tensor x = make_input(96, 40, 80);
-    for (auto _ : state) benchmark::DoNotOptimize(pool.forward(x));
-}
-BENCHMARK(BM_MaxPool2);
-
-void BM_SpaceToDepth(benchmark::State& state) {
-    nn::SpaceToDepth s2d(2);
-    Tensor x = make_input(192, 40, 80);
-    for (auto _ : state) benchmark::DoNotOptimize(s2d.forward(x));
-}
-BENCHMARK(BM_SpaceToDepth);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const int threads = core::ThreadPool::env_threads();
+    const int reps = bench::steps(3);
+    std::printf("kernel engine: %d thread(s), best of %d reps\n", threads, reps);
+    bench::record("kernels.threads", threads);
+    bench::rule();
+
+    Rng rng(2);
+    {
+        nn::Conv2d conv(96, 96, 3, 1, 1, false, rng);
+        conv.set_training(false);
+        Tensor x = make_input(1, 96, 40, 80);
+        const std::int64_t macs = conv.macs(x.shape());
+        bench_pair("conv3x3", macs, threads, reps, [&] { (void)conv.forward(x); });
+    }
+    {
+        nn::DWConv3 conv(96, rng);
+        conv.set_training(false);
+        Tensor x = make_input(1, 96, 40, 80);
+        bench_pair("dwconv3", conv.macs(x.shape()), threads, reps,
+                   [&] { (void)conv.forward(x); });
+    }
+    {
+        nn::PWConv1 conv(96, 96, false, rng);
+        conv.set_training(false);
+        Tensor x = make_input(1, 96, 40, 80);
+        bench_pair("pwconv1", conv.macs(x.shape()), threads, reps,
+                   [&] { (void)conv.forward(x); });
+    }
+
+    // Full SkyNet forward at the paper's input scale, batch 8 — the headline
+    // number for the parallel GEMM engine.
+    {
+        SkyNetModel model = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 1.0f},
+                                         rng);
+        model.net->set_training(false);
+        Tensor x = make_input(8, 3, 160, 320);
+        const std::int64_t macs = model.net->macs(x.shape());
+        bench_pair("model", macs, threads, reps, [&] { (void)model.net->forward(x); });
+    }
+
+    core::ThreadPool::set_global_threads(0);  // back to the environment default
+    bench::rule();
+    return bench::finish(argc, argv);
+}

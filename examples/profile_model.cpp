@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
     metrics.set("profile.total_bwd_ms", profiler.total_backward_ms());
     for (const obs::LayerProfile& p : profiler.profiles())
         metrics.observe("profile.layer_fwd_ms", p.fwd_ms_avg());
+    profiler.export_metrics(metrics, "profile.layer");
 
     const std::string profile_path = prefix + "_profile.json";
     const std::string trace_path = prefix + "_trace.json";

@@ -1,0 +1,181 @@
+#include "core/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/thread_pool.hpp"
+
+namespace sky::core {
+namespace {
+
+// Row-parallel grain: a chunk below this many rows is not worth dispatching.
+constexpr std::int64_t kRowGrain = 4;
+
+}  // namespace
+
+void sgemm_nn(int M, int N, int K, const float* A, const float* B, float* C) {
+    parallel_for(0, M, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+        std::int64_t i = r0;
+        for (; i + 4 <= r1; i += 4) {
+            const float* a0 = A + i * K;
+            const float* a1 = a0 + K;
+            const float* a2 = a1 + K;
+            const float* a3 = a2 + K;
+            float* c0 = C + i * N;
+            float* c1 = c0 + N;
+            float* c2 = c1 + N;
+            float* c3 = c2 + N;
+            for (int k = 0; k < K; ++k) {
+                const float* b = B + static_cast<std::int64_t>(k) * N;
+                const float v0 = a0[k], v1 = a1[k], v2 = a2[k], v3 = a3[k];
+                for (int j = 0; j < N; ++j) {
+                    const float bj = b[j];
+                    c0[j] += v0 * bj;
+                    c1[j] += v1 * bj;
+                    c2[j] += v2 * bj;
+                    c3[j] += v3 * bj;
+                }
+            }
+        }
+        for (; i < r1; ++i) {
+            const float* a = A + i * K;
+            float* c = C + i * N;
+            for (int k = 0; k < K; ++k) {
+                const float* b = B + static_cast<std::int64_t>(k) * N;
+                const float v = a[k];
+                for (int j = 0; j < N; ++j) c[j] += v * b[j];
+            }
+        }
+    });
+}
+
+void sgemm_tn(int M, int N, int K, const float* A, const float* B, float* C) {
+    parallel_for(0, M, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+        std::int64_t i = r0;
+        for (; i + 4 <= r1; i += 4) {
+            float* c0 = C + i * N;
+            float* c1 = c0 + N;
+            float* c2 = c1 + N;
+            float* c3 = c2 + N;
+            for (int k = 0; k < K; ++k) {
+                const float* arow = A + static_cast<std::int64_t>(k) * M + i;
+                const float* b = B + static_cast<std::int64_t>(k) * N;
+                const float v0 = arow[0], v1 = arow[1], v2 = arow[2], v3 = arow[3];
+                for (int j = 0; j < N; ++j) {
+                    const float bj = b[j];
+                    c0[j] += v0 * bj;
+                    c1[j] += v1 * bj;
+                    c2[j] += v2 * bj;
+                    c3[j] += v3 * bj;
+                }
+            }
+        }
+        for (; i < r1; ++i) {
+            float* c = C + i * N;
+            for (int k = 0; k < K; ++k) {
+                const float v = A[static_cast<std::int64_t>(k) * M + i];
+                const float* b = B + static_cast<std::int64_t>(k) * N;
+                for (int j = 0; j < N; ++j) c[j] += v * b[j];
+            }
+        }
+    });
+}
+
+void sgemm_nt(int M, int N, int K, const float* A, const float* B, float* C) {
+    parallel_for(0, M, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t i = r0; i < r1; ++i) {
+            const float* a = A + i * K;
+            float* c = C + i * N;
+            for (int j = 0; j < N; ++j) {
+                const float* b = B + static_cast<std::int64_t>(j) * K;
+                // Four independent partial sums for ILP; the combination
+                // order is fixed, so the result is reproducible.
+                float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+                int k = 0;
+                for (; k + 4 <= K; k += 4) {
+                    s0 += a[k] * b[k];
+                    s1 += a[k + 1] * b[k + 1];
+                    s2 += a[k + 2] * b[k + 2];
+                    s3 += a[k + 3] * b[k + 3];
+                }
+                for (; k < K; ++k) s0 += a[k] * b[k];
+                c[j] += (s0 + s1) + (s2 + s3);
+            }
+        }
+    });
+}
+
+void im2col(const float* img, int C, int H, int W, int k, int stride, int pad, int OH,
+            int OW, float* col) {
+    const std::int64_t rows = static_cast<std::int64_t>(C) * k * k;
+    const std::int64_t ocols = static_cast<std::int64_t>(OH) * OW;
+    parallel_for(0, rows, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const int ic = static_cast<int>(r / (k * k));
+            const int kh = static_cast<int>(r / k) % k;
+            const int kw = static_cast<int>(r % k);
+            const float* plane = img + static_cast<std::int64_t>(ic) * H * W;
+            float* out = col + r * ocols;
+            for (int oh = 0; oh < OH; ++oh, out += OW) {
+                const int ih = oh * stride - pad + kh;
+                if (ih < 0 || ih >= H) {
+                    std::memset(out, 0, sizeof(float) * static_cast<std::size_t>(OW));
+                    continue;
+                }
+                const float* row = plane + static_cast<std::int64_t>(ih) * W;
+                const int iw0 = -pad + kw;  // input column of output column 0
+                if (stride == 1) {
+                    // Contiguous copy with zeroed out-of-bounds edges.
+                    const int lo = std::max(0, -iw0);            // first valid ow
+                    const int hi = std::min(OW, W - iw0);        // one past last valid
+                    for (int ow = 0; ow < lo; ++ow) out[ow] = 0.0f;
+                    if (hi > lo)
+                        std::memcpy(out + lo, row + iw0 + lo,
+                                    sizeof(float) * static_cast<std::size_t>(hi - lo));
+                    for (int ow = std::max(lo, hi); ow < OW; ++ow) out[ow] = 0.0f;
+                } else {
+                    for (int ow = 0; ow < OW; ++ow) {
+                        const int iw = iw0 + ow * stride;
+                        out[ow] = (iw >= 0 && iw < W) ? row[iw] : 0.0f;
+                    }
+                }
+            }
+        }
+    });
+}
+
+void col2im(const float* col, int C, int H, int W, int k, int stride, int pad, int OH,
+            int OW, float* img) {
+    const std::int64_t ocols = static_cast<std::int64_t>(OH) * OW;
+    // Parallel over input channels: all k*k rows of a channel scatter into
+    // that channel's plane only, so planes are written by exactly one chunk.
+    parallel_for(0, C, 1, [=](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t ic = c0; ic < c1; ++ic) {
+            float* plane = img + ic * H * W;
+            for (int kh = 0; kh < k; ++kh) {
+                for (int kw = 0; kw < k; ++kw) {
+                    const std::int64_t r = (ic * k + kh) * k + kw;
+                    const float* in = col + r * ocols;
+                    for (int oh = 0; oh < OH; ++oh, in += OW) {
+                        const int ih = oh * stride - pad + kh;
+                        if (ih < 0 || ih >= H) continue;
+                        float* row = plane + static_cast<std::int64_t>(ih) * W;
+                        const int iw0 = -pad + kw;
+                        if (stride == 1) {
+                            const int lo = std::max(0, -iw0);
+                            const int hi = std::min(OW, W - iw0);
+                            for (int ow = lo; ow < hi; ++ow) row[iw0 + ow] += in[ow];
+                        } else {
+                            for (int ow = 0; ow < OW; ++ow) {
+                                const int iw = iw0 + ow * stride;
+                                if (iw >= 0 && iw < W) row[iw] += in[ow];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+}  // namespace sky::core

@@ -1,0 +1,40 @@
+// Register-blocked single-precision GEMM kernels + im2col/col2im packing.
+//
+// These are the compute primitives behind Conv2d, PWConv1 and the other
+// sky::nn hot loops.  All matrices are dense row-major with no padding; the
+// (M, N, K) naming follows BLAS: C is M x N and K is the contraction length.
+// Each kernel parallelises over rows of C through the global ThreadPool —
+// every output element is produced by exactly one sequential accumulation
+// inside one chunk, so results are bitwise independent of the thread count.
+//
+// The micro-kernels are axpy-style (broadcast A element, stream a B row into
+// a C row) blocked four rows at a time, which -O2 auto-vectorises without
+// needing -ffast-math; the dot-product variant (sgemm_nt) uses four
+// independent accumulators per output for ILP instead.
+#pragma once
+
+#include <cstdint>
+
+namespace sky::core {
+
+/// C(M x N) += A(M x K) * B(K x N).
+void sgemm_nn(int M, int N, int K, const float* A, const float* B, float* C);
+
+/// C(M x N) += A^T * B where A is stored K x M (op(A) = M x K).
+void sgemm_tn(int M, int N, int K, const float* A, const float* B, float* C);
+
+/// C(M x N) += A * B^T where A is M x K and B is stored N x K.
+void sgemm_nt(int M, int N, int K, const float* A, const float* B, float* C);
+
+/// Unpack one CHW image into a [C*k*k, OH*OW] column matrix for a k x k
+/// convolution with the given stride/pad (zero padding).  Row r of `col`
+/// corresponds to tap (ic, kh, kw) = (r / k^2, (r % k^2) / k, r % k).
+void im2col(const float* img, int C, int H, int W, int k, int stride, int pad, int OH,
+            int OW, float* col);
+
+/// Scatter-accumulate a column matrix back into a CHW image gradient —
+/// the adjoint of im2col.  `img` is accumulated into, not overwritten.
+void col2im(const float* col, int C, int H, int W, int k, int stride, int pad, int OH,
+            int OW, float* img);
+
+}  // namespace sky::core

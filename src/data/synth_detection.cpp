@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/thread_pool.hpp"
 #include "data/augment.hpp"
 
 namespace sky::data {
@@ -192,11 +193,19 @@ DetectionBatch DetectionDataset::batch(int n) {
     DetectionBatch out;
     out.images = Tensor({n, 3, cfg_.height, cfg_.width});
     out.boxes.resize(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) {
-        DetectionSample s = sample(stream_);
-        std::copy_n(s.image.data(), s.image.size(), out.images.plane(i, 0));
-        out.boxes[static_cast<std::size_t>(i)] = s.box;
-    }
+    // Split one child stream per image from the dataset stream up front
+    // (advancing stream_ by a fixed amount per image), then render images in
+    // parallel — the batch content is identical for any thread count.
+    std::vector<Rng> streams;
+    streams.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) streams.push_back(stream_.split());
+    core::parallel_for(0, n, 1, [&](std::int64_t i0, std::int64_t i1) {
+        for (int i = static_cast<int>(i0); i < static_cast<int>(i1); ++i) {
+            DetectionSample s = sample(streams[static_cast<std::size_t>(i)]);
+            std::copy_n(s.image.data(), s.image.size(), out.images.plane(i, 0));
+            out.boxes[static_cast<std::size_t>(i)] = s.box;
+        }
+    });
     return out;
 }
 

@@ -1,15 +1,29 @@
 #include "detect/nms.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <numeric>
 
 namespace sky::detect {
 
 std::vector<Detection> nms(std::vector<Detection> detections, float iou_threshold) {
-    std::sort(detections.begin(), detections.end(),
-              [](const Detection& a, const Detection& b) { return a.score > b.score; });
+    // Deterministic ordering: score desc, then area desc, then original index.
+    // A non-stable sort on score alone made the kept set depend on how the
+    // platform's sort permuted equal-score detections.
+    std::vector<std::size_t> order(detections.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const Detection& da = detections[a];
+        const Detection& db = detections[b];
+        if (da.score != db.score) return da.score > db.score;
+        const float aa = da.box.area(), ab = db.box.area();
+        if (aa != ab) return aa > ab;
+        return a < b;
+    });
     std::vector<Detection> kept;
     kept.reserve(detections.size());
-    for (const Detection& d : detections) {
+    for (std::size_t i : order) {
+        const Detection& d = detections[i];
         bool suppressed = false;
         for (const Detection& k : kept) {
             if (iou(d.box, k.box) > iou_threshold) {

@@ -2,8 +2,10 @@
 
 #include <cmath>
 
-#include "nn/fm_hook.hpp"
 #include <stdexcept>
+
+#include "core/thread_pool.hpp"
+#include "nn/fm_hook.hpp"
 
 namespace sky::nn {
 
@@ -30,7 +32,10 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
     if (training_) {
         xhat_ = Tensor(s);
         batch_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
-        for (int c = 0; c < channels_; ++c) {
+        // Channels normalise independently: each chunk owns its channels'
+        // statistics, running-stat updates and output planes.
+        core::parallel_for(0, channels_, 1, [&](std::int64_t c0, std::int64_t c1) {
+        for (int c = static_cast<int>(c0); c < static_cast<int>(c1); ++c) {
             double sum = 0.0, sq = 0.0;
             for (int n = 0; n < s.n; ++n) {
                 const float* xp = x.plane(n, c);
@@ -59,8 +64,10 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
                 }
             }
         }
+        });
     } else {
-        for (int c = 0; c < channels_; ++c) {
+        core::parallel_for(0, channels_, 1, [&](std::int64_t c0, std::int64_t c1) {
+        for (int c = static_cast<int>(c0); c < static_cast<int>(c1); ++c) {
             const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
             const float g = gamma_[c] * inv_std;
             const float b = beta_[c] - gamma_[c] * running_mean_[c] * inv_std;
@@ -70,6 +77,7 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
                 for (std::int64_t i = 0; i < plane; ++i) yp[i] = g * xp[i] + b;
             }
         }
+        });
         // In deployment BN folds into the conv and its output is what the
         // shared feature-map buffer stores — so the FM hook applies here too.
         if (fm_hook()) fm_hook()(y);
@@ -82,7 +90,8 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
     const std::int64_t plane = static_cast<std::int64_t>(s.h) * s.w;
     const std::int64_t count = static_cast<std::int64_t>(s.n) * plane;
     Tensor grad_in(s);
-    for (int c = 0; c < channels_; ++c) {
+    core::parallel_for(0, channels_, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (int c = static_cast<int>(c0); c < static_cast<int>(c1); ++c) {
         double sum_g = 0.0, sum_gh = 0.0;
         for (int n = 0; n < s.n; ++n) {
             const float* gp = grad_out.plane(n, c);
@@ -106,6 +115,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
                 op[i] = g * inv_std * (gp[i] - mean_g - hp[i] * mean_gh);
         }
     }
+    });
     return grad_in;
 }
 

@@ -1,6 +1,10 @@
 #include "nn/conv.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "core/gemm.hpp"
+#include "core/thread_pool.hpp"
 
 namespace sky::nn {
 
@@ -47,81 +51,59 @@ Tensor Conv2d::forward(const Tensor& x) {
     const Shape in = x.shape();
     const Shape os = out_shape(in);
     Tensor y(os);
+    const int K = in_ch_ * k_ * k_;
+    const std::int64_t ocols = static_cast<std::int64_t>(os.h) * os.w;
+    col_.resize(static_cast<std::size_t>(K) * static_cast<std::size_t>(ocols));
     for (int n = 0; n < in.n; ++n) {
-        for (int oc = 0; oc < out_ch_; ++oc) {
-            float* yp = y.plane(n, oc);
-            if (has_bias_) {
+        core::im2col(x.plane(n, 0), in.c, in.h, in.w, k_, stride_, pad_, os.h, os.w,
+                     col_.data());
+        float* yp = y.plane(n, 0);
+        if (has_bias_) {
+            for (int oc = 0; oc < out_ch_; ++oc) {
                 const float b = bias_[oc];
-                for (std::int64_t i = 0; i < static_cast<std::int64_t>(os.h) * os.w; ++i)
-                    yp[i] = b;
-            }
-            for (int ic = 0; ic < in_ch_; ++ic) {
-                const float* xp = x.plane(n, ic);
-                const float* wp = weight_.plane(oc, ic);  // k x k
-                for (int kh = 0; kh < k_; ++kh) {
-                    for (int kw = 0; kw < k_; ++kw) {
-                        const float wv = wp[kh * k_ + kw];
-                        if (wv == 0.0f) continue;
-                        for (int oh = 0; oh < os.h; ++oh) {
-                            const int ih = oh * stride_ - pad_ + kh;
-                            if (ih < 0 || ih >= in.h) continue;
-                            const float* xrow = xp + static_cast<std::int64_t>(ih) * in.w;
-                            float* yrow = yp + static_cast<std::int64_t>(oh) * os.w;
-                            for (int ow = 0; ow < os.w; ++ow) {
-                                const int iw = ow * stride_ - pad_ + kw;
-                                if (iw < 0 || iw >= in.w) continue;
-                                yrow[ow] += wv * xrow[iw];
-                            }
-                        }
-                    }
-                }
+                float* row = yp + oc * ocols;
+                for (std::int64_t i = 0; i < ocols; ++i) row[i] = b;
             }
         }
+        core::sgemm_nn(out_ch_, static_cast<int>(ocols), K, weight_.data(), col_.data(),
+                       yp);
     }
     return y;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
+    if (input_.empty())
+        throw std::logic_error(name() +
+                               ": backward() without a cached input — call forward() in "
+                               "training mode first");
     const Shape in = input_.shape();
     const Shape os = grad_out.shape();
     Tensor grad_in(in);
+    const int K = in_ch_ * k_ * k_;
+    const std::int64_t ocols = static_cast<std::int64_t>(os.h) * os.w;
+    col_.resize(static_cast<std::size_t>(K) * static_cast<std::size_t>(ocols));
+    std::vector<float> gcol(col_.size());
     for (int n = 0; n < in.n; ++n) {
-        for (int oc = 0; oc < out_ch_; ++oc) {
-            const float* gp = grad_out.plane(n, oc);
-            if (has_bias_) {
+        const float* gp = grad_out.plane(n, 0);
+        if (has_bias_) {
+            for (int oc = 0; oc < out_ch_; ++oc) {
+                const float* row = gp + oc * ocols;
                 double acc = 0.0;
-                for (std::int64_t i = 0; i < static_cast<std::int64_t>(os.h) * os.w; ++i)
-                    acc += gp[i];
+                for (std::int64_t i = 0; i < ocols; ++i) acc += row[i];
                 grad_bias_[oc] += static_cast<float>(acc);
             }
-            for (int ic = 0; ic < in_ch_; ++ic) {
-                const float* xp = input_.plane(n, ic);
-                float* gxp = grad_in.plane(n, ic);
-                const float* wp = weight_.plane(oc, ic);
-                float* gwp = grad_weight_.plane(oc, ic);
-                for (int kh = 0; kh < k_; ++kh) {
-                    for (int kw = 0; kw < k_; ++kw) {
-                        const float wv = wp[kh * k_ + kw];
-                        double wacc = 0.0;
-                        for (int oh = 0; oh < os.h; ++oh) {
-                            const int ih = oh * stride_ - pad_ + kh;
-                            if (ih < 0 || ih >= in.h) continue;
-                            const float* xrow = xp + static_cast<std::int64_t>(ih) * in.w;
-                            float* gxrow = gxp + static_cast<std::int64_t>(ih) * in.w;
-                            const float* grow = gp + static_cast<std::int64_t>(oh) * os.w;
-                            for (int ow = 0; ow < os.w; ++ow) {
-                                const int iw = ow * stride_ - pad_ + kw;
-                                if (iw < 0 || iw >= in.w) continue;
-                                const float g = grow[ow];
-                                wacc += static_cast<double>(g) * xrow[iw];
-                                gxrow[iw] += wv * g;
-                            }
-                        }
-                        gwp[kh * k_ + kw] += static_cast<float>(wacc);
-                    }
-                }
-            }
         }
+        // grad_weight += grad_out * im2col(input)^T
+        core::im2col(input_.plane(n, 0), in.c, in.h, in.w, k_, stride_, pad_, os.h, os.w,
+                     col_.data());
+        core::sgemm_nt(out_ch_, K, static_cast<int>(ocols), gp, col_.data(),
+                       grad_weight_.data());
+        // grad_in = col2im(W^T * grad_out)
+        std::fill(gcol.begin(), gcol.end(), 0.0f);
+        core::sgemm_tn(K, static_cast<int>(ocols), out_ch_, weight_.data(), gp,
+                       gcol.data());
+        core::col2im(gcol.data(), in.c, in.h, in.w, k_, stride_, pad_, os.h, os.w,
+                     grad_in.plane(n, 0));
     }
     return grad_in;
 }

@@ -2,8 +2,12 @@
 //
 // Used by the baseline backbones (ResNet / VGG / AlexNet / Tiny-YOLO ...).
 // SkyNet itself only needs the depthwise and pointwise specialisations in
-// dwconv.hpp / pwconv.hpp, which have faster dedicated kernels.
+// dwconv.hpp / pwconv.hpp, which have dedicated kernels.  Forward and
+// backward run as im2col + SGEMM through the sky::core kernel engine
+// (parallel over GEMM rows; see docs/KERNELS.md).
 #pragma once
+
+#include <vector>
 
 #include "nn/module.hpp"
 
@@ -44,7 +48,8 @@ private:
     Tensor bias_;    ///< [1, out_ch, 1, 1]
     Tensor grad_weight_;
     Tensor grad_bias_;
-    Tensor input_;  ///< cached for backward
+    Tensor input_;            ///< cached for backward (training mode only)
+    std::vector<float> col_;  ///< im2col scratch, reused across calls
 };
 
 }  // namespace sky::nn

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
+
 namespace sky::nn {
 
 DWConv3::DWConv3(int channels, Rng& rng)
@@ -23,8 +25,14 @@ Tensor DWConv3::forward(const Tensor& x) {
     if (training_) input_ = x;
     const Shape s = x.shape();
     Tensor y(s);
-    for (int n = 0; n < s.n; ++n) {
-        for (int c = 0; c < channels_; ++c) {
+    // Each (n, c) plane is an independent 3x3 convolution; parallelise over
+    // the flattened plane index (disjoint outputs, thread-count invariant).
+    core::parallel_for(
+        0, static_cast<std::int64_t>(s.n) * channels_, 1,
+        [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+            const int n = static_cast<int>(p / channels_);
+            const int c = static_cast<int>(p % channels_);
             const float* xp = x.plane(n, c);
             float* yp = y.plane(n, c);
             const float* w = weight_.plane(c, 0);
@@ -53,15 +61,23 @@ Tensor DWConv3::forward(const Tensor& x) {
                 }
             }
         }
-    }
+        });
     return y;
 }
 
 Tensor DWConv3::backward(const Tensor& grad_out) {
+    if (input_.empty())
+        throw std::logic_error(name() +
+                               ": backward() without a cached input — call forward() in "
+                               "training mode first");
     const Shape s = input_.shape();
     Tensor grad_in(s);
-    for (int n = 0; n < s.n; ++n) {
-        for (int c = 0; c < channels_; ++c) {
+    // Parallelise over channels only: grad_weight_[c] accumulates across the
+    // batch, so one chunk owns each channel (batch loop stays sequential and
+    // the accumulation order matches the seed kernel exactly).
+    core::parallel_for(0, channels_, 1, [&](std::int64_t c0, std::int64_t c1) {
+        for (int c = static_cast<int>(c0); c < static_cast<int>(c1); ++c) {
+        for (int n = 0; n < s.n; ++n) {
             const float* xp = input_.plane(n, c);
             const float* gp = grad_out.plane(n, c);
             float* gxp = grad_in.plane(n, c);
@@ -89,7 +105,8 @@ Tensor DWConv3::backward(const Tensor& grad_out) {
                 }
             }
         }
-    }
+        }
+    });
     return grad_in;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
+
 namespace sky::nn {
 
 Linear::Linear(int in_features, int out_features, Rng& rng)
@@ -28,37 +30,54 @@ Tensor Linear::forward(const Tensor& x) {
     }
     const int n = flat.shape().n;
     Tensor y({n, out_, 1, 1});
-    for (int b = 0; b < n; ++b) {
-        const float* xp = flat.plane(b, 0);
-        float* yp = y.plane(b, 0);
-        for (int o = 0; o < out_; ++o) {
+    // Parallel over output features: each y[b][o] is one sequential double-
+    // precision dot product, identical to the seed kernel for any thread count.
+    core::parallel_for(0, out_, 8, [&](std::int64_t o0, std::int64_t o1) {
+        for (int o = static_cast<int>(o0); o < static_cast<int>(o1); ++o) {
             const float* wrow = weight_.plane(o, 0);
-            double acc = bias_[o];
-            for (int i = 0; i < in_; ++i) acc += static_cast<double>(wrow[i]) * xp[i];
-            yp[o] = static_cast<float>(acc);
+            for (int b = 0; b < n; ++b) {
+                const float* xp = flat.plane(b, 0);
+                double acc = bias_[o];
+                for (int i = 0; i < in_; ++i) acc += static_cast<double>(wrow[i]) * xp[i];
+                y.plane(b, 0)[o] = static_cast<float>(acc);
+            }
         }
-    }
+    });
     return y;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
+    if (input_.empty())
+        throw std::logic_error(name() +
+                               ": backward() without a cached input — call forward() in "
+                               "training mode first");
     const int n = input_.shape().n;
     Tensor gi({n, in_, 1, 1});
-    for (int b = 0; b < n; ++b) {
-        const float* xp = input_.plane(b, 0);
-        const float* gp = grad_out.plane(b, 0);
-        float* gxp = gi.plane(b, 0);
-        for (int o = 0; o < out_; ++o) {
-            const float g = gp[o];
-            grad_bias_[o] += g;
-            const float* wrow = weight_.plane(o, 0);
-            float* gwrow = grad_weight_.plane(o, 0);
-            for (int i = 0; i < in_; ++i) {
-                gwrow[i] += g * xp[i];
-                gxp[i] += g * wrow[i];
+    // Two disjoint-output passes: per-batch-row input gradients, then
+    // per-feature weight/bias gradients (batch accumulation stays ascending,
+    // matching the seed order).
+    core::parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
+        for (int b = static_cast<int>(b0); b < static_cast<int>(b1); ++b) {
+            const float* gp = grad_out.plane(b, 0);
+            float* gxp = gi.plane(b, 0);
+            for (int o = 0; o < out_; ++o) {
+                const float g = gp[o];
+                const float* wrow = weight_.plane(o, 0);
+                for (int i = 0; i < in_; ++i) gxp[i] += g * wrow[i];
             }
         }
-    }
+    });
+    core::parallel_for(0, out_, 8, [&](std::int64_t o0, std::int64_t o1) {
+        for (int o = static_cast<int>(o0); o < static_cast<int>(o1); ++o) {
+            float* gwrow = grad_weight_.plane(o, 0);
+            for (int b = 0; b < n; ++b) {
+                const float g = grad_out.plane(b, 0)[o];
+                grad_bias_[o] += g;
+                const float* xp = input_.plane(b, 0);
+                for (int i = 0; i < in_; ++i) gwrow[i] += g * xp[i];
+            }
+        }
+    });
     return gi.reshaped(in_shape_);
 }
 

@@ -1,5 +1,7 @@
 #include "nn/pooling.hpp"
 
+#include "core/thread_pool.hpp"
+
 namespace sky::nn {
 
 Tensor MaxPool2::forward(const Tensor& x) {
@@ -8,46 +10,59 @@ Tensor MaxPool2::forward(const Tensor& x) {
     const Shape os = out_shape(s);
     Tensor y(os);
     argmax_.assign(static_cast<std::size_t>(os.count()), 0);
-    std::int64_t oi = 0;
-    for (int n = 0; n < s.n; ++n) {
-        for (int c = 0; c < s.c; ++c) {
-            const float* xp = x.plane(n, c);
-            float* yp = y.plane(n, c);
-            for (int oh = 0; oh < os.h; ++oh) {
-                for (int ow = 0; ow < os.w; ++ow) {
-                    const int ih = oh * 2, iw = ow * 2;
-                    std::int64_t best = static_cast<std::int64_t>(ih) * s.w + iw;
-                    float bv = xp[best];
-                    const std::int64_t cand[3] = {best + 1, best + s.w, best + s.w + 1};
-                    for (std::int64_t idx : cand) {
-                        // 2x2 window fully in-bounds because os = floor(in/2)
-                        if (xp[idx] > bv) {
-                            bv = xp[idx];
-                            best = idx;
+    const std::int64_t oplane = static_cast<std::int64_t>(os.h) * os.w;
+    // Each (n, c) plane pools independently; the argmax_ block for plane p
+    // starts at p * oplane, matching the sequential fill order of the seed.
+    core::parallel_for(
+        0, static_cast<std::int64_t>(s.n) * s.c, 1,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+                const int n = static_cast<int>(p / s.c);
+                const int c = static_cast<int>(p % s.c);
+                const float* xp = x.plane(n, c);
+                float* yp = y.plane(n, c);
+                std::int64_t oi = p * oplane;
+                for (int oh = 0; oh < os.h; ++oh) {
+                    for (int ow = 0; ow < os.w; ++ow) {
+                        const int ih = oh * 2, iw = ow * 2;
+                        std::int64_t best = static_cast<std::int64_t>(ih) * s.w + iw;
+                        float bv = xp[best];
+                        const std::int64_t cand[3] = {best + 1, best + s.w,
+                                                      best + s.w + 1};
+                        for (std::int64_t idx : cand) {
+                            // 2x2 window fully in-bounds because os = floor(in/2)
+                            if (xp[idx] > bv) {
+                                bv = xp[idx];
+                                best = idx;
+                            }
                         }
+                        yp[static_cast<std::int64_t>(oh) * os.w + ow] = bv;
+                        argmax_[static_cast<std::size_t>(oi++)] =
+                            static_cast<std::int32_t>(best);
                     }
-                    yp[static_cast<std::int64_t>(oh) * os.w + ow] = bv;
-                    argmax_[static_cast<std::size_t>(oi++)] = static_cast<std::int32_t>(best);
                 }
             }
-        }
-    }
+        });
     return y;
 }
 
 Tensor MaxPool2::backward(const Tensor& grad_out) {
     const Shape os = grad_out.shape();
     Tensor gi(in_shape_);
-    std::int64_t oi = 0;
-    for (int n = 0; n < os.n; ++n) {
-        for (int c = 0; c < os.c; ++c) {
-            const float* gp = grad_out.plane(n, c);
-            float* gxp = gi.plane(n, c);
-            const std::int64_t plane = static_cast<std::int64_t>(os.h) * os.w;
-            for (std::int64_t i = 0; i < plane; ++i)
-                gxp[argmax_[static_cast<std::size_t>(oi++)]] += gp[i];
-        }
-    }
+    const std::int64_t oplane = static_cast<std::int64_t>(os.h) * os.w;
+    core::parallel_for(
+        0, static_cast<std::int64_t>(os.n) * os.c, 1,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+                const int n = static_cast<int>(p / os.c);
+                const int c = static_cast<int>(p % os.c);
+                const float* gp = grad_out.plane(n, c);
+                float* gxp = gi.plane(n, c);
+                std::int64_t oi = p * oplane;
+                for (std::int64_t i = 0; i < oplane; ++i)
+                    gxp[argmax_[static_cast<std::size_t>(oi++)]] += gp[i];
+            }
+        });
     return gi;
 }
 
@@ -56,14 +71,18 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
     in_shape_ = s;
     Tensor y({s.n, s.c, 1, 1});
     const std::int64_t plane = static_cast<std::int64_t>(s.h) * s.w;
-    for (int n = 0; n < s.n; ++n) {
-        for (int c = 0; c < s.c; ++c) {
-            const float* xp = x.plane(n, c);
-            double acc = 0.0;
-            for (std::int64_t i = 0; i < plane; ++i) acc += xp[i];
-            y.at(n, c, 0, 0) = static_cast<float>(acc / static_cast<double>(plane));
-        }
-    }
+    core::parallel_for(
+        0, static_cast<std::int64_t>(s.n) * s.c, 4,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+                const int n = static_cast<int>(p / s.c);
+                const int c = static_cast<int>(p % s.c);
+                const float* xp = x.plane(n, c);
+                double acc = 0.0;
+                for (std::int64_t i = 0; i < plane; ++i) acc += xp[i];
+                y.at(n, c, 0, 0) = static_cast<float>(acc / static_cast<double>(plane));
+            }
+        });
     return y;
 }
 
@@ -71,13 +90,17 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
     Tensor gi(in_shape_);
     const std::int64_t plane = static_cast<std::int64_t>(in_shape_.h) * in_shape_.w;
     const float inv = 1.0f / static_cast<float>(plane);
-    for (int n = 0; n < in_shape_.n; ++n) {
-        for (int c = 0; c < in_shape_.c; ++c) {
-            const float g = grad_out.at(n, c, 0, 0) * inv;
-            float* gxp = gi.plane(n, c);
-            for (std::int64_t i = 0; i < plane; ++i) gxp[i] = g;
-        }
-    }
+    core::parallel_for(
+        0, static_cast<std::int64_t>(in_shape_.n) * in_shape_.c, 4,
+        [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+                const int n = static_cast<int>(p / in_shape_.c);
+                const int c = static_cast<int>(p % in_shape_.c);
+                const float g = grad_out.at(n, c, 0, 0) * inv;
+                float* gxp = gi.plane(n, c);
+                for (std::int64_t i = 0; i < plane; ++i) gxp[i] = g;
+            }
+        });
     return gi;
 }
 

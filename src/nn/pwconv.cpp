@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/gemm.hpp"
+
 namespace sky::nn {
 namespace {
 
@@ -50,55 +52,51 @@ Tensor PWConv1::forward(const Tensor& x) {
     const std::int64_t plane = static_cast<std::int64_t>(s.h) * s.w;
     const int ipg = in_ch_ / groups_;   // input channels per group
     const int opg = out_ch_ / groups_;  // output channels per group
+    // A 1x1 conv is one GEMM per (image, group): Y_g = W_g (opg x ipg) *
+    // X_g (ipg x H*W), with the bias pre-filled into Y.
     for (int n = 0; n < s.n; ++n) {
-        for (int oc = 0; oc < out_ch_; ++oc) {
-            const int g = oc / opg;
-            float* yp = y.plane(n, oc);
-            if (has_bias_) {
+        if (has_bias_) {
+            for (int oc = 0; oc < out_ch_; ++oc) {
                 const float b = bias_[oc];
+                float* yp = y.plane(n, oc);
                 for (std::int64_t i = 0; i < plane; ++i) yp[i] = b;
             }
-            const float* wrow = weight_.plane(oc, 0);
-            for (int k = 0; k < ipg; ++k) {
-                const float wv = wrow[k];
-                if (wv == 0.0f) continue;
-                const float* xp = x.plane(n, g * ipg + k);
-                for (std::int64_t i = 0; i < plane; ++i) yp[i] += wv * xp[i];
-            }
         }
+        for (int g = 0; g < groups_; ++g)
+            core::sgemm_nn(opg, static_cast<int>(plane), ipg,
+                           weight_.plane(g * opg, 0), x.plane(n, g * ipg),
+                           y.plane(n, g * opg));
     }
     return y;
 }
 
 Tensor PWConv1::backward(const Tensor& grad_out) {
+    if (input_.empty())
+        throw std::logic_error(name() +
+                               ": backward() without a cached input — call forward() in "
+                               "training mode first");
     const Shape s = input_.shape();
     const std::int64_t plane = static_cast<std::int64_t>(s.h) * s.w;
     const int ipg = in_ch_ / groups_;
     const int opg = out_ch_ / groups_;
     Tensor grad_in(s);
     for (int n = 0; n < s.n; ++n) {
-        for (int oc = 0; oc < out_ch_; ++oc) {
-            const int g = oc / opg;
-            const float* gp = grad_out.plane(n, oc);
-            if (has_bias_) {
+        if (has_bias_) {
+            for (int oc = 0; oc < out_ch_; ++oc) {
+                const float* gp = grad_out.plane(n, oc);
                 double acc = 0.0;
                 for (std::int64_t i = 0; i < plane; ++i) acc += gp[i];
                 grad_bias_[oc] += static_cast<float>(acc);
             }
-            const float* wrow = weight_.plane(oc, 0);
-            float* gwrow = grad_weight_.plane(oc, 0);
-            for (int k = 0; k < ipg; ++k) {
-                const float* xp = input_.plane(n, g * ipg + k);
-                float* gxp = grad_in.plane(n, g * ipg + k);
-                const float wv = wrow[k];
-                double wacc = 0.0;
-                for (std::int64_t i = 0; i < plane; ++i) {
-                    const float gv = gp[i];
-                    wacc += static_cast<double>(gv) * xp[i];
-                    gxp[i] += wv * gv;
-                }
-                gwrow[k] += static_cast<float>(wacc);
-            }
+        }
+        for (int g = 0; g < groups_; ++g) {
+            const float* gp = grad_out.plane(n, g * opg);
+            // grad_W_g += G_g (opg x H*W) * X_g^T
+            core::sgemm_nt(opg, ipg, static_cast<int>(plane), gp,
+                           input_.plane(n, g * ipg), grad_weight_.plane(g * opg, 0));
+            // grad_X_g = W_g^T * G_g
+            core::sgemm_tn(ipg, static_cast<int>(plane), opg,
+                           weight_.plane(g * opg, 0), gp, grad_in.plane(n, g * ipg));
         }
     }
     return grad_in;

@@ -6,7 +6,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/thread_pool.hpp"
 #include "obs/logger.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
 namespace sky::obs {
@@ -35,6 +37,7 @@ public:
         prof_->in = x.shape();
         prof_->out = y.shape();
         prof_->macs = inner_->macs(x.shape());
+        prof_->threads = core::ThreadPool::global().size();
         double sum = 0.0, absmax = 0.0;
         const float* p = y.data();
         for (std::int64_t i = 0, n = y.size(); i < n; ++i) {
@@ -147,13 +150,15 @@ std::string GraphProfiler::to_json() const {
     os << "{\n  \"layers\": [";
     for (std::size_t i = 0; i < slots_.size(); ++i) {
         const LayerProfile& p = *slots_[i];
-        char buf[160];
+        char buf[224];
         std::snprintf(buf, sizeof buf,
                       "\"fwd_calls\": %d, \"bwd_calls\": %d, \"fwd_ms\": %.6f, "
-                      "\"bwd_ms\": %.6f, \"out_mean\": %.6g, \"out_absmax\": %.6g",
+                      "\"bwd_ms\": %.6f, \"out_mean\": %.6g, \"out_absmax\": %.6g, "
+                      "\"threads\": %d, \"gflops\": %.4f",
                       p.fwd_calls, p.bwd_calls, p.fwd_ms, p.bwd_ms,
                       std::isfinite(p.out_mean) ? p.out_mean : 0.0,
-                      std::isfinite(p.out_absmax) ? p.out_absmax : 0.0);
+                      std::isfinite(p.out_absmax) ? p.out_absmax : 0.0, p.threads,
+                      p.fwd_gflops());
         os << (i ? "," : "") << "\n    {\"node\": " << p.node << ", \"name\": \"" << p.name
            << "\", \"kind\": \"" << p.kind << "\", \"in\": " << p.in.str()
            << ", \"out\": " << p.out.str() << ", \"macs\": " << p.macs
@@ -174,19 +179,36 @@ bool GraphProfiler::save_json(const std::string& path) const {
     return static_cast<bool>(out);
 }
 
+void GraphProfiler::export_metrics(Registry& registry, const std::string& prefix) const {
+    double total_gmacs = 0.0;
+    for (const auto& slot : slots_) {
+        const LayerProfile& p = *slot;
+        const std::string base = prefix + "." + std::to_string(p.node) + "." + p.kind;
+        registry.set(base + ".fwd_ms", p.fwd_ms_avg());
+        registry.set(base + ".gflops", p.fwd_gflops());
+        registry.set(base + ".threads", p.threads);
+        total_gmacs += static_cast<double>(p.macs) * p.fwd_calls;
+    }
+    const double total_ms = total_forward_ms();
+    registry.set(prefix + ".total_fwd_ms", total_ms);
+    registry.set(prefix + ".total_gflops",
+                 total_ms > 0.0 ? 2.0 * total_gmacs / (total_ms * 1e6) : 0.0);
+}
+
 void GraphProfiler::print_table(Logger& log) const {
     const double total_ms = total_forward_ms();
-    log.infof("%4s %-24s %-8s %-18s %12s %10s %10s %7s", "node", "layer", "kind", "out",
-              "MACs", "ms/call", "fwd ms", "%");
+    log.infof("%4s %-24s %-8s %-18s %12s %10s %10s %8s %3s %7s", "node", "layer", "kind",
+              "out", "MACs", "ms/call", "fwd ms", "GFLOP/s", "thr", "%");
     for (const auto& slot : slots_) {
         const LayerProfile& p = *slot;
         const double pct = total_ms > 0.0 ? 100.0 * p.fwd_ms / total_ms : 0.0;
-        log.infof("%4d %-24s %-8s %-18s %12lld %10.3f %10.3f %6.1f%%", p.node,
+        log.infof("%4d %-24s %-8s %-18s %12lld %10.3f %10.3f %8.2f %3d %6.1f%%", p.node,
                   p.name.c_str(), p.kind.c_str(), p.out.str().c_str(),
-                  static_cast<long long>(p.macs), p.fwd_ms_avg(), p.fwd_ms, pct);
+                  static_cast<long long>(p.macs), p.fwd_ms_avg(), p.fwd_ms,
+                  p.fwd_gflops(), p.threads, pct);
     }
-    log.infof("%4s %-24s %-8s %-18s %12s %10s %10.3f %6s", "", "total", "", "", "", "",
-              total_ms, "100%");
+    log.infof("%4s %-24s %-8s %-18s %12s %10s %10.3f %8s %3s %6s", "", "total", "", "",
+              "", "", total_ms, "", "", "100%");
 }
 
 }  // namespace sky::obs

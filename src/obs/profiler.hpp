@@ -19,6 +19,7 @@
 namespace sky::obs {
 
 class Logger;
+class Registry;
 
 struct LayerProfile {
     int node = 0;  ///< graph node id
@@ -33,9 +34,16 @@ struct LayerProfile {
     double bwd_ms = 0.0;
     double out_mean = 0.0;    ///< over the last forward's output
     double out_absmax = 0.0;
+    int threads = 0;  ///< kernel-engine thread count during the last forward
 
     [[nodiscard]] double fwd_ms_avg() const {
         return fwd_calls ? fwd_ms / fwd_calls : 0.0;
+    }
+    /// Effective forward GFLOP/s (2 FLOPs per MAC) over the accumulated runs.
+    [[nodiscard]] double fwd_gflops() const {
+        return fwd_ms > 0.0
+                   ? 2.0 * static_cast<double>(macs) * fwd_calls / (fwd_ms * 1e6)
+                   : 0.0;
     }
 };
 
@@ -62,6 +70,9 @@ public:
     /// {"layers": [...], "total_fwd_ms": ..., "total_bwd_ms": ...}
     [[nodiscard]] std::string to_json() const;
     bool save_json(const std::string& path) const;
+    /// Export per-layer gauges (`<prefix>.<node>.<kind>.fwd_ms` / `.gflops` /
+    /// `.threads`) plus totals into a metrics registry.
+    void export_metrics(Registry& registry, const std::string& prefix) const;
     /// Fixed-width per-layer table (name, kind, out shape, MACs, time, %).
     void print_table(Logger& log) const;
 

@@ -1,5 +1,6 @@
 #include "search/flow.hpp"
 
+#include "core/thread_pool.hpp"
 #include "obs/trace.hpp"
 #include "skynet/skynet_model.hpp"
 #include "train/trainer.hpp"
@@ -10,6 +11,7 @@ FlowResult run_flow(data::DetectionDataset& dataset, const hwsim::GpuModel& gpu,
                     const hwsim::FpgaModel& fpga, const FlowConfig& cfg) {
     obs::Logger& log = obs::resolve(cfg.log, cfg.verbose);
     obs::Span flow_span("flow", "search");
+    log.infof("kernel engine: %d thread(s)", core::ThreadPool::global().size());
     FlowResult result;
 
     // ---- Stage 1: Bundle selection and evaluation.

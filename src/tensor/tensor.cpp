@@ -11,7 +11,11 @@ void Tensor::zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
 void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
 void Tensor::axpy(float alpha, const Tensor& other) {
-    assert(shape_ == other.shape_);
+    // A real check, not an assert: in Release builds a shape mismatch here
+    // would silently read/write out of bounds.
+    if (shape_ != other.shape_)
+        throw std::invalid_argument("axpy: shape mismatch " + shape_.str() + " vs " +
+                                    other.shape_.str());
     const float* src = other.data();
     float* dst = data();
     const std::size_t n = data_.size();
@@ -75,12 +79,14 @@ void Tensor::kaiming(Rng& rng, int fan_in) {
 }
 
 Tensor Tensor::concat_channels(const std::vector<const Tensor*>& parts) {
-    assert(!parts.empty());
+    if (parts.empty()) throw std::invalid_argument("concat_channels: no inputs");
     const Shape& first = parts.front()->shape();
     int total_c = 0;
     for (const Tensor* p : parts) {
         const Shape& s = p->shape();
-        assert(s.n == first.n && s.h == first.h && s.w == first.w);
+        if (s.n != first.n || s.h != first.h || s.w != first.w)
+            throw std::invalid_argument("concat_channels: incompatible part " + s.str() +
+                                        " vs " + first.str());
         total_c += s.c;
     }
     Tensor out({first.n, total_c, first.h, first.w});

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "core/thread_pool.hpp"
 #include "data/augment.hpp"
 #include "detect/metrics.hpp"
 #include "io/serialize.hpp"
@@ -18,6 +19,8 @@ DetectTrainResult train_detector(nn::Module& net, const detect::YoloHead& head,
     nn::ExpSchedule sched(cfg.lr_start, cfg.lr_end, cfg.steps);
 
     obs::Logger& log = obs::resolve(cfg.log, cfg.verbose);
+    if (cfg.metrics)
+        cfg.metrics->set("train.threads", core::ThreadPool::global().size());
     DetectTrainResult result;
     net.set_training(true);
     const int base_h = dataset.config().height;

@@ -2,9 +2,11 @@
 // and the detection metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "detect/metrics.hpp"
+#include "detect/nms.hpp"
 #include "detect/yolo_head.hpp"
 
 namespace sky::detect {
@@ -124,6 +126,42 @@ TEST(Metrics, MeanIoUAndSuccessRate) {
     EXPECT_NEAR(mean_iou(pred, gt), 0.5, 1e-6);
     EXPECT_NEAR(success_rate(pred, gt, 0.5), 0.5, 1e-6);
     EXPECT_THROW((void)mean_iou(pred, {}), std::invalid_argument);
+}
+
+TEST(Nms, TiedScoresAreDeterministic) {
+    // Three well-separated boxes with identical scores, plus two distant ones.
+    // With a non-stable sort, which of the equal-score boxes was visited first
+    // depended on the platform's sort; the tie-break is now score desc, then
+    // area desc, then original index, so the kept set and its order are fixed.
+    std::vector<Detection> dets = {
+        {{0.20f, 0.20f, 0.10f, 0.10f}, 0.9f},  // area 0.0100
+        {{0.50f, 0.50f, 0.12f, 0.12f}, 0.9f},  // area 0.0144  <- largest tie
+        {{0.80f, 0.80f, 0.10f, 0.10f}, 0.9f},  // area 0.0100, later index
+        {{0.20f, 0.80f, 0.10f, 0.10f}, 0.5f},
+        {{0.80f, 0.20f, 0.10f, 0.10f}, 0.95f},
+    };
+    const auto kept = nms(dets, 0.45f);
+    ASSERT_EQ(kept.size(), 5u);
+    // Highest score first, then the 0.9 tie ordered area desc / index asc.
+    EXPECT_FLOAT_EQ(kept[0].score, 0.95f);
+    EXPECT_FLOAT_EQ(kept[1].box.cx, 0.50f);  // the larger-area tie wins
+    EXPECT_FLOAT_EQ(kept[2].box.cx, 0.20f);  // equal area: earlier index first
+    EXPECT_FLOAT_EQ(kept[3].box.cx, 0.80f);
+    EXPECT_FLOAT_EQ(kept[4].score, 0.5f);
+
+    // Identical boxes at identical scores: suppression keeps exactly one,
+    // and permuting the input never changes the surviving geometry.
+    std::vector<Detection> dup = {
+        {{0.5f, 0.5f, 0.2f, 0.2f}, 0.7f},
+        {{0.5f, 0.5f, 0.2f, 0.2f}, 0.7f},
+        {{0.5f, 0.5f, 0.3f, 0.3f}, 0.7f},
+    };
+    for (int rot = 0; rot < 3; ++rot) {
+        const auto k = nms(dup, 0.4f);  // IoU(0.2-box, 0.3-box) = 4/9 > 0.4
+        ASSERT_EQ(k.size(), 1u);
+        EXPECT_FLOAT_EQ(k[0].box.w, 0.3f);  // area tie-break picks the largest
+        std::rotate(dup.begin(), dup.begin() + 1, dup.end());
+    }
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // Tensor core: shapes, arithmetic, reductions, concat/split, RNG determinism.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "tensor/tensor.hpp"
 
 namespace sky {
@@ -129,6 +131,28 @@ TEST(Rng, SplitStreamsDiffer) {
     Rng a(5);
     Rng b = a.split();
     EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Tensor, AxpyShapeMismatchThrows) {
+    // Release builds used to rely on assert() here — a shape mismatch walked
+    // straight off the end of the smaller buffer.
+    Tensor a({1, 2, 3, 3});
+    Tensor b({1, 2, 3, 4});
+    EXPECT_THROW(a.axpy(1.0f, b), std::invalid_argument);
+    Tensor c({1, 2, 3, 3});
+    EXPECT_NO_THROW(a.axpy(0.5f, c));
+}
+
+TEST(Tensor, ConcatChannelsMismatchThrows) {
+    Tensor a({2, 3, 4, 4});
+    Tensor b({2, 5, 4, 4});
+    Tensor wrong_n({1, 3, 4, 4});
+    Tensor wrong_hw({2, 3, 4, 5});
+    EXPECT_THROW((void)Tensor::concat_channels({}), std::invalid_argument);
+    EXPECT_THROW((void)Tensor::concat_channels({&a, &wrong_n}), std::invalid_argument);
+    EXPECT_THROW((void)Tensor::concat_channels({&a, &wrong_hw}), std::invalid_argument);
+    const Tensor ok = Tensor::concat_channels({&a, &b});
+    EXPECT_EQ(ok.shape(), (Shape{2, 8, 4, 4}));
 }
 
 TEST(Tensor, KaimingStddev) {

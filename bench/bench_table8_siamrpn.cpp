@@ -38,7 +38,7 @@ RowResult run_backbone(const BackboneChoice& bc, bool use_mask, int steps) {
     int channels;
     if (std::string(bc.name) == "skynet") {
         SkyNetModel bb = build_skynet_backbone(bc.train_width, nn::Act::kReLU6, rng);
-        channels = bb.backbone_channels;
+        channels = bb.feature_channels();
         net = std::move(bb.net);
     } else {
         backbones::Backbone bb = backbones::build_by_name(bc.name, bc.train_width, rng);

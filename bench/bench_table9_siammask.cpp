@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
         int channels;
         if (std::string(r.name) == "skynet") {
             SkyNetModel bb = build_skynet_backbone(r.width, nn::Act::kReLU6, rng);
-            channels = bb.backbone_channels;
+            channels = bb.feature_channels();
             net = std::move(bb.net);
         } else {
             backbones::Backbone bb = backbones::build_by_name(r.name, r.width, rng);

@@ -1,16 +1,19 @@
 // FPGA deployment study (§6.4): quantise a trained SkyNet with the Table 7
 // schemes, report accuracy vs resources vs throughput on the Ultra96 model,
-// and show the tiling+batch (Fig. 9) and double-pumped-DSP effects.
+// show the tiling+batch (Fig. 9) and double-pumped-DSP effects, and finally
+// deploy the winning scheme through the Detector facade's fold_bn +
+// quantize passes (the bit-true integer datapath).
 //
 //   ./build/examples/deploy_fpga [train_steps]
 #include <cstdio>
 #include <cstdlib>
 
 #include "data/synth_detection.hpp"
+#include "detect/metrics.hpp"
 #include "hwsim/fpga_model.hpp"
 #include "dacsdc/scheme_select.hpp"
 #include "quant/qmodel.hpp"
-#include "skynet/skynet_model.hpp"
+#include "skynet/detector.hpp"
 #include "train/trainer.hpp"
 
 int main(int argc, char** argv) {
@@ -19,13 +22,13 @@ int main(int argc, char** argv) {
 
     data::DetectionDataset dataset({80, 160, 2, true, 13});
     Rng rng(4);
-    SkyNetModel model = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.3f}, rng);
+    Detector det({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.3f}, rng);
     train::DetectTrainConfig tc;
     tc.steps = steps;
     tc.batch = 8;
     Rng train_rng(5);
     const double float_iou =
-        train::train_detector(*model.net, model.head, dataset, tc, train_rng).val_iou;
+        train::train_detector(det.net(), det.head(), dataset, tc, train_rng).val_iou;
     std::printf("float32 validation IoU: %.3f\n\n", float_iou);
 
     const data::DetectionBatch val = dataset.validation(64);
@@ -38,7 +41,7 @@ int main(int argc, char** argv) {
 
     std::printf("scheme  FM bits  W bits   IoU    DSP  BRAM18K   FPS\n");
     for (const quant::QuantScheme& s : quant::table7_schemes()) {
-        const double iou = quant::detector_iou_quantized(*model.net, model.head, val,
+        const double iou = quant::detector_iou_quantized(det.net(), det.head(), val,
                                                          s.fm_bits, s.weight_bits);
         const hwsim::FpgaEstimate est = u96.estimate(
             *full.net, in, {s.weight_bits, s.fm_bits, false, 4, 1.0});
@@ -59,7 +62,7 @@ int main(int argc, char** argv) {
     // Automated scheme selection (the paper's §6.4.1 decision).
     dacsdc::SchemeSelectConfig sel;
     sel.full_scale_net = full.net.get();
-    const auto ranked = dacsdc::select_scheme(*model.net, model.head,
+    const auto ranked = dacsdc::select_scheme(det.net(), det.head(),
                                               dataset.validation(64), u96, sel);
     std::printf("\nautomated scheme selection (projected total score, Eq. 5):\n");
     for (const auto& ev : ranked)
@@ -77,5 +80,26 @@ int main(int argc, char** argv) {
         std::printf("  double_pump=%d: P=%d, DSP %d, %.2f FPS\n", dp, est.parallelism,
                     est.resources.dsp, est.fps);
     }
+
+    // --- Deploy the winner through the Detector facade: fold BN into the
+    // convs, then compile the bit-true integer engine for the selected
+    // scheme.  From here on det.detect() runs the integer datapath.
+    const quant::QuantScheme& win = ranked.front().scheme;
+    const int folded = det.fold_bn();
+    std::printf("\ndeploying scheme %d via sky::Detector: folded %d BN layers", win.id,
+                folded);
+    if (win.fm_bits > 0 && win.weight_bits > 0) {
+        det.quantize({win.fm_bits, win.weight_bits, 8.0f});
+        std::printf(", compiled QEngine FM%d/W%d\n", win.fm_bits, win.weight_bits);
+    } else {
+        std::printf(", staying on the float path (winner is fp32)\n");
+    }
+    const std::vector<detect::BBox> preds = det.detect_batch(val.images);
+    double iou_sum = 0.0;
+    for (std::size_t i = 0; i < preds.size(); ++i)
+        iou_sum += detect::iou(preds[i], val.boxes[i]);
+    std::printf("deployed detector (stage: %s): validation IoU %.3f\n",
+                detector_stage_name(det.stage()),
+                iou_sum / static_cast<double>(preds.size()));
     return 0;
 }

@@ -11,7 +11,7 @@
 #include "data/synth_detection.hpp"
 #include "io/ascii_viz.hpp"
 #include "nn/optimizer.hpp"
-#include "skynet/skynet_model.hpp"
+#include "skynet/detector.hpp"
 
 int main(int argc, char** argv) {
     using namespace sky;
@@ -19,16 +19,16 @@ int main(int argc, char** argv) {
     const int max_targets = 3;
 
     Rng rng(42);
-    SkyNetModel model = build_skynet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.3f}, rng);
+    Detector det({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.3f}, rng);
     data::DetectionDataset ds({64, 128, 1, false, 7});
 
     std::vector<nn::ParamRef> params;
-    model.net->collect_params(params);
+    det.net().collect_params(params);
     nn::SGD opt(params, {0.05f, 0.9f, 1e-4f, 5.0f});
     nn::ExpSchedule sched(0.05f, 0.005f, steps);
 
     Rng stream(9);
-    model.net->set_training(true);
+    det.net().set_training(true);
     const int batch = 6;
     for (int step = 0; step < steps; ++step) {
         opt.set_lr(sched.at(step));
@@ -39,25 +39,24 @@ int main(int argc, char** argv) {
             std::copy_n(s.image.data(), s.image.size(), images.plane(b, 0));
             gts.push_back(s.boxes);
         }
-        Tensor raw = model.net->forward(images);
+        Tensor raw = det.net().forward(images);
         Tensor grad;
-        const float loss = model.head.loss_multi(raw, gts, grad);
+        const float loss = det.head().loss_multi(raw, gts, grad);
         opt.zero_grad();
-        model.net->backward(grad);
+        det.net().backward(grad);
         opt.step();
         if (step % 50 == 0) std::printf("step %4d  loss %.4f\n", step, loss);
     }
 
-    // Evaluate: detection recall over fresh multi-target scenes.
-    model.net->set_training(false);
+    // Evaluate: detection recall over fresh multi-target scenes.  detect_all
+    // is the Detector facade's multi-object mode (forces eval internally).
     Rng eval_rng(77);
     int found = 0, total = 0, spurious = 0;
     data::MultiSample shown;
     std::vector<detect::Detection> shown_dets;
     for (int i = 0; i < 32; ++i) {
         const data::MultiSample s = ds.sample_multi(eval_rng, max_targets);
-        const Tensor raw = model.net->forward(s.image);
-        const auto dets = model.head.decode_all(raw, 0.4f, 0.45f)[0];
+        const auto dets = det.detect_all(s.image, 0.4f, 0.45f)[0];
         for (const auto& g : s.boxes) {
             ++total;
             bool hit = false;

@@ -1,17 +1,17 @@
-// Quickstart: build SkyNet C (ReLU6), train it briefly on the synthetic
-// DAC-SDC workload, and run single-image detection.
+// Quickstart: build SkyNet C (ReLU6) behind the sky::Detector facade,
+// train it briefly on the synthetic DAC-SDC workload, and run detection.
 //
 //   ./build/examples/quickstart [train_steps]
 //
-// This walks the whole public API surface in ~40 lines: dataset, model
-// builder, trainer, decoder, metrics.
+// This walks the whole public API surface in ~40 lines: dataset, Detector,
+// trainer, decoder, metrics.
 #include <cstdio>
 #include <cstdlib>
 
 #include "data/synth_detection.hpp"
 #include "io/ascii_viz.hpp"
 #include "detect/metrics.hpp"
-#include "skynet/skynet_model.hpp"
+#include "skynet/detector.hpp"
 #include "train/trainer.hpp"
 
 int main(int argc, char** argv) {
@@ -23,12 +23,14 @@ int main(int argc, char** argv) {
     data::DetectionDataset dataset({80, 160, 2, /*augment=*/true, /*seed=*/7});
 
     // 2. SkyNet model C with ReLU6 — the paper's winning configuration
-    //    (Table 4) — at 0.35x width for CPU speed.
+    //    (Table 4) — at 0.35x width for CPU speed.  Detector wraps the
+    //    build -> train -> (fold/quantize) -> detect lifecycle.
     Rng rng(42);
-    SkyNetModel model = build_skynet(
-        {SkyNetVariant::kC, nn::Act::kReLU6, /*anchors=*/2, /*width_mult=*/0.35f}, rng);
+    Detector det({SkyNetVariant::kC, nn::Act::kReLU6, /*anchors=*/2,
+                  /*width_mult=*/0.35f},
+                 rng);
     std::printf("SkyNet C - ReLU6: %.2fM parameters (%.2f MB float32)\n",
-                model.param_count() / 1e6, model.param_mb());
+                det.param_count() / 1e6, det.param_mb());
 
     // 3. Train with the paper's recipe at small scale: SGD, exponential LR
     //    decay, multi-scale inputs.
@@ -38,13 +40,12 @@ int main(int argc, char** argv) {
     cfg.verbose = true;
     Rng train_rng(7);
     const train::DetectTrainResult result =
-        train::train_detector(*model.net, model.head, dataset, cfg, train_rng);
+        train::train_detector(det.net(), det.head(), dataset, cfg, train_rng);
     std::printf("validation IoU after %d steps: %.3f\n", steps, result.val_iou);
 
-    // 4. Single-image inference.
+    // 4. Single-image inference through the facade.
     const data::DetectionBatch one = dataset.validation(1);
-    const Tensor raw = model.net->forward(one.images);
-    const detect::BBox pred = model.head.decode(raw)[0];
+    const detect::BBox pred = det.detect(one.images);
     const detect::BBox gt = one.boxes[0];
     std::printf("prediction: cx=%.3f cy=%.3f w=%.3f h=%.3f\n", pred.cx, pred.cy, pred.w,
                 pred.h);

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     Rng rng(3);
     SkyNetModel backbone = build_skynet_backbone(0.2f, nn::Act::kReLU6, rng);
     std::printf("SkyNet backbone: %.3fM params\n", backbone.param_count() / 1e6);
-    tracking::SiameseEmbed embed(std::move(backbone.net), backbone.backbone_channels, 24,
+    tracking::SiameseEmbed embed(std::move(backbone.net), backbone.feature_channels(), 24,
                                  rng);
     tracking::TrackerConfig tcfg;
     tcfg.crop_size = 48;

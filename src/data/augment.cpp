@@ -38,6 +38,45 @@ Tensor resize_bilinear(const Tensor& img, int out_h, int out_w) {
     return out;
 }
 
+Tensor resize_area(const Tensor& img, int out_h, int out_w) {
+    const Shape s = img.shape();
+    Tensor out({s.n, s.c, out_h, out_w});
+    const double sy = static_cast<double>(s.h) / out_h;
+    const double sx = static_cast<double>(s.w) / out_w;
+    for (int n = 0; n < s.n; ++n) {
+        for (int c = 0; c < s.c; ++c) {
+            const float* src = img.plane(n, c);
+            float* dst = out.plane(n, c);
+            for (int y = 0; y < out_h; ++y) {
+                const double fy0 = y * sy, fy1 = (y + 1) * sy;
+                const int y0 = static_cast<int>(fy0);
+                const int y1 = std::min(static_cast<int>(std::ceil(fy1)), s.h);
+                for (int x = 0; x < out_w; ++x) {
+                    const double fx0 = x * sx, fx1 = (x + 1) * sx;
+                    const int x0 = static_cast<int>(fx0);
+                    const int x1 = std::min(static_cast<int>(std::ceil(fx1)), s.w);
+                    double acc = 0.0, area = 0.0;
+                    for (int yy = y0; yy < y1; ++yy) {
+                        // Row coverage: 1 inside the footprint, fractional at
+                        // the first/last row it touches.
+                        const double wy = std::min<double>(yy + 1, fy1) -
+                                          std::max<double>(yy, fy0);
+                        for (int xx = x0; xx < x1; ++xx) {
+                            const double wx = std::min<double>(xx + 1, fx1) -
+                                              std::max<double>(xx, fx0);
+                            acc += wy * wx * src[static_cast<std::int64_t>(yy) * s.w + xx];
+                            area += wy * wx;
+                        }
+                    }
+                    dst[static_cast<std::int64_t>(y) * out_w + x] =
+                        static_cast<float>(acc / area);
+                }
+            }
+        }
+    }
+    return out;
+}
+
 Tensor crop_resize(const Tensor& img, float x1, float y1, float x2, float y2, int out_h,
                    int out_w) {
     const Shape s = img.shape();

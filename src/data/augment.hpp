@@ -12,6 +12,12 @@ namespace sky::data {
 /// Bilinear resize of a single-item CHW tensor (n must be 1).
 [[nodiscard]] Tensor resize_bilinear(const Tensor& img, int out_h, int out_w);
 
+/// Area (box-filter) resize: every output pixel is the fractionally-weighted
+/// mean of the source pixels its footprint covers.  The correct decimation
+/// filter for downscales past 2x, where bilinear's fixed 4 taps skip source
+/// rows/columns entirely and alias; for upscales it degenerates to nearest.
+[[nodiscard]] Tensor resize_area(const Tensor& img, int out_h, int out_w);
+
 /// Crop region given in normalised coordinates [x1,y1,x2,y2] (may extend
 /// outside the image; outside pixels are zero-padded), then resize.
 [[nodiscard]] Tensor crop_resize(const Tensor& img, float x1, float y1, float x2, float y2,

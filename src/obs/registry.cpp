@@ -30,6 +30,28 @@ std::string escape(const std::string& s) {
 
 }  // namespace
 
+double HistogramSnapshot::percentile(double q) const {
+    if (count == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(count);
+    double cum = 0.0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        const double in_bucket = static_cast<double>(counts[b]);
+        if (in_bucket == 0.0) continue;
+        if (cum + in_bucket >= rank) {
+            // Interpolate within [lo, hi): lo is the previous bound (or the
+            // observed min for the first bucket), hi the bucket's own bound
+            // (or the observed max for the overflow bucket).
+            const double lo = b == 0 ? min : std::max(min, bounds[b - 1]);
+            const double hi = b < bounds.size() ? std::min(max, bounds[b]) : max;
+            const double frac = in_bucket > 0.0 ? (rank - cum) / in_bucket : 1.0;
+            return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min, max);
+        }
+        cum += in_bucket;
+    }
+    return max;
+}
+
 void Registry::add(const std::string& name, double delta) {
     std::lock_guard<std::mutex> lock(mu_);
     counters_[name] += delta;

@@ -28,6 +28,11 @@ struct HistogramSnapshot {
     [[nodiscard]] double mean() const {
         return count ? sum / static_cast<double>(count) : 0.0;
     }
+
+    /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+    /// bucket containing the rank; clamped to the observed [min, max].  Used
+    /// for the serve-engine p50/p95/p99 latency gauges.
+    [[nodiscard]] double percentile(double q) const;
 };
 
 struct RegistrySnapshot {

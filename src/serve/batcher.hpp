@@ -1,0 +1,119 @@
+// Dynamic batcher: coalesces pending requests into inference batches.
+//
+// The DAC-SDC pipeline (§6.2/§6.3) batches images before the DNN stage
+// because a batched forward amortises per-invocation overhead and keeps the
+// accelerator busy.  A serving system cannot wait for a full batch forever,
+// so the batcher implements the standard dynamic-batching contract:
+//
+//   pop_batch(max_batch, max_delay_ms) blocks for the first item, then
+//   collects more until EITHER the batch holds `max_batch` items OR
+//   `max_delay_ms` has elapsed since collection started — whichever comes
+//   first.  After close() the delay is skipped and whatever remains drains
+//   immediately (graceful shutdown never strands an accepted request).
+//
+// An optional compatibility predicate bounds a batch: collection stops
+// early at the first queued item that cannot ride with the batch head (the
+// engine uses it to keep mixed input shapes out of one NCHW tensor).  The
+// incompatible item stays queued and heads the next batch.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace sky::serve {
+
+template <typename T>
+class Batcher {
+public:
+    /// `compatible(head, candidate)` — may `candidate` join a batch whose
+    /// first element is `head`?  Empty means "always".
+    using Compatible = std::function<bool(const T&, const T&)>;
+
+    explicit Batcher(std::size_t capacity, Compatible compatible = {})
+        : capacity_(capacity ? capacity : 1), compatible_(std::move(compatible)) {}
+
+    Batcher(const Batcher&) = delete;
+    Batcher& operator=(const Batcher&) = delete;
+
+    /// Blocking push (backpressure towards the preprocess stage); false iff
+    /// closed.
+    bool push(T&& item) {
+        std::unique_lock<std::mutex> lk(mu_);
+        not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+        if (closed_) return false;
+        q_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Coalesce the next batch into `out` (cleared first).  Returns false
+    /// only when the batcher is closed and drained.
+    bool pop_batch(int max_batch, double max_delay_ms, std::vector<T>& out) {
+        out.clear();
+        if (max_batch < 1) max_batch = 1;
+        std::unique_lock<std::mutex> lk(mu_);
+        not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+        if (q_.empty()) return false;
+
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                  std::chrono::duration<double, std::milli>(max_delay_ms));
+        out.push_back(std::move(q_.front()));
+        q_.pop_front();
+        not_full_.notify_one();
+
+        while (static_cast<int>(out.size()) < max_batch) {
+            if (q_.empty()) {
+                if (closed_) break;  // drain mode: never wait on the delay
+                if (!not_empty_.wait_until(lk, deadline,
+                                           [&] { return !q_.empty() || closed_; }))
+                    break;  // max_delay elapsed with nothing more pending
+                if (q_.empty()) {
+                    if (closed_) break;
+                    continue;  // spurious/late wake, deadline not yet hit
+                }
+            }
+            if (compatible_ && !compatible_(out.front(), q_.front()))
+                break;  // shape boundary: leave it to head the next batch
+            out.push_back(std::move(q_.front()));
+            q_.pop_front();
+            not_full_.notify_one();
+        }
+        return true;
+    }
+
+    /// Refuse new items, wake all waiters, switch pop_batch to drain mode.
+    void close() {
+        std::lock_guard<std::mutex> lk(mu_);
+        closed_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return q_.size();
+    }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] bool closed() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return closed_;
+    }
+
+private:
+    const std::size_t capacity_;
+    Compatible compatible_;
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> q_;
+    bool closed_ = false;
+};
+
+}  // namespace sky::serve

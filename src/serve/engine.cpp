@@ -1,0 +1,240 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "data/augment.hpp"
+#include "obs/trace.hpp"
+
+namespace sky::serve {
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Geometric latency buckets 0.01 ms .. ~10 s (x1.5 steps): fine enough for
+/// meaningful p50/p95/p99 interpolation across sub-ms decode times and
+/// multi-ms batch inference.
+std::vector<double> latency_bounds() {
+    std::vector<double> b;
+    for (double v = 0.01; v < 1.2e4; v *= 1.5) b.push_back(v);
+    return b;
+}
+
+std::vector<double> depth_bounds(std::size_t capacity) {
+    std::vector<double> b;
+    for (std::size_t d = 0; d <= capacity; d = d ? d * 2 : 1)
+        b.push_back(static_cast<double>(d));
+    return b;
+}
+
+}  // namespace
+
+Engine::Engine(Detector& detector, ServeConfig cfg)
+    : detector_(detector),
+      cfg_(cfg),
+      requests_(cfg.queue_capacity),
+      batcher_(cfg.queue_capacity,
+               [](const Request& head, const Request& candidate) {
+                   return head.image.shape() == candidate.image.shape();
+               }),
+      post_q_(std::max<std::size_t>(2, cfg.queue_capacity / 4)) {
+    if (cfg_.max_batch < 1) throw std::invalid_argument("ServeConfig: max_batch >= 1");
+    if (cfg_.preprocess_workers < 1)
+        throw std::invalid_argument("ServeConfig: preprocess_workers >= 1");
+    if (cfg_.max_delay_ms < 0.0) cfg_.max_delay_ms = 0.0;
+    if (obs::Registry* reg = cfg_.metrics) {
+        for (const char* h :
+             {"serve.latency.queue_ms", "serve.latency.preprocess_ms",
+              "serve.latency.batch_wait_ms", "serve.latency.infer_ms",
+              "serve.latency.postprocess_ms", "serve.latency.total_ms"})
+            reg->define_histogram(h, latency_bounds());
+        reg->define_histogram("serve.queue.depth", depth_bounds(cfg_.queue_capacity));
+        std::vector<double> batch_buckets;
+        for (int b = 1; b <= cfg_.max_batch; ++b)
+            batch_buckets.push_back(static_cast<double>(b));
+        reg->define_histogram("serve.batch.size", std::move(batch_buckets));
+    }
+}
+
+Engine::~Engine() { shutdown(true); }
+
+void Engine::start() {
+    if (stopped_.load()) throw std::logic_error("serve::Engine: start() after shutdown");
+    if (started_.exchange(true))
+        throw std::logic_error("serve::Engine: start() called twice");
+    for (int i = 0; i < cfg_.preprocess_workers; ++i)
+        pre_workers_.emplace_back([this] { preprocess_loop(); });
+    infer_worker_ = std::thread([this] { infer_loop(); });
+    post_worker_ = std::thread([this] { post_loop(); });
+}
+
+std::future<DetectResult> Engine::submit(Tensor image) {
+    const Shape& s = image.shape();
+    if (s.n != 1 || s.c != 3)
+        throw std::invalid_argument("serve::Engine::submit: expected one {1,3,h,w} "
+                                    "image, got " +
+                                    s.str());
+    Request r;
+    r.image = std::move(image);
+    r.submit_tp = Clock::now();
+    std::future<DetectResult> fut = r.promise.get_future();
+
+    const bool accepted = cfg_.overflow == OverflowPolicy::kBlock
+                              ? requests_.push(std::move(r))
+                              : requests_.try_push(std::move(r));
+    if (!accepted) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::Registry* reg = cfg_.metrics) reg->add("serve.rejected");
+        throw RejectedError(requests_.closed()
+                                ? "serve::Engine: submit after shutdown"
+                                : "serve::Engine: request queue full (kReject)");
+    }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Registry* reg = cfg_.metrics) {
+        reg->add("serve.requests");
+        const double depth = static_cast<double>(requests_.size());
+        reg->set("serve.queue.depth", depth);
+        reg->observe("serve.queue.depth", depth);
+    }
+    return fut;
+}
+
+void Engine::preprocess_loop() {
+    Request r;
+    while (requests_.pop(r)) {
+        if (discard_.load(std::memory_order_relaxed)) {
+            r.promise.set_exception(std::make_exception_ptr(
+                RejectedError("serve::Engine: shut down before preprocessing")));
+            continue;
+        }
+        r.pre_start = Clock::now();
+        {
+            obs::Span span("serve/preprocess", "serve");
+            const Shape& s = r.image.shape();
+            if (cfg_.target_h > 0 && cfg_.target_w > 0 &&
+                (s.h != cfg_.target_h || s.w != cfg_.target_w)) {
+                // Decimations past 2x need the anti-aliased area filter —
+                // bilinear's fixed 4 taps would skip source rows entirely.
+                const bool heavy_down =
+                    s.h >= 2 * cfg_.target_h && s.w >= 2 * cfg_.target_w;
+                r.image = heavy_down
+                              ? data::resize_area(r.image, cfg_.target_h, cfg_.target_w)
+                              : data::resize_bilinear(r.image, cfg_.target_h,
+                                                      cfg_.target_w);
+            }
+        }
+        r.pre_end = Clock::now();
+        observe("serve.latency.preprocess_ms", ms_between(r.pre_start, r.pre_end));
+        if (!batcher_.push(std::move(r)))
+            r.promise.set_exception(std::make_exception_ptr(
+                RejectedError("serve::Engine: batcher closed mid-flight")));
+    }
+}
+
+void Engine::infer_loop() {
+    std::vector<Request> items;
+    while (batcher_.pop_batch(cfg_.max_batch, cfg_.max_delay_ms, items)) {
+        InferredBatch batch;
+        batch.infer_start = Clock::now();
+        const Shape item_shape = items[0].image.shape();
+        Tensor input({static_cast<int>(items.size()), item_shape.c, item_shape.h,
+                      item_shape.w});
+        for (std::size_t i = 0; i < items.size(); ++i)
+            std::memcpy(input.plane(static_cast<int>(i), 0), items[i].image.data(),
+                        static_cast<std::size_t>(item_shape.per_item()) * sizeof(float));
+        {
+            obs::Span span("serve/infer", "serve");
+            batch.raw = detector_.forward(input);
+        }
+        batch.infer_ms = ms_between(batch.infer_start, Clock::now());
+        batch.items = std::move(items);
+        items.clear();  // moved-from; pop_batch re-fills it next iteration
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        observe("serve.latency.infer_ms", batch.infer_ms);
+        if (obs::Registry* reg = cfg_.metrics) {
+            reg->add("serve.batches");
+            reg->observe("serve.batch.size", static_cast<double>(batch.items.size()));
+        }
+        if (!post_q_.push(std::move(batch))) {
+            for (Request& r : batch.items)
+                r.promise.set_exception(std::make_exception_ptr(
+                    RejectedError("serve::Engine: post queue closed mid-flight")));
+        }
+    }
+}
+
+void Engine::post_loop() {
+    InferredBatch batch;
+    while (post_q_.pop(batch)) {
+        const Clock::time_point post_start = Clock::now();
+        std::vector<detect::BBox> boxes;
+        {
+            obs::Span span("serve/postprocess", "serve");
+            boxes = detector_.head().decode(batch.raw);
+        }
+        const Clock::time_point done = Clock::now();
+        const double post_ms = ms_between(post_start, done);
+        observe("serve.latency.postprocess_ms", post_ms);
+        for (std::size_t i = 0; i < batch.items.size(); ++i) {
+            Request& r = batch.items[i];
+            DetectResult res;
+            res.box = boxes[i];
+            res.batch_size = static_cast<int>(batch.items.size());
+            res.queue_ms = ms_between(r.submit_tp, r.pre_start);
+            res.preprocess_ms = ms_between(r.pre_start, r.pre_end);
+            res.batch_wait_ms = ms_between(r.pre_end, batch.infer_start);
+            res.infer_ms = batch.infer_ms;
+            res.postprocess_ms = post_ms;
+            res.total_ms = ms_between(r.submit_tp, done);
+            observe("serve.latency.queue_ms", res.queue_ms);
+            observe("serve.latency.batch_wait_ms", res.batch_wait_ms);
+            observe("serve.latency.total_ms", res.total_ms);
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            if (obs::Registry* reg = cfg_.metrics) reg->add("serve.completed");
+            r.promise.set_value(res);
+        }
+    }
+}
+
+void Engine::observe(const char* name, double value) {
+    if (obs::Registry* reg = cfg_.metrics) reg->observe(name, value);
+}
+
+void Engine::publish_percentiles() {
+    obs::Registry* reg = cfg_.metrics;
+    if (!reg) return;
+    for (const char* h : {"serve.latency.total_ms", "serve.latency.infer_ms",
+                          "serve.latency.queue_ms"}) {
+        const obs::HistogramSnapshot snap = reg->histogram(h);
+        if (snap.count == 0) continue;
+        reg->set(std::string(h) + ".p50", snap.percentile(0.50));
+        reg->set(std::string(h) + ".p95", snap.percentile(0.95));
+        reg->set(std::string(h) + ".p99", snap.percentile(0.99));
+    }
+}
+
+void Engine::shutdown(bool drain) {
+    if (stopped_.exchange(true)) return;
+    if (!drain) discard_.store(true, std::memory_order_relaxed);
+    requests_.close();
+    if (started_) {
+        for (std::thread& t : pre_workers_) t.join();
+        batcher_.close();
+        infer_worker_.join();
+        post_q_.close();
+        post_worker_.join();
+    } else {
+        // Never started: nothing will drain the queue — fail what's in it.
+        Request r;
+        while (requests_.pop(r))
+            r.promise.set_exception(std::make_exception_ptr(
+                RejectedError("serve::Engine: shut down before start()")));
+    }
+    publish_percentiles();
+}
+
+}  // namespace sky::serve

@@ -1,0 +1,162 @@
+// Batched async inference serving engine — the Fig. 10 system design
+// (§6.2/§6.3) as a real multi-threaded pipeline instead of a simulation.
+//
+// Requests enter a bounded MPMC queue (backpressure: block or reject), a
+// preprocess stage resizes them to the model input, a dynamic batcher
+// coalesces them (up to max_batch / max_delay_ms) into one NCHW tensor, a
+// single inference worker runs the Detector, and a postprocess stage
+// decodes boxes and fulfils the per-request futures.  Each stage runs on
+// its own worker thread(s), so fetch/preprocess/inference/postprocess
+// overlap exactly as in the paper's pipelined schedule:
+//
+//   submit() -> [request queue] -> preprocess xN -> [batcher] -> infer x1
+//            -> [post queue] -> postprocess x1 -> promise
+//
+// Determinism: the inference worker calls Detector::detect-equivalent code
+// on whatever batch the batcher formed; since batch forwards are bitwise
+// equal to per-image forwards at any SKYNET_THREADS (see
+// skynet/detector.hpp), results never depend on how requests were
+// coalesced or how many workers ran.
+//
+// Observability: with ServeConfig::metrics set, the engine records
+// per-request latency histograms (queue / preprocess / batch-wait / infer /
+// postprocess / total), queue-depth and batch-size histograms, and
+// publishes p50/p95/p99 gauges on shutdown.  With a TraceSession installed
+// (obs::TraceGuard), every stage emits "serve"-category spans whose
+// per-thread lanes draw the pipeline overlap in chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "serve/batcher.hpp"
+#include "serve/queue.hpp"
+#include "skynet/detector.hpp"
+
+namespace sky::serve {
+
+/// What submit() does when the request queue is at capacity.
+enum class OverflowPolicy {
+    kBlock,   ///< wait for space (producers feel backpressure as latency)
+    kReject,  ///< fail fast: submit() throws RejectedError
+};
+
+struct ServeConfig {
+    int max_batch = 8;          ///< batcher coalescing limit
+    double max_delay_ms = 2.0;  ///< max time the batcher waits to fill a batch
+    std::size_t queue_capacity = 64;  ///< request-queue bound (backpressure)
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+    int preprocess_workers = 1;
+    /// When both are > 0, the preprocess stage bilinear-resizes every input
+    /// to {target_h, target_w} (the paper's resize step); otherwise inputs
+    /// pass through and the batcher groups equal shapes.
+    int target_h = 0;
+    int target_w = 0;
+    obs::Registry* metrics = nullptr;  ///< nullptr records nothing
+};
+
+/// Per-request outcome: the decoded box plus the latency breakdown of the
+/// pipeline stages this request travelled through.
+struct DetectResult {
+    detect::BBox box;
+    int batch_size = 0;          ///< size of the coalesced batch it rode in
+    double queue_ms = 0.0;       ///< submit -> preprocess start
+    double preprocess_ms = 0.0;
+    double batch_wait_ms = 0.0;  ///< preprocess end -> batch inference start
+    double infer_ms = 0.0;       ///< whole-batch forward time
+    double postprocess_ms = 0.0;
+    double total_ms = 0.0;       ///< submit -> result ready
+};
+
+/// Thrown by submit() under the kReject policy when the queue is full, and
+/// for requests discarded by a non-draining shutdown.
+class RejectedError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class Engine {
+public:
+    /// The engine borrows `detector`; it must outlive the engine and must
+    /// not be used for inference elsewhere while the engine is running.
+    explicit Engine(Detector& detector, ServeConfig cfg = {});
+    ~Engine();
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /// Launch the stage workers.  submit() before start() is allowed — the
+    /// requests queue up (and reject when the queue fills).
+    void start();
+    [[nodiscard]] bool running() const { return started_ && !stopped_; }
+
+    /// Enqueue one {1,3,h,w} image; the future resolves when the request
+    /// has flowed through the whole pipeline.  Throws RejectedError under
+    /// kReject with a full queue, or after shutdown.
+    [[nodiscard]] std::future<DetectResult> submit(Tensor image);
+
+    /// Graceful shutdown.  With drain=true (default) every accepted request
+    /// completes before the workers exit; with drain=false requests still
+    /// waiting in the request queue fail with RejectedError (requests
+    /// already past preprocess always complete).  Publishes the p50/p95/p99
+    /// latency gauges.  Idempotent.
+    void shutdown(bool drain = true);
+
+    [[nodiscard]] std::uint64_t submitted() const { return submitted_.load(); }
+    [[nodiscard]] std::uint64_t completed() const { return completed_.load(); }
+    [[nodiscard]] std::uint64_t rejected() const { return rejected_.load(); }
+    [[nodiscard]] std::uint64_t batches() const { return batches_.load(); }
+
+    [[nodiscard]] const ServeConfig& config() const { return cfg_; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Request {
+        Tensor image;
+        std::promise<DetectResult> promise;
+        Clock::time_point submit_tp;
+        Clock::time_point pre_start;
+        Clock::time_point pre_end;
+    };
+
+    struct InferredBatch {
+        std::vector<Request> items;
+        Tensor raw;  ///< head map for the whole batch
+        Clock::time_point infer_start;
+        double infer_ms = 0.0;
+    };
+
+    void preprocess_loop();
+    void infer_loop();
+    void post_loop();
+    void observe(const char* name, double value);
+    void publish_percentiles();
+
+    Detector& detector_;
+    ServeConfig cfg_;
+
+    BoundedQueue<Request> requests_;
+    Batcher<Request> batcher_;
+    BoundedQueue<InferredBatch> post_q_;
+
+    std::vector<std::thread> pre_workers_;
+    std::thread infer_worker_;
+    std::thread post_worker_;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopped_{false};
+    std::atomic<bool> discard_{false};
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> batches_{0};
+};
+
+}  // namespace sky::serve

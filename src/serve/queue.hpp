@@ -1,0 +1,93 @@
+// Bounded MPMC queue — the backpressure primitive of the serving engine.
+//
+// A mutex + two condition variables over a deque: deliberately boring, since
+// every item that passes through it is a whole inference request (the
+// per-item cost is microseconds of queueing against milliseconds of DNN
+// work).  What matters for serving is the *policy* surface:
+//
+//  - `push` blocks while the queue is at capacity (the kBlock overflow
+//    policy: producers feel backpressure as latency);
+//  - `try_push` never blocks (the kReject policy: producers shed load and
+//    the caller turns the failure into a rejection error);
+//  - `close` initiates graceful shutdown: producers are refused from then
+//    on, but consumers drain everything already accepted — `pop` only
+//    returns false once the queue is both closed and empty, so no accepted
+//    request is ever dropped by the queue itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace sky::serve {
+
+template <typename T>
+class BoundedQueue {
+public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /// Blocking push; waits for space.  Returns false iff the queue was
+    /// closed (item is left untouched in that case).
+    bool push(T&& item) {
+        std::unique_lock<std::mutex> lk(mu_);
+        not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+        if (closed_) return false;
+        q_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Non-blocking push; false when full or closed.
+    bool try_push(T&& item) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (closed_ || q_.size() >= capacity_) return false;
+        q_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocking pop.  Returns false only when the queue is closed AND fully
+    /// drained; until then every accepted item is delivered exactly once.
+    bool pop(T& out) {
+        std::unique_lock<std::mutex> lk(mu_);
+        not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+        if (q_.empty()) return false;
+        out = std::move(q_.front());
+        q_.pop_front();
+        not_full_.notify_one();
+        return true;
+    }
+
+    /// Refuse new items; wake all waiters.  Idempotent.
+    void close() {
+        std::lock_guard<std::mutex> lk(mu_);
+        closed_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return q_.size();
+    }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] bool closed() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return closed_;
+    }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> q_;
+    bool closed_ = false;
+};
+
+}  // namespace sky::serve

@@ -1,0 +1,68 @@
+#include "skynet/detector.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "deploy/fold_bn.hpp"
+
+namespace sky {
+
+const char* detector_stage_name(DetectorStage s) {
+    switch (s) {
+        case DetectorStage::kFloat: return "float32";
+        case DetectorStage::kFolded: return "bn-folded";
+        case DetectorStage::kQuantized: return "quantized";
+    }
+    return "?";
+}
+
+Detector::Detector(const SkyNetConfig& cfg, Rng& rng) : model_(build_skynet(cfg, rng)) {}
+
+Detector::Detector(SkyNetModel model) : model_(std::move(model)) {
+    if (!model_.net) throw std::invalid_argument("Detector: model has no network");
+}
+
+int Detector::fold_bn() {
+    if (stage_ != DetectorStage::kFloat) return 0;
+    const int folded = deploy::fold_graph_bn(*model_.net);
+    stage_ = DetectorStage::kFolded;
+    return folded;
+}
+
+void Detector::quantize(const quant::QEngineConfig& qcfg) {
+    if (stage_ == DetectorStage::kQuantized)
+        throw std::logic_error("Detector: already quantized");
+    fold_bn();  // QEngine requires a BN-free graph
+    model_.net->set_training(false);
+    qengine_ = std::make_unique<quant::QEngine>(*model_.net, qcfg);
+    stage_ = DetectorStage::kQuantized;
+}
+
+Tensor Detector::forward(const Tensor& images) {
+    const Shape& s = images.shape();
+    if (s.c != 3)
+        throw std::invalid_argument("Detector::forward: expected {n,3,h,w}, got " +
+                                    s.str());
+    if (qengine_) return qengine_->run(images);
+    model_.net->set_training(false);
+    return model_.net->forward(images);
+}
+
+detect::BBox Detector::detect(const Tensor& image) {
+    if (image.shape().n != 1)
+        throw std::invalid_argument("Detector::detect: expected a single image, got " +
+                                    image.shape().str() + " (use detect_batch)");
+    return model_.head.decode(forward(image))[0];
+}
+
+std::vector<detect::BBox> Detector::detect_batch(const Tensor& images) {
+    return model_.head.decode(forward(images));
+}
+
+std::vector<std::vector<detect::Detection>> Detector::detect_all(const Tensor& images,
+                                                                 float conf_threshold,
+                                                                 float nms_iou) {
+    return model_.head.decode_all(forward(images), conf_threshold, nms_iou);
+}
+
+}  // namespace sky

@@ -1,0 +1,88 @@
+// sky::Detector — the single entry point for running SkyNet detection.
+//
+// Before this facade existed every example and service re-assembled the
+// same sequence by hand: build_skynet(...) -> (train) ->
+// deploy::fold_graph_bn(...) -> quant::QEngine(...) -> net->forward(...) ->
+// head.decode(...).  Detector owns that lifecycle:
+//
+//   Rng rng(42);
+//   sky::Detector det({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.35f}, rng);
+//   train::train_detector(det.net(), det.head(), dataset, cfg, train_rng);
+//   det.fold_bn();                        // optional deployment pass
+//   det.quantize({9, 11, 8.0f});          // optional: bit-true integer path
+//   detect::BBox box = det.detect(image); // single image
+//   auto boxes = det.detect_batch(batch); // {n,3,h,w} -> n boxes
+//
+// detect_batch is bitwise identical to n single detect() calls at any
+// SKYNET_THREADS: every kernel processes batch items independently and the
+// thread pool never splits a floating-point reduction (docs/KERNELS.md), so
+// the serving engine (src/serve) may coalesce requests into arbitrary
+// batches without changing any result.
+//
+// Thread safety: forward passes mutate per-layer caches, so a Detector must
+// not run inference from two threads at once.  The serve::Engine funnels
+// all inference through one worker for exactly this reason.
+#pragma once
+
+#include <memory>
+
+#include "quant/qengine.hpp"
+#include "skynet/skynet_model.hpp"
+
+namespace sky {
+
+/// Which deployment passes have been applied.
+enum class DetectorStage { kFloat, kFolded, kQuantized };
+
+[[nodiscard]] const char* detector_stage_name(DetectorStage s);
+
+class Detector {
+public:
+    /// Build a fresh (untrained) SkyNet of the given configuration.
+    Detector(const SkyNetConfig& cfg, Rng& rng);
+    /// Adopt an already-built (possibly trained) model.
+    explicit Detector(SkyNetModel model);
+
+    Detector(Detector&&) = default;
+    Detector& operator=(Detector&&) = default;
+
+    // --- Deployment passes (§6.4) -------------------------------------
+    /// Fold every BatchNorm into its producing conv (deploy::fold_graph_bn);
+    /// returns the number of BN layers folded.  Idempotent.
+    int fold_bn();
+    /// Compile the bit-true integer engine (quant::QEngine) for the given
+    /// scheme; folds BN first if that has not happened yet.  From then on
+    /// all inference runs on the integer datapath.
+    void quantize(const quant::QEngineConfig& qcfg);
+    [[nodiscard]] DetectorStage stage() const { return stage_; }
+
+    // --- Inference -----------------------------------------------------
+    /// Raw head map {n, 5*anchors, gh, gw} for {n,3,h,w} input.  Forces
+    /// eval mode.
+    [[nodiscard]] Tensor forward(const Tensor& images);
+    /// Best box of a single image ({1,3,h,w}).
+    [[nodiscard]] detect::BBox detect(const Tensor& image);
+    /// Best box per batch item; bitwise equal to n detect() calls.
+    [[nodiscard]] std::vector<detect::BBox> detect_batch(const Tensor& images);
+    /// Multi-object mode: all boxes above `conf_threshold`, NMS-suppressed.
+    [[nodiscard]] std::vector<std::vector<detect::Detection>> detect_all(
+        const Tensor& images, float conf_threshold = 0.5f, float nms_iou = 0.45f);
+
+    // --- Access for training / passes ----------------------------------
+    [[nodiscard]] nn::Graph& net() { return *model_.net; }
+    [[nodiscard]] const nn::Graph& net() const { return *model_.net; }
+    [[nodiscard]] const detect::YoloHead& head() const { return model_.head; }
+    [[nodiscard]] const SkyNetConfig& config() const { return model_.config; }
+    [[nodiscard]] SkyNetModel& model() { return model_; }
+    [[nodiscard]] const SkyNetModel& model() const { return model_; }
+
+    [[nodiscard]] std::int64_t param_count() const { return model_.param_count(); }
+    [[nodiscard]] double param_mb() const { return model_.param_mb(); }
+
+private:
+    SkyNetModel model_;
+    std::unique_ptr<quant::QEngine> qengine_;
+    DetectorStage stage_ = DetectorStage::kFloat;
+};
+
+}  // namespace sky

@@ -37,9 +37,19 @@ struct SkyNetModel {
     std::unique_ptr<nn::Graph> net;
     detect::YoloHead head;
     SkyNetConfig config;
+    // DEPRECATED: poke these through feature_node() / feature_channels()
+    // below.  The bare fields remain only so the builders can fill them and
+    // out-of-tree code keeps compiling; direct reads will be removed once
+    // the struct goes opaque behind sky::Detector.
     int backbone_feature_node = 0;  ///< graph node emitting the last Bundle output
                                     ///< (pre-head features; used by the trackers)
     int backbone_channels = 0;
+
+    /// Graph node id of the pre-head feature map (the tracker tap point):
+    /// pass to nn::Graph::node_output after a forward.
+    [[nodiscard]] int feature_node() const { return backbone_feature_node; }
+    /// Channel count of that feature map (the Siamese embed input width).
+    [[nodiscard]] int feature_channels() const { return backbone_channels; }
 
     [[nodiscard]] std::int64_t param_count() const { return net->param_count(); }
     /// Parameter size in MB at float32 (what Table 4 reports).

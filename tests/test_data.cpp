@@ -94,6 +94,27 @@ TEST(Augment, ResizeBilinearPreservesConstant) {
     for (std::int64_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out[i], 0.37f, 1e-5f);
 }
 
+TEST(Augment, ResizeAreaPreservesConstantAndAveragesExactly) {
+    Tensor img({1, 2, 9, 15}, 0.41f);
+    Tensor out = resize_area(img, 4, 5);
+    EXPECT_EQ(out.shape(), (Shape{1, 2, 4, 5}));
+    for (std::int64_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out[i], 0.41f, 1e-6f);
+
+    // Integral 2x decimation is the exact mean of each 2x2 block — the
+    // anti-aliasing property bilinear lacks past 2x.
+    Tensor fine({1, 1, 4, 4});
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x) fine.at(0, 0, y, x) = static_cast<float>(4 * y + x);
+    Tensor half = resize_area(fine, 2, 2);
+    EXPECT_NEAR(half.at(0, 0, 0, 0), (0.f + 1.f + 4.f + 5.f) / 4.f, 1e-6f);
+    EXPECT_NEAR(half.at(0, 0, 1, 1), (10.f + 11.f + 14.f + 15.f) / 4.f, 1e-6f);
+    // Global mean is conserved under any area decimation.
+    Tensor third = resize_area(fine, 3, 3);
+    double mean = 0.0;
+    for (std::int64_t i = 0; i < third.size(); ++i) mean += third[i];
+    EXPECT_NEAR(mean / third.size(), 7.5, 1e-5);
+}
+
 TEST(Augment, ResizeRoundTripApproximatesIdentity) {
     Rng rng(4);
     Tensor img({1, 1, 16, 16});

@@ -149,7 +149,7 @@ TEST(AsciiViz, RendersBoxesAndLuminance) {
 TEST(SiamFcMode, TracksWithoutRegression) {
     Rng rng(7);
     SkyNetModel bb = build_skynet_backbone(0.12f, nn::Act::kReLU6, rng);
-    tracking::SiameseEmbed embed(std::move(bb.net), bb.backbone_channels, 16, rng);
+    tracking::SiameseEmbed embed(std::move(bb.net), bb.feature_channels(), 16, rng);
     tracking::TrackerConfig cfg;
     cfg.crop_size = 32;
     cfg.kernel_cells = 2;

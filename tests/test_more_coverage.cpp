@@ -114,7 +114,7 @@ TEST(TrackerGeometry, ScaleClampBoundsGrowth) {
     // bounded by max_scale_step through size_lerp smoothing.
     Rng rng(5);
     SkyNetModel bb = build_skynet_backbone(0.12f, nn::Act::kReLU6, rng);
-    tracking::SiameseEmbed embed(std::move(bb.net), bb.backbone_channels, 16, rng);
+    tracking::SiameseEmbed embed(std::move(bb.net), bb.feature_channels(), 16, rng);
     tracking::TrackerConfig cfg;
     cfg.crop_size = 32;
     cfg.kernel_cells = 2;
@@ -136,7 +136,7 @@ TEST(TrackerGeometry, PerfectResponsePeakRecentresBox) {
     // geometry itself).  Use a static sequence: identical frames.
     Rng rng(6);
     SkyNetModel bb = build_skynet_backbone(0.12f, nn::Act::kReLU6, rng);
-    tracking::SiameseEmbed embed(std::move(bb.net), bb.backbone_channels, 16, rng);
+    tracking::SiameseEmbed embed(std::move(bb.net), bb.feature_channels(), 16, rng);
     tracking::TrackerConfig cfg;
     cfg.crop_size = 32;
     cfg.kernel_cells = 2;

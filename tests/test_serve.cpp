@@ -1,0 +1,359 @@
+// sky::serve — queue backpressure, dynamic batching, pipeline draining, and
+// the determinism contract: results are bitwise independent of how requests
+// were coalesced into batches and of the kernel-engine thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+#include "core/thread_pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "serve/batcher.hpp"
+#include "serve/queue.hpp"
+#include "skynet/detector.hpp"
+
+namespace sky::serve {
+namespace {
+
+/// Restores the env-resolved pool size when a test that pins threads exits.
+struct ThreadGuard {
+    ~ThreadGuard() { core::ThreadPool::set_global_threads(0); }
+};
+
+Tensor random_image(std::uint64_t seed, int h = 32, int w = 64) {
+    Tensor img({1, 3, h, w});
+    Rng rng(seed);
+    img.rand_uniform(rng, 0.0f, 1.0f);
+    return img;
+}
+
+Detector small_detector(std::uint64_t seed = 11) {
+    Rng rng(seed);
+    return Detector({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.15f}, rng);
+}
+
+// ---------------------------------------------------------------- queue ---
+
+TEST(BoundedQueue, TryPushRejectsWhenFull) {
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.try_push(1));
+    EXPECT_TRUE(q.try_push(2));
+    EXPECT_FALSE(q.try_push(3));  // full: the kReject policy path
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.try_push(3));  // space again
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+    BoundedQueue<int> q(8);
+    EXPECT_TRUE(q.try_push(1));
+    EXPECT_TRUE(q.try_push(2));
+    q.close();
+    EXPECT_FALSE(q.try_push(3));  // closed to producers
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));  // but consumers still drain
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_FALSE(q.pop(v));  // closed AND empty
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.try_push(1));
+    std::thread consumer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        int v;
+        (void)q.pop(v);
+    });
+    EXPECT_TRUE(q.push(2));  // blocks until the consumer frees a slot
+    consumer.join();
+    EXPECT_EQ(q.size(), 1u);
+}
+
+// -------------------------------------------------------------- batcher ---
+
+TEST(Batcher, CoalescesUpToMaxBatch) {
+    Batcher<int> b(32);
+    for (int i = 0; i < 10; ++i) ASSERT_TRUE(b.push(int(i)));
+    std::vector<int> out;
+    // Items are already queued, so max_batch wins long before max_delay.
+    ASSERT_TRUE(b.pop_batch(4, 1000.0, out));
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+    ASSERT_TRUE(b.pop_batch(4, 1000.0, out));
+    EXPECT_EQ(out, (std::vector<int>{4, 5, 6, 7}));
+    b.close();
+    ASSERT_TRUE(b.pop_batch(4, 1000.0, out));  // drain mode: no delay wait
+    EXPECT_EQ(out, (std::vector<int>{8, 9}));
+    EXPECT_FALSE(b.pop_batch(4, 1000.0, out));  // closed and empty
+}
+
+TEST(Batcher, MaxDelayFlushesPartialBatch) {
+    Batcher<int> b(32);
+    ASSERT_TRUE(b.push(1));
+    ASSERT_TRUE(b.push(2));
+    std::vector<int> out;
+    const auto t0 = std::chrono::steady_clock::now();
+    ASSERT_TRUE(b.pop_batch(8, 50.0, out));
+    const double waited =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_EQ(out.size(), 2u);       // partial batch released...
+    EXPECT_GE(waited, 40.0);         // ...but only after ~max_delay_ms
+    EXPECT_LT(waited, 2000.0);
+}
+
+TEST(Batcher, LateArrivalJoinsWithinDelay) {
+    Batcher<int> b(32);
+    ASSERT_TRUE(b.push(1));
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        (void)b.push(2);
+    });
+    std::vector<int> out;
+    ASSERT_TRUE(b.pop_batch(2, 5000.0, out));  // fills to max_batch and returns
+    producer.join();
+    EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(Batcher, CompatibilityPredicateBoundsBatch) {
+    // Odd/even may not mix: the engine uses the same mechanism to keep
+    // mixed input shapes out of a single NCHW tensor.
+    Batcher<int> b(32, [](const int& head, const int& cand) {
+        return head % 2 == cand % 2;
+    });
+    for (int v : {2, 4, 7, 9, 6}) ASSERT_TRUE(b.push(int(v)));
+    std::vector<int> out;
+    ASSERT_TRUE(b.pop_batch(8, 10.0, out));
+    EXPECT_EQ(out, (std::vector<int>{2, 4}));  // stops at the first odd item
+    ASSERT_TRUE(b.pop_batch(8, 10.0, out));
+    EXPECT_EQ(out, (std::vector<int>{7, 9}));
+    ASSERT_TRUE(b.pop_batch(8, 10.0, out));
+    EXPECT_EQ(out, (std::vector<int>{6}));
+}
+
+// --------------------------------------------------------------- engine ---
+
+TEST(Engine, RejectPolicyShedsLoadDeterministically) {
+    Detector det = small_detector();
+    obs::Registry reg;
+    ServeConfig cfg;
+    cfg.queue_capacity = 2;
+    cfg.overflow = OverflowPolicy::kReject;
+    cfg.max_batch = 4;
+    cfg.metrics = &reg;
+    Engine engine(det, cfg);
+    // Not started yet: nothing drains, so the queue bound is exact.
+    auto f1 = engine.submit(random_image(1));
+    auto f2 = engine.submit(random_image(2));
+    EXPECT_THROW((void)engine.submit(random_image(3)), RejectedError);
+    EXPECT_EQ(engine.rejected(), 1u);
+    EXPECT_EQ(engine.submitted(), 2u);
+    EXPECT_EQ(reg.counter("serve.rejected"), 1.0);
+
+    engine.start();  // accepted requests now flow through the pipeline
+    const DetectResult r1 = f1.get();
+    const DetectResult r2 = f2.get();
+    EXPECT_GT(r1.batch_size, 0);
+    EXPECT_GT(r2.total_ms, 0.0);
+    engine.shutdown();
+    EXPECT_EQ(engine.completed(), 2u);
+    EXPECT_THROW((void)engine.submit(random_image(4)), RejectedError);
+}
+
+TEST(Engine, ShutdownDrainsInflightRequests) {
+    Detector det = small_detector();
+    ServeConfig cfg;
+    cfg.max_batch = 4;
+    cfg.max_delay_ms = 1.0;
+    cfg.queue_capacity = 32;
+    Engine engine(det, cfg);
+    engine.start();
+    std::vector<std::future<DetectResult>> futures;
+    for (int i = 0; i < 12; ++i) futures.push_back(engine.submit(random_image(100 + i)));
+    engine.shutdown(/*drain=*/true);  // must complete every accepted request
+    for (auto& f : futures) {
+        const DetectResult r = f.get();  // throws if any request was dropped
+        EXPECT_GE(r.box.w, 0.0f);
+        EXPECT_GT(r.total_ms, 0.0);
+    }
+    EXPECT_EQ(engine.completed(), 12u);
+    EXPECT_GE(engine.batches(), 3u);  // 12 requests / max_batch 4
+}
+
+TEST(Engine, NonDrainingShutdownFailsOnlyQueuedRequests) {
+    Detector det = small_detector();
+    ServeConfig cfg;
+    cfg.queue_capacity = 16;
+    Engine engine(det, cfg);
+    std::vector<std::future<DetectResult>> futures;
+    for (int i = 0; i < 5; ++i) futures.push_back(engine.submit(random_image(i)));
+    engine.shutdown(/*drain=*/false);  // never started: all five still queued
+    for (auto& f : futures) EXPECT_THROW((void)f.get(), RejectedError);
+}
+
+TEST(Engine, BatchedResultsBitwiseEqualSingleDetectAtAnyThreadCount) {
+    ThreadGuard guard;
+    constexpr int kImages = 6;
+
+    // Reference: single-image detect() at 1 thread.
+    std::vector<detect::BBox> reference;
+    {
+        core::ThreadPool::set_global_threads(1);
+        Detector det = small_detector(42);
+        for (int i = 0; i < kImages; ++i)
+            reference.push_back(det.detect(random_image(500 + i)));
+    }
+
+    for (int threads : {1, 3}) {
+        core::ThreadPool::set_global_threads(threads);
+        Detector det = small_detector(42);  // same seed -> same weights
+
+        // detect_batch on the full batch.
+        Tensor batch({kImages, 3, 32, 64});
+        for (int i = 0; i < kImages; ++i) {
+            const Tensor img = random_image(500 + i);
+            std::copy_n(img.data(), img.size(), batch.plane(i, 0));
+        }
+        const std::vector<detect::BBox> batched = det.detect_batch(batch);
+        ASSERT_EQ(batched.size(), reference.size());
+        for (int i = 0; i < kImages; ++i) {
+            EXPECT_EQ(batched[i].cx, reference[i].cx) << "threads=" << threads << " i=" << i;
+            EXPECT_EQ(batched[i].cy, reference[i].cy);
+            EXPECT_EQ(batched[i].w, reference[i].w);
+            EXPECT_EQ(batched[i].h, reference[i].h);
+        }
+
+        // The async engine with dynamic batching must agree bitwise too,
+        // whatever batches its batcher happens to form.
+        ServeConfig cfg;
+        cfg.max_batch = 4;
+        cfg.max_delay_ms = 20.0;
+        Engine engine(det, cfg);
+        engine.start();
+        std::vector<std::future<DetectResult>> futures;
+        for (int i = 0; i < kImages; ++i)
+            futures.push_back(engine.submit(random_image(500 + i)));
+        for (int i = 0; i < kImages; ++i) {
+            const DetectResult r = futures[static_cast<std::size_t>(i)].get();
+            EXPECT_EQ(r.box.cx, reference[i].cx) << "threads=" << threads << " i=" << i;
+            EXPECT_EQ(r.box.cy, reference[i].cy);
+            EXPECT_EQ(r.box.w, reference[i].w);
+            EXPECT_EQ(r.box.h, reference[i].h);
+        }
+        engine.shutdown();
+    }
+}
+
+TEST(Engine, PreprocessResizesToModelInput) {
+    Detector det = small_detector();
+    ServeConfig cfg;
+    cfg.target_h = 32;
+    cfg.target_w = 64;
+    cfg.max_batch = 2;
+    Engine engine(det, cfg);
+    engine.start();
+    // Submit at 2x the model resolution: preprocess must resize.
+    auto fut = engine.submit(random_image(9, 64, 128));
+    const DetectResult r = fut.get();
+    EXPECT_GE(r.preprocess_ms, 0.0);
+    EXPECT_GE(r.box.w, 0.0f);
+    engine.shutdown();
+}
+
+TEST(Engine, MetricsAndTraceCoverThePipeline) {
+    obs::Registry reg;
+    obs::TraceSession trace;
+    Detector det = small_detector();
+    ServeConfig cfg;
+    cfg.max_batch = 3;
+    cfg.max_delay_ms = 5.0;
+    cfg.metrics = &reg;
+    {
+        obs::TraceGuard tg(trace);
+        Engine engine(det, cfg);
+        engine.start();
+        std::vector<std::future<DetectResult>> futures;
+        for (int i = 0; i < 7; ++i) futures.push_back(engine.submit(random_image(i)));
+        for (auto& f : futures) (void)f.get();
+        engine.shutdown();
+    }
+    EXPECT_EQ(reg.counter("serve.requests"), 7.0);
+    EXPECT_EQ(reg.counter("serve.completed"), 7.0);
+    const obs::HistogramSnapshot total = reg.histogram("serve.latency.total_ms");
+    EXPECT_EQ(total.count, 7u);
+    EXPECT_GT(total.sum, 0.0);
+    // Percentile gauges are published on shutdown and must be ordered.
+    const double p50 = reg.gauge("serve.latency.total_ms.p50");
+    const double p95 = reg.gauge("serve.latency.total_ms.p95");
+    const double p99 = reg.gauge("serve.latency.total_ms.p99");
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    const obs::HistogramSnapshot sizes = reg.histogram("serve.batch.size");
+    EXPECT_EQ(sizes.count, reg.counter("serve.batches"));
+    // Every pipeline stage shows up in the Chrome trace.
+    int pre = 0, infer = 0, post = 0;
+    for (const auto& ev : trace.events()) {
+        if (ev.name == "serve/preprocess") ++pre;
+        if (ev.name == "serve/infer") ++infer;
+        if (ev.name == "serve/postprocess") ++post;
+    }
+    EXPECT_EQ(pre, 7);
+    EXPECT_GE(infer, 3);  // 7 requests at max_batch 3 -> >= 3 batches
+    EXPECT_EQ(infer, post);
+}
+
+// ------------------------------------------------------------- detector ---
+
+TEST(Detector, FoldBnPreservesDetection) {
+    Rng rng(5);
+    Detector det({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.2f}, rng);
+    // Warm BN running stats so folding is non-trivial.
+    det.net().set_training(true);
+    Rng warm(7);
+    for (int i = 0; i < 3; ++i) {
+        Tensor x({2, 3, 32, 64});
+        x.randn(warm, 0.3f, 0.8f);
+        (void)det.net().forward(x);
+    }
+    const Tensor img = random_image(21);
+    const detect::BBox before = det.detect(img);
+    EXPECT_EQ(det.stage(), DetectorStage::kFloat);
+    EXPECT_GT(det.fold_bn(), 0);
+    EXPECT_EQ(det.stage(), DetectorStage::kFolded);
+    EXPECT_EQ(det.fold_bn(), 0);  // idempotent
+    const detect::BBox after = det.detect(img);
+    EXPECT_NEAR(before.cx, after.cx, 1e-3f);
+    EXPECT_NEAR(before.cy, after.cy, 1e-3f);
+    EXPECT_NEAR(before.w, after.w, 1e-3f);
+    EXPECT_NEAR(before.h, after.h, 1e-3f);
+}
+
+TEST(Detector, QuantizedPathRunsIntegerEngine) {
+    Rng rng(6);
+    Detector det({SkyNetVariant::kA, nn::Act::kReLU6, 2, 0.15f}, rng);
+    const Tensor img = random_image(33);
+    const detect::BBox float_box = det.detect(img);
+    det.quantize({16, 16, 8.0f});  // wide words: close to float
+    EXPECT_EQ(det.stage(), DetectorStage::kQuantized);
+    const detect::BBox q_box = det.detect(img);
+    EXPECT_NEAR(float_box.cx, q_box.cx, 0.05f);
+    EXPECT_NEAR(float_box.cy, q_box.cy, 0.05f);
+    EXPECT_THROW(det.quantize({8, 8, 8.0f}), std::logic_error);
+}
+
+TEST(Detector, RejectsMalformedInputs) {
+    Detector det = small_detector();
+    EXPECT_THROW((void)det.detect(Tensor({2, 3, 32, 64})), std::invalid_argument);
+    EXPECT_THROW((void)det.forward(Tensor({1, 4, 32, 64})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sky::serve

@@ -103,7 +103,7 @@ TEST(SkyNet, VariantAHasNoReorder) {
 TEST(SkyNet, BackboneBuilderEndsAt512Wide) {
     Rng rng(10);
     SkyNetModel bb = build_skynet_backbone(1.0f, nn::Act::kReLU6, rng);
-    EXPECT_EQ(bb.backbone_channels, 512);
+    EXPECT_EQ(bb.feature_channels(), 512);
     EXPECT_EQ(bb.net->out_shape({1, 3, 64, 64}), (Shape{1, 512, 8, 8}));
     // The tracking claim: ~37x fewer parameters than ResNet-50 (23.5M).
     EXPECT_LT(bb.param_count(), 1'000'000);

@@ -130,7 +130,7 @@ TEST(MaskHeadT, MaskToBoxTight) {
 
 SiamTracker make_tiny_tracker(bool use_mask, Rng& rng) {
     SkyNetModel bb = build_skynet_backbone(0.12f, nn::Act::kReLU6, rng);
-    SiameseEmbed embed(std::move(bb.net), bb.backbone_channels, 16, rng);
+    SiameseEmbed embed(std::move(bb.net), bb.feature_channels(), 16, rng);
     TrackerConfig cfg;
     cfg.crop_size = 32;
     cfg.kernel_cells = 2;

@@ -1,14 +1,69 @@
-// Thread-pool concurrency smoke, intended for the TSan lane
-// (cmake -DSKYNET_SANITIZE=thread).  Hammers the global pool from several
-// dispatcher threads at once (parallel_for serialises them internally),
-// interleaves pool reconfiguration, and checks that every index is processed
-// exactly once.  Exits non-zero on any lost or duplicated index.
+// Concurrency smoke, intended for the TSan lane
+// (cmake -DSKYNET_SANITIZE=thread).  Part 1 hammers the global thread pool
+// from several dispatcher threads at once (parallel_for serialises them
+// internally), interleaves pool reconfiguration, and checks that every index
+// is processed exactly once.  Part 2 drives the sky::serve engine — bounded
+// queue, dynamic batcher, staged workers — from several submitter threads
+// through repeated start/drain-shutdown cycles.  Exits non-zero on any lost
+// or duplicated work.
 #include <atomic>
 #include <cstdio>
+#include <future>
 #include <thread>
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "serve/engine.hpp"
+#include "skynet/detector.hpp"
+
+namespace {
+
+/// Multi-threaded submitters racing the engine's staged workers: `kClients`
+/// threads each push `kPerClient` frames, half the runs shut down while
+/// requests are still in flight (drain mode must still answer every one).
+int serve_engine_smoke() {
+    using namespace sky;
+    Rng rng(17);
+    Detector det({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.15f}, rng);
+    constexpr int kClients = 3;
+    constexpr int kPerClient = 8;
+    int failures = 0;
+    for (int round = 0; round < 4; ++round) {
+        serve::ServeConfig sc;
+        sc.max_batch = 3;
+        sc.max_delay_ms = 1.0;
+        sc.queue_capacity = 8;  // small: submitters block on backpressure
+        serve::Engine engine(det, sc);
+        engine.start();
+        std::atomic<int> answered{0};
+        std::vector<std::thread> clients;
+        for (int c = 0; c < kClients; ++c)
+            clients.emplace_back([&, c] {
+                Rng img_rng(static_cast<std::uint64_t>(100 + c));
+                for (int i = 0; i < kPerClient; ++i) {
+                    Tensor img({1, 3, 32, 64});
+                    img.rand_uniform(img_rng, 0.0f, 1.0f);
+                    try {
+                        auto fut = engine.submit(std::move(img));
+                        (void)fut.get();
+                        answered.fetch_add(1, std::memory_order_relaxed);
+                    } catch (const serve::RejectedError&) {
+                        // Raced a shutdown — allowed; counted as answered.
+                        answered.fetch_add(1, std::memory_order_relaxed);
+                    }
+                }
+            });
+        if (round % 2 == 1) engine.shutdown(true);  // drain with clients racing
+        for (auto& c : clients) c.join();
+        engine.shutdown(true);
+        if (answered.load() != kClients * kPerClient) ++failures;
+        // Draining shutdown completes every accepted request.
+        if (engine.completed() != engine.submitted()) ++failures;
+    }
+    return failures;
+}
+
+}  // namespace
 
 int main() {
     using sky::core::ThreadPool;
@@ -56,11 +111,15 @@ int main() {
         if (count.load() != 1000) ++mismatches;
     }
 
+    // 4. The serving engine under multi-threaded submission and racing
+    //    shutdowns.
+    mismatches += serve_engine_smoke();
+
     if (mismatches.load() != 0) {
         std::fprintf(stderr, "threadpool smoke FAILED: %d mismatches\n",
                      mismatches.load());
         return 1;
     }
-    std::printf("threadpool smoke ok\n");
+    std::printf("threadpool + serve smoke ok\n");
     return 0;
 }

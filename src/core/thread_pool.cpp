@@ -12,6 +12,8 @@ namespace {
 thread_local bool tls_in_pool_body = false;
 
 std::mutex& global_mu() {
+    // Guards the global pool slot; taken before any ThreadPool-internal
+    // lock (global() may construct a pool while holding it).
     static std::mutex mu;
     return mu;
 }
@@ -25,8 +27,9 @@ std::unique_ptr<ThreadPool>& global_slot() {
 
 int ThreadPool::env_threads() {
     if (const char* env = std::getenv("SKYNET_THREADS")) {
-        const int n = std::atoi(env);
-        if (n > 0) return n;
+        char* end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && n > 0 && n <= 1 << 16) return static_cast<int>(n);
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? static_cast<int>(hw) : 1;

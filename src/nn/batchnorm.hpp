@@ -23,6 +23,7 @@ public:
     [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
     [[nodiscard]] std::int64_t param_count() const override { return 2LL * channels_; }
     [[nodiscard]] std::string kind() const override { return "bn"; }
+    [[nodiscard]] int channels() const { return channels_; }
 
     [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
     [[nodiscard]] const Tensor& running_var() const { return running_var_; }

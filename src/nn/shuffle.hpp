@@ -19,6 +19,7 @@ public:
     }
     [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
     [[nodiscard]] std::string kind() const override { return "shuffle"; }
+    [[nodiscard]] int groups() const { return groups_; }
 
 private:
     int groups_;

@@ -84,7 +84,8 @@ private:
         double max = 0.0;
     };
 
-    mutable std::mutex mu_;
+    mutable std::mutex mu_;  // guards all three maps; leaf lock, never held
+                             // while calling out (no lock-order constraints)
     std::map<std::string, double> counters_;
     std::map<std::string, double> gauges_;
     std::map<std::string, Histogram> histograms_;

@@ -52,7 +52,8 @@ public:
 private:
     int thread_slot_locked();
 
-    mutable std::mutex mu_;
+    mutable std::mutex mu_;  // guards events_/threads_; leaf lock, spans only
+                             // touch it at construction/destruction
     std::chrono::steady_clock::time_point origin_;
     std::vector<TraceEvent> events_;
     std::vector<std::thread::id> threads_;  ///< lane index -> thread id

@@ -23,6 +23,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -50,6 +51,17 @@ public:
         q_.push_back(std::move(item));
         not_empty_.notify_one();
         return true;
+    }
+
+    /// Blocking push that hands the item back on failure (see
+    /// BoundedQueue::offer): nullopt when accepted, the item when closed.
+    [[nodiscard]] std::optional<T> offer(T&& item) {
+        std::unique_lock<std::mutex> lk(mu_);
+        not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+        if (closed_) return std::optional<T>(std::move(item));
+        q_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return std::nullopt;
     }
 
     /// Coalesce the next batch into `out` (cleared first).  Returns false
@@ -109,7 +121,8 @@ public:
 private:
     const std::size_t capacity_;
     Compatible compatible_;
-    mutable std::mutex mu_;
+    mutable std::mutex mu_;  // guards q_/closed_ + both cv waits; leaf lock,
+                             // held across the compatibility predicate only
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
     std::deque<T> q_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "data/augment.hpp"
@@ -129,8 +130,8 @@ void Engine::preprocess_loop() {
         }
         r.pre_end = Clock::now();
         observe("serve.latency.preprocess_ms", ms_between(r.pre_start, r.pre_end));
-        if (!batcher_.push(std::move(r)))
-            r.promise.set_exception(std::make_exception_ptr(
+        if (std::optional<Request> rejected = batcher_.offer(std::move(r)))
+            rejected->promise.set_exception(std::make_exception_ptr(
                 RejectedError("serve::Engine: batcher closed mid-flight")));
     }
 }
@@ -159,8 +160,8 @@ void Engine::infer_loop() {
             reg->add("serve.batches");
             reg->observe("serve.batch.size", static_cast<double>(batch.items.size()));
         }
-        if (!post_q_.push(std::move(batch))) {
-            for (Request& r : batch.items)
+        if (std::optional<InferredBatch> rejected = post_q_.offer(std::move(batch))) {
+            for (Request& r : rejected->items)
                 r.promise.set_exception(std::make_exception_ptr(
                     RejectedError("serve::Engine: post queue closed mid-flight")));
         }

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 namespace sky::serve {
@@ -49,6 +50,19 @@ public:
         q_.push_back(std::move(item));
         not_empty_.notify_one();
         return true;
+    }
+
+    /// Blocking push that hands the item BACK on failure instead of
+    /// leaving the caller with a formally moved-from object: returns
+    /// nullopt when accepted, or the item itself when the queue is closed.
+    /// For producers that must still fulfil the item's promise on failure.
+    [[nodiscard]] std::optional<T> offer(T&& item) {
+        std::unique_lock<std::mutex> lk(mu_);
+        not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+        if (closed_) return std::optional<T>(std::move(item));
+        q_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return std::nullopt;
     }
 
     /// Blocking pop.  Returns false only when the queue is closed AND fully
@@ -83,7 +97,8 @@ public:
 
 private:
     const std::size_t capacity_;
-    mutable std::mutex mu_;
+    mutable std::mutex mu_;  // guards q_/closed_ + both cv waits; leaf lock,
+                             // never held while fulfilling promises
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
     std::deque<T> q_;

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "deploy/fold_bn.hpp"
+#include "verify/check_graph.hpp"
+#include "verify/check_qmodel.hpp"
 
 namespace sky {
 
@@ -16,10 +18,17 @@ const char* detector_stage_name(DetectorStage s) {
     return "?";
 }
 
-Detector::Detector(const SkyNetConfig& cfg, Rng& rng) : model_(build_skynet(cfg, rng)) {}
+Detector::Detector(const SkyNetConfig& cfg, Rng& rng) : model_(build_skynet(cfg, rng)) {
+    verify::enforce(verify());
+}
 
 Detector::Detector(SkyNetModel model) : model_(std::move(model)) {
     if (!model_.net) throw std::invalid_argument("Detector: model has no network");
+    verify::enforce(verify());
+}
+
+verify::Report Detector::verify(const Shape& input) const {
+    return verify::check_model(model_, input);
 }
 
 int Detector::fold_bn() {
@@ -34,6 +43,7 @@ void Detector::quantize(const quant::QEngineConfig& qcfg) {
         throw std::logic_error("Detector: already quantized");
     fold_bn();  // QEngine requires a BN-free graph
     model_.net->set_training(false);
+    verify::enforce(verify::check_qmodel(*model_.net, qcfg));
     qengine_ = std::make_unique<quant::QEngine>(*model_.net, qcfg);
     stage_ = DetectorStage::kQuantized;
 }

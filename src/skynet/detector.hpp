@@ -28,6 +28,7 @@
 
 #include "quant/qengine.hpp"
 #include "skynet/skynet_model.hpp"
+#include "verify/check_graph.hpp"
 
 namespace sky {
 
@@ -38,10 +39,18 @@ enum class DetectorStage { kFloat, kFolded, kQuantized };
 
 class Detector {
 public:
-    /// Build a fresh (untrained) SkyNet of the given configuration.
+    /// Build a fresh (untrained) SkyNet of the given configuration.  The
+    /// static verifier (verify::check_model) runs on the result; a model
+    /// with structural errors throws verify::VerifyError instead of being
+    /// handed to inference.
     Detector(const SkyNetConfig& cfg, Rng& rng);
-    /// Adopt an already-built (possibly trained) model.
+    /// Adopt an already-built (possibly trained) model; also verified.
     explicit Detector(SkyNetModel model);
+
+    /// Re-run the static verifier (see src/verify) at an arbitrary input
+    /// shape; quantize() additionally runs verify::check_qmodel.
+    [[nodiscard]] verify::Report verify(
+        const Shape& input = verify::default_input_shape()) const;
 
     Detector(Detector&&) = default;
     Detector& operator=(Detector&&) = default;

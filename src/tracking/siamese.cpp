@@ -112,12 +112,12 @@ void scatter_center_grad(const Tensor& grad_crop, Tensor& grad_feat) {
         }
 }
 
-SiameseEmbed::SiameseEmbed(nn::ModulePtr backbone, int backbone_channels, int embed_dim,
+SiameseEmbed::SiameseEmbed(nn::ModulePtr backbone, int feature_channels, int embed_dim,
                            Rng& rng)
     : embed_dim_(embed_dim) {
     auto seq = std::make_unique<nn::Sequential>();
     seq->add(std::move(backbone));
-    seq->emplace<nn::PWConv1>(backbone_channels, embed_dim, /*bias=*/false, rng);
+    seq->emplace<nn::PWConv1>(feature_channels, embed_dim, /*bias=*/false, rng);
     seq->emplace<nn::BatchNorm2d>(embed_dim);
     net_ = std::move(seq);
 }

@@ -35,7 +35,9 @@ void scatter_center_grad(const Tensor& grad_crop, Tensor& grad_feat);
 /// plus a 1x1 "neck" to a fixed embedding width.
 class SiameseEmbed {
 public:
-    SiameseEmbed(nn::ModulePtr backbone, int backbone_channels, int embed_dim, Rng& rng);
+    /// `feature_channels` is the backbone's output width —
+    /// SkyNetModel::feature_channels() for the SkyNet extractors.
+    SiameseEmbed(nn::ModulePtr backbone, int feature_channels, int embed_dim, Rng& rng);
 
     /// Embed a batch of crops {N,3,S,S} -> {N,D,S/8,S/8}.
     [[nodiscard]] Tensor forward(const Tensor& crops);

@@ -1,0 +1,39 @@
+// Static verifier for the quantized deployment path (sky::quant::QEngine).
+//
+// The FPGA datapath of Sec. 6.4 assumes every feature map fits ONE shared
+// fixed-point format and every layer is something the integer engine can
+// compile.  A violation today surfaces either as a QEngine constructor
+// throw (best case) or as a silently saturating activation that turns into
+// a wrong-but-plausible IoU (worst case, Table 7's failure mode).
+// check_qmodel() walks the BN-folded graph without compiling it and
+// reports every violation at once, including range checks against
+// calibrated activation statistics when the caller has them.
+//
+// Diagnostic catalog (full table in docs/STATIC_ANALYSIS.md):
+//   Q001 error  BatchNorm layer left unfolded ahead of quantization
+//   Q002 error  layer the integer engine cannot compile
+//   Q003 error  calibrated activation range exceeds the FM format
+//   Q004 warn   ReLU6 clip constant saturates in the FM format
+//   Q005 error  degenerate scheme (bit-widths / fm_abs_max out of range)
+//   Q006 warn   FM format has no fractional bits (integer-only grid)
+#pragma once
+
+#include "nn/graph.hpp"
+#include "quant/qengine.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace sky::verify {
+
+struct QuantCheckOptions {
+    /// Largest activation magnitude observed on calibration data
+    /// (quant::calibrate_fm_abs_max); 0 = unknown, range checks that need
+    /// it are skipped.
+    float calibrated_fm_abs_max = 0.0f;
+};
+
+/// Statically verify that `g` can deploy under `cfg`.  `g` is expected to
+/// be BN-folded already (unfolded BN is diagnostic Q001, not a throw).
+[[nodiscard]] Report check_qmodel(const nn::Graph& g, const quant::QEngineConfig& cfg,
+                                  const QuantCheckOptions& opts = {});
+
+}  // namespace sky::verify

@@ -1,0 +1,80 @@
+#include "verify/diagnostics.hpp"
+
+#include <utility>
+
+namespace sky::verify {
+
+const char* severity_name(Severity s) {
+    switch (s) {
+        case Severity::kWarning: return "warning";
+        case Severity::kError: return "error";
+    }
+    return "?";
+}
+
+std::string Diagnostic::str() const {
+    std::string out = severity_name(severity);
+    out += ' ';
+    out += code;
+    if (node >= 0) out += " @node " + std::to_string(node);
+    out += ": " + message;
+    if (!hint.empty()) out += " (fix: " + hint + ")";
+    return out;
+}
+
+void Report::error(std::string code, int node, std::string message, std::string hint) {
+    diagnostics.push_back({Severity::kError, std::move(code), node, std::move(message),
+                           std::move(hint)});
+}
+
+void Report::warn(std::string code, int node, std::string message, std::string hint) {
+    diagnostics.push_back({Severity::kWarning, std::move(code), node, std::move(message),
+                           std::move(hint)});
+}
+
+int Report::error_count() const {
+    int n = 0;
+    for (const Diagnostic& d : diagnostics)
+        if (d.severity == Severity::kError) ++n;
+    return n;
+}
+
+int Report::warning_count() const {
+    return static_cast<int>(diagnostics.size()) - error_count();
+}
+
+bool Report::has(const std::string& code) const {
+    for (const Diagnostic& d : diagnostics)
+        if (d.code == code) return true;
+    return false;
+}
+
+std::string Report::str() const {
+    std::string out;
+    for (const Diagnostic& d : diagnostics) {
+        out += d.str();
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+std::string verify_error_message(const Report& r) {
+    std::string msg = "model verification failed with " +
+                      std::to_string(r.error_count()) + " error(s):\n" + r.str();
+    if (!msg.empty() && msg.back() == '\n') msg.pop_back();
+    return msg;
+}
+
+}  // namespace
+
+VerifyError::VerifyError(Report report)
+    : std::runtime_error(verify_error_message(report)), report_(std::move(report)) {}
+
+const Report& enforce(const Report& report) {
+    if (!report.ok()) throw VerifyError(report);
+    return report;
+}
+
+}  // namespace sky::verify

@@ -1,0 +1,67 @@
+// Typed diagnostics for the static checking layer (sky::verify).
+//
+// Every check in src/verify reports through this vocabulary instead of
+// throwing on first failure: a Report accumulates Diagnostics, each carrying
+// a severity, a stable catalog code (docs/STATIC_ANALYSIS.md), the graph
+// node it anchors to, a human message and a fix hint.  Callers that need
+// hard enforcement (sky::Detector) convert an error-bearing Report into a
+// VerifyError via enforce(); callers that want the full picture (lint
+// tooling, tests) read the Report directly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sky::verify {
+
+enum class Severity { kWarning, kError };
+
+[[nodiscard]] const char* severity_name(Severity s);
+
+/// One finding of a static check.
+struct Diagnostic {
+    Severity severity = Severity::kError;
+    std::string code;     ///< stable catalog id, e.g. "G003" (docs/STATIC_ANALYSIS.md)
+    int node = -1;        ///< graph node id the finding anchors to; -1 = whole model
+    std::string message;  ///< what is wrong
+    std::string hint;     ///< how to fix it
+
+    /// "error G003 @node 7: ... (fix: ...)"
+    [[nodiscard]] std::string str() const;
+};
+
+/// Accumulated findings of one verification pass.
+struct Report {
+    std::vector<Diagnostic> diagnostics;
+
+    void error(std::string code, int node, std::string message, std::string hint);
+    void warn(std::string code, int node, std::string message, std::string hint);
+
+    [[nodiscard]] int error_count() const;
+    [[nodiscard]] int warning_count() const;
+    /// True when the pass found no errors (warnings do not fail a model).
+    [[nodiscard]] bool ok() const { return error_count() == 0; }
+    /// True when some diagnostic carries `code`.
+    [[nodiscard]] bool has(const std::string& code) const;
+
+    /// One line per diagnostic; empty string for a clean report.
+    [[nodiscard]] std::string str() const;
+};
+
+/// Thrown by enforce() when a Report carries errors; keeps the full report
+/// so callers can render every finding, not just the first.
+class VerifyError : public std::runtime_error {
+public:
+    explicit VerifyError(Report report);
+    [[nodiscard]] const Report& report() const { return report_; }
+
+private:
+    Report report_;
+};
+
+/// Throw VerifyError iff `report` has errors.  Returns the report otherwise
+/// so call sites can chain: auto r = enforce(check_graph(...)).
+const Report& enforce(const Report& report);
+
+}  // namespace sky::verify

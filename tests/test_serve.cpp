@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -62,6 +63,28 @@ TEST(BoundedQueue, CloseDrainsThenStops) {
     EXPECT_TRUE(q.pop(v));
     EXPECT_EQ(v, 2);
     EXPECT_FALSE(q.pop(v));  // closed AND empty
+}
+
+TEST(BoundedQueue, OfferReturnsItemOnlyWhenClosed) {
+    BoundedQueue<std::unique_ptr<int>> q(2);
+    EXPECT_FALSE(q.offer(std::make_unique<int>(1)));  // accepted: nullopt
+    q.close();
+    auto rejected = q.offer(std::make_unique<int>(2));
+    ASSERT_TRUE(rejected.has_value());  // handed back, not moved-from
+    ASSERT_TRUE(*rejected != nullptr);
+    EXPECT_EQ(**rejected, 2);
+    std::unique_ptr<int> v;
+    EXPECT_TRUE(q.pop(v));  // the accepted item still drains
+    EXPECT_EQ(*v, 1);
+}
+
+TEST(Batcher, OfferReturnsItemOnlyWhenClosed) {
+    Batcher<std::unique_ptr<int>> b(2);
+    EXPECT_FALSE(b.offer(std::make_unique<int>(7)));
+    b.close();
+    auto rejected = b.offer(std::make_unique<int>(8));
+    ASSERT_TRUE(rejected.has_value());
+    EXPECT_EQ(**rejected, 8);
 }
 
 TEST(BoundedQueue, BlockingPushWaitsForSpace) {

@@ -1,0 +1,202 @@
+// tools/skylint — the repo lint pass.
+//
+// Every rule must fire on a seeded violation and stay silent on the idiom
+// the repo actually ships; the stripper tests pin the property that makes
+// the token rules safe (comments and string literals never match).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "skylint/lint.hpp"
+
+namespace {
+
+using skylint::scan_file;
+using skylint::strip_comments_and_strings;
+using skylint::Violation;
+
+std::vector<std::string> rules_of(const std::vector<Violation>& vs) {
+    std::vector<std::string> out;
+    out.reserve(vs.size());
+    for (const Violation& v : vs) out.push_back(v.rule);
+    return out;
+}
+
+bool fires(const std::vector<Violation>& vs, const std::string& rule) {
+    for (const Violation& v : vs)
+        if (v.rule == rule) return true;
+    return false;
+}
+
+// ---------------------------------------------------------------- stripper --
+
+TEST(Skylint, StripperBlanksCommentsAndStrings) {
+    const std::string src =
+        "int a; // new int\n"
+        "/* delete b; */ int c;\n"
+        "const char* s = \"new X\";\n";
+    const std::string stripped = strip_comments_and_strings(src);
+    EXPECT_EQ(stripped.find("new"), std::string::npos);
+    EXPECT_EQ(stripped.find("delete"), std::string::npos);
+    EXPECT_NE(stripped.find("int a;"), std::string::npos);
+    EXPECT_NE(stripped.find("int c;"), std::string::npos);
+}
+
+TEST(Skylint, StripperPreservesLineNumbers) {
+    const std::string src = "a\n/* two\nlines */\nb\n";
+    const std::string stripped = strip_comments_and_strings(src);
+    EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+              std::count(src.begin(), src.end(), '\n'));
+}
+
+TEST(Skylint, StripperHandlesEscapedQuotes) {
+    const std::string src = "const char* s = \"a \\\" delete b\"; int new_var;\n";
+    const std::string stripped = strip_comments_and_strings(src);
+    EXPECT_EQ(stripped.find("delete"), std::string::npos);
+    EXPECT_NE(stripped.find("new_var"), std::string::npos);
+}
+
+// ------------------------------------------------------------ raw new/delete
+
+TEST(Skylint, RawNewFiresInsideSrc) {
+    const auto vs = scan_file("src/serve/engine.cpp", "int* p = new int;\n");
+    ASSERT_TRUE(fires(vs, "raw-new-delete")) << vs.size();
+    EXPECT_EQ(vs[0].line, 1);
+}
+
+TEST(Skylint, RawDeleteFiresButDeletedFunctionsDoNot) {
+    EXPECT_TRUE(fires(scan_file("src/nn/conv.cpp", "delete p;\n"), "raw-new-delete"));
+    EXPECT_FALSE(fires(scan_file("src/nn/conv.cpp",
+                                 "Conv2d(const Conv2d&) = delete;\n"),
+                       "raw-new-delete"));
+}
+
+TEST(Skylint, AllocatorLayerMayUseNew) {
+    EXPECT_FALSE(
+        fires(scan_file("src/tensor/tensor.cpp", "float* p = new float[n];\n"),
+              "raw-new-delete"));
+    EXPECT_FALSE(fires(scan_file("src/core/thread_pool.cpp", "delete job;\n"),
+                       "raw-new-delete"));
+}
+
+TEST(Skylint, NewInsideIdentifierOrStringDoesNotFire) {
+    EXPECT_FALSE(fires(scan_file("src/nn/conv.cpp", "int new_size = 3;\n"),
+                       "raw-new-delete"));
+    EXPECT_FALSE(fires(scan_file("src/nn/conv.cpp",
+                                 "throw std::runtime_error(\"new shape\");\n"),
+                       "raw-new-delete"));
+}
+
+// ----------------------------------------------------------------- mutex-doc
+
+TEST(Skylint, UndocumentedMutexMemberFires) {
+    EXPECT_TRUE(fires(scan_file("src/serve/queue.hpp", "    std::mutex mu_;\n"),
+                      "mutex-doc"));
+}
+
+TEST(Skylint, DocumentedMutexPasses) {
+    EXPECT_FALSE(fires(scan_file("src/serve/queue.hpp",
+                                 "    std::mutex mu_;  // guards q_; leaf lock\n"),
+                       "mutex-doc"));
+    EXPECT_FALSE(fires(scan_file("src/serve/queue.hpp",
+                                 "    // guards the job slot\n    std::mutex mu_;\n"),
+                       "mutex-doc"));
+}
+
+TEST(Skylint, MutexUsesThatAreNotMembersPass) {
+    for (const char* ok : {"std::lock_guard<std::mutex> lk(mu_);\n",
+                           "void f(std::mutex& m);\n",
+                           "std::unique_lock<std::mutex> lk(mu_);\n"})
+        EXPECT_FALSE(fires(scan_file("src/serve/queue.hpp", ok), "mutex-doc")) << ok;
+}
+
+// ---------------------------------------------------------- deprecated-field
+
+TEST(Skylint, DeprecatedFieldReadFires) {
+    const auto vs =
+        scan_file("src/tracking/tracker.cpp", "int c = model.backbone_channels;\n");
+    EXPECT_TRUE(fires(vs, "deprecated-field"));
+}
+
+TEST(Skylint, ModelBuilderMayTouchDeprecatedFields) {
+    EXPECT_FALSE(fires(scan_file("src/skynet/skynet_model.cpp",
+                                 "model.backbone_channels = ch;\n"),
+                       "deprecated-field"));
+}
+
+TEST(Skylint, AccessorCallsPass) {
+    EXPECT_FALSE(fires(scan_file("src/tracking/tracker.cpp",
+                                 "int c = model.feature_channels();\n"),
+                       "deprecated-field"));
+}
+
+// -------------------------------------------------------- using-namespace-std
+
+TEST(Skylint, UsingNamespaceStdFires) {
+    EXPECT_TRUE(fires(scan_file("tests/foo.cpp", "using namespace std;\n"),
+                      "using-namespace-std"));
+    EXPECT_TRUE(fires(scan_file("tests/foo.cpp", "using  namespace   std ;\n"),
+                      "using-namespace-std"));
+}
+
+TEST(Skylint, ScopedUsingsPass) {
+    for (const char* ok : {"using namespace std::chrono_literals;\n",
+                           "using Clock = std::chrono::steady_clock;\n",
+                           "using std::vector;\n"})
+        EXPECT_FALSE(fires(scan_file("tests/foo.cpp", ok), "using-namespace-std")) << ok;
+}
+
+// ------------------------------------------------------------ include-hygiene
+
+TEST(Skylint, RelativeIncludeFires) {
+    EXPECT_TRUE(fires(scan_file("src/nn/conv.cpp", "#include \"../tensor/tensor.hpp\"\n"),
+                      "include-hygiene"));
+}
+
+TEST(Skylint, BitsStdcppFires) {
+    EXPECT_TRUE(fires(scan_file("tests/foo.cpp", "#include <bits/stdc++.h>\n"),
+                      "include-hygiene"));
+}
+
+TEST(Skylint, UnrootedQuotedIncludeFiresOnlyInSrc) {
+    EXPECT_TRUE(fires(scan_file("src/nn/conv.cpp", "#include \"conv.hpp\"\n"),
+                      "include-hygiene"));
+    EXPECT_FALSE(fires(scan_file("src/nn/conv.cpp", "#include \"nn/conv.hpp\"\n"),
+                       "include-hygiene"));
+    EXPECT_FALSE(fires(scan_file("tools/skylint/main.cpp",
+                                 "#include \"skylint/lint.hpp\"\n"),
+                       "include-hygiene"));
+}
+
+TEST(Skylint, AngledSystemIncludesPass) {
+    EXPECT_FALSE(fires(scan_file("src/nn/conv.cpp", "#include <vector>\n"),
+                       "include-hygiene"));
+}
+
+// ----------------------------------------------------------------- plumbing --
+
+TEST(Skylint, SuppressionCommentWaivesTheLine) {
+    EXPECT_FALSE(fires(scan_file("src/nn/conv.cpp",
+                                 "int* p = new int;  // skylint-ok: arena test\n"),
+                       "raw-new-delete"));
+}
+
+TEST(Skylint, ViolationStrHasFileLineRule) {
+    const auto vs = scan_file("src/nn/conv.cpp", "\nint* p = new int;\n");
+    ASSERT_TRUE(fires(vs, "raw-new-delete"));
+    EXPECT_EQ(vs[0].str().find("src/nn/conv.cpp:2: [raw-new-delete]"), 0u)
+        << vs[0].str();
+}
+
+TEST(Skylint, CleanFileReportsNothing) {
+    const std::string clean =
+        "#include \"nn/conv.hpp\"\n"
+        "#include <memory>\n"
+        "auto p = std::make_unique<int>(3);\n";
+    const auto vs = scan_file("src/nn/conv.cpp", clean);
+    EXPECT_TRUE(vs.empty()) << rules_of(vs).size();
+}
+
+}  // namespace

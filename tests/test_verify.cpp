@@ -1,0 +1,297 @@
+// sky::verify — static graph/model/quant checking layer.
+//
+// Each deliberately broken graph must produce the exact catalog code from
+// docs/STATIC_ANALYSIS.md, and a pristine SkyNet must pass with zero
+// diagnostics; this pins the contract that sky::Detector enforces on build.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/dwconv.hpp"
+#include "nn/pooling.hpp"
+#include "nn/pwconv.hpp"
+#include "nn/shuffle.hpp"
+#include "skynet/detector.hpp"
+#include "skynet/skynet_model.hpp"
+#include "verify/check_graph.hpp"
+#include "verify/check_qmodel.hpp"
+
+namespace sky {
+namespace {
+
+const Shape kIn = verify::default_input_shape();  // {1,3,160,320}
+
+SkyNetConfig small_cfg() {
+    SkyNetConfig cfg;
+    cfg.variant = SkyNetVariant::kC;
+    cfg.width_mult = 0.25f;
+    return cfg;
+}
+
+// ---------------------------------------------------------------- graphs --
+
+TEST(Verify, PristineSkyNetPassesClean) {
+    Rng rng(7);
+    SkyNetModel model = build_skynet(small_cfg(), rng);
+    const verify::Report rep = verify::check_model(model, kIn);
+    EXPECT_EQ(rep.error_count(), 0) << rep.str();
+    EXPECT_EQ(rep.warning_count(), 0) << rep.str();
+    EXPECT_TRUE(rep.ok());
+    EXPECT_EQ(rep.str(), "");
+}
+
+TEST(Verify, DanglingEdgeIsG001) {
+    Rng rng(1);
+    nn::Graph g;
+    g.add(std::make_unique<nn::DWConv3>(3, rng), 42);  // producer 42 missing
+    const verify::Report rep = verify::check_graph(g, kIn);
+    EXPECT_TRUE(rep.has("G001")) << rep.str();
+    EXPECT_FALSE(rep.ok());
+}
+
+TEST(Verify, CyclicEdgeIsG002) {
+    Rng rng(1);
+    nn::Graph g;
+    // Node 1 wired to consume node 1: the only way this topological-order
+    // representation can encode a cycle is a self/forward edge.
+    g.add(std::make_unique<nn::DWConv3>(3, rng), 1);
+    const verify::Report rep = verify::check_graph(g, kIn);
+    EXPECT_TRUE(rep.has("G002")) << rep.str();
+    EXPECT_FALSE(rep.ok());
+}
+
+TEST(Verify, ConcatSpatialMismatchIsG003) {
+    Rng rng(1);
+    nn::Graph g;
+    // Branch A keeps 160x320; branch B halves it; the join cannot concat.
+    const int a = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+    const int b = g.add(std::make_unique<nn::MaxPool2>(), 0);
+    g.add_concat({a, b});
+    const verify::Report rep = verify::check_graph(g, kIn);
+    EXPECT_TRUE(rep.has("G003")) << rep.str();
+    EXPECT_FALSE(rep.ok());
+}
+
+TEST(Verify, AddShapeMismatchIsG004) {
+    Rng rng(1);
+    nn::Graph g;
+    const int a = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+    const int b = g.add(std::make_unique<nn::Conv2d>(3, 16, 3, 1, 1, false, rng), 0);
+    g.add_add(a, b);  // 8 vs 16 channels
+    const verify::Report rep = verify::check_graph(g, kIn);
+    EXPECT_TRUE(rep.has("G004")) << rep.str();
+}
+
+TEST(Verify, ChannelMismatchIsG005) {
+    Rng rng(1);
+    nn::Graph g;
+    g.add(std::make_unique<nn::DWConv3>(8, rng), 0);  // input has 3 channels
+    const verify::Report rep = verify::check_graph(g, kIn);
+    EXPECT_TRUE(rep.has("G005")) << rep.str();
+}
+
+TEST(Verify, CollapsedFeatureMapIsG006) {
+    Rng rng(1);
+    nn::Graph g;
+    // 7x7 kernel, no padding, on a 4x4 input: kernel exceeds the map.
+    g.add(std::make_unique<nn::Conv2d>(3, 8, 7, 1, 0, false, rng), 0);
+    const verify::Report rep = verify::check_graph(g, {1, 3, 4, 4});
+    EXPECT_TRUE(rep.has("G006")) << rep.str();
+}
+
+TEST(Verify, OddPoolingWarnsG007) {
+    nn::Graph g;
+    g.add(std::make_unique<nn::MaxPool2>(), 0);
+    const verify::Report rep = verify::check_graph(g, {1, 3, 7, 9});
+    EXPECT_TRUE(rep.has("G007")) << rep.str();
+    EXPECT_TRUE(rep.ok());  // truncation is a warning, not an error
+    EXPECT_EQ(rep.warning_count(), 1);
+}
+
+TEST(Verify, UnreachableNodeWarnsG008) {
+    Rng rng(1);
+    nn::Graph g;
+    const int keep = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+    g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);  // dead
+    g.set_output(keep);
+    const verify::Report rep = verify::check_graph(g, kIn);
+    EXPECT_TRUE(rep.has("G008")) << rep.str();
+    EXPECT_TRUE(rep.ok());
+}
+
+TEST(Verify, InvalidOutputNodeIsG009) {
+    nn::Graph g;
+    g.add(std::make_unique<nn::MaxPool2>(), 0);
+    g.set_output(99);
+    const verify::Report rep = verify::check_graph(g, kIn);
+    EXPECT_TRUE(rep.has("G009")) << rep.str();
+}
+
+TEST(Verify, JoinArityIsG011) {
+    Rng rng(1);
+    nn::Graph g;
+    const int a = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+    g.add_concat({a});  // one-input concat is a wiring mistake
+    const verify::Report rep = verify::check_graph(g, kIn);
+    EXPECT_TRUE(rep.has("G011")) << rep.str();
+}
+
+TEST(Verify, ShuffleDivisibilityIsG012) {
+    nn::Graph g;
+    g.add(std::make_unique<nn::ChannelShuffle>(5), 0);  // 3 % 5 != 0
+    const verify::Report rep = verify::check_graph(g, kIn);
+    EXPECT_TRUE(rep.has("G012")) << rep.str();
+}
+
+// ------------------------------------------------------------ model level --
+
+TEST(Verify, FeatureTapOutOfRangeIsM001) {
+    Rng rng(7);
+    SkyNetModel model = build_skynet(small_cfg(), rng);
+    model.backbone_feature_node = 9999;  // skylint-ok: seeding a broken tap
+    const verify::Report rep = verify::check_model(model, kIn);
+    EXPECT_TRUE(rep.has("M001")) << rep.str();
+    EXPECT_FALSE(rep.ok());
+}
+
+TEST(Verify, FeatureTapChannelDriftWarnsM002) {
+    Rng rng(7);
+    SkyNetModel model = build_skynet(small_cfg(), rng);
+    model.backbone_channels += 1;  // skylint-ok: desync metadata on purpose
+    const verify::Report rep = verify::check_model(model, kIn);
+    EXPECT_TRUE(rep.has("M002")) << rep.str();
+    EXPECT_TRUE(rep.ok());
+}
+
+TEST(Verify, MissingNetworkIsM003) {
+    SkyNetModel model;
+    const verify::Report rep = verify::check_model(model, kIn);
+    EXPECT_TRUE(rep.has("M003")) << rep.str();
+    EXPECT_FALSE(rep.ok());
+}
+
+// ------------------------------------------------------------ quant level --
+
+TEST(Verify, UnfoldedBatchNormIsQ001) {
+    Rng rng(1);
+    nn::Graph g;
+    const int c = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+    const int bn = g.add(std::make_unique<nn::BatchNorm2d>(8), c);
+    g.add(std::make_unique<nn::Activation>(nn::Act::kReLU), bn);
+    const verify::Report rep = verify::check_qmodel(g, quant::QEngineConfig{});
+    EXPECT_TRUE(rep.has("Q001")) << rep.str();
+    EXPECT_FALSE(rep.ok());
+}
+
+TEST(Verify, UnsupportedLayersAreQ002) {
+    Rng rng(1);
+    nn::Graph g;
+    const int s = g.add(std::make_unique<nn::Activation>(nn::Act::kSigmoid), 0);
+    g.add(std::make_unique<nn::PWConv1>(8, 8, false, rng, 2), s);  // grouped
+    const verify::Report rep = verify::check_qmodel(g, quant::QEngineConfig{});
+    EXPECT_TRUE(rep.has("Q002")) << rep.str();
+    EXPECT_EQ(rep.error_count(), 2);  // one per unsupported layer
+}
+
+TEST(Verify, CalibratedRangeOverflowIsQ003) {
+    Rng rng(1);
+    nn::Graph g;
+    g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+    verify::QuantCheckOptions opts;
+    opts.calibrated_fm_abs_max = 100.0f;  // format saturates near 8
+    const verify::Report rep =
+        verify::check_qmodel(g, quant::QEngineConfig{9, 11, 8.0f}, opts);
+    EXPECT_TRUE(rep.has("Q003")) << rep.str();
+    EXPECT_FALSE(rep.ok());
+}
+
+TEST(Verify, Relu6ClipSaturationWarnsQ004) {
+    nn::Graph g;
+    g.add(std::make_unique<nn::Activation>(nn::Act::kReLU6), 0);
+    // fm_abs_max=2 -> max representable ~1.99 < 6: the clip never engages.
+    const verify::Report rep = verify::check_qmodel(g, quant::QEngineConfig{9, 11, 2.0f});
+    EXPECT_TRUE(rep.has("Q004")) << rep.str();
+    EXPECT_TRUE(rep.ok());
+}
+
+TEST(Verify, DegenerateSchemeIsQ005) {
+    nn::Graph g;
+    const verify::Report bits = verify::check_qmodel(g, quant::QEngineConfig{0, 11, 8.0f});
+    EXPECT_TRUE(bits.has("Q005")) << bits.str();
+    const verify::Report range =
+        verify::check_qmodel(g, quant::QEngineConfig{9, 11, -1.0f});
+    EXPECT_TRUE(range.has("Q005")) << range.str();
+}
+
+TEST(Verify, IntegerOnlyGridWarnsQ006) {
+    nn::Graph g;
+    // 9-bit words asked to span [-500, 500]: zero fractional bits remain.
+    const verify::Report rep =
+        verify::check_qmodel(g, quant::QEngineConfig{9, 11, 500.0f});
+    EXPECT_TRUE(rep.has("Q006")) << rep.str();
+    EXPECT_TRUE(rep.ok());
+}
+
+TEST(Verify, StockSkyNetQuantSchemePasses) {
+    Rng rng(7);
+    Detector det(small_cfg(), rng);
+    det.fold_bn();
+    const verify::Report rep =
+        verify::check_qmodel(det.net(), quant::QEngineConfig{});
+    EXPECT_EQ(rep.error_count(), 0) << rep.str();
+}
+
+// ----------------------------------------------------------- enforcement --
+
+TEST(Verify, EnforceThrowsWithFullReport) {
+    Rng rng(1);
+    nn::Graph g;
+    g.add(std::make_unique<nn::DWConv3>(8, rng), 0);   // G005
+    g.add(std::make_unique<nn::DWConv3>(16, rng), 0);  // G005 again
+    const verify::Report rep = verify::check_graph(g, kIn);
+    try {
+        verify::enforce(rep);
+        FAIL() << "enforce() must throw on an error-bearing report";
+    } catch (const verify::VerifyError& e) {
+        EXPECT_EQ(e.report().error_count(), 2);
+        EXPECT_NE(std::string(e.what()).find("G005"), std::string::npos);
+    }
+}
+
+TEST(Verify, EnforcePassesWarningsThrough) {
+    nn::Graph g;
+    g.add(std::make_unique<nn::MaxPool2>(), 0);
+    const verify::Report rep = verify::check_graph(g, {1, 3, 7, 9});  // G007 warn
+    EXPECT_NO_THROW(verify::enforce(rep));
+}
+
+TEST(Verify, DetectorRefusesBrokenModel) {
+    Rng rng(7);
+    SkyNetModel model = build_skynet(small_cfg(), rng);
+    // Sabotage: append a depthwise layer whose width disagrees with the
+    // head output, and route the output through it.
+    model.net->add(std::make_unique<nn::DWConv3>(7, rng), model.net->output_node());
+    EXPECT_THROW(Detector det(std::move(model)), verify::VerifyError);
+}
+
+TEST(Verify, DetectorBuildsAndReverifiesCleanModel) {
+    Rng rng(7);
+    Detector det(small_cfg(), rng);
+    const verify::Report rep = det.verify();
+    EXPECT_TRUE(rep.ok()) << rep.str();
+    EXPECT_EQ(rep.warning_count(), 0) << rep.str();
+}
+
+TEST(Verify, DetectorQuantizeRejectsDegenerateScheme) {
+    Rng rng(7);
+    Detector det(small_cfg(), rng);
+    EXPECT_THROW(det.quantize(quant::QEngineConfig{0, 11, 8.0f}),
+                 verify::VerifyError);
+}
+
+}  // namespace
+}  // namespace sky

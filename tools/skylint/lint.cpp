@@ -1,0 +1,292 @@
+#include "skylint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace skylint {
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Does `line` contain `token` as a whole identifier?
+bool has_token(const std::string& line, const std::string& token) {
+    std::size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+        const std::size_t end = pos + token.size();
+        const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+        if (left_ok && right_ok) return true;
+        pos = end;
+    }
+    return false;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : s) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    lines.push_back(cur);
+    return lines;
+}
+
+/// Index just past the `#include` keyword, or npos for non-include lines.
+std::size_t include_keyword_end(const std::string& line) {
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '#') return std::string::npos;
+    i = line.find_first_not_of(" \t", i + 1);
+    if (i == std::string::npos || line.compare(i, 7, "include") != 0)
+        return std::string::npos;
+    return i + 7;
+}
+
+/// `#include "..."` / `#include <...>` payload of a line, or empty.
+std::string include_path(const std::string& line, bool& angled) {
+    const std::size_t kw = include_keyword_end(line);
+    if (kw == std::string::npos) return "";
+    std::size_t i = line.find_first_not_of(" \t", kw);
+    if (i == std::string::npos) return "";
+    const char open = line[i];
+    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') return "";
+    const std::size_t end = line.find(close, i + 1);
+    if (end == std::string::npos) return "";
+    angled = open == '<';
+    return line.substr(i + 1, end - i - 1);
+}
+
+/// Member-style mutex declaration: `std::mutex name;` (optionally mutable/
+/// static), but not references, pointers, locks or parameters.
+bool declares_mutex(const std::string& line) {
+    const std::size_t pos = line.find("std::mutex");
+    if (pos == std::string::npos) return false;
+    std::size_t i = pos + std::string("std::mutex").size();
+    if (i < line.size() && (line[i] == '&' || line[i] == '*')) return false;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) != 0) ++i;
+    const std::size_t name_begin = i;
+    while (i < line.size() && is_ident_char(line[i])) ++i;
+    if (i == name_begin) return false;  // no declared name (e.g. a cast)
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) != 0) ++i;
+    return i < line.size() && line[i] == ';';
+}
+
+bool line_has_comment(const std::string& original_line) {
+    return original_line.find("//") != std::string::npos ||
+           original_line.find("/*") != std::string::npos ||
+           original_line.find("*/") != std::string::npos ||
+           starts_with(original_line.substr(original_line.find_first_not_of(" \t") ==
+                                                    std::string::npos
+                                                ? 0
+                                                : original_line.find_first_not_of(" \t")),
+                       "*");
+}
+
+bool is_source_file(const std::filesystem::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+std::string Violation::str() const {
+    return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+std::string strip_comments_and_strings(const std::string& src) {
+    std::string out(src.size(), ' ');
+    enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+    State state = State::kCode;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+        if (c == '\n') {
+            out[i] = '\n';
+            if (state == State::kLineComment) state = State::kCode;
+            continue;
+        }
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    state = State::kLineComment;
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlockComment;
+                    ++i;
+                    if (i < src.size() && src[i] == '\n') out[i] = '\n';
+                } else if (c == '"') {
+                    state = State::kString;
+                } else if (c == '\'') {
+                    state = State::kChar;
+                } else {
+                    out[i] = c;
+                }
+                break;
+            case State::kLineComment:
+                break;
+            case State::kBlockComment:
+                if (c == '*' && next == '/') {
+                    state = State::kCode;
+                    ++i;
+                }
+                break;
+            case State::kString:
+                if (c == '\\') {
+                    ++i;
+                    if (i < src.size() && src[i] == '\n') out[i] = '\n';
+                } else if (c == '"') {
+                    state = State::kCode;
+                }
+                break;
+            case State::kChar:
+                if (c == '\\') {
+                    ++i;
+                    if (i < src.size() && src[i] == '\n') out[i] = '\n';
+                } else if (c == '\'') {
+                    state = State::kCode;
+                }
+                break;
+        }
+    }
+    return out;
+}
+
+std::vector<Violation> scan_file(const std::string& path, const std::string& content) {
+    std::vector<Violation> out;
+    const bool in_src = starts_with(path, "src/");
+    const bool allocator_layer =
+        starts_with(path, "src/tensor/") || starts_with(path, "src/core/");
+    const bool model_builder = path == "src/skynet/skynet_model.hpp" ||
+                               path == "src/skynet/skynet_model.cpp";
+
+    const std::string stripped = strip_comments_and_strings(content);
+    const std::vector<std::string> lines = split_lines(stripped);
+    const std::vector<std::string> raw_lines = split_lines(content);
+
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        const std::string& line = lines[li];
+        const int lineno = static_cast<int>(li) + 1;
+
+        // --- suppression ----------------------------------------------
+        // `// skylint-ok: <reason>` waives every rule on its line — for code
+        // that violates a rule on purpose (tests seeding broken models).
+        if (raw_lines[li].find("skylint-ok") != std::string::npos) continue;
+
+        // --- raw-new-delete -------------------------------------------
+        if (in_src && !allocator_layer) {
+            if (has_token(line, "new"))
+                out.push_back({path, lineno, "raw-new-delete",
+                               "raw 'new' outside src/tensor|src/core; own memory "
+                               "through containers or std::make_unique"});
+            if (has_token(line, "delete") && line.find("= delete") == std::string::npos)
+                out.push_back({path, lineno, "raw-new-delete",
+                               "raw 'delete' outside src/tensor|src/core; let the "
+                               "owning container release it"});
+        }
+
+        // --- mutex-doc ------------------------------------------------
+        if (in_src && declares_mutex(line)) {
+            const bool documented =
+                line_has_comment(raw_lines[li]) ||
+                (li > 0 && line_has_comment(raw_lines[li - 1]));
+            if (!documented)
+                out.push_back({path, lineno, "mutex-doc",
+                               "std::mutex member without a comment documenting what "
+                               "it guards / its lock order"});
+        }
+
+        // --- deprecated-field -----------------------------------------
+        if (!model_builder && (has_token(line, "backbone_feature_node") ||
+                               has_token(line, "backbone_channels")))
+            out.push_back({path, lineno, "deprecated-field",
+                           "direct access to deprecated SkyNetModel bare field; use "
+                           "feature_node() / feature_channels()"});
+
+        // --- using-namespace-std --------------------------------------
+        {
+            // Whitespace-normalise so `using  namespace   std ;` still hits,
+            // but `using Clock = std::...` / `using namespace std::literals`
+            // do not.
+            std::string squashed;
+            for (const char c : line)
+                if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                    if (!squashed.empty() && squashed.back() != ' ') squashed += ' ';
+                } else {
+                    squashed += c;
+                }
+            const std::size_t pos = squashed.find("using namespace std");
+            if (pos != std::string::npos) {
+                const std::size_t after = pos + std::string("using namespace std").size();
+                const char next = after < squashed.size() ? squashed[after] : ';';
+                if (next == ';' || next == ' ')
+                    out.push_back({path, lineno, "using-namespace-std",
+                                   "'using namespace std' pollutes every translation "
+                                   "unit that includes this"});
+            }
+        }
+
+        // --- include-hygiene ------------------------------------------
+        // The stripper blanks quoted payloads, so parse them off the raw
+        // line — but only when the stripped line still carries the
+        // directive (a commented-out include must not fire).
+        bool angled = false;
+        std::string inc = include_path(line, angled);
+        if (inc.empty() && include_keyword_end(line) != std::string::npos)
+            inc = include_path(raw_lines[li], angled);
+        if (!inc.empty()) {
+            if (inc.find("../") != std::string::npos)
+                out.push_back({path, lineno, "include-hygiene",
+                               "relative '../' include; include project headers "
+                               "rooted at src/"});
+            if (angled && inc == "bits/stdc++.h")
+                out.push_back({path, lineno, "include-hygiene",
+                               "<bits/stdc++.h> is non-standard; include what you use"});
+            if (!angled && in_src && inc.find('/') == std::string::npos)
+                out.push_back({path, lineno, "include-hygiene",
+                               "quoted include not rooted at src/ ('" + inc +
+                                   "'); spell it as \"subsystem/header.hpp\""});
+        }
+    }
+    return out;
+}
+
+std::vector<Violation> scan_tree(const std::string& repo_root) {
+    namespace fs = std::filesystem;
+    std::vector<Violation> out;
+    const fs::path root(repo_root);
+    for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
+        const fs::path base = root / dir;
+        if (!fs::exists(base)) continue;
+        for (const auto& entry : fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file() || !is_source_file(entry.path())) continue;
+            std::ifstream in(entry.path(), std::ios::binary);
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            const std::string rel =
+                fs::relative(entry.path(), root).generic_string();
+            const std::vector<Violation> found = scan_file(rel, ss.str());
+            out.insert(out.end(), found.begin(), found.end());
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+        if (a.file != b.file) return a.file < b.file;
+        if (a.line != b.line) return a.line < b.line;
+        return a.rule < b.rule;
+    });
+    return out;
+}
+
+}  // namespace skylint

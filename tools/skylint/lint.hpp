@@ -1,0 +1,59 @@
+// skylint — the repo's own lint pass (cmake --build build --target lint).
+//
+// Enforces codebase invariants that neither the compiler nor clang-tidy
+// owns, because they are *this* repo's conventions:
+//
+//   raw-new-delete        no raw new/delete outside the tensor/core
+//                         allocator layers — everything else owns memory
+//                         through containers and smart pointers
+//   mutex-doc             every std::mutex member carries a comment saying
+//                         what it guards (and its lock order, where one
+//                         exists) — undocumented locks are how the serve/
+//                         obs layers grow deadlocks
+//   deprecated-field      no direct reads of SkyNetModel's deprecated bare
+//                         fields (backbone_feature_node / backbone_channels)
+//                         outside the builder that fills them; use
+//                         feature_node() / feature_channels()
+//   include-hygiene       no "../" includes, no <bits/stdc++.h>, quoted
+//                         includes in src/ are rooted at src/ (so every
+//                         file compiles with the single -Isrc)
+//   using-namespace-std   no `using namespace std;`
+//
+// The scanner is a single pass over comment- and string-stripped source;
+// rules are deliberately token-level (no AST) so the tool builds with the
+// tree and runs in milliseconds.  A trailing `// skylint-ok: <reason>`
+// comment waives every rule on that line (for deliberate violations, e.g.
+// tests seeding broken models).  docs/STATIC_ANALYSIS.md documents every
+// rule with examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace skylint {
+
+struct Violation {
+    std::string file;  ///< repo-relative path
+    int line = 0;      ///< 1-based
+    std::string rule;  ///< stable rule id, e.g. "raw-new-delete"
+    std::string message;
+
+    [[nodiscard]] std::string str() const;
+};
+
+/// Replace comments and string/char literals with spaces (newlines kept, so
+/// line numbers survive).  Exposed for tests.
+[[nodiscard]] std::string strip_comments_and_strings(const std::string& src);
+
+/// Run every applicable rule over one file.  `path` must be repo-relative
+/// with forward slashes (e.g. "src/serve/engine.cpp"); it decides rule
+/// applicability (allocator layers may use new/delete, the model builder
+/// may touch the deprecated fields).
+[[nodiscard]] std::vector<Violation> scan_file(const std::string& path,
+                                               const std::string& content);
+
+/// Scan a whole checkout: walks src/, tools/, tests/, bench/, examples/
+/// under `repo_root` and returns every violation, sorted by file and line.
+[[nodiscard]] std::vector<Violation> scan_tree(const std::string& repo_root);
+
+}  // namespace skylint

@@ -1,0 +1,32 @@
+// skylint driver: `skylint <repo-root>` scans src/ tools/ tests/ bench/
+// examples/ and exits non-zero when any rule fires.  Wired to the `lint`
+// build target (cmake --build build --target lint) and the CI lint lane.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "skylint/lint.hpp"
+
+int main(int argc, char** argv) {
+    std::string root = ".";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf("usage: skylint [repo-root]\n"
+                        "rules: raw-new-delete mutex-doc deprecated-field "
+                        "include-hygiene using-namespace-std\n"
+                        "see docs/STATIC_ANALYSIS.md for the catalog\n");
+            return 0;
+        }
+        root = arg;
+    }
+    const std::vector<skylint::Violation> violations = skylint::scan_tree(root);
+    for (const skylint::Violation& v : violations)
+        std::printf("%s\n", v.str().c_str());
+    if (violations.empty()) {
+        std::printf("skylint: clean\n");
+        return 0;
+    }
+    std::printf("skylint: %zu violation(s)\n", violations.size());
+    return 1;
+}

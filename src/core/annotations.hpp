@@ -1,0 +1,78 @@
+// Compile-time concurrency contracts: SKY_* macros over Clang's
+// thread-safety attributes.
+//
+// Annotating a lock-holding class turns its locking discipline from a
+// comment convention into a compiler-checked contract: a field marked
+// SKY_GUARDED_BY(mu_) cannot be read or written without holding mu_, a
+// function marked SKY_REQUIRES(mu_) cannot be called without it, and a
+// function marked SKY_EXCLUDES(mu_) cannot be called while holding it
+// (self-deadlock).  The checks run entirely at compile time under
+//
+//   clang++ -Wthread-safety            (the CI `thread-safety` lane adds
+//                                       -Werror=thread-safety on top)
+//
+// and every macro expands to nothing on GCC/MSVC, so the annotations cost
+// zero at runtime and never gate the portable build.  The analysis only
+// understands types that declare themselves capabilities — use
+// sky::core::Mutex / MutexLock / CondVar (core/mutex.hpp), not bare
+// std::mutex, for any lock you want verified.
+//
+// docs/STATIC_ANALYSIS.md has the "how to annotate a new lock" guide;
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html is the authority
+// on the attribute semantics.
+#pragma once
+
+#if defined(__clang__)
+#define SKY_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SKY_THREAD_ANNOTATION(x)  // expands to nothing: GCC/MSVC ignore the analysis
+#endif
+
+/// On a class: instances are capabilities (lockable things) the analysis
+/// tracks.  `name` appears in diagnostics, e.g. SKY_CAPABILITY("mutex").
+#define SKY_CAPABILITY(name) SKY_THREAD_ANNOTATION(capability(name))
+
+/// On a class: RAII objects that acquire on construction and release on
+/// destruction (sky::core::MutexLock).
+#define SKY_SCOPED_CAPABILITY SKY_THREAD_ANNOTATION(scoped_lockable)
+
+/// On a data member: reads and writes require holding `x`.
+#define SKY_GUARDED_BY(x) SKY_THREAD_ANNOTATION(guarded_by(x))
+
+/// On a pointer member: the pointed-to data (not the pointer) is guarded.
+#define SKY_PT_GUARDED_BY(x) SKY_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// On a function: callers must already hold every listed capability.
+#define SKY_REQUIRES(...) SKY_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// On a function: callers must NOT hold the listed capabilities (the
+/// function acquires them itself — calling with them held self-deadlocks).
+#define SKY_EXCLUDES(...) SKY_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// On a function: acquires the listed capabilities (or `this` when empty,
+/// for members of a capability class) and holds them on return.
+#define SKY_ACQUIRE(...) SKY_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// On a function: releases the listed capabilities (or `this`).
+#define SKY_RELEASE(...) SKY_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// On a function returning bool: acquires only when the return value equals
+/// the first argument, e.g. SKY_TRY_ACQUIRE(true) for try_lock().
+#define SKY_TRY_ACQUIRE(...) SKY_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// On a member declaration: this lock is always taken before/after `x` —
+/// documents (and, under -Wthread-safety-beta, checks) lock ordering.
+#define SKY_ACQUIRED_BEFORE(...) SKY_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SKY_ACQUIRED_AFTER(...) SKY_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// On a function: asserts (without acquiring) that the capability is held —
+/// the escape hatch for code the analysis cannot follow, e.g. a
+/// condition-variable wait predicate that always runs under the lock.
+#define SKY_ASSERT_CAPABILITY(...) SKY_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// On a function returning a reference to a capability (lock accessors).
+#define SKY_RETURN_CAPABILITY(x) SKY_THREAD_ANNOTATION(lock_returned(x))
+
+/// On a function: opt out of the analysis entirely.  Last resort; prefer
+/// SKY_ASSERT_CAPABILITY, and leave a comment saying why.
+#define SKY_NO_THREAD_SAFETY_ANALYSIS SKY_THREAD_ANNOTATION(no_thread_safety_analysis)

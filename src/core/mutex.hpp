@@ -1,0 +1,114 @@
+// Capability-annotated locking primitives.
+//
+// Clang's thread-safety analysis only tracks lock types that declare
+// themselves capabilities, and std::mutex does not — so every lock the
+// repo wants statically verified is a sky::core::Mutex: a zero-overhead
+// std::mutex wrapper carrying SKY_CAPABILITY, acquired through the
+// MutexLock scoped guard and waited on through CondVar.  The wrappers add
+// no state and every method is a single forwarded call, so the generated
+// code is identical to using the std types directly; what changes is that
+//
+//   std::deque<T> q_ SKY_GUARDED_BY(mu_);
+//
+// becomes a compile error to touch without mu_ held (see
+// core/annotations.hpp and docs/STATIC_ANALYSIS.md).
+//
+// CondVar waits run on the wrapped std::mutex via adopt/release juggling:
+// the caller holds the Mutex (enforced by SKY_REQUIRES), the wait
+// temporarily adopts it into a std::unique_lock for the std wait call, and
+// releases it back untouched — ownership never actually changes hands.
+// Wait predicates run under the lock but inside a lambda the analysis
+// cannot see through; start them with `mu.assert_held()` to tell it so.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/annotations.hpp"
+
+namespace sky::core {
+
+class SKY_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() SKY_ACQUIRE() { mu_.lock(); }
+    void unlock() SKY_RELEASE() { mu_.unlock(); }
+    [[nodiscard]] bool try_lock() SKY_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    /// Tell the analysis this lock is held without acquiring it — for code
+    /// it cannot follow, e.g. the first statement of a CondVar wait
+    /// predicate.  Compiles to nothing.
+    void assert_held() const SKY_ASSERT_CAPABILITY() {}
+
+    /// The wrapped lock, for std interop (CondVar's wait machinery).
+    [[nodiscard]] std::mutex& native() { return mu_; }
+
+private:
+    std::mutex mu_;  // the wrapped lock; all capability metadata lives on the wrapper
+};
+
+/// RAII lock for a Mutex — the annotated std::lock_guard/unique_lock
+/// replacement.  Scoped: the analysis knows the Mutex is held from
+/// construction to the end of the enclosing block.
+class SKY_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mu) SKY_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() SKY_RELEASE() { mu_.unlock(); }
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex.  Every wait names the Mutex it runs
+/// under and carries SKY_REQUIRES on it, so waiting without the lock — or
+/// touching the waited-on state without it — is a compile error under
+/// Clang instead of a latent race.
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+    /// Atomically release `mu`, block, reacquire before returning.
+    void wait(Mutex& mu) SKY_REQUIRES(mu) {
+        std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+        cv_.wait(lk);
+        lk.release();  // hand ownership back to the caller's MutexLock
+    }
+
+    /// Wait until `pred()` holds.  The predicate runs with `mu` held; start
+    /// it with `mu.assert_held()` so the analysis knows (lambda bodies are
+    /// analyzed as separate functions).
+    template <typename Pred>
+    void wait(Mutex& mu, Pred pred) SKY_REQUIRES(mu) {
+        while (!pred()) wait(mu);
+    }
+
+    /// Wait until `pred()` holds or `deadline` passes; returns pred()'s
+    /// final value (std::condition_variable::wait_until contract).
+    template <typename Pred>
+    bool wait_until(Mutex& mu, std::chrono::steady_clock::time_point deadline,
+                    Pred pred) SKY_REQUIRES(mu) {
+        while (!pred()) {
+            std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+            const std::cv_status status = cv_.wait_until(lk, deadline);
+            lk.release();
+            if (status == std::cv_status::timeout) return pred();
+        }
+        return true;
+    }
+
+private:
+    std::condition_variable cv_;  // waits adopt the Mutex's native() handle; no state of its own
+};
+
+}  // namespace sky::core

@@ -11,10 +11,10 @@ namespace {
 // calls from such a thread run inline instead of re-entering the pool.
 thread_local bool tls_in_pool_body = false;
 
-std::mutex& global_mu() {
+Mutex& global_mu() {
     // Guards the global pool slot; taken before any ThreadPool-internal
     // lock (global() may construct a pool while holding it).
-    static std::mutex mu;
+    static Mutex mu;
     return mu;
 }
 
@@ -42,7 +42,7 @@ ThreadPool::ThreadPool(int threads) : threads_(threads > 0 ? threads : env_threa
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -55,8 +55,11 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            work_cv_.wait(lk, [&] { return stop_ || job_id_ != seen; });
+            MutexLock lk(mu_);
+            work_cv_.wait(mu_, [&] {
+                mu_.assert_held();
+                return stop_ || job_id_ != seen;
+            });
             if (stop_) return;
             seen = job_id_;
             job = job_;
@@ -78,7 +81,7 @@ void ThreadPool::run_chunks(Job& job) {
         (*job.body)(b, e);
         if (job.completed.fetch_add(e - b, std::memory_order_acq_rel) + (e - b) ==
             job.total) {
-            std::lock_guard<std::mutex> lk(mu_);
+            MutexLock lk(mu_);
             done_cv_.notify_all();
         }
     }
@@ -93,7 +96,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
         body(begin, end);
         return;
     }
-    std::lock_guard<std::mutex> submit(submit_mu_);
+    MutexLock submit(submit_mu_);
     auto job = std::make_shared<Job>();
     job->body = &body;
     job->end = end;
@@ -104,7 +107,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
     job->total = range;
     job->cursor.store(begin, std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         job_ = job;
         ++job_id_;
     }
@@ -113,22 +116,22 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
     tls_in_pool_body = true;  // the caller's own chunks must not re-dispatch
     run_chunks(*job);
     tls_in_pool_body = was_inside;
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] {
+    MutexLock lk(mu_);
+    done_cv_.wait(mu_, [&] {
         return job->completed.load(std::memory_order_acquire) == range;
     });
     if (job_ == job) job_.reset();  // drop the pool's reference promptly
 }
 
 ThreadPool& ThreadPool::global() {
-    std::lock_guard<std::mutex> lk(global_mu());
+    MutexLock lk(global_mu());
     auto& slot = global_slot();
     if (!slot) slot = std::make_unique<ThreadPool>(env_threads());
     return *slot;
 }
 
 void ThreadPool::set_global_threads(int threads) {
-    std::lock_guard<std::mutex> lk(global_mu());
+    MutexLock lk(global_mu());
     global_slot() = std::make_unique<ThreadPool>(threads);
 }
 

@@ -16,13 +16,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.hpp"
+#include "core/mutex.hpp"
 
 namespace sky::core {
 
@@ -42,7 +43,8 @@ public:
     /// inline.  Nested calls from inside a pool body also run inline, so
     /// kernels may compose without deadlock.
     void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                      const std::function<void(std::int64_t, std::int64_t)>& body);
+                      const std::function<void(std::int64_t, std::int64_t)>& body)
+        SKY_EXCLUDES(submit_mu_, mu_);
 
     /// Process-wide pool used by all sky::nn kernels (created on first use).
     static ThreadPool& global();
@@ -72,14 +74,16 @@ private:
     int threads_ = 1;
     std::vector<std::thread> workers_;
 
-    std::mutex mu_;                    // guards job_/job_id_ + cv waits
-    std::mutex submit_mu_;             // serialises external parallel_for calls
-    std::condition_variable work_cv_;  // new job / stop
-    std::condition_variable done_cv_;  // job completion
-    bool stop_ = false;
+    // Lock order: submit_mu_ strictly before mu_ (parallel_for holds the
+    // submit lock across the whole dispatch and takes mu_ inside it).
+    Mutex submit_mu_;  // serialises external parallel_for calls
+    Mutex mu_ SKY_ACQUIRED_AFTER(submit_mu_);  // guards job_/job_id_/stop_ + cv waits
+    CondVar work_cv_;  // signalled on new job / stop; predicate: stop_ || job_id_ changed
+    CondVar done_cv_;  // signalled when a job's last chunk finishes
+    bool stop_ SKY_GUARDED_BY(mu_) = false;
 
-    std::uint64_t job_id_ = 0;         // bumped per dispatch (worker wake key)
-    std::shared_ptr<Job> job_;         // current job; workers copy under mu_
+    std::uint64_t job_id_ SKY_GUARDED_BY(mu_) = 0;  // bumped per dispatch (worker wake key)
+    std::shared_ptr<Job> job_ SKY_GUARDED_BY(mu_);  // current job; workers copy under mu_
 };
 
 /// parallel_for on the global pool — the form the layer kernels use.

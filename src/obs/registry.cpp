@@ -53,18 +53,18 @@ double HistogramSnapshot::percentile(double q) const {
 }
 
 void Registry::add(const std::string& name, double delta) {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     counters_[name] += delta;
 }
 
 void Registry::set(const std::string& name, double value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     gauges_[name] = value;
 }
 
 void Registry::define_histogram(const std::string& name, std::vector<double> bounds) {
     std::sort(bounds.begin(), bounds.end());
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     Histogram& h = histograms_[name];
     h = Histogram{};
     h.bounds = std::move(bounds);
@@ -72,7 +72,7 @@ void Registry::define_histogram(const std::string& name, std::vector<double> bou
 }
 
 void Registry::observe(const std::string& name, double value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     Histogram& h = histograms_[name];
     if (h.counts.empty()) {
         h.bounds = default_bounds();
@@ -93,19 +93,19 @@ void Registry::observe(const std::string& name, double value) {
 }
 
 double Registry::counter(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0.0 : it->second;
 }
 
 double Registry::gauge(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     const auto it = gauges_.find(name);
     return it == gauges_.end() ? 0.0 : it->second;
 }
 
 HistogramSnapshot Registry::histogram(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     const auto it = histograms_.find(name);
     if (it == histograms_.end()) return {};
     const Histogram& h = it->second;
@@ -113,7 +113,7 @@ HistogramSnapshot Registry::histogram(const std::string& name) const {
 }
 
 RegistrySnapshot Registry::snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     RegistrySnapshot snap;
     for (const auto& [name, v] : counters_) snap.counters.emplace_back(name, v);
     for (const auto& [name, v] : gauges_) snap.gauges.emplace_back(name, v);
@@ -171,7 +171,7 @@ bool Registry::save_json(const std::string& path) const {
 }
 
 void Registry::clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();

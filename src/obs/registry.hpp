@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/annotations.hpp"
+#include "core/mutex.hpp"
 
 namespace sky::obs {
 
@@ -44,21 +46,25 @@ struct RegistrySnapshot {
 class Registry {
 public:
     /// Increment a (monotonic) counter, creating it at zero on first use.
-    void add(const std::string& name, double delta = 1.0);
+    void add(const std::string& name, double delta = 1.0) SKY_EXCLUDES(mu_);
     /// Set a gauge to an instantaneous value.
-    void set(const std::string& name, double value);
+    void set(const std::string& name, double value) SKY_EXCLUDES(mu_);
     /// Install explicit histogram bucket bounds (ascending upper bounds).
     /// Observations land in the first bucket whose bound >= value; beyond the
     /// last bound they land in the implicit overflow bucket.
-    void define_histogram(const std::string& name, std::vector<double> bounds);
+    void define_histogram(const std::string& name, std::vector<double> bounds)
+        SKY_EXCLUDES(mu_);
     /// Record one histogram observation; undeclared histograms get
     /// default_bounds().
-    void observe(const std::string& name, double value);
+    void observe(const std::string& name, double value) SKY_EXCLUDES(mu_);
 
-    [[nodiscard]] double counter(const std::string& name) const;  ///< 0 if absent
-    [[nodiscard]] double gauge(const std::string& name) const;    ///< 0 if absent
-    [[nodiscard]] HistogramSnapshot histogram(const std::string& name) const;
-    [[nodiscard]] RegistrySnapshot snapshot() const;
+    [[nodiscard]] double counter(const std::string& name) const
+        SKY_EXCLUDES(mu_);  ///< 0 if absent
+    [[nodiscard]] double gauge(const std::string& name) const
+        SKY_EXCLUDES(mu_);  ///< 0 if absent
+    [[nodiscard]] HistogramSnapshot histogram(const std::string& name) const
+        SKY_EXCLUDES(mu_);
+    [[nodiscard]] RegistrySnapshot snapshot() const SKY_EXCLUDES(mu_);
 
     /// {"counters": {...}, "gauges": {...}, "histograms": {...}}, sorted by
     /// name; non-finite values are emitted as null so the document always
@@ -68,7 +74,7 @@ public:
     [[nodiscard]] std::string to_csv() const;
     bool save_json(const std::string& path) const;
 
-    void clear();
+    void clear() SKY_EXCLUDES(mu_);
 
     /// Decade buckets 1e-3 .. 1e4 — wide enough for both microsecond layer
     /// times and multi-second stage times in ms units.
@@ -84,11 +90,11 @@ private:
         double max = 0.0;
     };
 
-    mutable std::mutex mu_;  // guards all three maps; leaf lock, never held
-                             // while calling out (no lock-order constraints)
-    std::map<std::string, double> counters_;
-    std::map<std::string, double> gauges_;
-    std::map<std::string, Histogram> histograms_;
+    mutable core::Mutex mu_;  // guards counters_/gauges_/histograms_; leaf lock,
+                              // never held while calling out (no lock order)
+    std::map<std::string, double> counters_ SKY_GUARDED_BY(mu_);
+    std::map<std::string, double> gauges_ SKY_GUARDED_BY(mu_);
+    std::map<std::string, Histogram> histograms_ SKY_GUARDED_BY(mu_);
 };
 
 /// Process-wide registry for code that has no config to thread one through

@@ -43,7 +43,7 @@ int TraceSession::thread_slot_locked() {
 
 void TraceSession::record(std::string name, std::string cat, double ts_us, double dur_us,
                           int tid) {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     events_.push_back({std::move(name), std::move(cat), ts_us, dur_us, tid});
 }
 
@@ -53,17 +53,17 @@ void TraceSession::record_span(const char* name, const char* cat,
     const double ts_us =
         std::chrono::duration<double, std::micro>(start - origin_).count();
     const double dur_us = std::chrono::duration<double, std::micro>(end - start).count();
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     events_.push_back({name, cat, ts_us, dur_us, thread_slot_locked()});
 }
 
 std::size_t TraceSession::size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     return events_.size();
 }
 
 std::vector<TraceEvent> TraceSession::events() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     return events_;
 }
 
@@ -89,7 +89,7 @@ bool TraceSession::save(const std::string& path) const {
 }
 
 void TraceSession::clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     events_.clear();
     threads_.clear();
 }

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.hpp"
+#include "core/mutex.hpp"
 
 namespace sky::obs {
 
@@ -33,30 +35,32 @@ public:
     /// Record a fully-specified event (explicit lane — used by the pipeline
     /// simulator, whose "time" is simulated rather than measured).
     void record(std::string name, std::string cat, double ts_us, double dur_us,
-                int tid = 0);
+                int tid = 0) SKY_EXCLUDES(mu_);
     /// Record a measured interval on the calling thread's lane.
     void record_span(const char* name, const char* cat,
                      std::chrono::steady_clock::time_point start,
-                     std::chrono::steady_clock::time_point end);
+                     std::chrono::steady_clock::time_point end) SKY_EXCLUDES(mu_);
 
-    [[nodiscard]] std::size_t size() const;
-    [[nodiscard]] std::vector<TraceEvent> events() const;  ///< snapshot copy
+    [[nodiscard]] std::size_t size() const SKY_EXCLUDES(mu_);
+    [[nodiscard]] std::vector<TraceEvent> events() const
+        SKY_EXCLUDES(mu_);  ///< snapshot copy
 
     /// {"traceEvents": [...], "displayTimeUnit": "ms"} — chrome://tracing.
     [[nodiscard]] std::string to_json() const;
     bool save(const std::string& path) const;
-    void clear();
+    void clear() SKY_EXCLUDES(mu_);
 
     [[nodiscard]] std::chrono::steady_clock::time_point origin() const { return origin_; }
 
 private:
-    int thread_slot_locked();
+    int thread_slot_locked() SKY_REQUIRES(mu_);
 
-    mutable std::mutex mu_;  // guards events_/threads_; leaf lock, spans only
-                             // touch it at construction/destruction
+    mutable core::Mutex mu_;  // guards events_/threads_; leaf lock, spans only
+                              // touch it at construction/destruction
     std::chrono::steady_clock::time_point origin_;
-    std::vector<TraceEvent> events_;
-    std::vector<std::thread::id> threads_;  ///< lane index -> thread id
+    std::vector<TraceEvent> events_ SKY_GUARDED_BY(mu_);
+    std::vector<std::thread::id> threads_
+        SKY_GUARDED_BY(mu_);  ///< lane index -> thread id
 };
 
 /// Install (or clear, with nullptr) the process-wide span sink.

@@ -15,17 +15,21 @@
 // early at the first queued item that cannot ride with the batch head (the
 // engine uses it to keep mixed input shapes out of one NCHW tensor).  The
 // incompatible item stays queued and heads the next batch.
+//
+// q_/closed_ carry SKY_GUARDED_BY(mu_): the locking discipline is verified
+// by Clang -Wthread-safety, not just documented (core/annotations.hpp).
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "core/annotations.hpp"
+#include "core/mutex.hpp"
 
 namespace sky::serve {
 
@@ -44,9 +48,12 @@ public:
 
     /// Blocking push (backpressure towards the preprocess stage); false iff
     /// closed.
-    bool push(T&& item) {
-        std::unique_lock<std::mutex> lk(mu_);
-        not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+    bool push(T&& item) SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
+        not_full_.wait(mu_, [&] {
+            mu_.assert_held();
+            return q_.size() < capacity_ || closed_;
+        });
         if (closed_) return false;
         q_.push_back(std::move(item));
         not_empty_.notify_one();
@@ -55,9 +62,12 @@ public:
 
     /// Blocking push that hands the item back on failure (see
     /// BoundedQueue::offer): nullopt when accepted, the item when closed.
-    [[nodiscard]] std::optional<T> offer(T&& item) {
-        std::unique_lock<std::mutex> lk(mu_);
-        not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+    [[nodiscard]] std::optional<T> offer(T&& item) SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
+        not_full_.wait(mu_, [&] {
+            mu_.assert_held();
+            return q_.size() < capacity_ || closed_;
+        });
         if (closed_) return std::optional<T>(std::move(item));
         q_.push_back(std::move(item));
         not_empty_.notify_one();
@@ -66,11 +76,15 @@ public:
 
     /// Coalesce the next batch into `out` (cleared first).  Returns false
     /// only when the batcher is closed and drained.
-    bool pop_batch(int max_batch, double max_delay_ms, std::vector<T>& out) {
+    bool pop_batch(int max_batch, double max_delay_ms, std::vector<T>& out)
+        SKY_EXCLUDES(mu_) {
         out.clear();
         if (max_batch < 1) max_batch = 1;
-        std::unique_lock<std::mutex> lk(mu_);
-        not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+        core::MutexLock lk(mu_);
+        not_empty_.wait(mu_, [&] {
+            mu_.assert_held();
+            return !q_.empty() || closed_;
+        });
         if (q_.empty()) return false;
 
         const auto deadline = std::chrono::steady_clock::now() +
@@ -83,8 +97,10 @@ public:
         while (static_cast<int>(out.size()) < max_batch) {
             if (q_.empty()) {
                 if (closed_) break;  // drain mode: never wait on the delay
-                if (!not_empty_.wait_until(lk, deadline,
-                                           [&] { return !q_.empty() || closed_; }))
+                if (!not_empty_.wait_until(mu_, deadline, [&] {
+                        mu_.assert_held();
+                        return !q_.empty() || closed_;
+                    }))
                     break;  // max_delay elapsed with nothing more pending
                 if (q_.empty()) {
                     if (closed_) break;
@@ -101,32 +117,32 @@ public:
     }
 
     /// Refuse new items, wake all waiters, switch pop_batch to drain mode.
-    void close() {
-        std::lock_guard<std::mutex> lk(mu_);
+    void close() SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
         closed_ = true;
         not_empty_.notify_all();
         not_full_.notify_all();
     }
 
-    [[nodiscard]] std::size_t size() const {
-        std::lock_guard<std::mutex> lk(mu_);
+    [[nodiscard]] std::size_t size() const SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
         return q_.size();
     }
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
-    [[nodiscard]] bool closed() const {
-        std::lock_guard<std::mutex> lk(mu_);
+    [[nodiscard]] bool closed() const SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
         return closed_;
     }
 
 private:
     const std::size_t capacity_;
     Compatible compatible_;
-    mutable std::mutex mu_;  // guards q_/closed_ + both cv waits; leaf lock,
-                             // held across the compatibility predicate only
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
-    std::deque<T> q_;
-    bool closed_ = false;
+    mutable core::Mutex mu_;   // guards q_/closed_ + both cv waits; leaf lock,
+                               // held across the compatibility predicate only
+    core::CondVar not_empty_;  // signalled by push/close; predicate: !q_.empty() || closed_
+    core::CondVar not_full_;   // signalled by pop_batch/close; predicate: q_.size() < capacity_ || closed_
+    std::deque<T> q_ SKY_GUARDED_BY(mu_);
+    bool closed_ SKY_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sky::serve

@@ -64,6 +64,10 @@ Engine::Engine(Detector& detector, ServeConfig cfg)
 Engine::~Engine() { shutdown(true); }
 
 void Engine::start() {
+    // The lifecycle lock makes the state check and the thread spawns one
+    // atomic step: a concurrent shutdown() cannot observe started_ == true
+    // while the worker handles below are still being constructed.
+    core::MutexLock lk(lifecycle_mu_);
     if (stopped_.load()) throw std::logic_error("serve::Engine: start() after shutdown");
     if (started_.exchange(true))
         throw std::logic_error("serve::Engine: start() called twice");
@@ -219,6 +223,7 @@ void Engine::publish_percentiles() {
 }
 
 void Engine::shutdown(bool drain) {
+    core::MutexLock lk(lifecycle_mu_);
     if (stopped_.exchange(true)) return;
     if (!drain) discard_.store(true, std::memory_order_relaxed);
     requests_.close();

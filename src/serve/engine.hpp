@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/annotations.hpp"
+#include "core/mutex.hpp"
 #include "obs/registry.hpp"
 #include "serve/batcher.hpp"
 #include "serve/queue.hpp"
@@ -93,7 +95,7 @@ public:
 
     /// Launch the stage workers.  submit() before start() is allowed — the
     /// requests queue up (and reject when the queue fills).
-    void start();
+    void start() SKY_EXCLUDES(lifecycle_mu_);
     [[nodiscard]] bool running() const { return started_ && !stopped_; }
 
     /// Enqueue one {1,3,h,w} image; the future resolves when the request
@@ -105,8 +107,9 @@ public:
     /// completes before the workers exit; with drain=false requests still
     /// waiting in the request queue fail with RejectedError (requests
     /// already past preprocess always complete).  Publishes the p50/p95/p99
-    /// latency gauges.  Idempotent.
-    void shutdown(bool drain = true);
+    /// latency gauges.  Idempotent; concurrent callers serialise on the
+    /// lifecycle lock, so when shutdown() returns the pipeline has drained.
+    void shutdown(bool drain = true) SKY_EXCLUDES(lifecycle_mu_);
 
     [[nodiscard]] std::uint64_t submitted() const { return submitted_.load(); }
     [[nodiscard]] std::uint64_t completed() const { return completed_.load(); }
@@ -146,9 +149,15 @@ private:
     Batcher<Request> batcher_;
     BoundedQueue<InferredBatch> post_q_;
 
-    std::vector<std::thread> pre_workers_;
-    std::thread infer_worker_;
-    std::thread post_worker_;
+    // Serialises start()/shutdown() — without it a concurrent pair could
+    // interleave the started_/stopped_ checks with the spawn/join below and
+    // join threads that are still being constructed.  Guards
+    // pre_workers_/infer_worker_/post_worker_; taken before the stage
+    // queues' leaf locks (close() runs under it), never by the workers.
+    core::Mutex lifecycle_mu_;
+    std::vector<std::thread> pre_workers_ SKY_GUARDED_BY(lifecycle_mu_);
+    std::thread infer_worker_ SKY_GUARDED_BY(lifecycle_mu_);
+    std::thread post_worker_ SKY_GUARDED_BY(lifecycle_mu_);
 
     std::atomic<bool> started_{false};
     std::atomic<bool> stopped_{false};

@@ -13,14 +13,19 @@
 //    on, but consumers drain everything already accepted — `pop` only
 //    returns false once the queue is both closed and empty, so no accepted
 //    request is ever dropped by the queue itself.
+//
+// The locking discipline is compiler-verified: q_/closed_ carry
+// SKY_GUARDED_BY(mu_), so any access outside the lock is a Clang
+// -Wthread-safety error, not a latent race (see core/annotations.hpp).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "core/annotations.hpp"
+#include "core/mutex.hpp"
 
 namespace sky::serve {
 
@@ -34,9 +39,12 @@ public:
 
     /// Blocking push; waits for space.  Returns false iff the queue was
     /// closed (item is left untouched in that case).
-    bool push(T&& item) {
-        std::unique_lock<std::mutex> lk(mu_);
-        not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+    bool push(T&& item) SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
+        not_full_.wait(mu_, [&] {
+            mu_.assert_held();
+            return q_.size() < capacity_ || closed_;
+        });
         if (closed_) return false;
         q_.push_back(std::move(item));
         not_empty_.notify_one();
@@ -44,8 +52,8 @@ public:
     }
 
     /// Non-blocking push; false when full or closed.
-    bool try_push(T&& item) {
-        std::lock_guard<std::mutex> lk(mu_);
+    bool try_push(T&& item) SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
         if (closed_ || q_.size() >= capacity_) return false;
         q_.push_back(std::move(item));
         not_empty_.notify_one();
@@ -56,9 +64,12 @@ public:
     /// leaving the caller with a formally moved-from object: returns
     /// nullopt when accepted, or the item itself when the queue is closed.
     /// For producers that must still fulfil the item's promise on failure.
-    [[nodiscard]] std::optional<T> offer(T&& item) {
-        std::unique_lock<std::mutex> lk(mu_);
-        not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+    [[nodiscard]] std::optional<T> offer(T&& item) SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
+        not_full_.wait(mu_, [&] {
+            mu_.assert_held();
+            return q_.size() < capacity_ || closed_;
+        });
         if (closed_) return std::optional<T>(std::move(item));
         q_.push_back(std::move(item));
         not_empty_.notify_one();
@@ -67,9 +78,12 @@ public:
 
     /// Blocking pop.  Returns false only when the queue is closed AND fully
     /// drained; until then every accepted item is delivered exactly once.
-    bool pop(T& out) {
-        std::unique_lock<std::mutex> lk(mu_);
-        not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+    bool pop(T& out) SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
+        not_empty_.wait(mu_, [&] {
+            mu_.assert_held();
+            return !q_.empty() || closed_;
+        });
         if (q_.empty()) return false;
         out = std::move(q_.front());
         q_.pop_front();
@@ -78,31 +92,31 @@ public:
     }
 
     /// Refuse new items; wake all waiters.  Idempotent.
-    void close() {
-        std::lock_guard<std::mutex> lk(mu_);
+    void close() SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
         closed_ = true;
         not_empty_.notify_all();
         not_full_.notify_all();
     }
 
-    [[nodiscard]] std::size_t size() const {
-        std::lock_guard<std::mutex> lk(mu_);
+    [[nodiscard]] std::size_t size() const SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
         return q_.size();
     }
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
-    [[nodiscard]] bool closed() const {
-        std::lock_guard<std::mutex> lk(mu_);
+    [[nodiscard]] bool closed() const SKY_EXCLUDES(mu_) {
+        core::MutexLock lk(mu_);
         return closed_;
     }
 
 private:
     const std::size_t capacity_;
-    mutable std::mutex mu_;  // guards q_/closed_ + both cv waits; leaf lock,
-                             // never held while fulfilling promises
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
-    std::deque<T> q_;
-    bool closed_ = false;
+    mutable core::Mutex mu_;   // guards q_/closed_ + both cv waits; leaf lock,
+                               // never held while fulfilling promises
+    core::CondVar not_empty_;  // signalled by push/close; predicate: !q_.empty() || closed_
+    core::CondVar not_full_;   // signalled by pop/close; predicate: q_.size() < capacity_ || closed_
+    std::deque<T> q_ SKY_GUARDED_BY(mu_);
+    bool closed_ SKY_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sky::serve

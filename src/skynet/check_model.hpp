@@ -1,0 +1,26 @@
+// SkyNetModel-level static checks (the M-codes), layered on verify.
+//
+// check_model() lives in the skynet module — not src/verify — because it
+// needs the SkyNetModel type, and the layering manifest
+// (tools/skylint/layers.txt) pins verify BELOW skynet: the generic
+// verifier must not depend on the concrete model family it checks.
+// skylint's include-graph analyzer (L001/L002) enforces that this stays
+// true; the function keeps the sky::verify namespace so call sites read
+// uniformly with check_graph / check_qmodel.
+//
+// Diagnostic catalog (full table in docs/STATIC_ANALYSIS.md):
+//   M001 error  SkyNetModel feature tap node invalid
+//   M002 warn   feature tap channel metadata disagrees with the graph
+//   M003 error  SkyNetModel has no network
+#pragma once
+
+#include "skynet/skynet_model.hpp"
+#include "verify/check_graph.hpp"
+
+namespace sky::verify {
+
+/// check_graph() plus the SkyNetModel-level invariants (feature tap node,
+/// tap channel metadata).  This is what sky::Detector runs on build.
+[[nodiscard]] Report check_model(const SkyNetModel& model, const Shape& input);
+
+}  // namespace sky::verify

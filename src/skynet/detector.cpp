@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "deploy/fold_bn.hpp"
-#include "verify/check_graph.hpp"
+#include "skynet/check_model.hpp"
 #include "verify/check_qmodel.hpp"
 
 namespace sky {

@@ -27,8 +27,8 @@
 #include <memory>
 
 #include "quant/qengine.hpp"
+#include "skynet/check_model.hpp"
 #include "skynet/skynet_model.hpp"
-#include "verify/check_graph.hpp"
 
 namespace sky {
 

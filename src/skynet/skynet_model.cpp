@@ -65,8 +65,7 @@ SkyNetModel build_skynet(const SkyNetConfig& cfg, Rng& rng) {
     int feat = b5;
     int feat_ch = c5;
     if (cfg.variant == SkyNetVariant::kA) {
-        model.backbone_feature_node = b5;
-        model.backbone_channels = c5;
+        model.set_feature_tap(b5, c5);
         n = g.add(std::make_unique<nn::PWConv1>(c5, head_anchors_ch, /*bias=*/true, rng),
                   b5);
     } else {
@@ -79,8 +78,7 @@ SkyNetModel build_skynet(const SkyNetConfig& cfg, Rng& rng) {
         // Final Bundle #6 on the concatenated maps.
         feat = add_bundle(g, cat, cat_ch, mid, act, rng);
         feat_ch = mid;
-        model.backbone_feature_node = feat;
-        model.backbone_channels = mid;
+        model.set_feature_tap(feat, mid);
         n = g.add(std::make_unique<nn::PWConv1>(mid, head_anchors_ch, /*bias=*/true, rng),
                   feat);
     }
@@ -108,8 +106,7 @@ SkyNetModel build_skynet_backbone(float width_mult, nn::Act act, Rng& rng) {
     n = add_bundle(g, n, c3, c4, act, rng);
     n = add_bundle(g, n, c4, c5, act, rng);
     g.set_output(n);
-    model.backbone_feature_node = n;
-    model.backbone_channels = c5;
+    model.set_feature_tap(n, c5);
     return model;
 }
 

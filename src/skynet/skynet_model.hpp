@@ -37,25 +37,30 @@ struct SkyNetModel {
     std::unique_ptr<nn::Graph> net;
     detect::YoloHead head;
     SkyNetConfig config;
-    // DEPRECATED: poke these through feature_node() / feature_channels()
-    // below.  The bare fields remain only so the builders can fill them and
-    // out-of-tree code keeps compiling; direct reads will be removed once
-    // the struct goes opaque behind sky::Detector.
-    int backbone_feature_node = 0;  ///< graph node emitting the last Bundle output
-                                    ///< (pre-head features; used by the trackers)
-    int backbone_channels = 0;
 
     /// Graph node id of the pre-head feature map (the tracker tap point):
     /// pass to nn::Graph::node_output after a forward.
-    [[nodiscard]] int feature_node() const { return backbone_feature_node; }
+    [[nodiscard]] int feature_node() const { return feature_node_; }
     /// Channel count of that feature map (the Siamese embed input width).
-    [[nodiscard]] int feature_channels() const { return backbone_channels; }
+    [[nodiscard]] int feature_channels() const { return feature_channels_; }
+    /// Point the tracker tap at `node` / `channels`.  For the builders (and
+    /// tests seeding broken taps); verify::check_model cross-checks the
+    /// metadata against the graph, so a stale tap is a diagnostic.
+    void set_feature_tap(int node, int channels) {
+        feature_node_ = node;
+        feature_channels_ = channels;
+    }
 
     [[nodiscard]] std::int64_t param_count() const { return net->param_count(); }
     /// Parameter size in MB at float32 (what Table 4 reports).
     [[nodiscard]] double param_mb() const {
         return static_cast<double>(param_count()) * 4.0 / 1e6;
     }
+
+private:
+    int feature_node_ = 0;  ///< graph node emitting the last Bundle output
+                            ///< (pre-head features; used by the trackers)
+    int feature_channels_ = 0;
 };
 
 [[nodiscard]] SkyNetModel build_skynet(const SkyNetConfig& cfg, Rng& rng);

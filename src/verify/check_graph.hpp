@@ -24,13 +24,11 @@
 //   G010 error  module shape inference threw
 //   G011 error  join node has too few inputs
 //   G012 error  channel count incompatible with grouped conv / shuffle
-//   M001 error  SkyNetModel feature tap node invalid
-//   M002 warn   feature tap channel metadata disagrees with the graph
-//   M003 error  SkyNetModel has no network
+// The SkyNetModel-level M-codes live in skynet/check_model.hpp: verify
+// stays below skynet in the layering manifest (tools/skylint/layers.txt).
 #pragma once
 
 #include "nn/graph.hpp"
-#include "skynet/skynet_model.hpp"
 #include "verify/diagnostics.hpp"
 
 namespace sky::verify {
@@ -42,9 +40,5 @@ namespace sky::verify {
 
 /// Statically verify `g` for an input of shape `input`.
 [[nodiscard]] Report check_graph(const nn::Graph& g, const Shape& input);
-
-/// check_graph() plus the SkyNetModel-level invariants (feature tap node,
-/// tap channel metadata).  This is what sky::Detector runs on build.
-[[nodiscard]] Report check_model(const SkyNetModel& model, const Shape& input);
 
 }  // namespace sky::verify

@@ -15,6 +15,7 @@
 #include "nn/pooling.hpp"
 #include "nn/pwconv.hpp"
 #include "nn/shuffle.hpp"
+#include "skynet/check_model.hpp"
 #include "skynet/detector.hpp"
 #include "skynet/skynet_model.hpp"
 #include "verify/check_graph.hpp"
@@ -152,7 +153,7 @@ TEST(Verify, ShuffleDivisibilityIsG012) {
 TEST(Verify, FeatureTapOutOfRangeIsM001) {
     Rng rng(7);
     SkyNetModel model = build_skynet(small_cfg(), rng);
-    model.backbone_feature_node = 9999;  // skylint-ok: seeding a broken tap
+    model.set_feature_tap(9999, model.feature_channels());  // broken tap on purpose
     const verify::Report rep = verify::check_model(model, kIn);
     EXPECT_TRUE(rep.has("M001")) << rep.str();
     EXPECT_FALSE(rep.ok());
@@ -161,7 +162,8 @@ TEST(Verify, FeatureTapOutOfRangeIsM001) {
 TEST(Verify, FeatureTapChannelDriftWarnsM002) {
     Rng rng(7);
     SkyNetModel model = build_skynet(small_cfg(), rng);
-    model.backbone_channels += 1;  // skylint-ok: desync metadata on purpose
+    model.set_feature_tap(model.feature_node(),
+                         model.feature_channels() + 1);  // desync on purpose
     const verify::Report rep = verify::check_model(model, kIn);
     EXPECT_TRUE(rep.has("M002")) << rep.str();
     EXPECT_TRUE(rep.ok());

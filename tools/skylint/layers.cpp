@@ -1,0 +1,233 @@
+#include "skylint/layers.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace skylint {
+namespace {
+
+bool is_header(const std::string& path) {
+    const auto dot = path.rfind('.');
+    if (dot == std::string::npos) return false;
+    const std::string ext = path.substr(dot);
+    return ext == ".hpp" || ext == ".h";
+}
+
+std::string trim(const std::string& s) {
+    const std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos) return "";
+    const std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+bool valid_module_name(const std::string& s) {
+    if (s.empty()) return false;
+    for (const char c : s)
+        if ((std::isalnum(static_cast<unsigned char>(c)) == 0) && c != '_') return false;
+    return true;
+}
+
+/// Tarjan strongly-connected components over the module graph.  Each SCC
+/// with more than one member is a cycle; report it once, on its
+/// alphabetically-first member, with the full membership in the message.
+struct Tarjan {
+    const std::map<std::string, std::set<std::string>>& edges;
+    std::map<std::string, int> index, low;
+    std::vector<std::string> stack;
+    std::set<std::string> on_stack;
+    int next = 0;
+    std::vector<std::vector<std::string>> sccs;
+
+    void run(const std::string& v) {
+        index[v] = low[v] = next++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        const auto it = edges.find(v);
+        if (it != edges.end()) {
+            for (const std::string& w : it->second) {
+                if (index.find(w) == index.end()) {
+                    run(w);
+                    low[v] = std::min(low[v], low[w]);
+                } else if (on_stack.count(w) != 0) {
+                    low[v] = std::min(low[v], index[w]);
+                }
+            }
+        }
+        if (low[v] == index[v]) {
+            std::vector<std::string> scc;
+            for (;;) {
+                const std::string w = stack.back();
+                stack.pop_back();
+                on_stack.erase(w);
+                scc.push_back(w);
+                if (w == v) break;
+            }
+            if (scc.size() > 1) {
+                std::sort(scc.begin(), scc.end());
+                sccs.push_back(std::move(scc));
+            }
+        }
+    }
+};
+
+}  // namespace
+
+std::string module_of(const std::string& path) {
+    if (path.rfind("src/", 0) != 0) return "";
+    const std::size_t begin = 4;
+    const std::size_t slash = path.find('/', begin);
+    if (slash == std::string::npos) return "";  // file directly in src/
+    return path.substr(begin, slash - begin);
+}
+
+LayerManifest parse_manifest(const std::string& manifest_path, const std::string& text,
+                             std::vector<Violation>& diags) {
+    LayerManifest m;
+    int lineno = 0;
+    std::string line;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        line = text.substr(pos, nl == std::string::npos ? std::string::npos : nl - pos);
+        pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+        ++lineno;
+
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty()) continue;
+
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+            diags.push_back({manifest_path, lineno, "L000",
+                             "manifest line is not 'module: dep dep ...'"});
+            continue;
+        }
+        const std::string mod = trim(line.substr(0, colon));
+        if (!valid_module_name(mod)) {
+            diags.push_back({manifest_path, lineno, "L000",
+                             "bad module name '" + mod + "'"});
+            continue;
+        }
+        if (m.allowed.count(mod) != 0) {
+            diags.push_back({manifest_path, lineno, "L000",
+                             "module '" + mod + "' declared twice"});
+            continue;
+        }
+        std::set<std::string>& deps = m.allowed[mod];
+        std::string rest = trim(line.substr(colon + 1));
+        std::size_t i = 0;
+        while (i < rest.size()) {
+            std::size_t j = rest.find_first_of(" \t", i);
+            if (j == std::string::npos) j = rest.size();
+            const std::string dep = rest.substr(i, j - i);
+            if (!valid_module_name(dep))
+                diags.push_back({manifest_path, lineno, "L000",
+                                 "bad dependency name '" + dep + "'"});
+            else if (dep == mod)
+                diags.push_back({manifest_path, lineno, "L000",
+                                 "module '" + mod + "' lists itself as a dependency"});
+            else
+                deps.insert(dep);
+            i = rest.find_first_not_of(" \t", j);
+            if (i == std::string::npos) break;
+        }
+    }
+    // Every dependency must itself be a declared module — otherwise a typo in
+    // a dep name silently allows nothing (and L001 noise points at the wrong
+    // place).
+    for (const auto& [mod, deps] : m.allowed)
+        for (const std::string& dep : deps)
+            if (m.allowed.count(dep) == 0)
+                diags.push_back({manifest_path, 0, "L000",
+                                 "module '" + mod + "' depends on '" + dep +
+                                     "', which the manifest never declares"});
+    return m;
+}
+
+std::vector<Violation> check_layering(const std::vector<SourceFile>& files,
+                                      const LayerManifest* manifest) {
+    std::vector<Violation> out;
+
+    // Module universe = modules that actually own files.  Includes naming
+    // anything else (system headers, tools/ headers) are not module edges.
+    std::set<std::string> modules;
+    for (const SourceFile& f : files) {
+        const std::string mod = module_of(f.path);
+        if (!mod.empty()) modules.insert(mod);
+    }
+
+    std::map<std::string, std::set<std::string>> edges;  // actual module graph
+    std::set<std::string> undeclared_reported;
+
+    for (const SourceFile& f : files) {
+        const std::string mod = module_of(f.path);
+
+        // --- L003 (static arm): public headers must be include-anywhere ---
+        // `#pragma once` missing means double inclusion breaks the very
+        // first consumer; the compile arm (header_selfcheck target) catches
+        // missing transitive includes.
+        if (!mod.empty() && is_header(f.path)) {
+            const std::string stripped = strip_comments_and_strings(f.content);
+            if (stripped.find("#pragma once") == std::string::npos)
+                out.push_back({f.path, 1, "L003",
+                               "public header lacks '#pragma once' (headers must be "
+                               "self-contained and safely re-includable; see also the "
+                               "header_selfcheck build target)"});
+        }
+
+        if (mod.empty()) continue;
+        for (const IncludeRef& inc : scan_includes(f.content)) {
+            if (inc.angled) continue;
+            const std::size_t slash = inc.path.find('/');
+            if (slash == std::string::npos) continue;
+            const std::string dep = inc.path.substr(0, slash);
+            if (dep == mod || modules.count(dep) == 0) continue;
+            edges[mod].insert(dep);
+
+            // --- L001: edge must be blessed by the manifest --------------
+            if (manifest == nullptr) continue;
+            const auto it = manifest->allowed.find(mod);
+            if (it == manifest->allowed.end()) {
+                if (undeclared_reported.insert(mod).second)
+                    out.push_back({f.path, inc.line, "L001",
+                                   "module '" + mod +
+                                       "' is not declared in the layering manifest "
+                                       "(tools/skylint/layers.txt); add it with its "
+                                       "allowed dependencies"});
+            } else if (it->second.count(dep) == 0) {
+                out.push_back({f.path, inc.line, "L001",
+                               "include of \"" + inc.path + "\" makes module '" + mod +
+                                   "' depend on '" + dep +
+                                   "', which the layering manifest does not allow"});
+            }
+        }
+    }
+
+    // --- L002: the actual graph must be acyclic ---------------------------
+    Tarjan tarjan{edges, {}, {}, {}, {}, 0, {}};
+    for (const std::string& mod : modules)
+        if (tarjan.index.find(mod) == tarjan.index.end()) tarjan.run(mod);
+    for (const std::vector<std::string>& scc : tarjan.sccs) {
+        std::string members;
+        for (const std::string& mod : scc) {
+            if (!members.empty()) members += " <-> ";
+            members += mod;
+        }
+        // Anchor the diagnostic on a real file of the first module so the
+        // problem matcher / editors have somewhere to jump.
+        std::string anchor = "src/" + scc.front();
+        for (const SourceFile& f : files)
+            if (module_of(f.path) == scc.front()) {
+                anchor = f.path;
+                break;
+            }
+        out.push_back({anchor, 1, "L002",
+                       "module cycle: " + members +
+                           " — modules must form a DAG; break the cycle by moving "
+                           "the shared code down a layer"});
+    }
+    return out;
+}
+
+}  // namespace skylint

@@ -1,0 +1,67 @@
+// skylint include-graph layering analyzer.
+//
+// Parses the `#include` edges of every file under src/, collapses them to
+// module-level edges (module = first path segment under src/, e.g.
+// "src/serve/queue.hpp" belongs to module `serve`), and checks the result
+// against the checked-in manifest tools/skylint/layers.txt:
+//
+//   L000 error  manifest is malformed (bad line syntax, duplicate module,
+//               dependency naming a module the manifest never declares)
+//   L001 error  an include edge violates the layering manifest — either the
+//               target module is not in the source module's allow list, or
+//               the source module is missing from the manifest entirely
+//   L002 error  a module cycle exists in the *actual* include graph
+//               (reported independently of the manifest: even a manifest
+//               that blesses a cycle cannot make one legal)
+//   L003 error  a public header is not self-contained — the static arm
+//               checks for a missing `#pragma once`; the compile arm is the
+//               `header_selfcheck` CMake target, which builds every public
+//               header as its own translation unit
+//
+// Manifest format (see docs/STATIC_ANALYSIS.md):
+//   # comment
+//   module: dep1 dep2      # module may include from dep1 and dep2
+//   leafmodule:            # declared, no dependencies allowed
+//
+// The manifest is an *allow list*, not a mirror of today's graph: an edge
+// the manifest permits but nobody uses is fine (it is headroom); an edge
+// the manifest omits fails CI the moment someone adds the include.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "skylint/lint.hpp"
+
+namespace skylint {
+
+/// One scanned file, repo-relative with forward slashes.
+struct SourceFile {
+    std::string path;
+    std::string content;
+};
+
+/// Parsed layers.txt: module -> modules it may include from.
+struct LayerManifest {
+    std::map<std::string, std::set<std::string>> allowed;
+};
+
+/// Parse manifest text.  Syntax problems come back as L000 violations on
+/// `manifest_path`; the returned manifest contains every line that parsed.
+[[nodiscard]] LayerManifest parse_manifest(const std::string& manifest_path,
+                                           const std::string& text,
+                                           std::vector<Violation>& diags);
+
+/// Module a repo-relative path belongs to ("src/serve/queue.hpp" -> "serve"),
+/// or "" for files outside src/ or directly in it.
+[[nodiscard]] std::string module_of(const std::string& path);
+
+/// Run L001/L002/L003 over `files` (the src/ tree, or a synthetic one in
+/// tests).  `manifest` may be null — then L001 is skipped (no manifest to
+/// check against) but L002/L003 still run.
+[[nodiscard]] std::vector<Violation> check_layering(const std::vector<SourceFile>& files,
+                                                    const LayerManifest* manifest);
+
+}  // namespace skylint

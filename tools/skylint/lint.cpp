@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "skylint/layers.hpp"
 
 namespace skylint {
 namespace {
@@ -70,19 +73,75 @@ std::string include_path(const std::string& line, bool& angled) {
     return line.substr(i + 1, end - i - 1);
 }
 
-/// Member-style mutex declaration: `std::mutex name;` (optionally mutable/
-/// static), but not references, pointers, locks or parameters.
-bool declares_mutex(const std::string& line) {
-    const std::size_t pos = line.find("std::mutex");
-    if (pos == std::string::npos) return false;
-    std::size_t i = pos + std::string("std::mutex").size();
-    if (i < line.size() && (line[i] == '&' || line[i] == '*')) return false;
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) != 0) ++i;
-    const std::size_t name_begin = i;
-    while (i < line.size() && is_ident_char(line[i])) ++i;
-    if (i == name_begin) return false;  // no declared name (e.g. a cast)
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) != 0) ++i;
-    return i < line.size() && line[i] == ';';
+/// The synchronisation member types the mutex-doc rule covers.  `annotatable`
+/// marks the wrapper types Clang's thread-safety analysis understands — for
+/// those, fields the doc comment names as guarded must carry SKY_GUARDED_BY.
+struct SyncType {
+    const char* spelling;
+    bool annotatable;
+    const char* kind;  // for the diagnostic message
+};
+
+constexpr SyncType kSyncTypes[] = {
+    {"core::Mutex", true, "mutex"},
+    {"Mutex", true, "mutex"},
+    {"std::mutex", false, "mutex"},
+    {"std::shared_mutex", false, "mutex"},
+    {"std::recursive_mutex", false, "mutex"},
+    {"std::timed_mutex", false, "mutex"},
+    {"core::CondVar", false, "condition variable"},
+    {"CondVar", false, "condition variable"},
+    {"std::condition_variable", false, "condition variable"},
+    {"std::condition_variable_any", false, "condition variable"},
+};
+
+/// Member-style declaration: `<type> name [SKY_...(...) ...];` (optionally
+/// mutable/static), but not references, pointers, locks or parameters.  On
+/// match fills `name` and returns the matched type, else nullptr.
+const SyncType* declares_sync_member(const std::string& line, std::string& name) {
+    for (const SyncType& type : kSyncTypes) {
+        const std::string spelling = type.spelling;
+        std::size_t pos = 0;
+        while ((pos = line.find(spelling, pos)) != std::string::npos) {
+            // Token boundaries: reject MutexLock, core::MutexLock, and the
+            // qualified spellings when a shorter one is a prefix (the table
+            // is ordered so qualified names match first anyway).
+            const bool left_ok =
+                pos == 0 || (!is_ident_char(line[pos - 1]) && line[pos - 1] != ':');
+            std::size_t i = pos + spelling.size();
+            const bool right_ok = i >= line.size() || (!is_ident_char(line[i]) &&
+                                                       line[i] != ':');
+            pos = i;
+            if (!left_ok || !right_ok) continue;
+            if (i < line.size() && (line[i] == '&' || line[i] == '*')) continue;
+            while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) != 0)
+                ++i;
+            const std::size_t name_begin = i;
+            while (i < line.size() && is_ident_char(line[i])) ++i;
+            if (i == name_begin) continue;  // no declared name (cast, friend decl)
+            name = line.substr(name_begin, i - name_begin);
+            // Skip any trailing SKY_*(...) thread-safety attribute macros.
+            for (;;) {
+                while (i < line.size() &&
+                       std::isspace(static_cast<unsigned char>(line[i])) != 0)
+                    ++i;
+                if (line.compare(i, 4, "SKY_") != 0) break;
+                while (i < line.size() && is_ident_char(line[i])) ++i;
+                if (i >= line.size() || line[i] != '(') break;
+                int depth = 0;
+                while (i < line.size()) {
+                    if (line[i] == '(') ++depth;
+                    if (line[i] == ')' && --depth == 0) {
+                        ++i;
+                        break;
+                    }
+                    ++i;
+                }
+            }
+            if (i < line.size() && line[i] == ';') return &type;
+        }
+    }
+    return nullptr;
 }
 
 bool line_has_comment(const std::string& original_line) {
@@ -96,15 +155,80 @@ bool line_has_comment(const std::string& original_line) {
                        "*");
 }
 
+/// Trailing-underscore identifiers the doc comment claims are guarded: the
+/// text after a (case-insensitive) "guards", up to the first ';' — e.g.
+/// "guards q_/closed_ + both cv waits; leaf lock" names q_ and closed_.
+std::vector<std::string> guarded_names(const std::string& comment) {
+    std::string lower = comment;
+    std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    std::size_t pos = 0;
+    while ((pos = lower.find("guards", pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(lower[pos - 1]);
+        const std::size_t end = pos + 6;
+        const bool right_ok = end >= lower.size() || !is_ident_char(lower[end]);
+        if (left_ok && right_ok) break;
+        pos = end;
+    }
+    if (pos == std::string::npos) return {};
+    std::size_t stop = comment.find(';', pos);
+    if (stop == std::string::npos) stop = comment.size();
+
+    std::vector<std::string> names;
+    std::size_t i = pos + 6;
+    while (i < stop) {
+        if (!is_ident_char(comment[i])) {
+            ++i;
+            continue;
+        }
+        const std::size_t begin = i;
+        while (i < stop && is_ident_char(comment[i])) ++i;
+        const std::string ident = comment.substr(begin, i - begin);
+        if (ident.size() > 1 && ident.back() == '_') names.push_back(ident);
+    }
+    return names;
+}
+
 bool is_source_file(const std::filesystem::path& p) {
     const std::string ext = p.extension().string();
     return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+void json_escape(const std::string& s, std::string& out) {
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
 }
 
 }  // namespace
 
 std::string Violation::str() const {
     return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+std::string Violation::json() const {
+    std::string out = "{\"file\": \"";
+    json_escape(file, out);
+    out += "\", \"line\": " + std::to_string(line) + ", \"rule\": \"";
+    json_escape(rule, out);
+    out += "\", \"message\": \"";
+    json_escape(message, out);
+    out += "\"}";
+    return out;
 }
 
 std::string strip_comments_and_strings(const std::string& src) {
@@ -164,13 +288,29 @@ std::string strip_comments_and_strings(const std::string& src) {
     return out;
 }
 
+std::vector<IncludeRef> scan_includes(const std::string& content) {
+    // The stripper blanks quoted payloads, so parse them off the raw line —
+    // but only when the stripped line still carries the directive (a
+    // commented-out include must not count).
+    const std::vector<std::string> lines = split_lines(strip_comments_and_strings(content));
+    const std::vector<std::string> raw_lines = split_lines(content);
+    std::vector<IncludeRef> out;
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+        if (include_keyword_end(lines[li]) == std::string::npos) continue;
+        bool angled = false;
+        std::string inc = include_path(lines[li], angled);
+        if (inc.empty()) inc = include_path(raw_lines[li], angled);
+        if (!inc.empty())
+            out.push_back({inc, static_cast<int>(li) + 1, angled});
+    }
+    return out;
+}
+
 std::vector<Violation> scan_file(const std::string& path, const std::string& content) {
     std::vector<Violation> out;
     const bool in_src = starts_with(path, "src/");
     const bool allocator_layer =
         starts_with(path, "src/tensor/") || starts_with(path, "src/core/");
-    const bool model_builder = path == "src/skynet/skynet_model.hpp" ||
-                               path == "src/skynet/skynet_model.cpp";
 
     const std::string stripped = strip_comments_and_strings(content);
     const std::vector<std::string> lines = split_lines(stripped);
@@ -198,22 +338,49 @@ std::vector<Violation> scan_file(const std::string& path, const std::string& con
         }
 
         // --- mutex-doc ------------------------------------------------
-        if (in_src && declares_mutex(line)) {
-            const bool documented =
-                line_has_comment(raw_lines[li]) ||
-                (li > 0 && line_has_comment(raw_lines[li - 1]));
-            if (!documented)
+        std::string sync_name;
+        const SyncType* sync = in_src ? declares_sync_member(line, sync_name) : nullptr;
+        if (sync != nullptr) {
+            // Doc comment: same line, or the contiguous comment block above.
+            std::string comment;
+            if (line_has_comment(raw_lines[li])) comment = raw_lines[li];
+            std::size_t first = li;
+            while (first > 0 && line_has_comment(raw_lines[first - 1]) &&
+                   lines[first - 1].find_first_not_of(" \t") == std::string::npos)
+                --first;
+            for (std::size_t ci = first; ci < li; ++ci)
+                comment += "\n" + raw_lines[ci];
+            if (comment.empty()) {
                 out.push_back({path, lineno, "mutex-doc",
-                               "std::mutex member without a comment documenting what "
-                               "it guards / its lock order"});
+                               std::string(sync->spelling) + " member without a comment "
+                               "documenting what it guards / its lock order"});
+            } else if (sync->annotatable) {
+                // The comment and the compiler-checked contract must agree:
+                // every field the comment names as guarded carries
+                // SKY_GUARDED_BY (on this mutex) somewhere in the file.
+                for (const std::string& field : guarded_names(comment)) {
+                    bool declared = false, annotated = false;
+                    for (std::size_t oi = 0; oi < lines.size(); ++oi) {
+                        if (!has_token(lines[oi], field)) continue;
+                        declared = true;
+                        // A wrapped declaration may carry the attribute on
+                        // its continuation line.
+                        std::string decl = lines[oi];
+                        if (oi + 1 < lines.size()) decl += lines[oi + 1];
+                        if (decl.find("SKY_GUARDED_BY") != std::string::npos ||
+                            decl.find("SKY_PT_GUARDED_BY") != std::string::npos) {
+                            annotated = true;
+                            break;
+                        }
+                    }
+                    if (declared && !annotated)
+                        out.push_back({path, lineno, "mutex-doc",
+                                       "comment on '" + sync_name + "' names '" + field +
+                                           "' as guarded, but its declaration lacks "
+                                           "SKY_GUARDED_BY(" + sync_name + ")"});
+                }
+            }
         }
-
-        // --- deprecated-field -----------------------------------------
-        if (!model_builder && (has_token(line, "backbone_feature_node") ||
-                               has_token(line, "backbone_channels")))
-            out.push_back({path, lineno, "deprecated-field",
-                           "direct access to deprecated SkyNetModel bare field; use "
-                           "feature_node() / feature_channels()"});
 
         // --- using-namespace-std --------------------------------------
         {
@@ -266,6 +433,7 @@ std::vector<Violation> scan_file(const std::string& path, const std::string& con
 std::vector<Violation> scan_tree(const std::string& repo_root) {
     namespace fs = std::filesystem;
     std::vector<Violation> out;
+    std::vector<SourceFile> src_files;  // for the include-graph analyzer
     const fs::path root(repo_root);
     for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
         const fs::path base = root / dir;
@@ -279,8 +447,25 @@ std::vector<Violation> scan_tree(const std::string& repo_root) {
                 fs::relative(entry.path(), root).generic_string();
             const std::vector<Violation> found = scan_file(rel, ss.str());
             out.insert(out.end(), found.begin(), found.end());
+            if (rel.rfind("src/", 0) == 0) src_files.push_back({rel, ss.str()});
         }
     }
+
+    // --- include-graph layering (L001/L002/L003) ----------------------
+    const fs::path manifest_path = root / "tools" / "skylint" / "layers.txt";
+    LayerManifest manifest;
+    bool have_manifest = false;
+    if (fs::exists(manifest_path)) {
+        std::ifstream in(manifest_path, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        manifest = parse_manifest("tools/skylint/layers.txt", ss.str(), out);
+        have_manifest = true;
+    }
+    const std::vector<Violation> layering =
+        check_layering(src_files, have_manifest ? &manifest : nullptr);
+    out.insert(out.end(), layering.begin(), layering.end());
+
     std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
         if (a.file != b.file) return a.file < b.file;
         if (a.line != b.line) return a.line < b.line;

@@ -6,25 +6,28 @@
 //   raw-new-delete        no raw new/delete outside the tensor/core
 //                         allocator layers — everything else owns memory
 //                         through containers and smart pointers
-//   mutex-doc             every std::mutex member carries a comment saying
-//                         what it guards (and its lock order, where one
-//                         exists) — undocumented locks are how the serve/
-//                         obs layers grow deadlocks
-//   deprecated-field      no direct reads of SkyNetModel's deprecated bare
-//                         fields (backbone_feature_node / backbone_channels)
-//                         outside the builder that fills them; use
-//                         feature_node() / feature_channels()
+//   mutex-doc             every synchronisation member (core::Mutex,
+//                         core::CondVar, and the std:: mutex/condition
+//                         variable types) carries a comment saying what it
+//                         guards and its lock order, where one exists; for
+//                         annotatable core::Mutex members, every field the
+//                         comment names as guarded must also carry
+//                         SKY_GUARDED_BY so the comment and the compiler-
+//                         checked contract cannot drift apart
 //   include-hygiene       no "../" includes, no <bits/stdc++.h>, quoted
 //                         includes in src/ are rooted at src/ (so every
 //                         file compiles with the single -Isrc)
 //   using-namespace-std   no `using namespace std;`
+//   L000..L003            include-graph layering: manifest syntax, illegal
+//                         module edges, module cycles, non-self-contained
+//                         headers (see skylint/layers.hpp)
 //
 // The scanner is a single pass over comment- and string-stripped source;
 // rules are deliberately token-level (no AST) so the tool builds with the
 // tree and runs in milliseconds.  A trailing `// skylint-ok: <reason>`
-// comment waives every rule on that line (for deliberate violations, e.g.
-// tests seeding broken models).  docs/STATIC_ANALYSIS.md documents every
-// rule with examples.
+// comment waives every per-line rule on that line (for deliberate
+// violations, e.g. tests seeding broken models).  docs/STATIC_ANALYSIS.md
+// documents every rule with examples.
 #pragma once
 
 #include <string>
@@ -39,21 +42,37 @@ struct Violation {
     std::string message;
 
     [[nodiscard]] std::string str() const;
+    /// One JSON object (for `skylint --json` / the CI problem matcher).
+    [[nodiscard]] std::string json() const;
 };
 
 /// Replace comments and string/char literals with spaces (newlines kept, so
 /// line numbers survive).  Exposed for tests.
 [[nodiscard]] std::string strip_comments_and_strings(const std::string& src);
 
-/// Run every applicable rule over one file.  `path` must be repo-relative
-/// with forward slashes (e.g. "src/serve/engine.cpp"); it decides rule
-/// applicability (allocator layers may use new/delete, the model builder
-/// may touch the deprecated fields).
+/// One `#include` directive found in a file.
+struct IncludeRef {
+    std::string path;  ///< the payload between the quotes / angle brackets
+    int line = 0;      ///< 1-based
+    bool angled = false;
+};
+
+/// Every #include of `content`, commented-out directives excluded.  The
+/// include-graph analyzer (skylint/layers.hpp) builds module edges from
+/// the quoted ones.
+[[nodiscard]] std::vector<IncludeRef> scan_includes(const std::string& content);
+
+/// Run every applicable per-line rule over one file.  `path` must be
+/// repo-relative with forward slashes (e.g. "src/serve/engine.cpp"); it
+/// decides rule applicability (allocator layers may use new/delete).
 [[nodiscard]] std::vector<Violation> scan_file(const std::string& path,
                                                const std::string& content);
 
 /// Scan a whole checkout: walks src/, tools/, tests/, bench/, examples/
-/// under `repo_root` and returns every violation, sorted by file and line.
+/// under `repo_root`, runs the per-line rules on every file plus the
+/// include-graph layering checks (L001/L002/L003) on src/ against
+/// tools/skylint/layers.txt, and returns every violation sorted by file
+/// and line.  A missing manifest skips L001 only.
 [[nodiscard]] std::vector<Violation> scan_tree(const std::string& repo_root);
 
 }  // namespace skylint

@@ -1,6 +1,11 @@
 // skylint driver: `skylint <repo-root>` scans src/ tools/ tests/ bench/
 // examples/ and exits non-zero when any rule fires.  Wired to the `lint`
 // build target (cmake --build build --target lint) and the CI lint lane.
+//
+// `--json` prints the violations as a JSON array instead of the
+// `file:line: [rule] message` lines (the CI lane uses the text form with a
+// GitHub problem matcher, .github/problem-matchers/skylint.json; the JSON
+// form is for other tooling).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -9,18 +14,30 @@
 
 int main(int argc, char** argv) {
     std::string root = ".";
+    bool json = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: skylint [repo-root]\n"
-                        "rules: raw-new-delete mutex-doc deprecated-field "
-                        "include-hygiene using-namespace-std\n"
+            std::printf("usage: skylint [--json] [repo-root]\n"
+                        "rules: raw-new-delete mutex-doc include-hygiene\n"
+                        "       using-namespace-std L000-L003 (include-graph layering)\n"
                         "see docs/STATIC_ANALYSIS.md for the catalog\n");
             return 0;
+        }
+        if (arg == "--json") {
+            json = true;
+            continue;
         }
         root = arg;
     }
     const std::vector<skylint::Violation> violations = skylint::scan_tree(root);
+    if (json) {
+        std::printf("[");
+        for (std::size_t i = 0; i < violations.size(); ++i)
+            std::printf("%s\n  %s", i == 0 ? "" : ",", violations[i].json().c_str());
+        std::printf("%s]\n", violations.empty() ? "" : "\n");
+        return violations.empty() ? 0 : 1;
+    }
     for (const skylint::Violation& v : violations)
         std::printf("%s\n", v.str().c_str());
     if (violations.empty()) {

@@ -5,7 +5,7 @@
 //   3. channel width scaling (accuracy/latency trade of the whole family);
 //   4. hardware knobs: double-pumped DSP, tiling count, quantisation bits
 //      (analytic, via the FPGA model).
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "data/synth_detection.hpp"
 #include "hwsim/fpga_model.hpp"
 #include "nn/batchnorm.hpp"
@@ -101,7 +101,8 @@ int main(int argc, char** argv) {
         Rng tr(9);
         const double iou = train::train_detector(*m.net, m.head, ds, cfg, tr).val_iou;
         std::printf("%8d %12d %9.3f\n", anchors, 5 * anchors, iou);
-        bench::record("ablation.anchors" + std::to_string(anchors) + ".iou", iou);
+        bench::record("ablation.anchors" + std::to_string(anchors) + ".iou", iou, "iou",
+                      bench::Direction::kHigherIsBetter);
     }
 
     // ---------------- 2. bypass tap position ----------------
@@ -123,8 +124,10 @@ int main(int argc, char** argv) {
         const double lat = u96.estimate(*t.net, {1, 3, 48, 96}).latency_ms;
         std::printf("%12s %9.3f %12.2f\n",
                     tap == 0 ? "none" : (tap == 2 ? "bundle #2" : "bundle #3"), iou, lat);
-        bench::record("ablation.tap" + std::to_string(tap) + ".iou", iou);
-        bench::record("ablation.tap" + std::to_string(tap) + ".fpga_ms", lat);
+        bench::record("ablation.tap" + std::to_string(tap) + ".iou", iou, "iou",
+                      bench::Direction::kHigherIsBetter);
+        bench::record("ablation.tap" + std::to_string(tap) + ".fpga_ms", lat, "ms",
+                      bench::Direction::kLowerIsBetter);
     }
 
     // ---------------- 3. width sweep ----------------
@@ -145,7 +148,7 @@ int main(int argc, char** argv) {
                     m.net->macs({1, 3, 48, 96}) / 1e9, iou);
         char key[48];
         std::snprintf(key, sizeof(key), "ablation.width%.2f.iou", w);
-        bench::record(key, iou);
+        bench::record(key, iou, "iou", bench::Direction::kHigherIsBetter);
     }
 
     // ---------------- 4. hardware knobs (analytic) ----------------
@@ -171,7 +174,8 @@ int main(int argc, char** argv) {
         const hwsim::FpgaEstimate est = u96.estimate(*full.net, in, k.cfg);
         std::printf("%-34s %6d %6d %6d %8.2f\n", k.name, est.resources.dsp,
                     est.resources.bram18k, est.parallelism, est.fps);
-        bench::record(std::string("ablation.knob.") + k.name + ".fps", est.fps);
+        bench::record(std::string("ablation.knob.") + k.name + ".fps", est.fps, "fps",
+                      bench::Direction::kHigherIsBetter);
     }
     // ---------------- 5. design-space curve ----------------
     std::printf("\n=== Ablation 5: IP parallelism design space (scheme 1) ===\n\n");

@@ -10,7 +10,7 @@
 #include <cstring>
 
 #include "backbones/registry.hpp"
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "hwsim/fpga_model.hpp"
 #include "hwsim/gpu_model.hpp"
 #include "hwsim/pipeline.hpp"
@@ -55,9 +55,12 @@ int main(int argc, char** argv) {
                 rep.pipelined_ms_per_batch, rep.pipelined_fps,
                 serial / rep.pipelined_ms_per_batch);
     std::printf("  paper:     3.35x speedup, 67.33 FPS peak\n\n");
-    bench::record("fig10.tx2.serial_ms_per_batch", serial);
-    bench::record("fig10.tx2.pipelined_fps", rep.pipelined_fps);
-    bench::record("fig10.tx2.speedup", serial / rep.pipelined_ms_per_batch);
+    bench::record("fig10.tx2.serial_ms_per_batch", serial, "ms",
+                  bench::Direction::kLowerIsBetter);
+    bench::record("fig10.tx2.pipelined_fps", rep.pipelined_fps, "fps",
+                  bench::Direction::kHigherIsBetter);
+    bench::record("fig10.tx2.speedup", serial / rep.pipelined_ms_per_batch, "x",
+                  bench::Direction::kHigherIsBetter);
 
     // ---- Ultra96 (Fig. 10 bottom): CPU pre/post + FPGA inference overlap.
     hwsim::FpgaModel u96(hwsim::ultra96());
@@ -75,8 +78,10 @@ int main(int argc, char** argv) {
     std::printf("\n  serial:    %6.2f FPS;  pipelined: %6.2f FPS (speedup %.2fx)\n",
                 4e3 / fserial, frep.pipelined_fps, frep.speedup);
     std::printf("  paper:     25.05 FPS with all three tasks overlapped\n\n");
-    bench::record("fig10.ultra96.pipelined_fps", frep.pipelined_fps);
-    bench::record("fig10.ultra96.speedup", frep.speedup);
+    bench::record("fig10.ultra96.pipelined_fps", frep.pipelined_fps, "fps",
+                  bench::Direction::kHigherIsBetter);
+    bench::record("fig10.ultra96.speedup", frep.speedup, "x",
+                  bench::Direction::kHigherIsBetter);
 
     // ---- Fig. 9: tiling+batch vs naive batching.
     // Naive batching buffers all four images' feature maps at once (4x the
@@ -114,8 +119,8 @@ int main(int argc, char** argv) {
                 "allows for feature maps) while weight traffic per image falls with the\n"
                 "tile count — the Fig. 9 data-reuse benefit.\n",
                 std::max(1, bram_naive / std::max(1, bram_tiled)));
-    bench::record("fig9.bram_naive", bram_naive);
-    bench::record("fig9.bram_tiled", bram_tiled);
+    bench::record("fig9.bram_naive", bram_naive, "KB");
+    bench::record("fig9.bram_tiled", bram_tiled, "KB");
     if (trace_path && trace.save(trace_path))
         std::printf("wrote pipeline trace to %s (open in chrome://tracing)\n", trace_path);
     return bench::finish(argc, argv);

@@ -10,7 +10,7 @@
 // (b) FPGA BRAM usage vs input resize factor for FM12..FM16 quantisation.
 // (c) DSP count vs (weight bits, FM bits) for a 128-MAC accelerator IP.
 #include "backbones/registry.hpp"
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "hwsim/fpga_model.hpp"
 #include "quant/qmodel.hpp"
 #include "skynet/skynet_model.hpp"
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     cfg.val_images = 256;
     const double float_acc = train::train_classifier(*net, ds, cfg).val_accuracy;
     std::printf("float32 validation accuracy: %.3f\n\n", float_acc);
-    bench::record("fig2a.float_accuracy", float_acc);
+    bench::record("fig2a.float_accuracy", float_acc, "acc", bench::Direction::kHigherIsBetter);
 
     const data::ClassificationBatch val = ds.validation(256);
     // Offline calibration: the IP-shared FPGA design uses one FM format for
@@ -53,8 +53,10 @@ int main(int argc, char** argv) {
             quant::classifier_acc_quantized(*net, val, bits, 0, fm_range);
         std::printf("%6d | %9.3f %13.1f | %9.3f %13.1fx\n", bits, acc_w,
                     ref_params * bits / 8.0 / 1e6, acc_f, 32.0 / bits);
-        bench::record("fig2a.acc_param_q" + std::to_string(bits), acc_w);
-        bench::record("fig2a.acc_fm_q" + std::to_string(bits), acc_f);
+        bench::record("fig2a.acc_param_q" + std::to_string(bits), acc_w, "acc",
+                      bench::Direction::kHigherIsBetter);
+        bench::record("fig2a.acc_fm_q" + std::to_string(bits), acc_f, "acc",
+                      bench::Direction::kHigherIsBetter);
     }
     std::printf("\nshape check: accuracy degrades faster along the FM axis than the\n"
                 "parameter axis at matching bit-widths (the paper's Fig. 2a message).\n\n");
@@ -102,7 +104,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\nshape check: W15/FM16 needs 128 DSPs, W14/FM16 needs 64 (two products\n"
                 "pack into one DSP once w+fm <= 30), matching the paper's example.\n");
-    bench::record("fig2c.dsp_w15_fm16", hwsim::FpgaModel::dsp_count(128, 15, 16));
-    bench::record("fig2c.dsp_w14_fm16", hwsim::FpgaModel::dsp_count(128, 14, 16));
+    bench::record("fig2c.dsp_w15_fm16", hwsim::FpgaModel::dsp_count(128, 15, 16), "count");
+    bench::record("fig2c.dsp_w14_fm16", hwsim::FpgaModel::dsp_count(128, 14, 16), "count");
     return bench::finish(argc, argv);
 }

@@ -3,7 +3,7 @@
 // two headline statistics (31% of boxes < 1% of the image area, 91% < 9%).
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "dacsdc/stats.hpp"
 #include "data/synth_detection.hpp"
 
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     std::printf("measured: %.0f%% of boxes < 1%% of image,  %.0f%% < 9%%\n",
                 100.0 * dacsdc::fraction_below(ratios, 0.01),
                 100.0 * dacsdc::fraction_below(ratios, 0.09));
-    bench::record("fig6.frac_below_1pct", dacsdc::fraction_below(ratios, 0.01));
-    bench::record("fig6.frac_below_9pct", dacsdc::fraction_below(ratios, 0.09));
+    bench::record("fig6.frac_below_1pct", dacsdc::fraction_below(ratios, 0.01), "fraction");
+    bench::record("fig6.frac_below_9pct", dacsdc::fraction_below(ratios, 0.09), "fraction");
     return bench::finish(argc, argv);
 }

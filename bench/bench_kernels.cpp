@@ -8,21 +8,25 @@
 //   ./build/bench/bench_kernels [--json <path>]
 //
 // Thread count comes from SKYNET_THREADS (default: hardware concurrency).
-// Headline gauges: kernels.model.fwd_ms_1t / fwd_ms_nt / speedup / gflops_nt.
-#include <chrono>
+// Every timing is a calibrated-warmup, multi-repeat measurement through
+// sky::bench::run (median/MAD in the BENCH document); the full-model pass
+// additionally folds per-layer GraphProfiler GFLOP/s gauges into the
+// report's registry section.  Headline gauges:
+// kernels.model.fwd_ms_1t / fwd_ms_nt / speedup / gflops_nt.
+#include <algorithm>
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "core/thread_pool.hpp"
 #include "nn/conv.hpp"
 #include "nn/dwconv.hpp"
 #include "nn/pwconv.hpp"
+#include "obs/profiler.hpp"
 #include "skynet/skynet_model.hpp"
 
 namespace {
 
 using namespace sky;
-using Clock = std::chrono::steady_clock;
 
 Tensor make_input(int n, int c, int h, int w) {
     Rng rng(1);
@@ -31,46 +35,47 @@ Tensor make_input(int n, int c, int h, int w) {
     return x;
 }
 
-/// Best-of-`reps` wall time of fn() in ms (one untimed warmup).
+/// Time fn() at 1 thread and at `threads`, record the pair with repeat
+/// statistics plus the derived speedup and effective GFLOP/s.
 template <typename Fn>
-double time_ms(int reps, Fn&& fn) {
-    fn();
-    double best = 1e300;
-    for (int r = 0; r < reps; ++r) {
-        const auto t0 = Clock::now();
-        fn();
-        const double ms =
-            std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-        if (ms < best) best = ms;
-    }
-    return best;
-}
-
-/// Time fn() at 1 thread and at `threads`, record and print the pair.
-template <typename Fn>
-void bench_pair(const std::string& name, std::int64_t macs, int threads, int reps,
-                Fn&& fn) {
+void bench_pair(const std::string& name, std::int64_t macs, int threads,
+                const bench::RunOptions& opts, Fn&& fn) {
     core::ThreadPool::set_global_threads(1);
-    const double t1 = time_ms(reps, fn);
+    const bench::RepeatStats t1 = bench::run("kernels." + name + ".fwd_ms_1t", "ms",
+                                             bench::Direction::kLowerIsBetter, fn, opts);
     core::ThreadPool::set_global_threads(threads);
-    const double tn = time_ms(reps, fn);
-    const double speedup = tn > 0.0 ? t1 / tn : 0.0;
-    const double gflops = tn > 0.0 ? 2.0 * static_cast<double>(macs) / (tn * 1e6) : 0.0;
+    const bench::RepeatStats tn = bench::run("kernels." + name + ".fwd_ms_nt", "ms",
+                                             bench::Direction::kLowerIsBetter, fn, opts);
+    // Derive per-repeat samples (speedup pairs repeat i with repeat i) so the
+    // derived metrics carry real repeat statistics, not a bare quotient.
+    std::vector<double> speedups, gflops_samples;
+    const std::size_t pairs = std::min(t1.samples.size(), tn.samples.size());
+    for (std::size_t i = 0; i < pairs; ++i)
+        if (tn.samples[i] > 0.0) speedups.push_back(t1.samples[i] / tn.samples[i]);
+    for (const double ms : tn.samples)
+        if (ms > 0.0)
+            gflops_samples.push_back(2.0 * static_cast<double>(macs) / (ms * 1e6));
+    const bench::RepeatStats speedup = bench::RepeatStats::from_samples(speedups);
+    const bench::RepeatStats gflops =
+        bench::RepeatStats::from_samples(gflops_samples);
     std::printf("%-28s %10.3f ms @1t %10.3f ms @%dt  x%.2f  %7.2f GFLOP/s\n",
-                name.c_str(), t1, tn, threads, speedup, gflops);
-    bench::record("kernels." + name + ".fwd_ms_1t", t1);
-    bench::record("kernels." + name + ".fwd_ms_nt", tn);
-    bench::record("kernels." + name + ".speedup", speedup);
-    bench::record("kernels." + name + ".gflops_nt", gflops);
+                name.c_str(), t1.median, tn.median, threads, speedup.median,
+                gflops.median);
+    bench::record("kernels." + name + ".speedup", speedup, "x",
+                  bench::Direction::kHigherIsBetter);
+    bench::record("kernels." + name + ".gflops_nt", gflops, "GFLOP/s",
+                  bench::Direction::kHigherIsBetter);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     const int threads = core::ThreadPool::env_threads();
-    const int reps = bench::steps(3);
-    std::printf("kernel engine: %d thread(s), best of %d reps\n", threads, reps);
-    bench::record("kernels.threads", threads);
+    bench::RunOptions opts;
+    opts.repeats = std::max(3, bench::steps(5));
+    std::printf("kernel engine: %d thread(s), %d timed repeats\n", threads,
+                opts.repeats);
+    bench::record("kernels.threads", threads, "count");
     bench::rule();
 
     Rng rng(2);
@@ -79,20 +84,20 @@ int main(int argc, char** argv) {
         conv.set_training(false);
         Tensor x = make_input(1, 96, 40, 80);
         const std::int64_t macs = conv.macs(x.shape());
-        bench_pair("conv3x3", macs, threads, reps, [&] { (void)conv.forward(x); });
+        bench_pair("conv3x3", macs, threads, opts, [&] { (void)conv.forward(x); });
     }
     {
         nn::DWConv3 conv(96, rng);
         conv.set_training(false);
         Tensor x = make_input(1, 96, 40, 80);
-        bench_pair("dwconv3", conv.macs(x.shape()), threads, reps,
+        bench_pair("dwconv3", conv.macs(x.shape()), threads, opts,
                    [&] { (void)conv.forward(x); });
     }
     {
         nn::PWConv1 conv(96, 96, false, rng);
         conv.set_training(false);
         Tensor x = make_input(1, 96, 40, 80);
-        bench_pair("pwconv1", conv.macs(x.shape()), threads, reps,
+        bench_pair("pwconv1", conv.macs(x.shape()), threads, opts,
                    [&] { (void)conv.forward(x); });
     }
 
@@ -104,7 +109,17 @@ int main(int argc, char** argv) {
         model.net->set_training(false);
         Tensor x = make_input(8, 3, 160, 320);
         const std::int64_t macs = model.net->macs(x.shape());
-        bench_pair("model", macs, threads, reps, [&] { (void)model.net->forward(x); });
+        bench_pair("model", macs, threads, opts, [&] { (void)model.net->forward(x); });
+
+        // One profiled forward at the full pool: per-layer wall time and
+        // GFLOP/s land in the document's registry section, so the same JSON
+        // that carries the headline numbers carries the layer breakdown.
+        obs::GraphProfiler prof(*model.net);
+        (void)model.net->forward(x);
+        obs::Registry layer_registry;
+        prof.export_metrics(layer_registry, "kernels.layer");
+        prof.detach();
+        bench::merge_registry(layer_registry);
     }
 
     core::ThreadPool::set_global_threads(0);  // back to the environment default

@@ -8,7 +8,7 @@
 // machinery: the Pareto set is non-trivial, PSO fitness is non-decreasing
 // over iterations, and the Stage-3 additions improve accuracy at small
 // latency cost — which is how the paper arrived at model C.
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "search/flow.hpp"
 
 int main(int argc, char** argv) {
@@ -65,12 +65,16 @@ int main(int argc, char** argv) {
                 "against; run at scale >= 2 for stable Stage-3 bypass gains.\n");
     int pareto = 0;
     for (const auto& ev : res.stage1) pareto += ev.pareto ? 1 : 0;
-    bench::record("flow.stage1.pareto_count", pareto);
+    bench::record("flow.stage1.pareto_count", pareto, "count");
     if (!res.stage2.best_fitness_history.empty())
-        bench::record("flow.stage2.best_fitness", res.stage2.best_fitness_history.back());
-    bench::record("flow.stage2.best_accuracy", best.accuracy);
-    bench::record("flow.stage2.best_fpga_ms", best.fpga_latency_ms);
+        bench::record("flow.stage2.best_fitness", res.stage2.best_fitness_history.back(),
+                      "fitness");
+    bench::record("flow.stage2.best_accuracy", best.accuracy, "acc",
+                  bench::Direction::kHigherIsBetter);
+    bench::record("flow.stage2.best_fpga_ms", best.fpga_latency_ms, "ms",
+                  bench::Direction::kLowerIsBetter);
     for (const auto& fr : res.stage3)
-        bench::record("flow.stage3." + fr.description + ".iou", fr.val_iou);
+        bench::record("flow.stage3." + fr.description + ".iou", fr.val_iou, "iou",
+                      bench::Direction::kHigherIsBetter);
     return bench::finish(argc, argv);
 }

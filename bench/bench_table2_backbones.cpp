@@ -13,7 +13,7 @@
 // the big backbones are hard to train within the budget (exactly the
 // "adequate training" trap Table 2 illustrates).
 #include "backbones/registry.hpp"
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "data/synth_detection.hpp"
 #include "skynet/skynet_model.hpp"
 #include "train/trainer.hpp"
@@ -72,8 +72,10 @@ int main(int argc, char** argv) {
         }
         std::printf("%-12s %11.2fM %11.2fM | %9.2f %9.3f\n", r.name, r.paper_m, ours_m,
                     r.paper_iou, iou);
-        bench::record(std::string("table2.") + r.name + ".params_m", ours_m);
-        bench::record(std::string("table2.") + r.name + ".iou", iou);
+        bench::record(std::string("table2.") + r.name + ".params_m", ours_m, "Mparams",
+                      bench::Direction::kLowerIsBetter);
+        bench::record(std::string("table2.") + r.name + ".iou", iou, "iou",
+                      bench::Direction::kHigherIsBetter);
     }
     std::printf("\nshape check: SkyNet reaches the best IoU with 25-50x fewer parameters;\n"
                 "bigger backbones do not imply better task accuracy.\n");

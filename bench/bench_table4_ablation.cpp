@@ -8,7 +8,7 @@
 // schedule/seed per model) and report float IoU plus the IoU under 9-bit
 // feature maps — the deployment regime where ReLU6's bounded range pays off.
 // Parameter sizes are computed at full width and must match the paper.
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "data/synth_detection.hpp"
 #include "quant/qmodel.hpp"
 #include "skynet/skynet_model.hpp"
@@ -67,9 +67,12 @@ int main(int argc, char** argv) {
         std::printf("%-18s %10.2f %10.2f | %9.3f %9.3f %9.3f\n",
                     model.config.name().c_str(), r.paper_mb, full.param_mb(), r.paper_iou,
                     iou, iou_q);
-        bench::record("table4." + model.config.name() + ".param_mb", full.param_mb());
-        bench::record("table4." + model.config.name() + ".iou", iou);
-        bench::record("table4." + model.config.name() + ".iou_q5", iou_q);
+        bench::record("table4." + model.config.name() + ".param_mb", full.param_mb(), "MB",
+                      bench::Direction::kLowerIsBetter);
+        bench::record("table4." + model.config.name() + ".iou", iou, "iou",
+                      bench::Direction::kHigherIsBetter);
+        bench::record("table4." + model.config.name() + ".iou_q5", iou_q, "iou",
+                      bench::Direction::kHigherIsBetter);
     }
     std::printf(
         "\nexpected shapes (stable at SKYNET_BENCH_SCALE >= 1): the bypass models\n"

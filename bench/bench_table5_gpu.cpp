@@ -12,7 +12,7 @@
 // paper (competitors' trained weights are unobtainable); the regenerated
 // columns are FPS, power, energy score and total score.
 #include "backbones/registry.hpp"
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "nn/pwconv.hpp"
 #include "dacsdc/scoring.hpp"
 #include "hwsim/energy.hpp"
@@ -125,8 +125,9 @@ int main(int argc, char** argv) {
         std::printf("%-14s %6.3f %8.2f %7.2f %7.3f %8.3f | %11.3f\n",
                     sc.entry.team.c_str(), sc.entry.iou, sc.entry.fps, sc.entry.power_w,
                     sc.energy_score, sc.total_score, paper_total);
-        bench::record("table5." + sc.entry.team + ".fps", sc.entry.fps);
-        bench::record("table5." + sc.entry.team + ".total_score", sc.total_score);
+        bench::record("table5." + sc.entry.team + ".fps", sc.entry.fps, "fps");
+        bench::record("table5." + sc.entry.team + ".total_score", sc.total_score, "score",
+                      bench::Direction::kHigherIsBetter);
     }
     std::printf("\nshape check: SkyNet has the highest FPS (its bundle does ~10x less\n"
                 "work) and the best total score; the 2019 pipelined entries beat 2018.\n");

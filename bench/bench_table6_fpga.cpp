@@ -12,7 +12,7 @@
 // 9/11-bit scheme with 4-image tiling (Fig. 9).  IoU is quoted from the
 // paper; FPS, power and both scores are regenerated.
 #include "backbones/registry.hpp"
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "dacsdc/scoring.hpp"
 #include "hwsim/energy.hpp"
 #include "hwsim/fpga_model.hpp"
@@ -87,8 +87,9 @@ int main(int argc, char** argv) {
             std::printf("%-15s %6.3f %8.2f %7.2f %7.3f %8.3f | %11.3f\n",
                         sc.entry.team.c_str(), sc.entry.iou, sc.entry.fps,
                         sc.entry.power_w, sc.energy_score, sc.total_score, paper_total);
-            bench::record("table6." + sc.entry.team + ".fps", sc.entry.fps);
-            bench::record("table6." + sc.entry.team + ".total_score", sc.total_score);
+            bench::record("table6." + sc.entry.team + ".fps", sc.entry.fps, "fps");
+            bench::record("table6." + sc.entry.team + ".total_score", sc.total_score,
+                          "score", bench::Direction::kHigherIsBetter);
         }
     }
     std::printf("\nshape check: the aggressive low-bit entries out-run SkyNet in raw FPS\n"

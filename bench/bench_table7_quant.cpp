@@ -8,7 +8,7 @@
 // the shape to reproduce is a monotone ordering in (FM bits, W bits) with
 // FM bits mattering more, and scheme 1 being the accuracy/score sweet spot
 // the paper deploys.
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "data/synth_detection.hpp"
 #include "quant/qmodel.hpp"
 #include "skynet/skynet_model.hpp"
@@ -54,8 +54,10 @@ int main(int argc, char** argv) {
                     s.fm_bits ? std::to_string(s.fm_bits).c_str() : "fp32",
                     s.weight_bits ? std::to_string(s.weight_bits).c_str() : "fp32",
                     paper_iou[s.id], paper_drop, iou, our_drop);
-        bench::record("table7.scheme" + std::to_string(s.id) + ".iou", iou);
-        bench::record("table7.scheme" + std::to_string(s.id) + ".drop_pct", our_drop);
+        bench::record("table7.scheme" + std::to_string(s.id) + ".iou", iou, "iou",
+                      bench::Direction::kHigherIsBetter);
+        bench::record("table7.scheme" + std::to_string(s.id) + ".drop_pct", our_drop,
+                      "pct", bench::Direction::kLowerIsBetter);
     }
     // Extended sweep: our reduced-scale substrate tolerates 8-9 bits (its
     // dynamic ranges are smaller than the full 160x320 model's), so the

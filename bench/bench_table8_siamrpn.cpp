@@ -12,7 +12,7 @@
 // FPS on this CPU, and model full-scale 1080Ti throughput (exemplar 127 /
 // search 255) with the calibrated GPU model.
 #include "backbones/registry.hpp"
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "hwsim/gpu_model.hpp"
 #include "skynet/skynet_model.hpp"
 #include "tracking/metrics.hpp"
@@ -115,9 +115,10 @@ int main(int argc, char** argv) {
                     choices[i].name, paper[i][0], paper[i][1], paper[i][2], paper[i][3],
                     results[i].ao, results[i].sr50, results[i].sr75, results[i].cpu_fps,
                     results[i].model_fps, results[i].full_params_m);
-        bench::record(std::string("table8.") + choices[i].name + ".ao", results[i].ao);
+        bench::record(std::string("table8.") + choices[i].name + ".ao", results[i].ao,
+                      "ao", bench::Direction::kHigherIsBetter);
         bench::record(std::string("table8.") + choices[i].name + ".model_fps",
-                      results[i].model_fps);
+                      results[i].model_fps, "fps", bench::Direction::kHigherIsBetter);
     }
     std::printf("\nSkyNet vs ResNet-50: %.2fx faster (1080Ti model; paper 1.60x), "
                 "%.1fx fewer backbone parameters (paper 37.20x)\n",
@@ -129,6 +130,7 @@ int main(int argc, char** argv) {
                 "smaller scales its AO reflects an under-trained backbone.  On the\n"
                 "synthetic task the shallow AlexNet over-performs its paper position.\n");
     bench::record("table8.speedup_vs_resnet50",
-                  results[2].model_fps / results[1].model_fps);
+                  results[2].model_fps / results[1].model_fps, "x",
+                  bench::Direction::kHigherIsBetter);
     return bench::finish(argc, argv);
 }

@@ -7,7 +7,7 @@
 // box comes from the thresholded mask at the best response location, which
 // is what lets SiamMask edge out SiamRPN++).
 #include "backbones/registry.hpp"
-#include "bench_common.hpp"
+#include "bench/harness.hpp"
 #include "hwsim/gpu_model.hpp"
 #include "skynet/skynet_model.hpp"
 #include "tracking/metrics.hpp"
@@ -84,12 +84,15 @@ int main(int argc, char** argv) {
         std::printf("%-10s | %6.3f %7.3f %7.3f %8.2f | %6.3f %7.3f %7.3f %8.1f %8.1f\n",
                     r.name, r.paper[0], r.paper[1], r.paper[2], r.paper[3], ev.metrics.ao,
                     ev.metrics.sr50, ev.metrics.sr75, ev.wall_fps, model_fps[i]);
-        bench::record(std::string("table9.") + r.name + ".ao", ev.metrics.ao);
-        bench::record(std::string("table9.") + r.name + ".model_fps", model_fps[i]);
+        bench::record(std::string("table9.") + r.name + ".ao", ev.metrics.ao, "ao",
+                      bench::Direction::kHigherIsBetter);
+        bench::record(std::string("table9.") + r.name + ".model_fps", model_fps[i], "fps",
+                      bench::Direction::kHigherIsBetter);
     }
     std::printf("\nSkyNet vs ResNet-50 speedup: %.2fx (paper: 1.73x)\n",
                 model_fps[1] / model_fps[0]);
-    bench::record("table9.speedup_vs_resnet50", model_fps[1] / model_fps[0]);
+    bench::record("table9.speedup_vs_resnet50", model_fps[1] / model_fps[0], "x",
+                  bench::Direction::kHigherIsBetter);
     std::printf("expected shapes: SkyNet tracks as well or better than ResNet-50 while\n"
                 "being much faster — the paper's Table 9 story.  ResNet-50 needs\n"
                 "SKYNET_BENCH_SCALE >= 1 to converge.  (Whether the mask branch beats\n"

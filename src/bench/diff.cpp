@@ -1,0 +1,243 @@
+#include "bench/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sky::bench {
+namespace {
+
+// MAD -> sigma for a Gaussian; the usual consistency constant.
+constexpr double kMadToSigma = 1.4826;
+
+struct ParsedMetric {
+    std::string name;
+    std::string unit;
+    Direction direction = Direction::kInfo;
+    double median = 0.0;
+    double mad = 0.0;
+};
+
+std::vector<ParsedMetric> parse_metrics(const json::Value& doc) {
+    std::vector<ParsedMetric> out;
+    const json::Value* metrics = doc.get("metrics");
+    if (metrics == nullptr || !metrics->is_object()) return out;
+    for (const auto& [name, m] : metrics->object) {
+        if (!m.is_object()) continue;
+        ParsedMetric pm;
+        pm.name = name;
+        pm.unit = m.str_or("unit", "");
+        pm.direction = direction_from_string(m.str_or("direction", "info"));
+        pm.median = m.num_or("median", m.num_or("value", 0.0));
+        pm.mad = m.num_or("mad", 0.0);
+        out.push_back(std::move(pm));
+    }
+    return out;
+}
+
+const ParsedMetric* find(const std::vector<ParsedMetric>& metrics,
+                         const std::string& name) {
+    for (const ParsedMetric& m : metrics)
+        if (m.name == name) return &m;
+    return nullptr;
+}
+
+void note_fingerprint_drift(const json::Value& baseline, const json::Value& candidate,
+                            std::vector<std::string>& notes) {
+    const json::Value* bf = baseline.get("fingerprint");
+    const json::Value* cf = candidate.get("fingerprint");
+    if (bf == nullptr || cf == nullptr || !bf->is_object() || !cf->is_object()) return;
+    for (const char* key : {"compiler", "flags", "build_type"}) {
+        const std::string b = bf->str_or(key, ""), c = cf->str_or(key, "");
+        if (b != c)
+            notes.push_back(std::string("fingerprint ") + key + " differs: baseline '" +
+                            b + "' vs candidate '" + c + "'");
+    }
+    for (const char* key : {"skynet_threads", "cpu_cores", "bench_scale"}) {
+        const double b = bf->num_or(key, 0.0), c = cf->num_or(key, 0.0);
+        if (b != c)
+            notes.push_back(std::string("fingerprint ") + key + " differs: baseline " +
+                            json::num(b) + " vs candidate " + json::num(c));
+    }
+}
+
+std::string format_delta(const MetricDelta& d) {
+    char buf[256];
+    const double pct =
+        d.base_median != 0.0 ? 100.0 * d.delta / std::fabs(d.base_median) : 0.0;
+    std::snprintf(buf, sizeof buf, "%s: %.6g -> %.6g %s (%+.1f%%, tol %.6g)",
+                  d.name.c_str(), d.base_median, d.cand_median, d.unit.c_str(), pct,
+                  d.tolerance);
+    return buf;
+}
+
+}  // namespace
+
+DiffReport diff_documents(const json::Value& baseline, const json::Value& candidate,
+                          const DiffOptions& opts) {
+    DiffReport report;
+
+    const std::string bs = baseline.str_or("schema", "");
+    const std::string cs = candidate.str_or("schema", "");
+    if (bs != kSchema)
+        report.notes.push_back("baseline schema is '" + bs + "', expected '" + kSchema +
+                               "'");
+    if (cs != kSchema)
+        report.notes.push_back("candidate schema is '" + cs + "', expected '" + kSchema +
+                               "'");
+    note_fingerprint_drift(baseline, candidate, report.notes);
+
+    const std::vector<ParsedMetric> base = parse_metrics(baseline);
+    const std::vector<ParsedMetric> cand = parse_metrics(candidate);
+
+    for (const ParsedMetric& b : base) {
+        MetricDelta d;
+        d.name = b.name;
+        d.unit = b.unit;
+        d.direction = b.direction;
+        d.base_median = b.median;
+        d.base_mad = b.mad;
+
+        const ParsedMetric* c = find(cand, b.name);
+        if (c == nullptr) {
+            d.kind = DeltaKind::kMissing;
+            if (b.direction != Direction::kInfo && !opts.allow_missing)
+                report.fail = true;
+            report.deltas.push_back(std::move(d));
+            continue;
+        }
+        if (c->unit != b.unit) {
+            d.kind = DeltaKind::kIncomparable;
+            d.unit = b.unit + "|" + c->unit;
+            if (b.direction != Direction::kInfo && !opts.allow_missing)
+                report.fail = true;
+            report.deltas.push_back(std::move(d));
+            continue;
+        }
+
+        d.cand_median = c->median;
+        d.cand_mad = c->mad;
+        d.delta = c->median - b.median;
+        const double noise = opts.mad_k * kMadToSigma * std::max(b.mad, c->mad);
+        d.tolerance =
+            std::max({opts.rel_tol * std::fabs(b.median), noise, opts.min_abs});
+        ++report.compared;
+
+        // Signed movement toward "worse": positive = regression direction.
+        double worse = 0.0;
+        if (b.direction == Direction::kLowerIsBetter) worse = d.delta;
+        if (b.direction == Direction::kHigherIsBetter) worse = -d.delta;
+
+        if (b.direction != Direction::kInfo && worse > d.tolerance) {
+            d.kind = DeltaKind::kRegressed;
+            ++report.regressions;
+            report.fail = true;
+        } else if (b.direction != Direction::kInfo && -worse > d.tolerance) {
+            d.kind = DeltaKind::kImproved;
+            ++report.improvements;
+        } else {
+            d.kind = DeltaKind::kUnchanged;
+        }
+        report.deltas.push_back(std::move(d));
+    }
+
+    for (const ParsedMetric& c : cand) {
+        if (find(base, c.name) != nullptr) continue;
+        MetricDelta d;
+        d.name = c.name;
+        d.unit = c.unit;
+        d.direction = c.direction;
+        d.cand_median = c.median;
+        d.cand_mad = c.mad;
+        d.kind = DeltaKind::kNew;
+        report.deltas.push_back(std::move(d));
+    }
+
+    return report;
+}
+
+std::string render_text(const DiffReport& report) {
+    std::ostringstream os;
+    for (const std::string& note : report.notes) os << "note: " << note << "\n";
+    for (const MetricDelta& d : report.deltas) {
+        switch (d.kind) {
+            case DeltaKind::kRegressed:
+                os << "REGRESSION  " << format_delta(d) << "\n";
+                break;
+            case DeltaKind::kImproved:
+                os << "improved    " << format_delta(d) << "\n";
+                break;
+            case DeltaKind::kMissing:
+                os << (d.direction != Direction::kInfo ? "MISSING     " : "missing     ")
+                   << d.name << " (present in baseline only)\n";
+                break;
+            case DeltaKind::kNew:
+                os << "new         " << d.name << " = " << json::num(d.cand_median)
+                   << " " << d.unit << "\n";
+                break;
+            case DeltaKind::kIncomparable:
+                os << "UNIT DRIFT  " << d.name << " (" << d.unit << ")\n";
+                break;
+            case DeltaKind::kUnchanged:
+                os << "ok          " << format_delta(d) << "\n";
+                break;
+        }
+    }
+    os << "benchdiff: " << report.compared << " compared, " << report.regressions
+       << " regression(s), " << report.improvements << " improvement(s) -> "
+       << (report.fail ? "FAIL" : "PASS") << "\n";
+    return os.str();
+}
+
+std::string render_json(const DiffReport& report) {
+    std::ostringstream os;
+    os << "{\n  \"fail\": " << (report.fail ? "true" : "false");
+    os << ",\n  \"compared\": " << report.compared;
+    os << ",\n  \"regressions\": " << report.regressions;
+    os << ",\n  \"improvements\": " << report.improvements;
+    os << ",\n  \"notes\": [";
+    for (std::size_t i = 0; i < report.notes.size(); ++i)
+        os << (i ? ", " : "") << "\"" << json::escape(report.notes[i]) << "\"";
+    os << "],\n  \"deltas\": [";
+    bool first = true;
+    for (const MetricDelta& d : report.deltas) {
+        const char* kind = "unchanged";
+        switch (d.kind) {
+            case DeltaKind::kImproved: kind = "improved"; break;
+            case DeltaKind::kRegressed: kind = "regressed"; break;
+            case DeltaKind::kMissing: kind = "missing"; break;
+            case DeltaKind::kNew: kind = "new"; break;
+            case DeltaKind::kIncomparable: kind = "incomparable"; break;
+            case DeltaKind::kUnchanged: break;
+        }
+        os << (first ? "" : ",") << "\n    {\"name\": \"" << json::escape(d.name)
+           << "\", \"kind\": \"" << kind << "\", \"unit\": \"" << json::escape(d.unit)
+           << "\", \"direction\": \"" << to_string(d.direction)
+           << "\", \"base\": " << json::num(d.base_median)
+           << ", \"candidate\": " << json::num(d.cand_median)
+           << ", \"delta\": " << json::num(d.delta)
+           << ", \"tolerance\": " << json::num(d.tolerance) << "}";
+        first = false;
+    }
+    os << (report.deltas.empty() ? "" : "\n  ") << "]\n}\n";
+    return os.str();
+}
+
+std::string render_github(const DiffReport& report, const std::string& baseline_path) {
+    std::ostringstream os;
+    for (const MetricDelta& d : report.deltas) {
+        if (d.kind == DeltaKind::kRegressed)
+            os << baseline_path << ":1: [benchdiff] regression: " << format_delta(d)
+               << "\n";
+        else if (d.kind == DeltaKind::kMissing && d.direction != Direction::kInfo)
+            os << baseline_path << ":1: [benchdiff] gated metric '" << d.name
+               << "' missing from candidate\n";
+        else if (d.kind == DeltaKind::kIncomparable)
+            os << baseline_path << ":1: [benchdiff] unit drift on '" << d.name << "' ("
+               << d.unit << ")\n";
+    }
+    return os.str();
+}
+
+}  // namespace sky::bench

@@ -1,0 +1,81 @@
+// Noise-aware comparison of two BENCH documents (the benchdiff core).
+//
+// For every metric present in both documents the gate computes a tolerance
+//
+//   tol = max(rel_tol * |baseline.median|,
+//             mad_k * 1.4826 * max(baseline.mad, candidate.mad),
+//             min_abs)
+//
+// (1.4826 scales a MAD to a Gaussian sigma) and flags a regression only when
+// the candidate median moved beyond tol in the metric's *worse* direction —
+// up for lower_is_better, down for higher_is_better.  Improvements never
+// fail, whatever their size; "info" metrics are reported but never gate.
+// A gated metric that disappears from the candidate is a failure by default
+// (a deleted headline number must be a conscious decision), downgradable
+// with allow_missing.  Fingerprint fields that differ between the two
+// documents are surfaced as notes, so a cross-machine or cross-flags
+// comparison is visibly one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/json.hpp"
+#include "bench/report.hpp"
+
+namespace sky::bench {
+
+struct DiffOptions {
+    double rel_tol = 0.10;  ///< relative tolerance on the baseline median
+    double mad_k = 4.0;     ///< noise gate width in MAD-derived sigmas
+    double min_abs = 1e-9;  ///< absolute floor (exact-zero baselines)
+    bool allow_missing = false;  ///< gated baseline metric absent from candidate
+};
+
+enum class DeltaKind {
+    kUnchanged,     ///< within tolerance
+    kImproved,      ///< beyond tolerance in the better direction (never fails)
+    kRegressed,     ///< beyond tolerance in the worse direction
+    kMissing,       ///< in baseline only
+    kNew,           ///< in candidate only (informational)
+    kIncomparable,  ///< unit mismatch between the documents
+};
+
+struct MetricDelta {
+    std::string name;
+    std::string unit;
+    Direction direction = Direction::kInfo;
+    double base_median = 0.0;
+    double cand_median = 0.0;
+    double base_mad = 0.0;
+    double cand_mad = 0.0;
+    double delta = 0.0;      ///< cand - base
+    double tolerance = 0.0;  ///< the gate width applied
+    DeltaKind kind = DeltaKind::kUnchanged;
+};
+
+struct DiffReport {
+    std::vector<MetricDelta> deltas;  ///< baseline order, then candidate-only
+    std::vector<std::string> notes;   ///< fingerprint drift, schema remarks
+    int compared = 0;
+    int regressions = 0;
+    int improvements = 0;
+    bool fail = false;  ///< regression (or disallowed missing metric) found
+};
+
+/// Compare two parsed BENCH documents.  Schema mismatches are recorded as
+/// notes and the comparison proceeds on a best-effort basis.
+[[nodiscard]] DiffReport diff_documents(const json::Value& baseline,
+                                        const json::Value& candidate,
+                                        const DiffOptions& opts = {});
+
+/// Human-readable table + summary line.
+[[nodiscard]] std::string render_text(const DiffReport& report);
+/// Machine-readable JSON ({"fail": ..., "deltas": [...], "notes": [...]}).
+[[nodiscard]] std::string render_json(const DiffReport& report);
+/// One `path:1: [benchdiff] message` line per finding, for the GitHub
+/// problem matcher (.github/problem-matchers/benchdiff.json).
+[[nodiscard]] std::string render_github(const DiffReport& report,
+                                        const std::string& baseline_path);
+
+}  // namespace sky::bench

@@ -1,0 +1,112 @@
+#include "bench/harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sky::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_once_ms(const std::function<void()>& fn) {
+    const auto t0 = Clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// argv[0] without its directory part — the document's "bench" name.
+std::string bench_name(const char* argv0) {
+    std::string name = argv0 != nullptr ? argv0 : "";
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    return name.empty() ? "bench" : name;
+}
+
+}  // namespace
+
+int steps(int base) {
+    if (const char* env = std::getenv("SKYNET_BENCH_SCALE")) {
+        const double scale = std::atof(env);
+        if (scale > 0.0)
+            return std::max(1, static_cast<int>(std::lround(base * scale)));
+    }
+    return std::max(1, base);
+}
+
+void rule(char c, int n) {
+    for (int i = 0; i < n; ++i) std::putchar(c);
+    std::putchar('\n');
+}
+
+Report& report() {
+    static Report instance;
+    return instance;
+}
+
+void record(const std::string& name, double value, const std::string& unit,
+            Direction direction) {
+    report().record(name, value, unit, direction);
+}
+
+void record(const std::string& name, const RepeatStats& stats, const std::string& unit,
+            Direction direction) {
+    report().record(name, stats, unit, direction);
+}
+
+RepeatStats run_timed(const std::function<void()>& fn, const RunOptions& opts) {
+    // Calibrated warmup: keep running until two consecutive timings agree
+    // within warmup_tolerance (caches faulted in, frequency settled), bounded
+    // by [min_warmup, max_warmup] runs.
+    const int min_warmup = std::max(0, opts.min_warmup);
+    const int max_warmup = std::max(min_warmup, opts.max_warmup);
+    double prev = -1.0;
+    for (int w = 0; w < max_warmup; ++w) {
+        const double t = time_once_ms(fn);
+        if (w + 1 >= min_warmup && prev > 0.0 && t > 0.0) {
+            const double hi = std::max(prev, t), lo = std::min(prev, t);
+            if ((hi - lo) / hi <= opts.warmup_tolerance) break;
+        }
+        prev = t;
+    }
+
+    const int repeats = std::max(1, opts.repeats);
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(repeats));
+    for (int r = 0; r < repeats; ++r) samples.push_back(time_once_ms(fn));
+    return RepeatStats::from_samples(std::move(samples));
+}
+
+RepeatStats run(const std::string& name, const std::string& unit, Direction direction,
+                const std::function<void()>& fn, const RunOptions& opts) {
+    RepeatStats stats = run_timed(fn, opts);
+    report().record(name, stats, unit, direction);
+    return stats;
+}
+
+void merge_registry(const obs::Registry& registry, const std::string& prefix) {
+    report().merge_registry(registry, prefix);
+}
+
+int finish(int argc, char** argv) {
+    if (report().name().empty() && argc > 0) report().set_name(bench_name(argv[0]));
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--json") continue;
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: --json requires a path argument\n",
+                         bench_name(argc > 0 ? argv[0] : nullptr).c_str());
+            return 2;
+        }
+        const char* path = argv[++i];
+        if (!report().save_json(path, local_fingerprint())) {
+            std::fprintf(stderr, "failed to write bench report to %s\n", path);
+            return 1;
+        }
+        std::printf("wrote bench report to %s\n", path);
+    }
+    return 0;
+}
+
+}  // namespace sky::bench

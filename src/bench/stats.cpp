@@ -1,0 +1,44 @@
+#include "bench/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sky::bench {
+
+double median(std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+    double m = v[mid];
+    if (v.size() % 2 == 0) {
+        // Even size: average with the largest element of the lower half.
+        const double lower =
+            *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+        m = 0.5 * (m + lower);
+    }
+    return m;
+}
+
+RepeatStats RepeatStats::from_samples(std::vector<double> samples) {
+    RepeatStats s;
+    if (samples.empty()) return s;
+    s.median = bench::median(samples);
+    std::vector<double> dev;
+    dev.reserve(samples.size());
+    for (const double x : samples) dev.push_back(std::fabs(x - s.median));
+    s.mad = bench::median(std::move(dev));
+    const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+    s.min = *lo;
+    s.max = *hi;
+    s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+             static_cast<double>(samples.size());
+    s.samples = std::move(samples);
+    return s;
+}
+
+RepeatStats RepeatStats::from_value(double value) {
+    return from_samples({value});
+}
+
+}  // namespace sky::bench

@@ -28,6 +28,20 @@ std::string escape(const std::string& s) {
     return out;
 }
 
+// RFC 4180 CSV field: quoted (with doubled inner quotes) whenever the name
+// contains a comma, quote or line break, so a metric named `a,b` cannot
+// corrupt the row structure.
+std::string csv_field(const std::string& s) {
+    if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
 }  // namespace
 
 double HistogramSnapshot::percentile(double q) const {
@@ -155,11 +169,13 @@ std::string Registry::to_csv() const {
     const RegistrySnapshot snap = snapshot();
     std::ostringstream os;
     os << "type,name,value,count,sum,min,max\n";
-    for (const auto& [name, v] : snap.counters) os << "counter," << name << "," << v << ",,,,\n";
-    for (const auto& [name, v] : snap.gauges) os << "gauge," << name << "," << v << ",,,,\n";
+    for (const auto& [name, v] : snap.counters)
+        os << "counter," << csv_field(name) << "," << v << ",,,,\n";
+    for (const auto& [name, v] : snap.gauges)
+        os << "gauge," << csv_field(name) << "," << v << ",,,,\n";
     for (const auto& [name, h] : snap.histograms)
-        os << "histogram," << name << ",," << h.count << "," << h.sum << "," << h.min << ","
-           << h.max << "\n";
+        os << "histogram," << csv_field(name) << ",," << h.count << "," << h.sum << ","
+           << h.min << "," << h.max << "\n";
     return os.str();
 }
 

@@ -70,7 +70,8 @@ public:
     /// name; non-finite values are emitted as null so the document always
     /// parses.
     [[nodiscard]] std::string to_json() const;
-    /// One line per metric: type,name,value,count,sum,min,max.
+    /// One line per metric: type,name,value,count,sum,min,max.  Names
+    /// containing commas/quotes/newlines are quoted per RFC 4180.
     [[nodiscard]] std::string to_csv() const;
     bool save_json(const std::string& path) const;
 

@@ -5,7 +5,9 @@
 // the trainer/search integration points.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
+#include <sstream>
 #include <thread>
 
 #include "backbones/backbone.hpp"
@@ -202,6 +204,58 @@ TEST(Registry, CsvHasOneLinePerMetric) {
     EXPECT_NE(csv.find("gauge,b,2"), std::string::npos);
     EXPECT_NE(csv.find("histogram,c,,1,"), std::string::npos);
     EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 4);  // header+3
+}
+
+TEST(Registry, CsvQuotesNamesPerRfc4180) {
+    Registry r;
+    r.set("plain.name", 1.0);
+    r.set("with,comma", 2.0);
+    r.set("with\"quote", 3.0);
+    r.add("multi\nline");
+    const std::string csv = r.to_csv();
+    // Unremarkable names stay bare; names with separators are quoted with
+    // doubled inner quotes, so every row still has exactly 6 commas.
+    EXPECT_NE(csv.find("gauge,plain.name,1"), std::string::npos);
+    EXPECT_NE(csv.find("gauge,\"with,comma\",2"), std::string::npos);
+    EXPECT_NE(csv.find("gauge,\"with\"\"quote\",3"), std::string::npos);
+    EXPECT_NE(csv.find("counter,\"multi\nline\",1"), std::string::npos);
+    std::istringstream rows(csv);
+    std::string row;
+    std::getline(rows, row);  // header
+    EXPECT_EQ(static_cast<int>(std::count(row.begin(), row.end(), ',')), 6);
+}
+
+TEST(HistogramPercentile, EmptyHistogramIsZero) {
+    const HistogramSnapshot empty;
+    EXPECT_EQ(empty.percentile(0.0), 0.0);
+    EXPECT_EQ(empty.percentile(0.5), 0.0);
+    EXPECT_EQ(empty.percentile(1.0), 0.0);
+}
+
+TEST(HistogramPercentile, SingleObservationReturnsThatValue) {
+    Registry r;
+    r.observe("h", 7.5);
+    const HistogramSnapshot h = r.histogram("h");
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 7.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.5);
+}
+
+TEST(HistogramPercentile, OutOfRangeQuantilesClampToObservedMinMax) {
+    Registry r;
+    for (const double v : {1.0, 2.0, 3.0, 50.0, 900.0}) r.observe("h", v);
+    const HistogramSnapshot h = r.histogram("h");
+    // q outside [0,1] clamps, and q=0 / q=1 never escape the observed range.
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(1.5), h.percentile(1.0));
+    EXPECT_GE(h.percentile(0.0), 1.0);
+    EXPECT_LE(h.percentile(1.0), 900.0);
+    for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        EXPECT_GE(h.percentile(q), h.min) << q;
+        EXPECT_LE(h.percentile(q), h.max) << q;
+    }
+    // Monotone in q.
+    EXPECT_LE(h.percentile(0.25), h.percentile(0.75));
 }
 
 TEST(Registry, ClearEmptiesEverything) {

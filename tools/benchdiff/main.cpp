@@ -1,0 +1,88 @@
+// benchdiff — compare two BENCH_*.json documents with a noise-aware gate.
+//
+//   benchdiff [options] <baseline.json> <candidate.json>
+//
+//   --rel-tol <f>     relative tolerance on the baseline median (default 0.10)
+//   --mad-k <f>       noise gate width in MAD-derived sigmas (default 4.0)
+//   --allow-missing   gated baseline metrics absent from the candidate warn
+//                     instead of failing
+//   --json            machine-readable output instead of the text table
+//   --github          emit `path:line: [benchdiff] ...` lines for the GitHub
+//                     problem matcher (in addition to the text summary)
+//
+// Exit codes: 0 no regression, 1 regression beyond threshold, 2 usage or
+// parse error.  The comparison core lives in src/bench/diff.{hpp,cpp} so
+// tests/test_bench.cpp unit-tests the threshold logic without spawning this
+// binary; see docs/OBSERVABILITY.md for the gate's definition.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/diff.hpp"
+#include "bench/json.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--rel-tol <f>] [--mad-k <f>] [--allow-missing] "
+                 "[--json] [--github] <baseline.json> <candidate.json>\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace sky::bench;
+
+    DiffOptions opts;
+    bool as_json = false, as_github = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--rel-tol" || arg == "--mad-k") {
+            if (i + 1 >= argc) return usage(argv[0]);
+            const double v = std::atof(argv[++i]);
+            if (v <= 0.0) {
+                std::fprintf(stderr, "%s: %s needs a positive number\n", argv[0],
+                             arg.c_str());
+                return 2;
+            }
+            (arg == "--rel-tol" ? opts.rel_tol : opts.mad_k) = v;
+        } else if (arg == "--allow-missing") {
+            opts.allow_missing = true;
+        } else if (arg == "--json") {
+            as_json = true;
+        } else if (arg == "--github") {
+            as_github = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2) return usage(argv[0]);
+
+    json::Value baseline, candidate;
+    std::string err;
+    if (!json::parse_file(paths[0], baseline, err)) {
+        std::fprintf(stderr, "%s: %s: %s\n", argv[0], paths[0].c_str(), err.c_str());
+        return 2;
+    }
+    if (!json::parse_file(paths[1], candidate, err)) {
+        std::fprintf(stderr, "%s: %s: %s\n", argv[0], paths[1].c_str(), err.c_str());
+        return 2;
+    }
+
+    const DiffReport report = diff_documents(baseline, candidate, opts);
+    if (as_json) {
+        std::fputs(render_json(report).c_str(), stdout);
+    } else {
+        std::fputs(render_text(report).c_str(), stdout);
+        if (as_github) std::fputs(render_github(report, paths[0]).c_str(), stdout);
+    }
+    return report.fail ? 1 : 0;
+}

@@ -2,114 +2,193 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
+#include "core/gemm_ukernel.hpp"
+#include "core/simd.hpp"
 #include "core/thread_pool.hpp"
 
 namespace sky::core {
 namespace {
 
-// Row-parallel grain: a chunk below this many rows is not worth dispatching.
-constexpr std::int64_t kRowGrain = 4;
+// Baseline-ISA vector width: SSE2 on x86-64, NEON on aarch64.  The scalar
+// instantiation is the reference semantics and the SKYNET_SIMD=0 fallback.
+typedef float vf4 __attribute__((vector_size(16), aligned(4)));
+
+const detail::GemmKernel& scalar_kernel() {
+    static const detail::GemmKernel k{4, 4, &detail::ukernel<float, 4, 4>, "scalar"};
+    return k;
+}
+
+const detail::GemmKernel& generic_kernel() {
+    static const detail::GemmKernel k{6, 8, &detail::ukernel<vf4, 6, 2>, "generic"};
+    return k;
+}
+
+const detail::GemmKernel& active_kernel() {
+    switch (active_simd_level()) {
+        case SimdLevel::kScalar: return scalar_kernel();
+        case SimdLevel::kGeneric: return generic_kernel();
+        case SimdLevel::kAvx2:
+#if defined(SKYNET_SIMD_AVX2)
+            return detail::avx2_kernel();
+#else
+            return generic_kernel();
+#endif
+    }
+    return generic_kernel();
+}
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+    return (a + b - 1) / b;
+}
+
+}  // namespace
+
+int gemm_mr() { return active_kernel().mr; }
+int gemm_nr() { return active_kernel().nr; }
+const char* gemm_kernel_name() { return active_kernel().name; }
+
+void pack_a(int M, int K, const float* A, bool trans, PackedA& out) {
+    const int mr = active_kernel().mr;
+    out.M = M;
+    out.K = K;
+    out.mr = mr;
+    if (M <= 0 || K <= 0) {
+        out.data.clear();
+        return;
+    }
+    const std::int64_t mp = ceil_div(M, mr);
+    out.data.assign(static_cast<std::size_t>(mp * mr * K), 0.0f);
+    float* dst = out.data.data();
+    for (std::int64_t p = 0; p < mp; ++p) {
+        const int rows = static_cast<int>(std::min<std::int64_t>(mr, M - p * mr));
+        float* panel = dst + p * mr * K;
+        for (int k = 0; k < K; ++k) {
+            float* col = panel + static_cast<std::int64_t>(k) * mr;
+            for (int m = 0; m < rows; ++m)
+                col[m] = trans ? A[static_cast<std::int64_t>(k) * M + p * mr + m]
+                               : A[(p * mr + m) * static_cast<std::int64_t>(K) + k];
+        }
+    }
+}
+
+void pack_b(int K, int N, const float* B, bool trans, PackedB& out) {
+    const int nr = active_kernel().nr;
+    out.K = K;
+    out.N = N;
+    out.nr = nr;
+    if (K <= 0 || N <= 0) {
+        out.data.clear();
+        return;
+    }
+    const std::int64_t np = ceil_div(N, nr);
+    out.data.assign(static_cast<std::size_t>(np * nr * K), 0.0f);
+    float* dst = out.data.data();
+    for (std::int64_t q = 0; q < np; ++q) {
+        const int cols = static_cast<int>(std::min<std::int64_t>(nr, N - q * nr));
+        float* panel = dst + q * nr * K;
+        if (!trans) {
+            for (int k = 0; k < K; ++k) {
+                const float* src = B + static_cast<std::int64_t>(k) * N + q * nr;
+                float* row = panel + static_cast<std::int64_t>(k) * nr;
+                for (int j = 0; j < cols; ++j) row[j] = src[j];
+            }
+        } else {
+            for (int j = 0; j < cols; ++j) {
+                const float* src = B + (q * nr + j) * static_cast<std::int64_t>(K);
+                for (int k = 0; k < K; ++k)
+                    panel[static_cast<std::int64_t>(k) * nr + j] = src[k];
+            }
+        }
+    }
+}
+
+void sgemm_packed(const PackedA& A, const PackedB& B, float* C) {
+    const detail::GemmKernel kern = active_kernel();
+    const int M = A.M, N = B.N, K = A.K;
+    if (M <= 0 || N <= 0 || K <= 0) return;
+    if (A.mr != kern.mr || B.nr != kern.nr)
+        throw std::logic_error(
+            "sgemm_packed: operands were packed for a different micro-kernel tile "
+            "(repack after set_simd_level)");
+    if (A.K != B.K) throw std::invalid_argument("sgemm_packed: K mismatch");
+    const int mr = kern.mr, nr = kern.nr;
+    const std::int64_t mp = ceil_div(M, mr), np = ceil_div(N, nr);
+    const float* ap = A.data.data();
+    const float* bp = B.data.data();
+    const std::int64_t apanel = static_cast<std::int64_t>(mr) * K;
+    const std::int64_t bpanel = static_cast<std::int64_t>(nr) * K;
+    // Every register tile of C is produced by exactly one micro-kernel call
+    // inside one chunk, so either split is bitwise thread-count invariant;
+    // parallelise the longer panel axis.  Column-panel major order keeps one
+    // B panel hot while all of A (usually L2-resident) streams past it.
+    if (np >= mp) {
+        parallel_for(0, np, 1, [=](std::int64_t q0, std::int64_t q1) {
+            for (std::int64_t q = q0; q < q1; ++q) {
+                const int nv =
+                    static_cast<int>(std::min<std::int64_t>(nr, N - q * nr));
+                for (std::int64_t p = 0; p < mp; ++p) {
+                    const int mv =
+                        static_cast<int>(std::min<std::int64_t>(mr, M - p * mr));
+                    kern.fn(K, ap + p * apanel, bp + q * bpanel,
+                            C + p * mr * static_cast<std::int64_t>(N) + q * nr, N, mv,
+                            nv);
+                }
+            }
+        });
+    } else {
+        parallel_for(0, mp, 1, [=](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+                const int mv =
+                    static_cast<int>(std::min<std::int64_t>(mr, M - p * mr));
+                for (std::int64_t q = 0; q < np; ++q) {
+                    const int nv =
+                        static_cast<int>(std::min<std::int64_t>(nr, N - q * nr));
+                    kern.fn(K, ap + p * apanel, bp + q * bpanel,
+                            C + p * mr * static_cast<std::int64_t>(N) + q * nr, N, mv,
+                            nv);
+                }
+            }
+        });
+    }
+}
+
+namespace {
+
+// Per-call packing scratch for the pointer-interface wrappers.  Thread-local
+// so concurrent callers (and pool workers running nested kernels) never
+// share panels; capacity is reused across calls.
+thread_local PackedA tls_pa;
+thread_local PackedB tls_pb;
+
+void sgemm_wrapped(int M, int N, int K, const float* A, bool a_trans, const float* B,
+                   bool b_trans, float* C) {
+    if (M <= 0 || N <= 0 || K <= 0) return;
+    pack_a(M, K, A, a_trans, tls_pa);
+    pack_b(K, N, B, b_trans, tls_pb);
+    sgemm_packed(tls_pa, tls_pb, C);
+}
 
 }  // namespace
 
 void sgemm_nn(int M, int N, int K, const float* A, const float* B, float* C) {
-    parallel_for(0, M, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
-        std::int64_t i = r0;
-        for (; i + 4 <= r1; i += 4) {
-            const float* a0 = A + i * K;
-            const float* a1 = a0 + K;
-            const float* a2 = a1 + K;
-            const float* a3 = a2 + K;
-            float* c0 = C + i * N;
-            float* c1 = c0 + N;
-            float* c2 = c1 + N;
-            float* c3 = c2 + N;
-            for (int k = 0; k < K; ++k) {
-                const float* b = B + static_cast<std::int64_t>(k) * N;
-                const float v0 = a0[k], v1 = a1[k], v2 = a2[k], v3 = a3[k];
-                for (int j = 0; j < N; ++j) {
-                    const float bj = b[j];
-                    c0[j] += v0 * bj;
-                    c1[j] += v1 * bj;
-                    c2[j] += v2 * bj;
-                    c3[j] += v3 * bj;
-                }
-            }
-        }
-        for (; i < r1; ++i) {
-            const float* a = A + i * K;
-            float* c = C + i * N;
-            for (int k = 0; k < K; ++k) {
-                const float* b = B + static_cast<std::int64_t>(k) * N;
-                const float v = a[k];
-                for (int j = 0; j < N; ++j) c[j] += v * b[j];
-            }
-        }
-    });
+    sgemm_wrapped(M, N, K, A, false, B, false, C);
 }
 
 void sgemm_tn(int M, int N, int K, const float* A, const float* B, float* C) {
-    parallel_for(0, M, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
-        std::int64_t i = r0;
-        for (; i + 4 <= r1; i += 4) {
-            float* c0 = C + i * N;
-            float* c1 = c0 + N;
-            float* c2 = c1 + N;
-            float* c3 = c2 + N;
-            for (int k = 0; k < K; ++k) {
-                const float* arow = A + static_cast<std::int64_t>(k) * M + i;
-                const float* b = B + static_cast<std::int64_t>(k) * N;
-                const float v0 = arow[0], v1 = arow[1], v2 = arow[2], v3 = arow[3];
-                for (int j = 0; j < N; ++j) {
-                    const float bj = b[j];
-                    c0[j] += v0 * bj;
-                    c1[j] += v1 * bj;
-                    c2[j] += v2 * bj;
-                    c3[j] += v3 * bj;
-                }
-            }
-        }
-        for (; i < r1; ++i) {
-            float* c = C + i * N;
-            for (int k = 0; k < K; ++k) {
-                const float v = A[static_cast<std::int64_t>(k) * M + i];
-                const float* b = B + static_cast<std::int64_t>(k) * N;
-                for (int j = 0; j < N; ++j) c[j] += v * b[j];
-            }
-        }
-    });
+    sgemm_wrapped(M, N, K, A, true, B, false, C);
 }
 
 void sgemm_nt(int M, int N, int K, const float* A, const float* B, float* C) {
-    parallel_for(0, M, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
-        for (std::int64_t i = r0; i < r1; ++i) {
-            const float* a = A + i * K;
-            float* c = C + i * N;
-            for (int j = 0; j < N; ++j) {
-                const float* b = B + static_cast<std::int64_t>(j) * K;
-                // Four independent partial sums for ILP; the combination
-                // order is fixed, so the result is reproducible.
-                float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-                int k = 0;
-                for (; k + 4 <= K; k += 4) {
-                    s0 += a[k] * b[k];
-                    s1 += a[k + 1] * b[k + 1];
-                    s2 += a[k + 2] * b[k + 2];
-                    s3 += a[k + 3] * b[k + 3];
-                }
-                for (; k < K; ++k) s0 += a[k] * b[k];
-                c[j] += (s0 + s1) + (s2 + s3);
-            }
-        }
-    });
+    sgemm_wrapped(M, N, K, A, false, B, true, C);
 }
 
 void im2col(const float* img, int C, int H, int W, int k, int stride, int pad, int OH,
             int OW, float* col) {
     const std::int64_t rows = static_cast<std::int64_t>(C) * k * k;
     const std::int64_t ocols = static_cast<std::int64_t>(OH) * OW;
-    parallel_for(0, rows, kRowGrain, [=](std::int64_t r0, std::int64_t r1) {
+    parallel_for(0, rows, 4, [=](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
             const int ic = static_cast<int>(r / (k * k));
             const int kh = static_cast<int>(r / k) % k;
@@ -140,6 +219,59 @@ void im2col(const float* img, int C, int H, int W, int k, int stride, int pad, i
                     }
                 }
             }
+        }
+    });
+}
+
+void im2col_packed(const float* img, int C, int H, int W, int k, int stride, int pad,
+                   int OH, int OW, PackedB& out) {
+    const int nr = active_kernel().nr;
+    const std::int64_t rows = static_cast<std::int64_t>(C) * k * k;  // GEMM K
+    const std::int64_t ocols = static_cast<std::int64_t>(OH) * OW;  // GEMM N
+    out.K = static_cast<int>(rows);
+    out.N = static_cast<int>(ocols);
+    out.nr = nr;
+    if (rows <= 0 || ocols <= 0) {
+        out.data.clear();
+        return;
+    }
+    const std::int64_t np = ceil_div(ocols, nr);
+    out.data.resize(static_cast<std::size_t>(np * nr * rows));
+    float* data = out.data.data();
+    const std::int64_t panel_stride = static_cast<std::int64_t>(nr) * rows;
+    // Row r of the column matrix maps to the fixed lane r*nr of every panel,
+    // so rows are written by exactly one chunk — same disjointness (and
+    // therefore thread-count invariance) as im2col.
+    parallel_for(0, rows, 4, [=](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const int ic = static_cast<int>(r / (k * k));
+            const int kh = static_cast<int>(r / k) % k;
+            const int kw = static_cast<int>(r % k);
+            const float* plane = img + static_cast<std::int64_t>(ic) * H * W;
+            float* cur = data + r * nr;  // lane r of panel 0
+            int jj = 0;                  // lane offset within the current panel
+            const auto put = [&](float v) {
+                cur[jj] = v;
+                if (++jj == nr) {
+                    jj = 0;
+                    cur += panel_stride;
+                }
+            };
+            for (int oh = 0; oh < OH; ++oh) {
+                const int ih = oh * stride - pad + kh;
+                if (ih < 0 || ih >= H) {
+                    for (int ow = 0; ow < OW; ++ow) put(0.0f);
+                    continue;
+                }
+                const float* row = plane + static_cast<std::int64_t>(ih) * W;
+                const int iw0 = -pad + kw;
+                for (int ow = 0; ow < OW; ++ow) {
+                    const int iw = iw0 + ow * stride;
+                    put(iw >= 0 && iw < W ? row[iw] : 0.0f);
+                }
+            }
+            // Zero this row's lanes in the final partial panel.
+            for (std::int64_t j = ocols; j < np * nr; ++j) put(0.0f);
         }
     });
 }

@@ -1,21 +1,80 @@
-// Register-blocked single-precision GEMM kernels + im2col/col2im packing.
+// Packed SIMD single-precision GEMM engine + im2col/col2im lowering.
 //
-// These are the compute primitives behind Conv2d, PWConv1 and the other
-// sky::nn hot loops.  All matrices are dense row-major with no padding; the
-// (M, N, K) naming follows BLAS: C is M x N and K is the contraction length.
-// Each kernel parallelises over rows of C through the global ThreadPool —
-// every output element is produced by exactly one sequential accumulation
-// inside one chunk, so results are bitwise independent of the thread count.
+// These are the compute primitives behind Conv2d, PWConv1, Linear and the
+// other sky::nn hot loops.  All matrices are dense row-major with no
+// padding; the (M, N, K) naming follows BLAS: C is M x N and K is the
+// contraction length.
 //
-// The micro-kernels are axpy-style (broadcast A element, stream a B row into
-// a C row) blocked four rows at a time, which -O2 auto-vectorises without
-// needing -ffast-math; the dot-product variant (sgemm_nt) uses four
-// independent accumulators per output for ILP instead.
+// Execution model (docs/KERNELS.md has the full story):
+//
+//   pack_a / pack_b   copy the operands into register-tile panels (MR rows /
+//                     NR columns, k-major, zero-padded to full tiles) sized
+//                     for the active micro-kernel (core/simd.hpp),
+//   sgemm_packed      walks the C tile grid, one mr x nr register tile per
+//                     micro-kernel call, parallelised over whole tiles
+//                     through the global ThreadPool.
+//
+// Weights can be packed once ("prepacked") at model build / BN-fold time via
+// pack_a and reused across forwards — the nn layers thread a PackedA handle
+// through exactly that path.  The sgemm_nn/tn/nt wrappers keep the classic
+// pointer interface and pack both operands per call into thread-local
+// scratch.
+//
+// Determinism: every C element is one sequential k-accumulation inside one
+// micro-kernel call and every tile is written by exactly one parallel_for
+// chunk, so results are bitwise independent of the thread count.  Scalar vs
+// vector levels may differ by FMA contraction (tolerance-checked in
+// tests/test_simd.cpp); a fixed build at a fixed SimdLevel is bitwise
+// reproducible.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace sky::core {
+
+/// Register-tile geometry of the active micro-kernel (core/simd.hpp level).
+[[nodiscard]] int gemm_mr();
+[[nodiscard]] int gemm_nr();
+/// Name of the active micro-kernel ("scalar" / "generic" / "avx2").
+[[nodiscard]] const char* gemm_kernel_name();
+
+/// op(A) packed into MR-row panels: panel p holds rows [p*mr, p*mr + mr) as
+/// data[p*mr*K + k*mr + m], zero-padded past M.  `mr` records the tile
+/// height the panels were built for; consumers must repack if it no longer
+/// matches gemm_mr() (the nn layers fall back to per-call packing).
+struct PackedA {
+    int M = 0;
+    int K = 0;
+    int mr = 0;
+    std::vector<float> data;
+    [[nodiscard]] bool empty() const { return data.empty(); }
+    void clear() { *this = PackedA{}; }
+};
+
+/// op(B) packed into NR-column panels: panel q holds columns
+/// [q*nr, q*nr + nr) as data[q*nr*K + k*nr + j], zero-padded past N.
+struct PackedB {
+    int K = 0;
+    int N = 0;
+    int nr = 0;
+    std::vector<float> data;
+    [[nodiscard]] bool empty() const { return data.empty(); }
+    void clear() { *this = PackedB{}; }
+};
+
+/// Pack op(A) (M x K) for the active micro-kernel.  trans=false reads A as
+/// M x K row-major; trans=true reads the K x M storage of sgemm_tn.
+void pack_a(int M, int K, const float* A, bool trans, PackedA& out);
+
+/// Pack op(B) (K x N).  trans=false reads B as K x N row-major; trans=true
+/// reads the N x K storage of sgemm_nt.
+void pack_b(int K, int N, const float* B, bool trans, PackedB& out);
+
+/// C(M x N) += op(A) * op(B) over packed operands.  A.K must equal B.K and
+/// both packs must match the active tile geometry (std::logic_error
+/// otherwise); C is row-major with leading dimension N.
+void sgemm_packed(const PackedA& A, const PackedB& B, float* C);
 
 /// C(M x N) += A(M x K) * B(K x N).
 void sgemm_nn(int M, int N, int K, const float* A, const float* B, float* C);
@@ -31,6 +90,12 @@ void sgemm_nt(int M, int N, int K, const float* A, const float* B, float* C);
 /// corresponds to tap (ic, kh, kw) = (r / k^2, (r % k^2) / k, r % k).
 void im2col(const float* img, int C, int H, int W, int k, int stride, int pad, int OH,
             int OW, float* col);
+
+/// im2col straight into the PackedB panel layout — the conv forward hot path
+/// skips the intermediate column matrix entirely.  Equivalent to im2col()
+/// followed by pack_b() of the result.
+void im2col_packed(const float* img, int C, int H, int W, int k, int stride, int pad,
+                   int OH, int OW, PackedB& out);
 
 /// Scatter-accumulate a column matrix back into a CHW image gradient —
 /// the adjoint of im2col.  `img` is accumulated into, not overwritten.

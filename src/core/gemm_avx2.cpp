@@ -1,0 +1,23 @@
+// AVX2 + FMA instantiation of the GEMM micro-kernel.
+//
+// This translation unit is compiled with -mavx2 -mfma -ffp-contract=fast
+// (see src/CMakeLists.txt) and nothing in it runs unless
+// core::best_simd_level() reports the CPU actually supports both feature
+// bits, so the rest of the library stays at the baseline ISA.  The 6 x 16
+// tile uses 12 of the 16 ymm registers as accumulators, 2 for the B panel
+// and 1 for the A broadcast — the classic FBGEMM-style occupancy.
+#include "core/gemm_ukernel.hpp"
+
+namespace sky::core::detail {
+namespace {
+
+typedef float vf8 __attribute__((vector_size(32), aligned(4)));
+
+}  // namespace
+
+const GemmKernel& avx2_kernel() {
+    static const GemmKernel kernel{6, 16, &ukernel<vf8, 6, 2>, "avx2"};
+    return kernel;
+}
+
+}  // namespace sky::core::detail

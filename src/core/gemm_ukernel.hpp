@@ -1,0 +1,103 @@
+// The register-tile GEMM micro-kernel, written once against compiler vector
+// extensions and instantiated per SIMD level (core/simd.hpp):
+//
+//   ukernel<VF, MR, NV>  —  C_tile(mr x nr) += Apanel * Bpanel
+//
+// VF is a GNU vector-extension float type (or plain `float` for the scalar
+// reference instantiation), MR the register-tile row count and NV the number
+// of VF vectors per tile row, so the tile is MR x (NV * lanes(VF)).
+//
+// Operands arrive packed (core/gemm.hpp): `a` is an MR-row panel stored
+// k-major (a[k*MR + m]), `b` an NR-column panel stored k-major
+// (b[k*NR + n]), both zero-padded to full tile width.  The k loop is a
+// single sequential accumulation chain per C element — the same order as
+// the scalar reference — so every instantiation is bitwise thread-count
+// invariant and scalar-vs-vector differences come only from FMA contraction
+// (see docs/KERNELS.md for the determinism contract).
+//
+// Each translation unit instantiates only the widths its build flags can
+// execute: core/gemm.cpp the scalar + baseline-ISA widths, core/gemm_avx2.cpp
+// the 8-wide AVX2+FMA width (compiled with -mavx2 -mfma).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace sky::core::detail {
+
+/// One selectable micro-kernel: tile geometry plus the tile function.
+/// `fn(K, a_panel, b_panel, c, ldc, mr, nr)` accumulates the mr x nr valid
+/// corner of the tile into C (row stride ldc).
+struct GemmKernel {
+    int mr = 0;
+    int nr = 0;
+    void (*fn)(int K, const float* a, const float* b, float* c, std::int64_t ldc,
+               int mr, int nr) = nullptr;
+    const char* name = "?";
+};
+
+template <class VF>
+inline constexpr int kLanes = static_cast<int>(sizeof(VF) / sizeof(float));
+
+template <class VF>
+inline VF vload(const float* p) {
+    VF v;
+    std::memcpy(&v, p, sizeof(VF));
+    return v;
+}
+
+template <class VF>
+inline void vstore(float* p, VF v) {
+    std::memcpy(p, &v, sizeof(VF));
+}
+
+template <class VF>
+inline VF vsplat(float x) {
+    if constexpr (std::is_same_v<VF, float>) {
+        return x;
+    } else {
+        VF v{};
+        for (int i = 0; i < kLanes<VF>; ++i) v[i] = x;
+        return v;
+    }
+}
+
+template <class VF, int MR, int NV>
+void ukernel(int K, const float* a, const float* b, float* c, std::int64_t ldc,
+             int mr, int nr) {
+    constexpr int NR = kLanes<VF> * NV;
+    VF acc[MR][NV] = {};
+    for (int k = 0; k < K; ++k, a += MR, b += NR) {
+        VF bv[NV];
+        for (int v = 0; v < NV; ++v) bv[v] = vload<VF>(b + v * kLanes<VF>);
+        for (int m = 0; m < MR; ++m) {
+            const VF av = vsplat<VF>(a[m]);
+            for (int v = 0; v < NV; ++v) acc[m][v] += av * bv[v];
+        }
+    }
+    if (mr == MR && nr == NR) {
+        for (int m = 0; m < MR; ++m) {
+            float* row = c + m * ldc;
+            for (int v = 0; v < NV; ++v) {
+                float* p = row + v * kLanes<VF>;
+                vstore<VF>(p, vload<VF>(p) + acc[m][v]);
+            }
+        }
+    } else {
+        // Partial tile: spill the (zero-padded) accumulators and add only the
+        // valid corner, so edge tiles never read or write beyond C.
+        float tmp[MR * NR];
+        for (int m = 0; m < MR; ++m)
+            for (int v = 0; v < NV; ++v)
+                vstore<VF>(tmp + m * NR + v * kLanes<VF>, acc[m][v]);
+        for (int m = 0; m < mr; ++m)
+            for (int n = 0; n < nr; ++n) c[m * ldc + n] += tmp[m * NR + n];
+    }
+}
+
+/// AVX2+FMA kernel descriptor, defined in core/gemm_avx2.cpp when that TU is
+/// part of the build (SKYNET_SIMD CMake option, x86-64 GCC/Clang only).
+const GemmKernel& avx2_kernel();
+
+}  // namespace sky::core::detail

@@ -1,0 +1,16 @@
+#include "core/scratch.hpp"
+
+#include <array>
+
+namespace sky::core {
+
+std::vector<float>& tls_scratch(ScratchSlot slot, std::size_t n) {
+    thread_local std::array<std::vector<float>,
+                            static_cast<std::size_t>(ScratchSlot::kCount)>
+        arenas;
+    std::vector<float>& buf = arenas[static_cast<std::size_t>(slot)];
+    if (buf.size() < n) buf.resize(n);
+    return buf;
+}
+
+}  // namespace sky::core

@@ -1,0 +1,30 @@
+// Thread-local scratch arenas for kernel lowering buffers.
+//
+// The im2col panels, packed GEMM operands and col2im gradient staging used
+// to live as member buffers on the layer modules, which made Module::forward
+// non-reentrant: two threads driving the same module raced on the shared
+// scratch.  Each arena here is thread-local, so concurrent forwards from
+// different threads get independent buffers while repeated calls on one
+// thread reuse the same allocation (no per-call malloc in the hot path).
+//
+// Slots partition the arena by use so nested kernels (a layer forward that
+// calls into the packed GEMM driver) never alias each other's scratch.
+// Contents are undefined between calls; capacity only grows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sky::core {
+
+enum class ScratchSlot {
+    kIm2col = 0,   ///< lowered activation panels (nn::Conv2d)
+    kCol2im,       ///< grad-input staging (nn::Conv2d backward)
+    kLayerTmp,     ///< misc layer staging (nn::Linear packed output)
+    kCount,
+};
+
+/// The calling thread's buffer for `slot`, resized to at least `n` floats.
+[[nodiscard]] std::vector<float>& tls_scratch(ScratchSlot slot, std::size_t n);
+
+}  // namespace sky::core

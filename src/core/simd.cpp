@@ -1,0 +1,58 @@
+#include "core/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace sky::core {
+namespace {
+
+SimdLevel clamp_to_best(SimdLevel level) {
+    const auto best = static_cast<int>(best_simd_level());
+    const auto want = static_cast<int>(level);
+    return want > best ? best_simd_level() : level;
+}
+
+SimdLevel env_level() {
+    if (const char* env = std::getenv("SKYNET_SIMD")) {
+        if (std::strcmp(env, "0") == 0) return SimdLevel::kScalar;
+        if (std::strcmp(env, "1") == 0) return SimdLevel::kGeneric;
+    }
+    return best_simd_level();
+}
+
+std::atomic<SimdLevel>& level_slot() {
+    static std::atomic<SimdLevel> level{env_level()};
+    return level;
+}
+
+}  // namespace
+
+SimdLevel best_simd_level() {
+#if defined(SKYNET_SIMD_AVX2)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        return SimdLevel::kAvx2;
+#endif
+    return SimdLevel::kGeneric;
+}
+
+SimdLevel active_simd_level() {
+    return level_slot().load(std::memory_order_relaxed);
+}
+
+SimdLevel set_simd_level(SimdLevel level) {
+    const SimdLevel eff = clamp_to_best(level);
+    level_slot().store(eff, std::memory_order_relaxed);
+    return eff;
+}
+
+const char* simd_level_name(SimdLevel level) {
+    switch (level) {
+        case SimdLevel::kScalar: return "scalar";
+        case SimdLevel::kGeneric: return "generic";
+        case SimdLevel::kAvx2: return "avx2";
+    }
+    return "?";
+}
+
+}  // namespace sky::core

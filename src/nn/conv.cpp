@@ -4,9 +4,18 @@
 #include <stdexcept>
 
 #include "core/gemm.hpp"
+#include "core/scratch.hpp"
 #include "core/thread_pool.hpp"
 
 namespace sky::nn {
+namespace {
+
+// Per-thread lowering/packing scratch: forward() must be reentrant across
+// threads on the same module (tests/tsan_smoke.cpp hammers exactly this).
+thread_local core::PackedB tls_cols;
+thread_local core::PackedA tls_weights;
+
+}  // namespace
 
 Conv2d::Conv2d(int in_ch, int out_ch, int k, int stride, int pad, bool bias, Rng& rng)
     : in_ch_(in_ch),
@@ -44,6 +53,21 @@ std::string Conv2d::name() const {
            std::to_string(stride_) + ")";
 }
 
+void Conv2d::set_training(bool training) {
+    Module::set_training(training);
+    if (training)
+        wpack_.clear();  // the optimizer is about to rewrite the weights
+    else
+        prepack();
+}
+
+void Conv2d::prepack() {
+    if (training_) return;
+    const int K = in_ch_ * k_ * k_;
+    if (!wpack_.empty() && wpack_.mr == core::gemm_mr() && wpack_.K == K) return;
+    core::pack_a(out_ch_, K, weight_.data(), /*trans=*/false, wpack_);
+}
+
 Tensor Conv2d::forward(const Tensor& x) {
     if (x.shape().c != in_ch_)
         throw std::invalid_argument(name() + ": got input " + x.shape().str());
@@ -53,10 +77,17 @@ Tensor Conv2d::forward(const Tensor& x) {
     Tensor y(os);
     const int K = in_ch_ * k_ * k_;
     const std::int64_t ocols = static_cast<std::int64_t>(os.h) * os.w;
-    col_.resize(static_cast<std::size_t>(K) * static_cast<std::size_t>(ocols));
+    // Use the prepacked weight panels when valid for the active kernel;
+    // otherwise pack into thread-local scratch (never into the shared member —
+    // concurrent forwards on one module must not mutate shared state).
+    const core::PackedA* wp = &wpack_;
+    if (wpack_.empty() || wpack_.mr != core::gemm_mr() || wpack_.K != K) {
+        core::pack_a(out_ch_, K, weight_.data(), /*trans=*/false, tls_weights);
+        wp = &tls_weights;
+    }
     for (int n = 0; n < in.n; ++n) {
-        core::im2col(x.plane(n, 0), in.c, in.h, in.w, k_, stride_, pad_, os.h, os.w,
-                     col_.data());
+        core::im2col_packed(x.plane(n, 0), in.c, in.h, in.w, k_, stride_, pad_, os.h,
+                            os.w, tls_cols);
         float* yp = y.plane(n, 0);
         if (has_bias_) {
             for (int oc = 0; oc < out_ch_; ++oc) {
@@ -65,8 +96,7 @@ Tensor Conv2d::forward(const Tensor& x) {
                 for (std::int64_t i = 0; i < ocols; ++i) row[i] = b;
             }
         }
-        core::sgemm_nn(out_ch_, static_cast<int>(ocols), K, weight_.data(), col_.data(),
-                       yp);
+        core::sgemm_packed(*wp, tls_cols, yp);
     }
     return y;
 }
@@ -81,8 +111,10 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     Tensor grad_in(in);
     const int K = in_ch_ * k_ * k_;
     const std::int64_t ocols = static_cast<std::int64_t>(os.h) * os.w;
-    col_.resize(static_cast<std::size_t>(K) * static_cast<std::size_t>(ocols));
-    std::vector<float> gcol(col_.size());
+    const std::size_t cols_sz =
+        static_cast<std::size_t>(K) * static_cast<std::size_t>(ocols);
+    std::vector<float>& col = core::tls_scratch(core::ScratchSlot::kIm2col, cols_sz);
+    std::vector<float>& gcol = core::tls_scratch(core::ScratchSlot::kCol2im, cols_sz);
     for (int n = 0; n < in.n; ++n) {
         const float* gp = grad_out.plane(n, 0);
         if (has_bias_) {
@@ -95,11 +127,12 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
         }
         // grad_weight += grad_out * im2col(input)^T
         core::im2col(input_.plane(n, 0), in.c, in.h, in.w, k_, stride_, pad_, os.h, os.w,
-                     col_.data());
-        core::sgemm_nt(out_ch_, K, static_cast<int>(ocols), gp, col_.data(),
+                     col.data());
+        core::sgemm_nt(out_ch_, K, static_cast<int>(ocols), gp, col.data(),
                        grad_weight_.data());
         // grad_in = col2im(W^T * grad_out)
-        std::fill(gcol.begin(), gcol.end(), 0.0f);
+        std::fill(gcol.begin(), gcol.begin() + static_cast<std::ptrdiff_t>(cols_sz),
+                  0.0f);
         core::sgemm_tn(K, static_cast<int>(ocols), out_ch_, weight_.data(), gp,
                        gcol.data());
         core::col2im(gcol.data(), in.c, in.h, in.w, k_, stride_, pad_, os.h, os.w,

@@ -3,12 +3,15 @@
 // Used by the baseline backbones (ResNet / VGG / AlexNet / Tiny-YOLO ...).
 // SkyNet itself only needs the depthwise and pointwise specialisations in
 // dwconv.hpp / pwconv.hpp, which have dedicated kernels.  Forward and
-// backward run as im2col + SGEMM through the sky::core kernel engine
-// (parallel over GEMM rows; see docs/KERNELS.md).
+// backward run as im2col + packed SIMD SGEMM through the sky::core kernel
+// engine; eval forwards reuse a prepacked weight-panel handle
+// (core::PackedA) so the hot path skips per-call weight repacking
+// (see docs/KERNELS.md).
 #pragma once
 
 #include <vector>
 
+#include "core/gemm.hpp"
 #include "nn/module.hpp"
 
 namespace sky::nn {
@@ -21,13 +24,23 @@ public:
     Tensor forward(const Tensor& x) override;
     Tensor backward(const Tensor& grad_out) override;
     void collect_params(std::vector<ParamRef>& out) override;
+    /// Entering training drops the weight pack (the optimizer is about to
+    /// write the weights); leaving it refreshes the pack.
+    void set_training(bool training) override;
+    void prepack() override;
 
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] Shape out_shape(const Shape& in) const override;
     [[nodiscard]] std::int64_t macs(const Shape& in) const override;
     [[nodiscard]] std::int64_t param_count() const override;
 
-    [[nodiscard]] Tensor& weight() { return weight_; }
+    /// Mutable access invalidates the prepacked weight panels — callers that
+    /// rewrite weights in eval mode (BN folding, checkpoint load) get a
+    /// correct fallback until the next prepack()/set_training(false).
+    [[nodiscard]] Tensor& weight() {
+        wpack_.clear();
+        return weight_;
+    }
     [[nodiscard]] const Tensor& weight() const { return weight_; }
     [[nodiscard]] Tensor& bias() { return bias_; }
     [[nodiscard]] const Tensor& bias() const { return bias_; }
@@ -48,8 +61,8 @@ private:
     Tensor bias_;    ///< [1, out_ch, 1, 1]
     Tensor grad_weight_;
     Tensor grad_bias_;
-    Tensor input_;            ///< cached for backward (training mode only)
-    std::vector<float> col_;  ///< im2col scratch, reused across calls
+    Tensor input_;          ///< cached for backward (training mode only)
+    core::PackedA wpack_;   ///< prepacked weight panels (eval mode only)
 };
 
 }  // namespace sky::nn

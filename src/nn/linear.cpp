@@ -1,10 +1,18 @@
 #include "nn/linear.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "core/scratch.hpp"
 #include "core/thread_pool.hpp"
 
 namespace sky::nn {
+namespace {
+
+thread_local core::PackedB tls_cols;
+thread_local core::PackedA tls_weights;
+
+}  // namespace
 
 Linear::Linear(int in_features, int out_features, Rng& rng)
     : in_(in_features),
@@ -20,6 +28,20 @@ std::string Linear::name() const {
     return "Linear(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
 }
 
+void Linear::set_training(bool training) {
+    Module::set_training(training);
+    if (training)
+        wpack_.clear();
+    else
+        prepack();
+}
+
+void Linear::prepack() {
+    if (training_) return;
+    if (!wpack_.empty() && wpack_.mr == core::gemm_mr() && wpack_.K == in_) return;
+    core::pack_a(out_, in_, weight_.data(), /*trans=*/false, wpack_);
+}
+
 Tensor Linear::forward(const Tensor& x) {
     if (x.shape().per_item() != in_)
         throw std::invalid_argument(name() + ": got input " + x.shape().str());
@@ -30,8 +52,31 @@ Tensor Linear::forward(const Tensor& x) {
     }
     const int n = flat.shape().n;
     Tensor y({n, out_, 1, 1});
-    // Parallel over output features: each y[b][o] is one sequential double-
-    // precision dot product, identical to the seed kernel for any thread count.
+    if (!training_) {
+        // Eval: Y^T (out x n) = W (out x in) * X^T through the packed SIMD
+        // GEMM.  X is stored n x in, so pack_b reads it transposed; the
+        // out x n product lands in scratch and transposes into y with bias.
+        const core::PackedA* wp = &wpack_;
+        if (wpack_.empty() || wpack_.mr != core::gemm_mr() || wpack_.K != in_) {
+            core::pack_a(out_, in_, weight_.data(), /*trans=*/false, tls_weights);
+            wp = &tls_weights;
+        }
+        core::pack_b(in_, n, flat.data(), /*trans=*/true, tls_cols);
+        const std::size_t tmp_sz =
+            static_cast<std::size_t>(out_) * static_cast<std::size_t>(n);
+        std::vector<float>& tmp = core::tls_scratch(core::ScratchSlot::kLayerTmp, tmp_sz);
+        std::fill(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(tmp_sz), 0.0f);
+        core::sgemm_packed(*wp, tls_cols, tmp.data());
+        for (int b = 0; b < n; ++b) {
+            float* yp = y.plane(b, 0);
+            for (int o = 0; o < out_; ++o)
+                yp[o] = bias_[o] + tmp[static_cast<std::size_t>(o) * n + b];
+        }
+        return y;
+    }
+    // Training: each y[b][o] is one sequential double-precision dot product,
+    // identical to the seed kernel for any thread count (the optimizer and
+    // gradient-check tests rely on this accuracy).
     core::parallel_for(0, out_, 8, [&](std::int64_t o0, std::int64_t o1) {
         for (int o = static_cast<int>(o0); o < static_cast<int>(o1); ++o) {
             const float* wrow = weight_.plane(o, 0);

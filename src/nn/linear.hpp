@@ -3,8 +3,12 @@
 // Input {n, F, 1, 1} (or any shape whose per-item count equals in_features) ->
 // output {n, out_features, 1, 1}.  Used by the classifier backbones (AlexNet,
 // VGG) whose FC layers dominate the parameter-compression study of Fig. 2a.
+// Eval forwards run Y^T = W * X^T through the packed SIMD GEMM with a
+// prepacked weight handle; training forwards keep the seed's sequential
+// double-precision dot products (the optimizer tests rely on that accuracy).
 #pragma once
 
+#include "core/gemm.hpp"
 #include "nn/module.hpp"
 
 namespace sky::nn {
@@ -16,6 +20,8 @@ public:
     Tensor forward(const Tensor& x) override;
     Tensor backward(const Tensor& grad_out) override;
     void collect_params(std::vector<ParamRef>& out) override;
+    void set_training(bool training) override;
+    void prepack() override;
 
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] Shape out_shape(const Shape& in) const override {
@@ -28,7 +34,12 @@ public:
         return static_cast<std::int64_t>(in_) * out_ + out_;
     }
 
-    [[nodiscard]] Tensor& weight() { return weight_; }
+    /// Mutable access invalidates the prepacked weight panels (see
+    /// Conv2d::weight()).
+    [[nodiscard]] Tensor& weight() {
+        wpack_.clear();
+        return weight_;
+    }
     [[nodiscard]] std::string kind() const override { return "fc"; }
 
 private:
@@ -36,8 +47,9 @@ private:
     Tensor weight_;  ///< [out, in, 1, 1]
     Tensor bias_;
     Tensor grad_weight_, grad_bias_;
-    Tensor input_;    ///< flattened {n, in, 1, 1}
-    Shape in_shape_;  ///< original input shape (restored in backward)
+    Tensor input_;          ///< flattened {n, in, 1, 1}
+    Shape in_shape_;        ///< original input shape (restored in backward)
+    core::PackedA wpack_;   ///< prepacked weight panels (eval mode only)
 };
 
 }  // namespace sky::nn

@@ -57,6 +57,15 @@ public:
     virtual void set_training(bool training) { training_ = training; }
     [[nodiscard]] bool training() const { return training_; }
 
+    /// Pack weights into the SIMD GEMM panel layout (core/gemm.hpp) so eval
+    /// forwards skip per-call repacking.  Containers recurse; layers without
+    /// a GEMM formulation ignore it.  Idempotent; packs are invalidated by
+    /// mutable weight() access and by entering training mode, and layers
+    /// refresh them on set_training(false), so an explicit call is only
+    /// needed after mutating weights while already in eval mode
+    /// (sky::Detector does this after BN folding).
+    virtual void prepack() {}
+
     [[nodiscard]] virtual std::string name() const = 0;
     [[nodiscard]] virtual Shape out_shape(const Shape& in) const = 0;
     /// Multiply-accumulate count for one forward pass at the given input shape.

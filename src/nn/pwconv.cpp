@@ -14,6 +14,11 @@ int checked_groups(int groups, int in_ch, int out_ch) {
     return groups;
 }
 
+// Per-thread packing scratch so concurrent forwards on one module never
+// share buffers (see nn/conv.cpp).
+thread_local core::PackedB tls_cols;
+thread_local core::PackedA tls_weights;
+
 }  // namespace
 
 PWConv1::PWConv1(int in_ch, int out_ch, bool bias, Rng& rng, int groups)
@@ -43,6 +48,26 @@ std::string PWConv1::name() const {
     return s + ")";
 }
 
+void PWConv1::set_training(bool training) {
+    Module::set_training(training);
+    if (training)
+        wpack_.clear();
+    else
+        prepack();
+}
+
+void PWConv1::prepack() {
+    if (training_) return;
+    const int ipg = in_ch_ / groups_;
+    const int opg = out_ch_ / groups_;
+    if (static_cast<int>(wpack_.size()) == groups_ && !wpack_[0].empty() &&
+        wpack_[0].mr == core::gemm_mr() && wpack_[0].K == ipg)
+        return;
+    wpack_.assign(static_cast<std::size_t>(groups_), core::PackedA{});
+    for (int g = 0; g < groups_; ++g)
+        core::pack_a(opg, ipg, weight_.plane(g * opg, 0), /*trans=*/false, wpack_[g]);
+}
+
 Tensor PWConv1::forward(const Tensor& x) {
     if (x.shape().c != in_ch_)
         throw std::invalid_argument(name() + ": got input " + x.shape().str());
@@ -52,6 +77,9 @@ Tensor PWConv1::forward(const Tensor& x) {
     const std::int64_t plane = static_cast<std::int64_t>(s.h) * s.w;
     const int ipg = in_ch_ / groups_;   // input channels per group
     const int opg = out_ch_ / groups_;  // output channels per group
+    const bool packed = static_cast<int>(wpack_.size()) == groups_ &&
+                        !wpack_[0].empty() && wpack_[0].mr == core::gemm_mr() &&
+                        wpack_[0].K == ipg;
     // A 1x1 conv is one GEMM per (image, group): Y_g = W_g (opg x ipg) *
     // X_g (ipg x H*W), with the bias pre-filled into Y.
     for (int n = 0; n < s.n; ++n) {
@@ -62,10 +90,19 @@ Tensor PWConv1::forward(const Tensor& x) {
                 for (std::int64_t i = 0; i < plane; ++i) yp[i] = b;
             }
         }
-        for (int g = 0; g < groups_; ++g)
-            core::sgemm_nn(opg, static_cast<int>(plane), ipg,
-                           weight_.plane(g * opg, 0), x.plane(n, g * ipg),
-                           y.plane(n, g * opg));
+        for (int g = 0; g < groups_; ++g) {
+            core::pack_b(ipg, static_cast<int>(plane), x.plane(n, g * ipg),
+                         /*trans=*/false, tls_cols);
+            const core::PackedA* wp;
+            if (packed) {
+                wp = &wpack_[g];
+            } else {
+                core::pack_a(opg, ipg, weight_.plane(g * opg, 0), /*trans=*/false,
+                             tls_weights);
+                wp = &tls_weights;
+            }
+            core::sgemm_packed(*wp, tls_cols, y.plane(n, g * opg));
+        }
     }
     return y;
 }

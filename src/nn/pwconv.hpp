@@ -1,11 +1,15 @@
 // 1x1 pointwise convolution — the "PW-Conv1" half of the SkyNet Bundle.
 //
 // A 1x1 convolution is a matrix multiply over the channel axis applied at
-// every spatial location; the kernel below is written as exactly that
-// (out[oc] += W[oc][ic] * in[ic] with the spatial loop innermost) so the
-// compiler can vectorise the row saxpy.
+// every spatial location, and it runs as exactly that: one packed SIMD GEMM
+// per (image, group) through the sky::core kernel engine.  Eval forwards
+// reuse per-group prepacked weight panels (core::PackedA), so the hot path
+// only packs the activations.
 #pragma once
 
+#include <vector>
+
+#include "core/gemm.hpp"
 #include "nn/module.hpp"
 
 namespace sky::nn {
@@ -19,6 +23,8 @@ public:
     Tensor forward(const Tensor& x) override;
     Tensor backward(const Tensor& grad_out) override;
     void collect_params(std::vector<ParamRef>& out) override;
+    void set_training(bool training) override;
+    void prepack() override;
 
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] Shape out_shape(const Shape& in) const override {
@@ -27,7 +33,12 @@ public:
     [[nodiscard]] std::int64_t macs(const Shape& in) const override;
     [[nodiscard]] std::int64_t param_count() const override;
 
-    [[nodiscard]] Tensor& weight() { return weight_; }
+    /// Mutable access invalidates the prepacked weight panels (see
+    /// Conv2d::weight()).
+    [[nodiscard]] Tensor& weight() {
+        wpack_.clear();
+        return weight_;
+    }
     [[nodiscard]] const Tensor& weight() const { return weight_; }
     [[nodiscard]] Tensor& bias() { return bias_; }
     [[nodiscard]] const Tensor& bias() const { return bias_; }
@@ -46,6 +57,7 @@ private:
     Tensor grad_weight_;
     Tensor grad_bias_;
     Tensor input_;
+    std::vector<core::PackedA> wpack_;  ///< one prepacked panel set per group
 };
 
 }  // namespace sky::nn

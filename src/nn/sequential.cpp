@@ -38,6 +38,10 @@ void Sequential::set_training(bool training) {
     for (auto& m : modules_) m->set_training(training);
 }
 
+void Sequential::prepack() {
+    for (auto& m : modules_) m->prepack();
+}
+
 void Sequential::enumerate(const Shape& in, std::vector<LayerInfo>& out) const {
     Shape cur = in;
     for (const auto& m : modules_) {

@@ -26,6 +26,7 @@ public:
     void collect_params(std::vector<ParamRef>& out) override;
     void collect_state(std::vector<Tensor*>& out) override;
     void set_training(bool training) override;
+    void prepack() override;
 
     [[nodiscard]] std::string name() const override { return "Sequential"; }
     void enumerate(const Shape& in, std::vector<LayerInfo>& out) const override;

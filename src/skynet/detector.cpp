@@ -20,11 +20,13 @@ const char* detector_stage_name(DetectorStage s) {
 
 Detector::Detector(const SkyNetConfig& cfg, Rng& rng) : model_(build_skynet(cfg, rng)) {
     verify::enforce(verify());
+    prepack();
 }
 
 Detector::Detector(SkyNetModel model) : model_(std::move(model)) {
     if (!model_.net) throw std::invalid_argument("Detector: model has no network");
     verify::enforce(verify());
+    prepack();
 }
 
 verify::Report Detector::verify(const Shape& input) const {
@@ -35,7 +37,16 @@ int Detector::fold_bn() {
     if (stage_ != DetectorStage::kFloat) return 0;
     const int folded = deploy::fold_graph_bn(*model_.net);
     stage_ = DetectorStage::kFolded;
+    prepack();  // folding rewrote conv weights, so the panels are stale
     return folded;
+}
+
+void Detector::prepack() {
+    // set_training(false) refreshes every layer's weight panels; the explicit
+    // prepack() covers layers whose packs were invalidated while already in
+    // eval mode (mutable weight() access during BN folding).
+    model_.net->set_training(false);
+    model_.net->prepack();
 }
 
 void Detector::quantize(const quant::QEngineConfig& qcfg) {
@@ -62,7 +73,13 @@ detect::BBox Detector::detect(const Tensor& image) {
     if (image.shape().n != 1)
         throw std::invalid_argument("Detector::detect: expected a single image, got " +
                                     image.shape().str() + " (use detect_batch)");
-    return model_.head.decode(forward(image))[0];
+    const Tensor map = forward(image);
+    const std::vector<detect::BBox> boxes = model_.head.decode(map);
+    if (boxes.empty())
+        throw DetectorError(
+            "Detector::detect: head decoder returned no box for a 1-image batch "
+            "(head map " + map.shape().str() + ")");
+    return boxes[0];
 }
 
 std::vector<detect::BBox> Detector::detect_batch(const Tensor& images) {

@@ -25,6 +25,8 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "quant/qengine.hpp"
 #include "skynet/check_model.hpp"
@@ -36,6 +38,15 @@ namespace sky {
 enum class DetectorStage { kFloat, kFolded, kQuantized };
 
 [[nodiscard]] const char* detector_stage_name(DetectorStage s);
+
+/// Inference-time failure of the Detector facade — e.g. the head decoder
+/// produced no output for the requested image.  Distinct from
+/// std::invalid_argument (caller passed a malformed tensor) so services can
+/// map the two to different error responses.
+class DetectorError : public std::runtime_error {
+public:
+    explicit DetectorError(const std::string& what) : std::runtime_error(what) {}
+};
 
 class Detector {
 public:
@@ -63,6 +74,10 @@ public:
     /// scheme; folds BN first if that has not happened yet.  From then on
     /// all inference runs on the integer datapath.
     void quantize(const quant::QEngineConfig& qcfg);
+    /// Pack all layer weights into the SIMD GEMM panel layout so the first
+    /// forward() pays no packing cost.  Called automatically at construction
+    /// and after fold_bn(); harmless to call again (idempotent).
+    void prepack();
     [[nodiscard]] DetectorStage stage() const { return stage_; }
 
     // --- Inference -----------------------------------------------------

@@ -126,6 +126,42 @@ TEST(Gemm, MatchesNaiveAllVariants) {
     }
 }
 
+TEST(Gemm, TnHandlesPartialRowPanelsAndDegenerateShapes) {
+    // Regression for the old blocked sgemm_tn, whose 4-row blocking misread
+    // edge rows when M was not a multiple of 4 near chunk boundaries.  Runs
+    // every M in [1, 9] (covering M < 4 and every M % 4) plus N=1 and K=0 at
+    // several thread counts against the double-precision reference.
+    ThreadGuard guard;
+    int seed = 500;
+    for (int M : {1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+        for (int N : {1, 5, 17}) {
+            for (int K : {0, 1, 7}) {
+                Rng rng(static_cast<std::uint64_t>(seed++));
+                std::vector<float> At(static_cast<std::size_t>(K) * M);
+                std::vector<float> B(static_cast<std::size_t>(K) * N);
+                for (auto& v : At) v = static_cast<float>(rng.normal());
+                for (auto& v : B) v = static_cast<float>(rng.normal());
+                std::vector<float> A(static_cast<std::size_t>(M) * K);
+                for (int k = 0; k < K; ++k)
+                    for (int i = 0; i < M; ++i)
+                        A[static_cast<std::size_t>(i) * K + k] =
+                            At[static_cast<std::size_t>(k) * M + i];
+                std::vector<float> ref(static_cast<std::size_t>(M) * N, 0.125f);
+                naive_nn(M, N, K, A.data(), B.data(), ref.data());
+                for (int threads : {1, 2, 4}) {
+                    core::ThreadPool::set_global_threads(threads);
+                    std::vector<float> c(ref.size(), 0.125f);
+                    core::sgemm_tn(M, N, K, At.data(), B.data(), c.data());
+                    for (std::size_t i = 0; i < ref.size(); ++i)
+                        ASSERT_NEAR(c[i], ref[i], 1e-4f)
+                            << "tn M=" << M << " N=" << N << " K=" << K << " @"
+                            << threads << "t idx " << i;
+                }
+            }
+        }
+    }
+}
+
 TEST(Gemm, Col2imIsIm2colAdjoint) {
     // <im2col(x), c> == <x, col2im(c)> for random x, c — the defining adjoint
     // identity that conv backward relies on.

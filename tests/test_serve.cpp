@@ -8,6 +8,7 @@
 #include <future>
 #include <memory>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "serve/engine.hpp"
@@ -376,6 +377,23 @@ TEST(Detector, RejectsMalformedInputs) {
     Detector det = small_detector();
     EXPECT_THROW((void)det.detect(Tensor({2, 3, 32, 64})), std::invalid_argument);
     EXPECT_THROW((void)det.forward(Tensor({1, 4, 32, 64})), std::invalid_argument);
+}
+
+TEST(Detector, DetectNeverIndexesAnEmptyDecode) {
+    // Regression: detect() used to do decode(forward(image))[0] with no
+    // emptiness check — an empty decode result was undefined behaviour
+    // instead of an error.  A valid 1-image input must yield exactly one box
+    // through the guarded path, and batch decode of n images must yield n.
+    Detector det = small_detector();
+    const Tensor img = random_image(44);
+    detect::BBox box{};
+    ASSERT_NO_THROW(box = det.detect(img));
+    EXPECT_GE(box.w, 0.0f);
+    EXPECT_GE(box.h, 0.0f);
+    const auto batch = det.detect_batch(random_image(45));
+    EXPECT_EQ(batch.size(), 1u);
+    // DetectorError is a distinct, catchable type for inference-time faults.
+    static_assert(std::is_base_of_v<std::runtime_error, DetectorError>);
 }
 
 }  // namespace

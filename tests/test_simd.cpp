@@ -1,0 +1,366 @@
+// SIMD GEMM engine tests: dispatch-level parity against a double-precision
+// reference across odd shapes (including the K=0 / N=1 / M<4 edges), packing
+// identities, bitwise thread-count invariance at every level, and the
+// prepacked-weight protocol of the nn layers (bitwise equality with the
+// unpacked path, invalidation on mutable weight() access, repack on kernel
+// geometry change).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/gemm.hpp"
+#include "core/simd.hpp"
+#include "core/thread_pool.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pwconv.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sky {
+namespace {
+
+/// Restores the dispatch level and the global pool when a test exits.
+struct SimdGuard {
+    core::SimdLevel saved = core::active_simd_level();
+    ~SimdGuard() {
+        core::set_simd_level(saved);
+        core::ThreadPool::set_global_threads(0);
+    }
+};
+
+/// Every level this build + CPU can actually execute.
+std::vector<core::SimdLevel> available_levels() {
+    std::vector<core::SimdLevel> out{core::SimdLevel::kScalar,
+                                     core::SimdLevel::kGeneric};
+    if (core::best_simd_level() == core::SimdLevel::kAvx2)
+        out.push_back(core::SimdLevel::kAvx2);
+    return out;
+}
+
+std::vector<float> randv(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    return v;
+}
+
+/// C += A * B in double precision — the semantics every level must match.
+void ref_nn(int M, int N, int K, const std::vector<float>& A,
+            const std::vector<float>& B, std::vector<float>& C) {
+    for (int i = 0; i < M; ++i)
+        for (int j = 0; j < N; ++j) {
+            double acc = C[static_cast<std::size_t>(i) * N + j];
+            for (int k = 0; k < K; ++k)
+                acc += static_cast<double>(A[static_cast<std::size_t>(i) * K + k]) *
+                       B[static_cast<std::size_t>(k) * N + j];
+            C[static_cast<std::size_t>(i) * N + j] = static_cast<float>(acc);
+        }
+}
+
+std::vector<float> transpose(const std::vector<float>& m, int rows, int cols) {
+    std::vector<float> t(m.size());
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            t[static_cast<std::size_t>(c) * rows + r] =
+                m[static_cast<std::size_t>(r) * cols + c];
+    return t;
+}
+
+Tensor randn_tensor(Shape s, std::uint64_t seed) {
+    Rng rng(seed);
+    Tensor t(s);
+    t.randn(rng, 0.0f, 1.0f);
+    return t;
+}
+
+// ------------------------------------------------------------------ dispatch
+
+TEST(Simd, DispatchLevelsReportConsistentGeometry) {
+    SimdGuard guard;
+    for (core::SimdLevel lvl : available_levels()) {
+        ASSERT_EQ(core::set_simd_level(lvl), lvl);
+        EXPECT_EQ(core::active_simd_level(), lvl);
+        EXPECT_GE(core::gemm_mr(), 1);
+        EXPECT_GE(core::gemm_nr(), 1);
+        EXPECT_STREQ(core::gemm_kernel_name(), core::simd_level_name(lvl));
+    }
+    // Requests above the best available level clamp instead of failing.
+    const core::SimdLevel eff = core::set_simd_level(core::SimdLevel::kAvx2);
+    EXPECT_EQ(eff, core::best_simd_level());
+}
+
+// ------------------------------------------------- parity vs double reference
+
+TEST(Simd, GemmMatchesReferenceAllLevelsAndShapes) {
+    SimdGuard guard;
+    struct Case {
+        int M, N, K;
+    };
+    // Odd shapes around every tile geometry in the build (4x4, 6x8, 6x16),
+    // plus the degenerate edges: K=0 (no-op accumulate), N=1 (single GEMV
+    // column), M<4 and M % 4 != 0 (partial row panels at chunk boundaries —
+    // the old sgemm_tn block structure went wrong exactly here).
+    const Case cases[] = {{1, 1, 1},  {3, 1, 4},   {5, 7, 0},  {4, 1, 3},
+                          {2, 3, 9},  {5, 9, 13},  {6, 16, 8}, {7, 17, 31},
+                          {13, 29, 17}, {23, 31, 11}, {48, 40, 27}};
+    for (core::SimdLevel lvl : available_levels()) {
+        core::set_simd_level(lvl);
+        int seed = 100;
+        for (const Case& tc : cases) {
+            const auto A = randv(static_cast<std::size_t>(tc.M) * tc.K,
+                                 static_cast<std::uint64_t>(seed++));
+            const auto B = randv(static_cast<std::size_t>(tc.K) * tc.N,
+                                 static_cast<std::uint64_t>(seed++));
+            const auto At = transpose(A, tc.M, tc.K);  // K x M storage for tn
+            const auto Bt = transpose(B, tc.K, tc.N);  // N x K storage for nt
+            std::vector<float> ref(static_cast<std::size_t>(tc.M) * tc.N, 0.25f);
+            ref_nn(tc.M, tc.N, tc.K, A, B, ref);
+            for (int threads : {1, 2, 4}) {
+                core::ThreadPool::set_global_threads(threads);
+                std::vector<float> cn(ref.size(), 0.25f), ct(ref.size(), 0.25f),
+                    cx(ref.size(), 0.25f);
+                core::sgemm_nn(tc.M, tc.N, tc.K, A.data(), B.data(), cn.data());
+                core::sgemm_tn(tc.M, tc.N, tc.K, At.data(), B.data(), ct.data());
+                core::sgemm_nt(tc.M, tc.N, tc.K, A.data(), Bt.data(), cx.data());
+                for (std::size_t i = 0; i < ref.size(); ++i) {
+                    ASSERT_NEAR(cn[i], ref[i], 1e-4f)
+                        << core::simd_level_name(lvl) << " nn " << tc.M << "x" << tc.N
+                        << "x" << tc.K << " @" << threads << "t idx " << i;
+                    ASSERT_NEAR(ct[i], ref[i], 1e-4f)
+                        << core::simd_level_name(lvl) << " tn " << tc.M << "x" << tc.N
+                        << "x" << tc.K << " @" << threads << "t idx " << i;
+                    ASSERT_NEAR(cx[i], ref[i], 1e-4f)
+                        << core::simd_level_name(lvl) << " nt " << tc.M << "x" << tc.N
+                        << "x" << tc.K << " @" << threads << "t idx " << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(Simd, VectorLevelsMatchScalarWithinTolerance) {
+    // The determinism contract (docs/KERNELS.md): levels share the k-summation
+    // order, so scalar-vs-vector differences come only from FMA contraction.
+    SimdGuard guard;
+    core::ThreadPool::set_global_threads(2);
+    const int M = 19, N = 23, K = 37;
+    const auto A = randv(static_cast<std::size_t>(M) * K, 7);
+    const auto B = randv(static_cast<std::size_t>(K) * N, 8);
+    core::set_simd_level(core::SimdLevel::kScalar);
+    std::vector<float> ref(static_cast<std::size_t>(M) * N, 0.0f);
+    core::sgemm_nn(M, N, K, A.data(), B.data(), ref.data());
+    for (core::SimdLevel lvl : available_levels()) {
+        if (lvl == core::SimdLevel::kScalar) continue;
+        core::set_simd_level(lvl);
+        std::vector<float> c(ref.size(), 0.0f);
+        core::sgemm_nn(M, N, K, A.data(), B.data(), c.data());
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            ASSERT_NEAR(c[i], ref[i], 1e-4f)
+                << core::simd_level_name(lvl) << " idx " << i;
+    }
+}
+
+// ------------------------------------------------------------------- packing
+
+TEST(Simd, PackedInterfaceBitwiseEqualsWrapper) {
+    SimdGuard guard;
+    for (core::SimdLevel lvl : available_levels()) {
+        core::set_simd_level(lvl);
+        core::ThreadPool::set_global_threads(2);
+        const int M = 11, N = 21, K = 9;
+        const auto A = randv(static_cast<std::size_t>(M) * K, 21);
+        const auto B = randv(static_cast<std::size_t>(K) * N, 22);
+        std::vector<float> c1(static_cast<std::size_t>(M) * N, 1.0f);
+        core::sgemm_nn(M, N, K, A.data(), B.data(), c1.data());
+        core::PackedA pa;
+        core::PackedB pb;
+        core::pack_a(M, K, A.data(), false, pa);
+        core::pack_b(K, N, B.data(), false, pb);
+        std::vector<float> c2(c1.size(), 1.0f);
+        core::sgemm_packed(pa, pb, c2.data());
+        for (std::size_t i = 0; i < c1.size(); ++i)
+            ASSERT_EQ(c1[i], c2[i]) << core::simd_level_name(lvl) << " idx " << i;
+    }
+}
+
+TEST(Simd, Im2colPackedEqualsIm2colThenPackB) {
+    SimdGuard guard;
+    struct Case {
+        int C, H, W, k, stride, pad;
+    };
+    const Case cases[] = {
+        {3, 7, 6, 3, 1, 1}, {2, 8, 9, 3, 2, 1}, {4, 5, 5, 1, 1, 0}, {1, 9, 7, 5, 2, 2}};
+    for (core::SimdLevel lvl : available_levels()) {
+        core::set_simd_level(lvl);
+        int seed = 300;
+        for (const Case& tc : cases) {
+            const int OH = (tc.H + 2 * tc.pad - tc.k) / tc.stride + 1;
+            const int OW = (tc.W + 2 * tc.pad - tc.k) / tc.stride + 1;
+            const auto img = randv(static_cast<std::size_t>(tc.C) * tc.H * tc.W,
+                                   static_cast<std::uint64_t>(seed++));
+            const std::size_t rows =
+                static_cast<std::size_t>(tc.C) * tc.k * tc.k;
+            std::vector<float> col(rows * static_cast<std::size_t>(OH) * OW);
+            core::im2col(img.data(), tc.C, tc.H, tc.W, tc.k, tc.stride, tc.pad, OH, OW,
+                         col.data());
+            core::PackedB expect;
+            core::pack_b(static_cast<int>(rows), OH * OW, col.data(), false, expect);
+            core::PackedB got;
+            core::im2col_packed(img.data(), tc.C, tc.H, tc.W, tc.k, tc.stride, tc.pad,
+                                OH, OW, got);
+            ASSERT_EQ(got.K, expect.K);
+            ASSERT_EQ(got.N, expect.N);
+            ASSERT_EQ(got.nr, expect.nr);
+            ASSERT_EQ(got.data.size(), expect.data.size());
+            for (std::size_t i = 0; i < expect.data.size(); ++i)
+                ASSERT_EQ(got.data[i], expect.data[i])
+                    << core::simd_level_name(lvl) << " k=" << tc.k << " s=" << tc.stride
+                    << " idx " << i;
+        }
+    }
+}
+
+TEST(Simd, PackedOperandsFromStaleKernelThrow) {
+    // scalar (4x4) and generic (6x8) tiles always differ, so a pack made at
+    // one level must be rejected — not silently misread — at the other.
+    SimdGuard guard;
+    const int M = 8, N = 8, K = 4;
+    const auto A = randv(static_cast<std::size_t>(M) * K, 31);
+    const auto B = randv(static_cast<std::size_t>(K) * N, 32);
+    core::set_simd_level(core::SimdLevel::kScalar);
+    core::PackedA pa;
+    core::PackedB pb;
+    core::pack_a(M, K, A.data(), false, pa);
+    core::pack_b(K, N, B.data(), false, pb);
+    core::set_simd_level(core::SimdLevel::kGeneric);
+    std::vector<float> c(static_cast<std::size_t>(M) * N, 0.0f);
+    EXPECT_THROW(core::sgemm_packed(pa, pb, c.data()), std::logic_error);
+}
+
+// ------------------------------------------------- thread-count invariance
+
+TEST(Simd, GemmBitwiseThreadInvariantAtEveryLevel) {
+    SimdGuard guard;
+    const int M = 33, N = 47, K = 25;
+    const auto A = randv(static_cast<std::size_t>(M) * K, 41);
+    const auto B = randv(static_cast<std::size_t>(K) * N, 42);
+    for (core::SimdLevel lvl : available_levels()) {
+        core::set_simd_level(lvl);
+        core::ThreadPool::set_global_threads(1);
+        std::vector<float> ref(static_cast<std::size_t>(M) * N, 0.0f);
+        core::sgemm_nn(M, N, K, A.data(), B.data(), ref.data());
+        for (int threads : {2, 4}) {
+            core::ThreadPool::set_global_threads(threads);
+            std::vector<float> c(ref.size(), 0.0f);
+            core::sgemm_nn(M, N, K, A.data(), B.data(), c.data());
+            for (std::size_t i = 0; i < ref.size(); ++i)
+                ASSERT_EQ(c[i], ref[i])
+                    << core::simd_level_name(lvl) << " @" << threads << "t idx " << i;
+        }
+    }
+}
+
+TEST(Simd, ConvForwardBitwiseThreadInvariantAtEveryLevel) {
+    SimdGuard guard;
+    for (core::SimdLevel lvl : available_levels()) {
+        core::set_simd_level(lvl);
+        Rng rng(51);
+        nn::Conv2d conv(3, 10, 3, 1, 1, true, rng);
+        conv.set_training(false);
+        Tensor x = randn_tensor({2, 3, 11, 13}, 52);
+        core::ThreadPool::set_global_threads(1);
+        const Tensor ref = conv.forward(x);
+        for (int threads : {2, 4}) {
+            core::ThreadPool::set_global_threads(threads);
+            const Tensor y = conv.forward(x);
+            ASSERT_EQ(y.shape(), ref.shape());
+            for (std::int64_t i = 0; i < y.size(); ++i)
+                ASSERT_EQ(y[i], ref[i])
+                    << core::simd_level_name(lvl) << " @" << threads << "t idx " << i;
+        }
+    }
+}
+
+// --------------------------------------------------- prepacked-weight layers
+
+TEST(Simd, PrepackedConvBitwiseEqualsPerCallPacking) {
+    SimdGuard guard;
+    core::ThreadPool::set_global_threads(2);
+    Rng rng(61);
+    nn::Conv2d conv(4, 7, 3, 2, 1, true, rng);
+    Tensor x = randn_tensor({2, 4, 10, 9}, 62);
+    conv.set_training(false);  // refreshes the prepacked panels
+    const Tensor packed = conv.forward(x);
+    (void)conv.weight();  // mutable access drops the pack -> per-call path
+    const Tensor fallback = conv.forward(x);
+    ASSERT_EQ(packed.shape(), fallback.shape());
+    for (std::int64_t i = 0; i < packed.size(); ++i)
+        ASSERT_EQ(packed[i], fallback[i]) << "idx " << i;
+}
+
+TEST(Simd, MutableWeightAccessKeepsForwardFresh) {
+    // Doubling the weights through weight() must double the (bias-free)
+    // output even though the panels were prepacked before the mutation.
+    SimdGuard guard;
+    core::ThreadPool::set_global_threads(1);
+    Rng rng(63);
+    nn::Conv2d conv(2, 3, 3, 1, 1, false, rng);
+    conv.set_training(false);
+    Tensor x = randn_tensor({1, 2, 6, 6}, 64);
+    const Tensor y1 = conv.forward(x);
+    Tensor& w = conv.weight();
+    for (std::int64_t i = 0; i < w.size(); ++i) w[i] *= 2.0f;
+    conv.prepack();  // re-pack the mutated weights while staying in eval
+    const Tensor y2 = conv.forward(x);
+    for (std::int64_t i = 0; i < y1.size(); ++i)
+        ASSERT_NEAR(y2[i], 2.0f * y1[i], 2e-4f) << "idx " << i;
+}
+
+TEST(Simd, PrepackedPWConvAndLinearMatchTrainingPath) {
+    SimdGuard guard;
+    core::ThreadPool::set_global_threads(2);
+    Rng rng(71);
+    nn::PWConv1 pw(8, 6, true, rng, 2);
+    Tensor x = randn_tensor({2, 8, 5, 7}, 72);
+    pw.set_training(true);
+    const Tensor train_y = pw.forward(x);
+    pw.set_training(false);
+    const Tensor eval_y = pw.forward(x);
+    ASSERT_EQ(train_y.shape(), eval_y.shape());
+    for (std::int64_t i = 0; i < train_y.size(); ++i)
+        ASSERT_NEAR(eval_y[i], train_y[i], 1e-4f) << "pwconv idx " << i;
+
+    nn::Linear fc(24, 9, rng);
+    Tensor fx = randn_tensor({3, 24, 1, 1}, 73);
+    fc.set_training(true);
+    const Tensor train_f = fc.forward(fx);  // double-precision reference path
+    fc.set_training(false);
+    const Tensor eval_f = fc.forward(fx);  // packed GEMM path
+    ASSERT_EQ(train_f.shape(), eval_f.shape());
+    for (std::int64_t i = 0; i < train_f.size(); ++i)
+        ASSERT_NEAR(eval_f[i], train_f[i], 1e-4f) << "linear idx " << i;
+}
+
+TEST(Simd, PrepackSurvivesLevelSwitchViaFallback) {
+    // Packs made for one kernel geometry must not poison forwards after a
+    // level switch: the layer detects the mismatch and falls back to
+    // per-call packing at the new level.
+    SimdGuard guard;
+    core::ThreadPool::set_global_threads(1);
+    core::set_simd_level(core::SimdLevel::kGeneric);
+    Rng rng(81);
+    nn::Conv2d conv(3, 5, 3, 1, 1, true, rng);
+    conv.set_training(false);  // packs at generic geometry (6x8)
+    Tensor x = randn_tensor({1, 3, 8, 8}, 82);
+    const Tensor y_generic = conv.forward(x);
+    core::set_simd_level(core::SimdLevel::kScalar);  // geometry now 4x4
+    const Tensor y_scalar = conv.forward(x);         // must not throw
+    ASSERT_EQ(y_generic.shape(), y_scalar.shape());
+    for (std::int64_t i = 0; i < y_scalar.size(); ++i)
+        ASSERT_NEAR(y_scalar[i], y_generic[i], 1e-4f) << "idx " << i;
+}
+
+}  // namespace
+}  // namespace sky

@@ -7,16 +7,59 @@
 // through repeated start/drain-shutdown cycles.  Exits non-zero on any lost
 // or duplicated work.
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "nn/conv.hpp"
+#include "nn/pwconv.hpp"
 #include "serve/engine.hpp"
 #include "skynet/detector.hpp"
 
 namespace {
+
+/// Concurrent eval forward() on ONE module instance from several threads.
+/// The layers used to lower into member scratch (`col_`), so this raced;
+/// with thread-local scratch every thread must get the same bitwise result
+/// as a lone sequential call.
+int concurrent_forward_smoke() {
+    using namespace sky;
+    Rng rng(23);
+    nn::Conv2d conv(3, 8, 3, 1, 1, true, rng);
+    nn::PWConv1 pw(8, 6, true, rng, 2);
+    conv.set_training(false);
+    pw.set_training(false);
+    Tensor x({2, 3, 16, 18});
+    x.rand_uniform(rng, 0.0f, 1.0f);
+    const Tensor ref_conv = conv.forward(x);
+    const Tensor ref_pw = pw.forward(ref_conv);
+    std::atomic<int> failures{0};
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 6;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&] {
+            for (int round = 0; round < kRounds; ++round) {
+                const Tensor yc = conv.forward(x);
+                const Tensor yp = pw.forward(yc);
+                for (std::int64_t i = 0; i < yc.size(); ++i)
+                    if (yc[i] != ref_conv[i]) {
+                        failures.fetch_add(1, std::memory_order_relaxed);
+                        break;
+                    }
+                for (std::int64_t i = 0; i < yp.size(); ++i)
+                    if (yp[i] != ref_pw[i]) {
+                        failures.fetch_add(1, std::memory_order_relaxed);
+                        break;
+                    }
+            }
+        });
+    for (auto& w : workers) w.join();
+    return failures.load();
+}
 
 /// Multi-threaded submitters racing the engine's staged workers: `kClients`
 /// threads each push `kPerClient` frames, half the runs shut down while
@@ -111,7 +154,12 @@ int main() {
         if (count.load() != 1000) ++mismatches;
     }
 
-    // 4. The serving engine under multi-threaded submission and racing
+    // 4. Concurrent eval forwards on one module instance (member-scratch
+    //    races would show up here and under TSan).
+    ThreadPool::set_global_threads(2);
+    mismatches += concurrent_forward_smoke();
+
+    // 5. The serving engine under multi-threaded submission and racing
     //    shutdowns.
     mismatches += serve_engine_smoke();
 

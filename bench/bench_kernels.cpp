@@ -14,9 +14,12 @@
 // report's registry section.  Headline gauges:
 // kernels.model.fwd_ms_1t / fwd_ms_nt / speedup / gflops_nt.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.hpp"
+#include "core/qgemm.hpp"
 #include "core/thread_pool.hpp"
 #include "nn/conv.hpp"
 #include "nn/dwconv.hpp"
@@ -99,6 +102,31 @@ int main(int argc, char** argv) {
         Tensor x = make_input(1, 96, 40, 80);
         bench_pair("pwconv1", conv.macs(x.shape()), threads, opts,
                    [&] { (void)conv.forward(x); });
+    }
+
+    // Packed u8 x s8 integer GEMM at the conv3x3 shape above (M = out_ch,
+    // K = in_ch * 9, N = out pixels), operands prepacked as the quantized
+    // engine deploys them; C is re-zeroed inside the timed lambda because
+    // qgemm_packed accumulates.  GFLOP/s here counts integer MACs.
+    {
+        const int M = 96, K = 96 * 9, N = 40 * 80;
+        std::vector<std::int8_t> a(static_cast<std::size_t>(M) * K);
+        std::vector<std::uint8_t> b(static_cast<std::size_t>(K) * N);
+        std::uint32_t s = 7;
+        for (auto& v : a) v = static_cast<std::int8_t>((s = s * 1664525u + 1u) >> 24);
+        for (auto& v : b) v = static_cast<std::uint8_t>((s = s * 1664525u + 1u) >> 24);
+        core::QPackedA pa;
+        core::QPackedB pb;
+        core::qpack_a(M, K, a.data(), pa);
+        core::qpack_b(K, N, b.data(), pb);
+        std::vector<std::int32_t> c(static_cast<std::size_t>(M) * N);
+        const std::int64_t macs = static_cast<std::int64_t>(M) * K * N;
+        std::printf("int8 micro-kernel: %s (mr=%d, nr=%d)\n",
+                    core::qgemm_kernel_name(), core::qgemm_mr(), core::qgemm_nr());
+        bench_pair("qgemm", macs, threads, opts, [&] {
+            std::fill(c.begin(), c.end(), 0);
+            core::qgemm_packed(pa, pb, c.data());
+        });
     }
 
     // Full SkyNet forward at the paper's input scale, batch 8 — the headline

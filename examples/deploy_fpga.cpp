@@ -89,8 +89,13 @@ int main(int argc, char** argv) {
     std::printf("\ndeploying scheme %d via sky::Detector: folded %d BN layers", win.id,
                 folded);
     if (win.fm_bits > 0 && win.weight_bits > 0) {
-        det.quantize({win.fm_bits, win.weight_bits, 8.0f});
-        std::printf(", compiled QEngine FM%d/W%d\n", win.fm_bits, win.weight_bits);
+        const quant::QuantReport qrep =
+            det.quantize(quant::QuantConfig{}
+                             .with_bits(win.fm_bits, win.weight_bits)
+                             .with_fm_abs_max(8.0f)
+                             .with_input_range(0.0f, 1.0f));
+        std::printf(", compiled QEngine FM%d/W%d\n%s\n", win.fm_bits, win.weight_bits,
+                    qrep.summary().c_str());
     } else {
         std::printf(", staying on the float path (winner is fp32)\n");
     }

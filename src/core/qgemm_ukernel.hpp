@@ -1,0 +1,131 @@
+// The integer register-tile GEMM micro-kernel behind the quantized
+// inference path (core/qgemm.hpp): C_tile(mr x nr) += Apanel(s16) * Bpanel(u8)
+// with exact int32 accumulation.
+//
+// Operands arrive packed in the K-PAIRED panel layout: the contraction axis
+// is rounded up to an even KP = 2*K2 and panels store the two taps of each
+// k-pair adjacently —
+//
+//   a[k2*MR*2 + m*2 + t]   (s16 weights,    t in {0,1})
+//   b[k2*NR*2 + n*2 + t]   (u8 activations, t in {0,1})
+//
+// — so the AVX2 instantiation can feed vpmaddwd: the u8 taps widen to s16,
+// each adjacent s16 A pair IS a ready packed madd operand, and the pairwise
+// s16*s16 product sum (<= 2*32767*255) is exact in int32 — the FBGEMM qconv
+// idiom without its vpmaddubsw saturation hazard, and wide enough that
+// 9..15-bit weights run in ONE pass instead of two s8 limbs.  A zero-padded
+// phantom tap (odd K) carries a = 0, which annihilates whatever the B panel
+// holds, so padding never changes a result.
+//
+// Accumulation is exact whenever K * max|a| * max|b| < 2^31 — guaranteed by
+// K <= kQGemmMaxK for s8-range A, planned per layer by quant/qengine.cpp for
+// wide A.  All instantiations (scalar / generic / avx2) return BITWISE
+// IDENTICAL results, a stronger contract than the fp32 engine's per-level
+// tolerance (docs/KERNELS.md, docs/QUANTIZATION.md).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace sky::core::detail {
+
+/// One selectable integer micro-kernel: tile geometry plus the tile
+/// function.  `fn(K2, a, b, c, ldc, mr, nr)` accumulates the mr x nr valid
+/// corner of the tile into int32 C (row stride ldc); K2 is the k-PAIR count.
+struct QGemmKernel {
+    int mr = 0;
+    int nr = 0;
+    void (*fn)(int K2, const std::int16_t* a, const std::uint8_t* b, std::int32_t* c,
+               std::int64_t ldc, int mr, int nr) = nullptr;
+    const char* name = "?";
+};
+
+/// Largest contraction length with an overflow-free int32 accumulation for
+/// s8-range A operands (255 * 128 * 65536 < 2^31).  qgemm_packed rejects
+/// larger K.
+inline constexpr int kQGemmMaxK = 65536;
+
+/// Reference semantics: plain int32 scalar accumulation over the k-paired
+/// panels.  Also the SKYNET_SIMD=0 fallback.
+template <int MR, int NR>
+void qgemm_ukernel_scalar(int K2, const std::int16_t* a, const std::uint8_t* b,
+                          std::int32_t* c, std::int64_t ldc, int mr, int nr) {
+    std::int32_t acc[MR][NR] = {};
+    for (int k2 = 0; k2 < K2; ++k2, a += MR * 2, b += NR * 2) {
+        for (int m = 0; m < MR; ++m) {
+            const std::int32_t a0 = a[m * 2];
+            const std::int32_t a1 = a[m * 2 + 1];
+            for (int n = 0; n < NR; ++n)
+                acc[m][n] += a0 * static_cast<std::int32_t>(b[n * 2]) +
+                             a1 * static_cast<std::int32_t>(b[n * 2 + 1]);
+        }
+    }
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n) c[m * ldc + n] += acc[m][n];
+}
+
+/// Vector-extension instantiation: VI is a GNU vector of int32 lanes, VU a
+/// byte vector of 2*lanes(VI) (one k-pair per column).  Even/odd byte lanes
+/// are split with __builtin_shufflevector and widened through
+/// __builtin_convertvector — portable across GCC/Clang baseline ISAs.
+template <class VI, class VU, int MR, int NV>
+void qgemm_ukernel_vec(int K2, const std::int16_t* a, const std::uint8_t* b,
+                       std::int32_t* c, std::int64_t ldc, int mr, int nr) {
+    constexpr int kLanes = static_cast<int>(sizeof(VI) / sizeof(std::int32_t));
+    constexpr int NR = kLanes * NV;
+    static_assert(sizeof(VU) == 2 * sizeof(VI) / 4, "VU must hold one k-pair per lane");
+    VI acc[MR][NV] = {};
+    for (int k2 = 0; k2 < K2; ++k2, a += MR * 2, b += NR * 2) {
+        VI even[NV], odd[NV];
+        for (int v = 0; v < NV; ++v) {
+            VU raw;
+            std::memcpy(&raw, b + v * kLanes * 2, sizeof(VU));
+            if constexpr (kLanes == 4) {
+                even[v] = __builtin_convertvector(
+                    __builtin_shufflevector(raw, raw, 0, 2, 4, 6), VI);
+                odd[v] = __builtin_convertvector(
+                    __builtin_shufflevector(raw, raw, 1, 3, 5, 7), VI);
+            } else {
+                static_assert(kLanes == 8, "unsupported vector width");
+                even[v] = __builtin_convertvector(
+                    __builtin_shufflevector(raw, raw, 0, 2, 4, 6, 8, 10, 12, 14), VI);
+                odd[v] = __builtin_convertvector(
+                    __builtin_shufflevector(raw, raw, 1, 3, 5, 7, 9, 11, 13, 15), VI);
+            }
+        }
+        for (int m = 0; m < MR; ++m) {
+            const std::int32_t a0 = a[m * 2];
+            const std::int32_t a1 = a[m * 2 + 1];
+            VI v0{}, v1{};
+            for (int i = 0; i < kLanes; ++i) {
+                v0[i] = a0;
+                v1[i] = a1;
+            }
+            for (int v = 0; v < NV; ++v) acc[m][v] += v0 * even[v] + v1 * odd[v];
+        }
+    }
+    if (mr == MR && nr == NR) {
+        for (int m = 0; m < MR; ++m) {
+            std::int32_t* row = c + m * ldc;
+            for (int v = 0; v < NV; ++v) {
+                VI cur;
+                std::memcpy(&cur, row + v * kLanes, sizeof(VI));
+                cur += acc[m][v];
+                std::memcpy(row + v * kLanes, &cur, sizeof(VI));
+            }
+        }
+    } else {
+        std::int32_t tmp[MR * NR];
+        for (int m = 0; m < MR; ++m)
+            for (int v = 0; v < NV; ++v)
+                std::memcpy(tmp + m * NR + v * kLanes, &acc[m][v], sizeof(VI));
+        for (int m = 0; m < mr; ++m)
+            for (int n = 0; n < nr; ++n) c[m * ldc + n] += tmp[m * NR + n];
+    }
+}
+
+/// AVX2 kernel descriptor (vpmaddwd datapath), defined in core/qgemm_avx2.cpp
+/// when that TU is part of the build (SKYNET_SIMD CMake option).
+const QGemmKernel& qgemm_avx2_kernel();
+
+}  // namespace sky::core::detail

@@ -8,6 +8,9 @@
 // entry in Table 1 performs before deployment.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+
 #include "tensor/tensor.hpp"
 
 namespace sky::quant {
@@ -24,6 +27,24 @@ struct FixedPointFormat {
 
 /// Smallest-step format of `total_bits` whose range covers [-abs_max, abs_max].
 [[nodiscard]] FixedPointFormat choose_format(int total_bits, float abs_max);
+
+// --- Integer grid primitives (the QEngine requantization datapath) -------
+
+/// Clamp `v` into the two's-complement range of a `bits`-wide word.
+/// Inline: this sits inside every requantization loop of the int8 engine.
+[[nodiscard]] inline std::int32_t saturate(std::int64_t v, int bits) {
+    const std::int64_t hi = (1LL << (bits - 1)) - 1;
+    const std::int64_t lo = -(1LL << (bits - 1));
+    return static_cast<std::int32_t>(std::clamp(v, lo, hi));
+}
+
+/// Round-to-nearest arithmetic right shift, ties away from zero (the FPGA
+/// requantization rounding).  shift <= 0 is an exact left shift.
+[[nodiscard]] inline std::int64_t round_shift(std::int64_t v, int shift) {
+    if (shift <= 0) return v << (-shift);
+    const std::int64_t half = 1LL << (shift - 1);
+    return v >= 0 ? (v + half) >> shift : -((-v + half) >> shift);
+}
 
 /// Round every element of `t` to the fixed-point grid (in place).
 void quantize_tensor(Tensor& t, const FixedPointFormat& fmt);

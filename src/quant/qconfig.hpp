@@ -1,0 +1,113 @@
+// Quantization scheme configuration for the integer inference engine.
+//
+// QuantConfig replaces the positional QEngineConfig braces — named fields
+// with named defaults plus with_* chaining, so call sites read as what they
+// mean:
+//
+//   det.quantize(quant::QuantConfig{}
+//                    .with_bits(9, 11)
+//                    .with_fm_abs_max(8.0f)
+//                    .with_input_range(0.0f, 1.0f));
+//
+// The first three fields keep the old positional order, so legacy
+// `{9, 11, 8.0f}` braces still aggregate-initialise correctly; the
+// QEngineConfig spelling itself survives as a [[deprecated]] shim below.
+//
+// `input_lo` / `input_hi` declare the value range of the tensors that will
+// be fed to run() (images are [0, 1] here).  The engine's range propagation
+// uses it to prove which layers can execute on the packed u8 x s8 GEMM
+// path; inputs outside the declared range are still answered bit-true via
+// the reference integer path (docs/QUANTIZATION.md).
+#pragma once
+
+namespace sky::quant {
+
+/// How QEngine::run executes the compiled integer graph.
+enum class QExecution {
+    kAuto,       ///< packed int8 GEMM where provably exact, reference otherwise
+    kInt8,       ///< strict: throw where the int8 path cannot be used
+    kReference,  ///< scalar interpreter everywhere (the correctness oracle)
+};
+
+[[nodiscard]] const char* qexecution_name(QExecution e);
+
+struct QuantConfig {
+    int fm_bits = 9;          ///< feature-map word width
+    int weight_bits = 11;     ///< weight word width
+    float fm_abs_max = 8.0f;  ///< calibrated FM range; sets the shared format
+
+    float input_lo = 0.0f;  ///< declared minimum of run() inputs
+    float input_hi = 1.0f;  ///< declared maximum of run() inputs
+
+    QExecution execution = QExecution::kAuto;
+
+    /// Let layers the integer engine cannot compile (grouped 1x1 conv,
+    /// exotic activations, ...) run their float module between dequantize /
+    /// requantize steps instead of failing compilation.  Downgrades
+    /// verify::check_qmodel's Q002 from error to warning.
+    bool fp32_fallback = false;
+
+    [[nodiscard]] QuantConfig with_fm_bits(int bits) const {
+        QuantConfig c = *this;
+        c.fm_bits = bits;
+        return c;
+    }
+    [[nodiscard]] QuantConfig with_weight_bits(int bits) const {
+        QuantConfig c = *this;
+        c.weight_bits = bits;
+        return c;
+    }
+    [[nodiscard]] QuantConfig with_bits(int fm, int weight) const {
+        QuantConfig c = *this;
+        c.fm_bits = fm;
+        c.weight_bits = weight;
+        return c;
+    }
+    [[nodiscard]] QuantConfig with_fm_abs_max(float m) const {
+        QuantConfig c = *this;
+        c.fm_abs_max = m;
+        return c;
+    }
+    [[nodiscard]] QuantConfig with_input_range(float lo, float hi) const {
+        QuantConfig c = *this;
+        c.input_lo = lo;
+        c.input_hi = hi;
+        return c;
+    }
+    [[nodiscard]] QuantConfig with_execution(QExecution e) const {
+        QuantConfig c = *this;
+        c.execution = e;
+        return c;
+    }
+    [[nodiscard]] QuantConfig with_fp32_fallback(bool on = true) const {
+        QuantConfig c = *this;
+        c.fp32_fallback = on;
+        return c;
+    }
+};
+
+/// `execution` after applying the SKYNET_QENGINE environment override
+/// ("ref" forces kReference — the rollback lever; "auto" or unset keeps the
+/// config's value).  Read at QEngine construction.
+[[nodiscard]] QExecution resolved_execution(const QuantConfig& cfg);
+
+/// Pre-QuantConfig positional scheme struct.  Field order matches the
+/// leading QuantConfig fields, and it converts implicitly, so migration is
+/// spelling-only.
+struct [[deprecated(
+    "use quant::QuantConfig (named fields + with_* chaining)")]] QEngineConfig {
+    int fm_bits = 9;
+    int weight_bits = 11;
+    float fm_abs_max = 8.0f;
+
+    // NOLINTNEXTLINE(google-explicit-constructor): intentional shim.
+    operator QuantConfig() const {
+        QuantConfig c;
+        c.fm_bits = fm_bits;
+        c.weight_bits = weight_bits;
+        c.fm_abs_max = fm_abs_max;
+        return c;
+    }
+};
+
+}  // namespace sky::quant

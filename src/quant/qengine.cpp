@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "core/thread_pool.hpp"
 #include "deploy/fold_bn.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv.hpp"
@@ -15,19 +19,6 @@
 namespace sky::quant {
 namespace {
 
-std::int32_t saturate(std::int64_t v, int bits) {
-    const std::int64_t hi = (1LL << (bits - 1)) - 1;
-    const std::int64_t lo = -(1LL << (bits - 1));
-    return static_cast<std::int32_t>(std::clamp(v, lo, hi));
-}
-
-/// Round-to-nearest arithmetic right shift (ties away from zero).
-std::int64_t round_shift(std::int64_t v, int shift) {
-    if (shift <= 0) return v << (-shift);
-    const std::int64_t half = 1LL << (shift - 1);
-    return v >= 0 ? (v + half) >> shift : -((-v + half) >> shift);
-}
-
 std::vector<std::int32_t> quantize_weights_to_int(const Tensor& w,
                                                   const FixedPointFormat& fmt) {
     std::vector<std::int32_t> out(static_cast<std::size_t>(w.size()));
@@ -38,32 +29,70 @@ std::vector<std::int32_t> quantize_weights_to_int(const Tensor& w,
     return out;
 }
 
+/// Inclusive value range of a node's output on the FM grid.
+struct GridRange {
+    std::int32_t lo = 0;
+    std::int32_t hi = 0;
+};
+
 }  // namespace
 
-QEngine::QEngine(const nn::Graph& graph, const QEngineConfig& cfg)
-    : cfg_(cfg), fm_fmt_(choose_format(cfg.fm_bits, cfg.fm_abs_max)) {
+QEngine::QEngine(nn::Graph& graph, const QuantConfig& cfg)
+    : cfg_(cfg),
+      exec_(resolved_execution(cfg)),
+      fm_fmt_(choose_format(cfg.fm_bits, cfg.fm_abs_max)) {
+    if (cfg.fm_bits < 2 || cfg.fm_bits > 32 || cfg.weight_bits < 2 ||
+        cfg.weight_bits > 32)
+        throw std::invalid_argument(
+            "QEngine: fm_bits/weight_bits must be in [2, 32] (see verify::check_qmodel "
+            "Q005)");
+    if (!(cfg.input_lo <= cfg.input_hi))
+        throw std::invalid_argument("QEngine: input_lo must be <= input_hi");
+    const int fm_bits = fm_fmt_.total_bits;
+    grid_lo_ = saturate(std::numeric_limits<std::int64_t>::min(), fm_bits);
+    grid_hi_ = saturate(std::numeric_limits<std::int64_t>::max(), fm_bits);
+    six_ = fm_fmt_.frac_bits >= 60
+               ? grid_hi_
+               : saturate(static_cast<std::int64_t>(6) << fm_fmt_.frac_bits, fm_bits);
+    const double inv_step = 1.0 / fm_fmt_.step();
+    in_lo_ = saturate(std::llround(static_cast<double>(cfg.input_lo) * inv_step),
+                      fm_bits);
+    in_hi_ = saturate(std::llround(static_cast<double>(cfg.input_hi) * inv_step),
+                      fm_bits);
+
+    // ---- Parse the graph into integer layers (weights at full scheme
+    // precision — the reference path and the s16 packing both read them) --
     output_node_ = graph.output_node();
     layers_.resize(graph.node_count());
-    weight_frac_.assign(graph.node_count(), 0);
+    std::vector<FixedPointFormat> wfmt(graph.node_count());
+    std::vector<std::string> names(graph.node_count());
     for (std::size_t i = 0; i < graph.node_count(); ++i) {
         QLayer& l = layers_[i];
         l.inputs = graph.node_inputs(i);
+        l.clamp_lo = grid_lo_;
+        l.clamp_hi = grid_hi_;
         switch (graph.node_kind(i)) {
             case nn::Graph::NodeKind::kInput:
                 l.op = QLayer::Op::kInput;
+                names[i] = "input";
                 continue;
             case nn::Graph::NodeKind::kConcat:
                 l.op = QLayer::Op::kConcat;
+                names[i] = "concat";
                 continue;
             case nn::Graph::NodeKind::kAdd:
                 l.op = QLayer::Op::kAdd;
+                l.impl = QImpl::kRefInt;
+                names[i] = "add";
                 continue;
             case nn::Graph::NodeKind::kModule:
                 break;
         }
-        const nn::Module* m = graph.node_module(i);
+        nn::Module* m = graph.node_module(i);
+        names[i] = m->name();
         if (auto* conv = dynamic_cast<const nn::Conv2d*>(m)) {
             l.op = QLayer::Op::kConv;
+            l.impl = QImpl::kRefInt;
             l.in_ch = conv->in_channels();
             l.out_ch = conv->out_channels();
             l.k = conv->kernel();
@@ -71,7 +100,8 @@ QEngine::QEngine(const nn::Graph& graph, const QEngineConfig& cfg)
             l.pad = conv->padding();
             const FixedPointFormat wf =
                 choose_format(cfg.weight_bits, conv->weight().abs_max());
-            weight_frac_[i] = wf.frac_bits;
+            wfmt[i] = wf;
+            l.shift = wf.frac_bits;
             l.weights = quantize_weights_to_int(conv->weight(), wf);
             l.bias.assign(static_cast<std::size_t>(l.out_ch), 0);
             if (conv->has_bias()) {
@@ -81,9 +111,17 @@ QEngine::QEngine(const nn::Graph& graph, const QEngineConfig& cfg)
                         std::llround(conv->bias()[oc] * scale));
             }
         } else if (auto* pw = dynamic_cast<const nn::PWConv1*>(m)) {
-            if (pw->groups() != 1)
-                throw std::invalid_argument("QEngine: grouped 1x1 conv unsupported");
+            if (pw->groups() != 1) {
+                if (!cfg.fp32_fallback)
+                    throw std::invalid_argument(
+                        "QEngine: grouped 1x1 conv unsupported");
+                l.op = QLayer::Op::kFp32;
+                l.impl = QImpl::kFp32;
+                l.fallback = m;
+                continue;
+            }
             l.op = QLayer::Op::kConv;
+            l.impl = QImpl::kRefInt;
             l.in_ch = pw->in_channels();
             l.out_ch = pw->out_channels();
             l.k = 1;
@@ -91,7 +129,8 @@ QEngine::QEngine(const nn::Graph& graph, const QEngineConfig& cfg)
             l.pad = 0;
             const FixedPointFormat wf =
                 choose_format(cfg.weight_bits, pw->weight().abs_max());
-            weight_frac_[i] = wf.frac_bits;
+            wfmt[i] = wf;
+            l.shift = wf.frac_bits;
             l.weights = quantize_weights_to_int(pw->weight(), wf);
             l.bias.assign(static_cast<std::size_t>(l.out_ch), 0);
             if (pw->has_bias()) {
@@ -102,29 +141,36 @@ QEngine::QEngine(const nn::Graph& graph, const QEngineConfig& cfg)
             }
         } else if (auto* dw = dynamic_cast<const nn::DWConv3*>(m)) {
             l.op = QLayer::Op::kDwConv3;
+            l.impl = QImpl::kRefInt;
             l.in_ch = l.out_ch = dw->channels();
             l.k = 3;
             const FixedPointFormat wf =
                 choose_format(cfg.weight_bits, dw->weight().abs_max());
-            weight_frac_[i] = wf.frac_bits;
+            wfmt[i] = wf;
+            l.shift = wf.frac_bits;
             l.weights = quantize_weights_to_int(dw->weight(), wf);
         } else if (dynamic_cast<const nn::MaxPool2*>(m)) {
             l.op = QLayer::Op::kPool;
         } else if (auto* act = dynamic_cast<const nn::Activation*>(m)) {
-            if (act->act_kind() == nn::Act::kReLU)
+            if (act->act_kind() == nn::Act::kReLU) {
                 l.op = QLayer::Op::kRelu;
-            else if (act->act_kind() == nn::Act::kReLU6)
+            } else if (act->act_kind() == nn::Act::kReLU6) {
                 l.op = QLayer::Op::kRelu6;
-            else
+            } else if (cfg.fp32_fallback) {
+                l.op = QLayer::Op::kFp32;
+                l.impl = QImpl::kFp32;
+                l.fallback = m;
+            } else {
                 throw std::invalid_argument("QEngine: unsupported activation");
+            }
         } else if (auto* s2d = dynamic_cast<const nn::SpaceToDepth*>(m)) {
             l.op = QLayer::Op::kReorder;
             l.reorder_block = s2d->block();
         } else if (auto* cb = dynamic_cast<const deploy::ChannelBias*>(m)) {
             // The folded BN shift, expressed on the FM grid.
             l.op = QLayer::Op::kBias;
+            l.impl = QImpl::kRefInt;
             l.bias.reserve(cb->values().size());
-            const double inv_step = 1.0 / fm_fmt_.step();
             for (float b : cb->values())
                 l.bias.push_back(static_cast<std::int64_t>(std::llround(b * inv_step)));
         } else if (dynamic_cast<const deploy::Identity*>(m)) {
@@ -132,29 +178,254 @@ QEngine::QEngine(const nn::Graph& graph, const QEngineConfig& cfg)
         } else if (m->kind() == "bn") {
             throw std::invalid_argument(
                 "QEngine: fold batch norms before compiling (deploy::fold_graph_bn)");
+        } else if (cfg.fp32_fallback) {
+            l.op = QLayer::Op::kFp32;
+            l.impl = QImpl::kFp32;
+            l.fallback = m;
         } else {
             throw std::invalid_argument("QEngine: unsupported layer " + m->name());
         }
     }
+
+    // ---- Propagate output value ranges on the FM grid.  Conservative:
+    // arithmetic layers saturate to the full grid; activations and
+    // data-movement ops tighten/preserve.  Sound for every input inside the
+    // declared [input_lo, input_hi] --------------------------------------
+    std::vector<GridRange> range(layers_.size(), GridRange{grid_lo_, grid_hi_});
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const QLayer& l = layers_[i];
+        const auto in_range = [&](int idx) { return range[static_cast<std::size_t>(idx)]; };
+        switch (l.op) {
+            case QLayer::Op::kInput: range[i] = {in_lo_, in_hi_}; break;
+            case QLayer::Op::kRelu: {
+                const GridRange r = in_range(l.inputs[0]);
+                range[i] = {std::max(r.lo, 0), std::max(r.hi, 0)};
+                break;
+            }
+            case QLayer::Op::kRelu6: {
+                const GridRange r = in_range(l.inputs[0]);
+                range[i] = {std::clamp(r.lo, 0, six_), std::clamp(r.hi, 0, six_)};
+                break;
+            }
+            case QLayer::Op::kPool:
+            case QLayer::Op::kReorder:
+            case QLayer::Op::kIdentity: range[i] = in_range(l.inputs[0]); break;
+            case QLayer::Op::kConcat: {
+                GridRange r = in_range(l.inputs[0]);
+                for (int in : l.inputs) {
+                    r.lo = std::min(r.lo, in_range(in).lo);
+                    r.hi = std::max(r.hi, in_range(in).hi);
+                }
+                range[i] = r;
+                break;
+            }
+            case QLayer::Op::kConv:
+            case QLayer::Op::kDwConv3:
+            case QLayer::Op::kBias:
+            case QLayer::Op::kAdd:
+            case QLayer::Op::kFp32: range[i] = {grid_lo_, grid_hi_}; break;
+        }
+    }
+
+    // ---- Elide Identity nodes (folded BN leaves one behind every conv):
+    // rewire every consumer straight to the identity's source, so identity
+    // layers never execute and activation fusion can see through them.
+    // Pure graph plumbing — bit-identical in every execution mode ---------
+    const auto resolve_identity = [this](int j) {
+        while (layers_[static_cast<std::size_t>(j)].op == QLayer::Op::kIdentity)
+            j = layers_[static_cast<std::size_t>(j)].inputs[0];
+        return j;
+    };
+    for (QLayer& l : layers_)
+        for (int& in : l.inputs) in = resolve_identity(in);
+    output_node_ = resolve_identity(output_node_);
+
+    // ---- Plan the int8 GEMM path: a conv is eligible when its inputs
+    // provably span <= 256 grid values (u8 after the zero-point offset),
+    // its weights fit the native s16 operand, and the int32 accumulation is
+    // provably exact for THIS layer's values: K * max|w| * span < 2^31.
+    // Weights are prepacked once, here ------------------------------------
+    std::vector<std::string> notes(layers_.size());
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        QLayer& l = layers_[i];
+        if (l.op == QLayer::Op::kDwConv3) {
+            // The dwconv gets a branch-free int32 fast path whenever the
+            // 9-tap accumulation plus the rounding offset provably fits —
+            // bit-equal to the int64 reference (exact integer sums).
+            std::int64_t wmax = 0;
+            for (const std::int32_t w : l.weights)
+                wmax = std::max<std::int64_t>(wmax, std::abs(static_cast<std::int64_t>(w)));
+            const std::int64_t xmax =
+                std::max<std::int64_t>(-static_cast<std::int64_t>(grid_lo_), grid_hi_);
+            l.dw32 = l.shift >= 1 && l.shift <= 30 &&
+                     9 * wmax * xmax + (std::int64_t{1} << (l.shift - 1)) <
+                         (std::int64_t{1} << 31);
+            continue;
+        }
+        if (l.op != QLayer::Op::kConv || exec_ == QExecution::kReference) continue;
+        const GridRange r = range[static_cast<std::size_t>(l.inputs[0])];
+        // With zero padding the offset value 0 must itself be encodable.
+        const std::int32_t zp = l.pad > 0 ? std::min(r.lo, 0) : r.lo;
+        const std::int64_t span = static_cast<std::int64_t>(r.hi) - zp;
+        const int K = l.in_ch * l.k * l.k;
+        std::int64_t wmax = 0;
+        for (const std::int32_t w : l.weights)
+            wmax = std::max<std::int64_t>(wmax, std::abs(static_cast<std::int64_t>(w)));
+        std::string reason;
+        if (span > 255)
+            reason = "input span " + std::to_string(span) + " exceeds u8";
+        else if (cfg.weight_bits > 15)
+            reason = "weight_bits > 15 (s16 operand bound)";
+        else if (K > core::qgemm_max_k() ||
+                 static_cast<std::int64_t>(K) * wmax * span >= (std::int64_t{1} << 31))
+            reason = "int32 accumulator bound K * max|w| * span exceeded";
+        if (!reason.empty()) {
+            if (exec_ == QExecution::kInt8)
+                throw std::invalid_argument("QEngine: strict int8: " + names[i] +
+                                            ": " + reason);
+            notes[i] = reason;
+            continue;
+        }
+        core::qpack_a_wide(l.out_ch, K, l.weights.data(), l.apack);
+        l.zero_point = zp;
+        l.bias_corr.resize(static_cast<std::size_t>(l.out_ch));
+        for (int oc = 0; oc < l.out_ch; ++oc) {
+            const auto uoc = static_cast<std::size_t>(oc);
+            l.bias_corr[uoc] = (l.bias.empty() ? 0 : l.bias[uoc]) +
+                               static_cast<std::int64_t>(zp) * l.apack.rowsum[uoc];
+        }
+        // Branchless int32 requantization is exact when the biased
+        // accumulator plus the rounding offset provably fits int32.
+        std::int64_t bmax = 0;
+        for (const std::int64_t b : l.bias_corr)
+            bmax = std::max(bmax, std::abs(b));
+        l.rq32 = l.shift >= 1 && l.shift <= 30 &&
+                 static_cast<std::int64_t>(K) * wmax * span + bmax +
+                         (std::int64_t{1} << (l.shift - 1)) <
+                     (std::int64_t{1} << 31);
+        l.impl = QImpl::kQGemm;
+        any_qgemm_ = true;
+    }
+
+    // Snapshot the ranges the plan was proven against before fusion rewires
+    // inputs — the report should show what justified each plan.
+    std::vector<GridRange> plan_in(layers_.size(), GridRange{0, 0});
+    for (std::size_t i = 0; i < layers_.size(); ++i)
+        if (!layers_[i].weights.empty())
+            plan_in[i] = range[static_cast<std::size_t>(layers_[i].inputs[0])];
+
+    // ---- Fuse a ReLU/ReLU6 whose only consumer role is post-activating a
+    // conv into that conv's requantization clamp.  Bit-equal to the unfused
+    // program: clamp(round_shift(acc)) == act(saturate(round_shift(acc)))
+    // because the act bounds lie inside the grid.  Skipped in reference
+    // mode so the oracle executes the graph verbatim ----------------------
+    if (exec_ != QExecution::kReference) {
+        std::vector<int> consumers(layers_.size(), 0);
+        for (const QLayer& l : layers_) {
+            if (l.op == QLayer::Op::kIdentity) continue;  // elided, never reads
+            for (int in : l.inputs) ++consumers[static_cast<std::size_t>(in)];
+        }
+        ++consumers[static_cast<std::size_t>(output_node_)];
+        for (std::size_t j = 0; j < layers_.size(); ++j) {
+            QLayer& act = layers_[j];
+            if (act.op != QLayer::Op::kRelu && act.op != QLayer::Op::kRelu6) continue;
+            const auto src = static_cast<std::size_t>(act.inputs[0]);
+            QLayer& prod = layers_[src];
+            if (consumers[src] != 1) continue;
+            if (prod.op != QLayer::Op::kConv && prod.op != QLayer::Op::kDwConv3 &&
+                prod.op != QLayer::Op::kBias)
+                continue;
+            prod.clamp_lo = 0;
+            prod.clamp_hi = act.op == QLayer::Op::kRelu6 ? six_ : grid_hi_;
+            act.op = QLayer::Op::kIdentity;
+            notes[j] = "fused into " + names[src];
+        }
+        // Fold a dwconv's trailing single-consumer ChannelBias (which now
+        // carries any fused activation clamp) into the dwconv executor: one
+        // tensor pass instead of two.  Elementwise composition of the two
+        // executors, so bit-identical; only taken when the post-add provably
+        // fits int32 next to a grid value (the fast path's arithmetic).
+        for (std::size_t j = 0; j < layers_.size(); ++j) {
+            QLayer& bias = layers_[j];
+            if (bias.op != QLayer::Op::kBias) continue;
+            const auto src = static_cast<std::size_t>(bias.inputs[0]);
+            QLayer& prod = layers_[src];
+            if (consumers[src] != 1) continue;
+            if (prod.op != QLayer::Op::kDwConv3 || prod.impl == QImpl::kFp32)
+                continue;
+            const bool fits = std::all_of(
+                bias.bias.begin(), bias.bias.end(), [&](std::int64_t b) {
+                    return b >= std::numeric_limits<std::int32_t>::min() -
+                                    static_cast<std::int64_t>(grid_lo_) &&
+                           b <= std::numeric_limits<std::int32_t>::max() -
+                                    static_cast<std::int64_t>(grid_hi_);
+                });
+            if (!fits) continue;
+            prod.post_bias = std::move(bias.bias);
+            prod.post_lo = bias.clamp_lo;
+            prod.post_hi = bias.clamp_hi;
+            bias.op = QLayer::Op::kIdentity;
+            notes[j] = "fused into " + names[src];
+        }
+        // Fused activations became identities; rewire their consumers to the
+        // producer so run() can skip every identity without executing it.
+        for (QLayer& l : layers_)
+            for (int& in : l.inputs) in = resolve_identity(in);
+        output_node_ = resolve_identity(output_node_);
+    }
+
+    // ---- Compilation report --------------------------------------------
+    report_.config = cfg_;
+    report_.execution = exec_;
+    report_.fm_format = fm_fmt_;
+    report_.weight_bytes = weight_bytes();
+    report_.layers.reserve(layers_.size());
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const QLayer& l = layers_[i];
+        QLayerReport lr;
+        lr.node = static_cast<int>(i);
+        lr.name = names[i];
+        lr.impl = l.impl;
+        lr.note = notes[i];
+        if (!l.weights.empty()) {
+            lr.weight_format = wfmt[i];
+            lr.has_weights = true;
+            lr.in_lo = plan_in[i].lo;
+            lr.in_hi = plan_in[i].hi;
+        }
+        if (l.op == QLayer::Op::kConv || l.op == QLayer::Op::kDwConv3) {
+            if (l.impl == QImpl::kQGemm)
+                ++report_.qgemm_layers;
+            else
+                ++report_.ref_layers;
+        }
+        if (l.impl == QImpl::kFp32) ++report_.fp32_layers;
+        report_.layers.push_back(std::move(lr));
+    }
 }
 
-QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) const {
+QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) {
     const int fm_bits = fm_fmt_.total_bits;
     switch (l.op) {
         case QLayer::Op::kInput:
             throw std::logic_error("QEngine: input node executed");
         case QLayer::Op::kIdentity:
             return outputs[static_cast<std::size_t>(l.inputs[0])];
-        case QLayer::Op::kRelu: {
-            QTensor y = outputs[static_cast<std::size_t>(l.inputs[0])];
-            for (auto& v : y.data) v = std::max(v, 0);
-            return y;
-        }
+        case QLayer::Op::kRelu:
         case QLayer::Op::kRelu6: {
-            QTensor y = outputs[static_cast<std::size_t>(l.inputs[0])];
-            const std::int32_t six = saturate(
-                static_cast<std::int64_t>(6) << fm_fmt_.frac_bits, fm_bits);
-            for (auto& v : y.data) v = std::clamp(v, 0, six);
+            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
+            QTensor y;
+            y.shape = x.shape;
+            y.data.resize(x.data.size());
+            const std::int32_t hi =
+                l.op == QLayer::Op::kRelu6 ? six_ : grid_hi_;
+            const std::int32_t* src = x.data.data();
+            std::int32_t* dst = y.data.data();
+            core::parallel_for(0, static_cast<std::int64_t>(x.data.size()), 4096,
+                               [=](std::int64_t i0, std::int64_t i1) {
+                                   for (std::int64_t i = i0; i < i1; ++i)
+                                       dst[i] = std::clamp(src[i], 0, hi);
+                               });
             return y;
         }
         case QLayer::Op::kPool: {
@@ -162,22 +433,27 @@ QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) c
             QTensor y;
             y.shape = {x.shape.n, x.shape.c, x.shape.h / 2, x.shape.w / 2};
             y.data.resize(static_cast<std::size_t>(y.shape.count()));
-            std::size_t oi = 0;
-            for (int n = 0; n < x.shape.n; ++n)
-                for (int c = 0; c < x.shape.c; ++c) {
-                    const std::int32_t* xp =
-                        x.data.data() +
-                        (static_cast<std::int64_t>(n) * x.shape.c + c) * x.shape.h *
-                            x.shape.w;
-                    for (int oh = 0; oh < y.shape.h; ++oh)
-                        for (int ow = 0; ow < y.shape.w; ++ow) {
-                            const std::int64_t base =
-                                static_cast<std::int64_t>(oh * 2) * x.shape.w + ow * 2;
-                            y.data[oi++] = std::max(
-                                std::max(xp[base], xp[base + 1]),
-                                std::max(xp[base + x.shape.w], xp[base + x.shape.w + 1]));
-                        }
-                }
+            const int W = x.shape.w, OH = y.shape.h, OW = y.shape.w;
+            const std::int32_t* xd = x.data.data();
+            std::int32_t* yd = y.data.data();
+            core::parallel_for(
+                0, static_cast<std::int64_t>(x.shape.n) * x.shape.c, 1,
+                [=](std::int64_t p0, std::int64_t p1) {
+                    for (std::int64_t p = p0; p < p1; ++p) {
+                        const std::int32_t* xp =
+                            xd + p * static_cast<std::int64_t>(x.shape.h) * W;
+                        std::int32_t* yp =
+                            yd + p * static_cast<std::int64_t>(OH) * OW;
+                        for (int oh = 0; oh < OH; ++oh)
+                            for (int ow = 0; ow < OW; ++ow) {
+                                const std::int64_t base =
+                                    static_cast<std::int64_t>(oh * 2) * W + ow * 2;
+                                yp[static_cast<std::int64_t>(oh) * OW + ow] =
+                                    std::max(std::max(xp[base], xp[base + 1]),
+                                             std::max(xp[base + W], xp[base + W + 1]));
+                            }
+                    }
+                });
             return y;
         }
         case QLayer::Op::kReorder: {
@@ -186,29 +462,31 @@ QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) c
             QTensor y;
             y.shape = {x.shape.n, x.shape.c * b * b, x.shape.h / b, x.shape.w / b};
             y.data.resize(static_cast<std::size_t>(y.shape.count()));
-            for (int n = 0; n < x.shape.n; ++n)
-                for (int c = 0; c < x.shape.c; ++c)
-                    for (int dy = 0; dy < b; ++dy)
-                        for (int dx = 0; dx < b; ++dx) {
-                            const int oc = c * b * b + dy * b + dx;
-                            for (int oh = 0; oh < y.shape.h; ++oh)
-                                for (int ow = 0; ow < y.shape.w; ++ow) {
-                                    const std::int64_t src =
-                                        ((static_cast<std::int64_t>(n) * x.shape.c + c) *
-                                             x.shape.h +
-                                         (oh * b + dy)) *
-                                            x.shape.w +
-                                        (ow * b + dx);
-                                    const std::int64_t dst =
-                                        ((static_cast<std::int64_t>(n) * y.shape.c + oc) *
-                                             y.shape.h +
-                                         oh) *
-                                            y.shape.w +
-                                        ow;
-                                    y.data[static_cast<std::size_t>(dst)] =
-                                        x.data[static_cast<std::size_t>(src)];
+            const int OH = y.shape.h, OW = y.shape.w, W = x.shape.w;
+            const std::int32_t* xd = x.data.data();
+            std::int32_t* yd = y.data.data();
+            core::parallel_for(
+                0, static_cast<std::int64_t>(x.shape.n) * x.shape.c, 1,
+                [=](std::int64_t p0, std::int64_t p1) {
+                    for (std::int64_t p = p0; p < p1; ++p) {
+                        const std::int32_t* xp =
+                            xd + p * static_cast<std::int64_t>(x.shape.h) * W;
+                        std::int32_t* yp =
+                            yd + p * static_cast<std::int64_t>(b) * b * OH * OW;
+                        for (int dy = 0; dy < b; ++dy)
+                            for (int dx = 0; dx < b; ++dx) {
+                                std::int32_t* q =
+                                    yp + static_cast<std::int64_t>(dy * b + dx) * OH * OW;
+                                for (int oh = 0; oh < OH; ++oh) {
+                                    const std::int32_t* row =
+                                        xp + static_cast<std::int64_t>(oh * b + dy) * W + dx;
+                                    for (int ow = 0; ow < OW; ++ow)
+                                        q[static_cast<std::int64_t>(oh) * OW + ow] =
+                                            row[static_cast<std::int64_t>(ow) * b];
                                 }
-                        }
+                            }
+                    }
+                });
             return y;
         }
         case QLayer::Op::kConcat: {
@@ -236,26 +514,83 @@ QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) c
             return y;
         }
         case QLayer::Op::kAdd: {
-            QTensor y = outputs[static_cast<std::size_t>(l.inputs[0])];
+            const QTensor& a = outputs[static_cast<std::size_t>(l.inputs[0])];
             const QTensor& b = outputs[static_cast<std::size_t>(l.inputs[1])];
-            for (std::size_t i = 0; i < y.data.size(); ++i)
-                y.data[i] = saturate(static_cast<std::int64_t>(y.data[i]) + b.data[i],
-                                     fm_bits);
+            QTensor y;
+            y.shape = a.shape;
+            y.data.resize(a.data.size());
+            const std::int32_t* ad = a.data.data();
+            const std::int32_t* bd = b.data.data();
+            std::int32_t* yd = y.data.data();
+            core::parallel_for(0, static_cast<std::int64_t>(a.data.size()), 4096,
+                               [=](std::int64_t i0, std::int64_t i1) {
+                                   for (std::int64_t i = i0; i < i1; ++i)
+                                       yd[i] = saturate(
+                                           static_cast<std::int64_t>(ad[i]) + bd[i],
+                                           fm_bits);
+                               });
             return y;
         }
         case QLayer::Op::kBias: {
-            QTensor y = outputs[static_cast<std::size_t>(l.inputs[0])];
+            // Per-channel add with the layer's requantization clamp — the
+            // grid bounds when unfused (== the old saturate), or [0, six]
+            // when a downstream ReLU/ReLU6 was folded in.
+            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
+            QTensor y;
+            y.shape = x.shape;
+            y.data.resize(x.data.size());
             const std::int64_t plane =
-                static_cast<std::int64_t>(y.shape.h) * y.shape.w;
-            for (int n = 0; n < y.shape.n; ++n)
-                for (int c = 0; c < y.shape.c; ++c) {
-                    const std::int64_t b = l.bias[static_cast<std::size_t>(c)];
-                    std::int32_t* p =
-                        y.data.data() +
-                        (static_cast<std::int64_t>(n) * y.shape.c + c) * plane;
-                    for (std::int64_t i = 0; i < plane; ++i)
-                        p[i] = saturate(static_cast<std::int64_t>(p[i]) + b, fm_bits);
-                }
+                static_cast<std::int64_t>(x.shape.h) * x.shape.w;
+            const int C = x.shape.c;
+            const std::int32_t lo = l.clamp_lo, hi = l.clamp_hi;
+            const std::int32_t glo = grid_lo_, ghi = grid_hi_;
+            const std::int32_t* xd = x.data.data();
+            std::int32_t* yd = y.data.data();
+            const std::int64_t* bias = l.bias.data();
+            core::parallel_for(
+                0, static_cast<std::int64_t>(x.shape.n) * C, 1,
+                [=](std::int64_t p0, std::int64_t p1) {
+                    for (std::int64_t p = p0; p < p1; ++p) {
+                        const std::int64_t b = bias[p % C];
+                        const std::int32_t* src = xd + p * plane;
+                        std::int32_t* dst = yd + p * plane;
+                        // Grid values fit fm_bits, so when the bias also fits
+                        // int32 with headroom the sum is exact in int32.
+                        if (b >= std::numeric_limits<std::int32_t>::min() -
+                                     static_cast<std::int64_t>(glo) &&
+                            b <= std::numeric_limits<std::int32_t>::max() -
+                                     static_cast<std::int64_t>(ghi)) {
+                            const std::int32_t b32 = static_cast<std::int32_t>(b);
+                            for (std::int64_t i = 0; i < plane; ++i)
+                                dst[i] = std::clamp(src[i] + b32, lo, hi);
+                        } else {
+                            for (std::int64_t i = 0; i < plane; ++i)
+                                dst[i] = static_cast<std::int32_t>(std::clamp(
+                                    static_cast<std::int64_t>(src[i]) + b,
+                                    static_cast<std::int64_t>(lo),
+                                    static_cast<std::int64_t>(hi)));
+                        }
+                    }
+                });
+            return y;
+        }
+        case QLayer::Op::kFp32: {
+            // Dequantize -> float module -> requantize onto the FM grid, so
+            // downstream integer layers see grid values as usual.
+            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
+            Tensor xf(x.shape);
+            const float step = static_cast<float>(fm_fmt_.step());
+            for (std::size_t i = 0; i < x.data.size(); ++i)
+                xf[static_cast<std::int64_t>(i)] =
+                    static_cast<float>(x.data[i]) * step;
+            const Tensor yf = l.fallback->forward(xf);
+            QTensor y;
+            y.shape = yf.shape();
+            y.data.resize(static_cast<std::size_t>(yf.size()));
+            const double inv_step = 1.0 / fm_fmt_.step();
+            for (std::int64_t i = 0; i < yf.size(); ++i)
+                y.data[static_cast<std::size_t>(i)] = saturate(
+                    static_cast<std::int64_t>(std::llround(yf[i] * inv_step)), fm_bits);
             return y;
         }
         case QLayer::Op::kDwConv3:
@@ -265,100 +600,270 @@ QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) c
     throw std::logic_error("QEngine: unreachable");
 }
 
-Tensor QEngine::run(const Tensor& input) const {
+void QEngine::execute_dwconv(const QLayer& l, const QTensor& x, QTensor& y) const {
+    y.shape = x.shape;
+    y.data.resize(static_cast<std::size_t>(y.shape.count()));
+    const int H = x.shape.h, W = x.shape.w, C = x.shape.c;
+    const int shift = l.shift;
+    const std::int32_t clamp_lo = l.clamp_lo, clamp_hi = l.clamp_hi;
+    const std::int32_t* xd = x.data.data();
+    const std::int32_t* wd = l.weights.data();
+    std::int32_t* yd = y.data.data();
+    // One (n, c) plane per iteration in both paths: writes are disjoint,
+    // accumulation is exact integer — bitwise thread-count invariant.
+    if (l.dw32) {
+        // Branch-free int32 fast path (planned: 9-tap sum + rounding offset
+        // provably fit int32).  Missing border rows read a zero row — the
+        // phantom taps contribute w * 0, exactly like skipping them — and
+        // the rounding matches round_shift tie-away-from-zero bit for bit.
+        const std::int32_t half = std::int32_t{1} << (shift - 1);
+        const std::int64_t* pbias =
+            l.post_bias.empty() ? nullptr : l.post_bias.data();
+        const std::int32_t plo = l.post_lo, phi = l.post_hi;
+        core::parallel_for(
+            0, static_cast<std::int64_t>(x.shape.n) * C, 1,
+            [=](std::int64_t i0, std::int64_t i1) {
+                const std::vector<std::int32_t> zrow(static_cast<std::size_t>(W), 0);
+                for (std::int64_t idx = i0; idx < i1; ++idx) {
+                    const int c = static_cast<int>(idx % C);
+                    // Fused trailing bias: clamp(clamp(r) + b) with a zero
+                    // bias and the same bounds is the unfused result.
+                    const std::int32_t badd =
+                        pbias ? static_cast<std::int32_t>(pbias[c]) : 0;
+                    const std::int32_t flo = pbias ? plo : clamp_lo;
+                    const std::int32_t fhi = pbias ? phi : clamp_hi;
+                    const auto requant = [=](std::int32_t acc) {
+                        const std::int32_t r = acc >= 0 ? (acc + half) >> shift
+                                                        : -((-acc + half) >> shift);
+                        return std::clamp(std::clamp(r, clamp_lo, clamp_hi) + badd,
+                                          flo, fhi);
+                    };
+                    const std::int32_t* xp = xd + idx * H * W;
+                    std::int32_t* yp = yd + idx * H * W;
+                    const std::int32_t* w = wd + static_cast<std::int64_t>(c) * 9;
+                    const std::int32_t w0 = w[0], w1 = w[1], w2 = w[2], w3 = w[3],
+                                       w4 = w[4], w5 = w[5], w6 = w[6], w7 = w[7],
+                                       w8 = w[8];
+                    for (int oh = 0; oh < H; ++oh) {
+                        const std::int32_t* rm = xp + static_cast<std::int64_t>(oh) * W;
+                        const std::int32_t* rt = oh > 0 ? rm - W : zrow.data();
+                        const std::int32_t* rb = oh + 1 < H ? rm + W : zrow.data();
+                        std::int32_t* out = yp + static_cast<std::int64_t>(oh) * W;
+                        out[0] = requant(
+                            w1 * rt[0] + w4 * rm[0] + w7 * rb[0] +
+                            (W > 1 ? w2 * rt[1] + w5 * rm[1] + w8 * rb[1] : 0));
+                        for (int ow = 1; ow < W - 1; ++ow)
+                            out[ow] = requant(
+                                w0 * rt[ow - 1] + w1 * rt[ow] + w2 * rt[ow + 1] +
+                                w3 * rm[ow - 1] + w4 * rm[ow] + w5 * rm[ow + 1] +
+                                w6 * rb[ow - 1] + w7 * rb[ow] + w8 * rb[ow + 1]);
+                        if (W > 1) {
+                            const int ow = W - 1;
+                            out[ow] = requant(w0 * rt[ow - 1] + w1 * rt[ow] +
+                                              w3 * rm[ow - 1] + w4 * rm[ow] +
+                                              w6 * rb[ow - 1] + w7 * rb[ow]);
+                        }
+                    }
+                }
+            });
+        return;
+    }
+    const std::int64_t* pbias = l.post_bias.empty() ? nullptr : l.post_bias.data();
+    const std::int32_t plo = l.post_lo, phi = l.post_hi;
+    core::parallel_for(
+        0, static_cast<std::int64_t>(x.shape.n) * C, 1,
+        [=](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t idx = i0; idx < i1; ++idx) {
+                const int c = static_cast<int>(idx % C);
+                const std::int64_t badd = pbias ? pbias[c] : 0;
+                const std::int32_t flo = pbias ? plo : clamp_lo;
+                const std::int32_t fhi = pbias ? phi : clamp_hi;
+                const std::int32_t* xp = xd + idx * H * W;
+                std::int32_t* yp = yd + idx * H * W;
+                const std::int32_t* w = wd + static_cast<std::int64_t>(c) * 9;
+                for (int oh = 0; oh < H; ++oh)
+                    for (int ow = 0; ow < W; ++ow) {
+                        std::int64_t acc = 0;
+                        for (int kh = 0; kh < 3; ++kh)
+                            for (int kw = 0; kw < 3; ++kw) {
+                                const int ih = oh - 1 + kh;
+                                const int iw = ow - 1 + kw;
+                                if (ih < 0 || ih >= H || iw < 0 || iw >= W) continue;
+                                acc += static_cast<std::int64_t>(w[kh * 3 + kw]) *
+                                       xp[static_cast<std::int64_t>(ih) * W + iw];
+                            }
+                        yp[static_cast<std::int64_t>(oh) * W + ow] =
+                            static_cast<std::int32_t>(std::clamp<std::int64_t>(
+                                std::clamp<std::int64_t>(round_shift(acc, shift),
+                                                         clamp_lo, clamp_hi) +
+                                    badd,
+                                flo, fhi));
+                    }
+            }
+        });
+}
+
+void QEngine::execute_conv(const QLayer& l, const QTensor& x, QTensor& y,
+                           bool allow_qgemm) {
+    const int H = x.shape.h, W = x.shape.w;
+    const int OH = (H + 2 * l.pad - l.k) / l.stride + 1;
+    const int OW = (W + 2 * l.pad - l.k) / l.stride + 1;
+    y.shape = {x.shape.n, l.out_ch, OH, OW};
+    y.data.resize(static_cast<std::size_t>(y.shape.count()));
+    const int shift = l.shift;
+    const std::int32_t clamp_lo = l.clamp_lo, clamp_hi = l.clamp_hi;
+    if (l.impl == QImpl::kQGemm && allow_qgemm) {
+        const int M = l.out_ch;
+        const std::int64_t N = static_cast<std::int64_t>(OH) * OW;
+        for (int n = 0; n < x.shape.n; ++n) {
+            const std::int32_t* img =
+                x.data.data() + static_cast<std::int64_t>(n) * l.in_ch * H * W;
+            core::qim2col_packed(img, l.in_ch, H, W, l.k, l.stride, l.pad, OH, OW,
+                                 l.zero_point, bpanel_);
+            acc_.assign(static_cast<std::size_t>(M * N), 0);
+            core::qgemm_packed(l.apack, bpanel_, acc_.data());
+            std::int32_t* yp =
+                y.data.data() + static_cast<std::int64_t>(n) * M * N;
+            const std::int32_t* cacc = acc_.data();
+            const std::int64_t* bias_corr = l.bias_corr.data();
+            // Requantize row-parallel: acc = bias' + gemm, then round-shift
+            // by the weight fraction and clamp (saturation + any fused
+            // activation in one step).
+            if (l.rq32 && clamp_lo == 0) {
+                // Branchless int32 variant (planned: biased accumulator +
+                // rounding offset fit int32).  With a fused ReLU clamp at 0,
+                // any negative accumulator rounds to <= 0 and clamps to 0 —
+                // exactly what (max(acc, 0) + half) >> shift yields — so the
+                // sign branch of round_shift disappears and the loop
+                // auto-vectorizes.
+                const std::int32_t half = std::int32_t{1} << (shift - 1);
+                core::parallel_for(0, M, 1, [=](std::int64_t m0, std::int64_t m1) {
+                    for (std::int64_t oc = m0; oc < m1; ++oc) {
+                        const std::int32_t b =
+                            static_cast<std::int32_t>(bias_corr[oc]);
+                        const std::int32_t* row = cacc + oc * N;
+                        std::int32_t* out = yp + oc * N;
+                        for (std::int64_t j = 0; j < N; ++j) {
+                            const std::int32_t a =
+                                (std::max(b + row[j], 0) + half) >> shift;
+                            out[j] = std::min(a, clamp_hi);
+                        }
+                    }
+                });
+            } else {
+                core::parallel_for(0, M, 1, [=](std::int64_t m0, std::int64_t m1) {
+                    for (std::int64_t oc = m0; oc < m1; ++oc) {
+                        const std::int64_t b = bias_corr[oc];
+                        const std::int32_t* row = cacc + oc * N;
+                        std::int32_t* out = yp + oc * N;
+                        for (std::int64_t j = 0; j < N; ++j)
+                            out[j] =
+                                static_cast<std::int32_t>(std::clamp<std::int64_t>(
+                                    round_shift(b + row[j], shift), clamp_lo,
+                                    clamp_hi));
+                    }
+                });
+            }
+        }
+        return;
+    }
+    // Reference path: direct integer convolution, one (n, oc) output plane
+    // per iteration.  Bit-true for any input (no range assumptions).
+    const std::int32_t* xd = x.data.data();
+    const std::int32_t* wd = l.weights.data();
+    const std::int64_t* bd = l.bias.empty() ? nullptr : l.bias.data();
+    std::int32_t* yd = y.data.data();
+    const int in_ch = l.in_ch, out_ch = l.out_ch, k = l.k, stride = l.stride,
+              pad = l.pad;
+    const int xc = x.shape.c;
+    core::parallel_for(
+        0, static_cast<std::int64_t>(x.shape.n) * out_ch, 1,
+        [=](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t idx = i0; idx < i1; ++idx) {
+                const std::int64_t n = idx / out_ch;
+                const int oc = static_cast<int>(idx % out_ch);
+                std::int32_t* yp =
+                    yd + idx * static_cast<std::int64_t>(OH) * OW;
+                const std::int32_t* wbase =
+                    wd + static_cast<std::int64_t>(oc) * in_ch * k * k;
+                const std::int64_t b = bd ? bd[oc] : 0;
+                for (int yy = 0; yy < OH; ++yy)
+                    for (int xx = 0; xx < OW; ++xx) {
+                        std::int64_t acc = b;
+                        for (int ic = 0; ic < in_ch; ++ic) {
+                            const std::int32_t* xp =
+                                xd + (n * xc + ic) * static_cast<std::int64_t>(H) * W;
+                            const std::int32_t* w =
+                                wbase + static_cast<std::int64_t>(ic) * k * k;
+                            for (int kh = 0; kh < k; ++kh)
+                                for (int kw = 0; kw < k; ++kw) {
+                                    const int ih = yy * stride - pad + kh;
+                                    const int iw = xx * stride - pad + kw;
+                                    if (ih < 0 || ih >= H || iw < 0 || iw >= W)
+                                        continue;
+                                    acc += static_cast<std::int64_t>(w[kh * k + kw]) *
+                                           xp[static_cast<std::int64_t>(ih) * W + iw];
+                                }
+                        }
+                        yp[static_cast<std::int64_t>(yy) * OW + xx] =
+                            static_cast<std::int32_t>(std::clamp<std::int64_t>(
+                                round_shift(acc, shift), clamp_lo, clamp_hi));
+                    }
+            }
+        });
+}
+
+Tensor QEngine::run(const Tensor& input) {
     std::vector<QTensor> outputs(layers_.size());
-    // Quantise the input onto the FM grid.
+    // Quantise the input onto the FM grid (element-parallel, exact).
     QTensor in;
     in.shape = input.shape();
     in.data.resize(static_cast<std::size_t>(input.size()));
     const double inv_step = 1.0 / fm_fmt_.step();
-    for (std::int64_t i = 0; i < input.size(); ++i)
-        in.data[static_cast<std::size_t>(i)] = saturate(
-            static_cast<std::int64_t>(std::llround(input[i] * inv_step)),
-            fm_fmt_.total_bits);
+    const int fm_bits = fm_fmt_.total_bits;
+    {
+        const float* src = input.data();
+        std::int32_t* dst = in.data.data();
+        core::parallel_for(0, input.size(), 4096,
+                           [=](std::int64_t i0, std::int64_t i1) {
+                               for (std::int64_t i = i0; i < i1; ++i)
+                                   dst[i] = saturate(
+                                       static_cast<std::int64_t>(
+                                           std::llround(src[i] * inv_step)),
+                                       fm_bits);
+                           });
+    }
+    // The int8 plan assumed inputs inside the declared range; verify that
+    // at run time and fall back to the reference path for the whole pass if
+    // violated — the answer stays bit-true either way.
+    bool allow_qgemm = any_qgemm_;
+    if (any_qgemm_) {
+        std::int32_t mn = in_hi_, mx = in_lo_;
+        for (const std::int32_t v : in.data) {
+            mn = std::min(mn, v);
+            mx = std::max(mx, v);
+        }
+        if (mn < in_lo_ || mx > in_hi_) {
+            if (exec_ == QExecution::kInt8)
+                throw std::invalid_argument(
+                    "QEngine: strict int8: input outside the declared "
+                    "[input_lo, input_hi] range (widen QuantConfig::with_input_range)");
+            allow_qgemm = false;
+        }
+    }
     outputs[0] = std::move(in);
 
     for (std::size_t i = 1; i < layers_.size(); ++i) {
         const QLayer& l = layers_[i];
-        if (l.op == QLayer::Op::kConv || l.op == QLayer::Op::kDwConv3) {
-            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
-            const int shift = weight_frac_[i];  // acc frac = fm_frac + shift
-            QTensor y;
-            if (l.op == QLayer::Op::kDwConv3) {
-                y.shape = x.shape;
-                y.data.resize(static_cast<std::size_t>(y.shape.count()));
-                const int H = x.shape.h, W = x.shape.w;
-                for (int n = 0; n < x.shape.n; ++n)
-                    for (int c = 0; c < x.shape.c; ++c) {
-                        const std::int32_t* xp =
-                            x.data.data() +
-                            (static_cast<std::int64_t>(n) * x.shape.c + c) * H * W;
-                        std::int32_t* yp =
-                            y.data.data() +
-                            (static_cast<std::int64_t>(n) * y.shape.c + c) * H * W;
-                        const std::int32_t* w =
-                            l.weights.data() + static_cast<std::int64_t>(c) * 9;
-                        for (int oh = 0; oh < H; ++oh)
-                            for (int ow = 0; ow < W; ++ow) {
-                                std::int64_t acc = 0;
-                                for (int kh = 0; kh < 3; ++kh)
-                                    for (int kw = 0; kw < 3; ++kw) {
-                                        const int ih = oh - 1 + kh;
-                                        const int iw = ow - 1 + kw;
-                                        if (ih < 0 || ih >= H || iw < 0 || iw >= W)
-                                            continue;
-                                        acc += static_cast<std::int64_t>(
-                                                   w[kh * 3 + kw]) *
-                                               xp[static_cast<std::int64_t>(ih) * W + iw];
-                                    }
-                                yp[static_cast<std::int64_t>(oh) * W + ow] = saturate(
-                                    round_shift(acc, shift), fm_fmt_.total_bits);
-                            }
-                    }
-            } else {
-                const int oh = (x.shape.h + 2 * l.pad - l.k) / l.stride + 1;
-                const int ow = (x.shape.w + 2 * l.pad - l.k) / l.stride + 1;
-                y.shape = {x.shape.n, l.out_ch, oh, ow};
-                y.data.resize(static_cast<std::size_t>(y.shape.count()));
-                const int H = x.shape.h, W = x.shape.w;
-                for (int n = 0; n < x.shape.n; ++n)
-                    for (int oc = 0; oc < l.out_ch; ++oc) {
-                        std::int32_t* yp =
-                            y.data.data() +
-                            (static_cast<std::int64_t>(n) * l.out_ch + oc) * oh * ow;
-                        const std::int32_t* wbase =
-                            l.weights.data() +
-                            static_cast<std::int64_t>(oc) * l.in_ch * l.k * l.k;
-                        const std::int64_t b =
-                            l.bias.empty() ? 0 : l.bias[static_cast<std::size_t>(oc)];
-                        for (int yy = 0; yy < oh; ++yy)
-                            for (int xx = 0; xx < ow; ++xx) {
-                                std::int64_t acc = b;
-                                for (int ic = 0; ic < l.in_ch; ++ic) {
-                                    const std::int32_t* xp =
-                                        x.data.data() +
-                                        (static_cast<std::int64_t>(n) * x.shape.c + ic) *
-                                            H * W;
-                                    const std::int32_t* w =
-                                        wbase + static_cast<std::int64_t>(ic) * l.k * l.k;
-                                    for (int kh = 0; kh < l.k; ++kh)
-                                        for (int kw = 0; kw < l.k; ++kw) {
-                                            const int ih = yy * l.stride - l.pad + kh;
-                                            const int iw = xx * l.stride - l.pad + kw;
-                                            if (ih < 0 || ih >= H || iw < 0 || iw >= W)
-                                                continue;
-                                            acc += static_cast<std::int64_t>(
-                                                       w[kh * l.k + kw]) *
-                                                   xp[static_cast<std::int64_t>(ih) * W +
-                                                      iw];
-                                        }
-                                }
-                                yp[static_cast<std::int64_t>(yy) * ow + xx] = saturate(
-                                    round_shift(acc, shift), fm_fmt_.total_bits);
-                            }
-                    }
-            }
-            outputs[i] = std::move(y);
+        // Identities were elided at compile time (consumers rewired past
+        // them) — nothing reads their slot, so skip the copy entirely.
+        if (l.op == QLayer::Op::kIdentity) continue;
+        if (l.op == QLayer::Op::kConv) {
+            execute_conv(l, outputs[static_cast<std::size_t>(l.inputs[0])], outputs[i],
+                         allow_qgemm);
+        } else if (l.op == QLayer::Op::kDwConv3) {
+            execute_dwconv(l, outputs[static_cast<std::size_t>(l.inputs[0])],
+                           outputs[i]);
         } else {
             outputs[i] = execute(l, outputs);
         }
@@ -367,8 +872,15 @@ Tensor QEngine::run(const Tensor& input) const {
     const QTensor& out = outputs[static_cast<std::size_t>(output_node_)];
     Tensor result(out.shape);
     const float step = static_cast<float>(fm_fmt_.step());
-    for (std::size_t i = 0; i < out.data.size(); ++i)
-        result[static_cast<std::int64_t>(i)] = static_cast<float>(out.data[i]) * step;
+    {
+        const std::int32_t* src = out.data.data();
+        float* dst = result.data();
+        core::parallel_for(0, static_cast<std::int64_t>(out.data.size()), 4096,
+                           [=](std::int64_t i0, std::int64_t i1) {
+                               for (std::int64_t i = i0; i < i1; ++i)
+                                   dst[i] = static_cast<float>(src[i]) * step;
+                           });
+    }
     return result;
 }
 

@@ -5,25 +5,36 @@
 // form: every feature map lives in ONE shared fixed-point format (fm_bits
 // total, fm_frac fractional — the single-buffer constraint of the IP-shared
 // accelerator), every layer's weights are quantised per-layer to
-// weight_bits, convolutions accumulate in int64 and requantise back to the
+// weight_bits, convolutions accumulate exactly and requantise back to the
 // FM grid with round-to-nearest and saturation.  ReLU6's clip constant is
 // exact on the grid.
 //
-// The engine is the executable specification of what the Table 7 schemes
-// actually compute; tests validate it against the float network at high
-// bit-widths and against the FM-hook emulation for trend.
+// Execution planning (docs/QUANTIZATION.md): compilation propagates the
+// declared input value range through the graph on the FM grid; a
+// convolution whose input span provably fits 8 unsigned bits runs on the
+// packed u8 x s16 GEMM engine (core/qgemm.hpp) with the zero-point
+// correction folded into its bias — weights up to 15 bits are native s16
+// taps, one GEMM pass.  Everything else runs the scalar reference
+// interpreter, which is also the correctness oracle: both paths compute the
+// SAME integers (the int8 path is an exact refactoring of the reference
+// accumulation, pinned by tests/test_qgemm.cpp), and a run whose input
+// leaves the declared range falls back to the reference path wholesale, so
+// run() is bit-true for every input.  ReLU/ReLU6 nodes that directly follow
+// a convolution fuse into its requantization clamp (provably equal to
+// clamp-after-saturate on the grid).
+//
+// Determinism: integer arithmetic end to end — results are bitwise
+// invariant to thread count, SIMD level, and batch composition, which is
+// the contract sky::serve's batch coalescing relies on.
 #pragma once
 
+#include "core/qgemm.hpp"
 #include "nn/graph.hpp"
 #include "quant/fixed_point.hpp"
+#include "quant/qconfig.hpp"
+#include "quant/qreport.hpp"
 
 namespace sky::quant {
-
-struct QEngineConfig {
-    int fm_bits = 9;       ///< feature-map word width
-    int weight_bits = 11;  ///< weight word width
-    float fm_abs_max = 8.0f;  ///< calibrated FM range; sets the shared format
-};
 
 /// Integer feature map: int32 payload on the shared FM grid.
 struct QTensor {
@@ -33,16 +44,24 @@ struct QTensor {
 
 class QEngine {
 public:
-    /// Compile `graph` (BN layers must already be folded).  Throws
-    /// std::invalid_argument if an unsupported/unfolded layer remains.
-    QEngine(const nn::Graph& graph, const QEngineConfig& cfg);
+    /// Compile `graph` (BN layers must already be folded; the graph should
+    /// be in eval mode — Detector::quantize guarantees both).  Throws
+    /// std::invalid_argument if an unsupported/unfolded layer remains and
+    /// cfg.fp32_fallback is off, or — under QExecution::kInt8 — if any conv
+    /// cannot run on the packed int8 path.  The graph reference is retained
+    /// for fp32-fallback layers and must outlive the engine.
+    QEngine(nn::Graph& graph, const QuantConfig& cfg);
 
     /// Quantise `input` to the FM grid, run the integer pass, return the
     /// output dequantised to float (every value lies on the FM grid).
-    [[nodiscard]] Tensor run(const Tensor& input) const;
+    [[nodiscard]] Tensor run(const Tensor& input);
 
     [[nodiscard]] const FixedPointFormat& fm_format() const { return fm_fmt_; }
-    [[nodiscard]] const QEngineConfig& config() const { return cfg_; }
+    [[nodiscard]] const QuantConfig& config() const { return cfg_; }
+    /// Resolved execution mode (SKYNET_QENGINE env applied).
+    [[nodiscard]] QExecution execution() const { return exec_; }
+    /// Per-layer compilation plan — what Detector::quantize returns.
+    [[nodiscard]] const QuantReport& report() const { return report_; }
     /// Total integer-weight bytes (the deployed model size).
     [[nodiscard]] std::int64_t weight_bytes() const;
 
@@ -60,25 +79,50 @@ private:
             kIdentity,
             kConcat,
             kAdd,
+            kFp32,     // dequantize -> float module -> requantize fallback
         };
         Op op = Op::kIdentity;
+        QImpl impl = QImpl::kMemory;
         std::vector<int> inputs;
         // Conv parameters.
         int in_ch = 0, out_ch = 0, k = 0, stride = 1, pad = 0;
-        std::vector<std::int32_t> weights;  // integer weights
+        std::vector<std::int32_t> weights;  // full-precision integer weights
         std::vector<std::int64_t> bias;     // in accumulator scale (fm+w frac)
         int reorder_block = 2;
+        int shift = 0;  // requantization shift (= weight frac bits)
+        // Requantization clamp: [grid_lo, grid_hi] by default, tightened by a
+        // fused ReLU/ReLU6 (equal to activation-after-saturate on the grid).
+        std::int32_t clamp_lo = 0, clamp_hi = 0;
+        // Packed int8 plan (impl == kQGemm).
+        core::QPackedA apack;                 // prepacked s16 weight panels
+        std::vector<std::int64_t> bias_corr;  // bias + zero_point * rowsum(w)
+        std::int32_t zero_point = 0;          // u8 operand stores x - zero_point
+        bool dw32 = false;  // dwconv can accumulate in int32 (vector fast path)
+        bool rq32 = false;  // biased accumulator + rounding offset fit int32
+        // A trailing single-consumer ChannelBias folded into this conv's
+        // executor (carries the bias node's clamp, itself possibly fused).
+        std::vector<std::int64_t> post_bias;
+        std::int32_t post_lo = 0, post_hi = 0;
+        nn::Module* fallback = nullptr;       // op == kFp32
     };
 
-    [[nodiscard]] QTensor execute(const QLayer& l,
-                                  const std::vector<QTensor>& outputs) const;
+    [[nodiscard]] QTensor execute(const QLayer& l, const std::vector<QTensor>& outputs);
+    void execute_conv(const QLayer& l, const QTensor& x, QTensor& y, bool allow_qgemm);
+    void execute_dwconv(const QLayer& l, const QTensor& x, QTensor& y) const;
 
-    QEngineConfig cfg_;
+    QuantConfig cfg_;
+    QExecution exec_ = QExecution::kAuto;  // resolved (env applied)
     FixedPointFormat fm_fmt_;
-    int weight_frac_shared_ = 0;  // unused: weights are per-layer scaled
+    std::int32_t grid_lo_ = 0, grid_hi_ = 0;  // FM grid bounds
+    std::int32_t six_ = 0;                    // ReLU6 clip on the grid
+    std::int32_t in_lo_ = 0, in_hi_ = 0;      // declared input range on the grid
+    bool any_qgemm_ = false;
     std::vector<QLayer> layers_;
-    std::vector<int> weight_frac_;  // per compiled layer
     int output_node_ = 0;
+    QuantReport report_;
+    // Per-run scratch, reused across layers and batch items.
+    core::QPackedB bpanel_;
+    std::vector<std::int32_t> acc_;
 };
 
 }  // namespace sky::quant

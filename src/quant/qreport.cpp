@@ -1,0 +1,59 @@
+#include "quant/qreport.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sky::quant {
+
+QExecution resolved_execution(const QuantConfig& cfg) {
+    // SKYNET_QENGINE overrides the config: "ref" pins the reference
+    // interpreter (the rollback lever), "int8" makes fallback an error.
+    if (const char* env = std::getenv("SKYNET_QENGINE")) {
+        const std::string v(env);
+        if (v == "ref" || v == "reference" || v == "0") return QExecution::kReference;
+        if (v == "int8" || v == "strict") return QExecution::kInt8;
+    }
+    return cfg.execution;
+}
+
+const char* qimpl_name(QImpl impl) {
+    switch (impl) {
+        case QImpl::kQGemm: return "qgemm";
+        case QImpl::kRefInt: return "ref-int";
+        case QImpl::kFp32: return "fp32";
+        case QImpl::kMemory: return "memory";
+    }
+    return "?";
+}
+
+const char* qexecution_name(QExecution e) {
+    switch (e) {
+        case QExecution::kAuto: return "auto";
+        case QExecution::kInt8: return "int8";
+        case QExecution::kReference: return "reference";
+    }
+    return "?";
+}
+
+std::string QuantReport::summary() const {
+    std::ostringstream os;
+    os << "quantized: fm " << fm_format.total_bits << "b (frac " << fm_format.frac_bits
+       << ", step " << fm_format.step() << "), weights " << config.weight_bits
+       << "b, execution " << qexecution_name(execution) << "\n";
+    for (const QLayerReport& l : layers) {
+        if (!l.has_weights && l.note.empty()) continue;
+        os << "  [" << l.node << "] " << l.name << ": " << qimpl_name(l.impl);
+        if (l.has_weights)
+            os << "  w" << l.weight_format.total_bits << ".q" << l.weight_format.frac_bits
+               << "  in [" << l.in_lo << ", " << l.in_hi << "]";
+        if (!l.note.empty()) os << "  -- " << l.note;
+        os << "\n";
+    }
+    os << "  convs: " << qgemm_layers << " qgemm, " << ref_layers << " ref-int";
+    if (fp32_layers > 0) os << "; " << fp32_layers << " fp32-fallback layers";
+    os << "; weights " << weight_bytes << " B";
+    return os.str();
+}
+
+}  // namespace sky::quant

@@ -1,0 +1,56 @@
+// Typed result of compiling a quantization scheme — what Detector::quantize
+// returns instead of void.
+//
+// The report records, per graph node, which datapath the integer engine
+// planned (packed int8 GEMM / reference integer interpreter / fp32 fallback
+// / memory-only op), the per-layer weight format, and the propagated input
+// value range on the fixed-point grid that justified the plan.  summary()
+// renders the human-readable table the examples print.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/fixed_point.hpp"
+#include "quant/qconfig.hpp"
+
+namespace sky::quant {
+
+/// Execution plan of one compiled layer.
+enum class QImpl {
+    kQGemm,   ///< packed u8 x s8 GEMM + fixed-point requantization
+    kRefInt,  ///< scalar integer interpreter (bit-true by construction)
+    kFp32,    ///< dequantize -> float module -> requantize (opt-in fallback)
+    kMemory,  ///< pool / reorder / concat / identity — no arithmetic format
+};
+
+[[nodiscard]] const char* qimpl_name(QImpl impl);
+
+struct QLayerReport {
+    int node = 0;
+    std::string name;          ///< module name, or "input"/"concat"/"add"
+    QImpl impl = QImpl::kMemory;
+    FixedPointFormat weight_format{};  ///< convs only (has_weights)
+    bool has_weights = false;          ///< false for memory/activation ops
+    std::int32_t in_lo = 0;    ///< propagated input range on the FM grid
+    std::int32_t in_hi = 0;
+    std::string note;          ///< e.g. the reason a conv fell back to kRefInt
+};
+
+struct QuantReport {
+    QuantConfig config;
+    QExecution execution = QExecution::kAuto;  ///< resolved (env applied)
+    FixedPointFormat fm_format{};
+    std::vector<QLayerReport> layers;
+    int qgemm_layers = 0;  ///< convs on the packed int8 GEMM path
+    int ref_layers = 0;    ///< convs on the reference integer path
+    int fp32_layers = 0;   ///< layers running the fp32 fallback
+    std::int64_t weight_bytes = 0;  ///< deployed integer-weight size
+
+    /// Multi-line human-readable table (one row per layer with weights or a
+    /// fallback note, plus a totals line).
+    [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace sky::quant

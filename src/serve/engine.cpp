@@ -58,6 +58,11 @@ Engine::Engine(Detector& detector, ServeConfig cfg)
         for (int b = 1; b <= cfg_.max_batch; ++b)
             batch_buckets.push_back(static_cast<double>(b));
         reg->define_histogram("serve.batch.size", std::move(batch_buckets));
+        // Replica precision gauge: 1 when this engine serves the quantized
+        // int8 datapath, 0 for fp32 — lets a fleet dashboard split latency
+        // by precision without scraping logs.
+        reg->set("serve.precision_int8",
+                 detector_.precision() == Precision::kInt8 ? 1.0 : 0.0);
     }
 }
 

@@ -9,6 +9,14 @@
 
 namespace sky {
 
+const char* precision_name(Precision p) {
+    switch (p) {
+        case Precision::kFp32: return "fp32";
+        case Precision::kInt8: return "int8";
+    }
+    return "?";
+}
+
 const char* detector_stage_name(DetectorStage s) {
     switch (s) {
         case DetectorStage::kFloat: return "float32";
@@ -49,7 +57,7 @@ void Detector::prepack() {
     model_.net->prepack();
 }
 
-void Detector::quantize(const quant::QEngineConfig& qcfg) {
+quant::QuantReport Detector::quantize(const quant::QuantConfig& qcfg) {
     if (stage_ == DetectorStage::kQuantized)
         throw std::logic_error("Detector: already quantized");
     fold_bn();  // QEngine requires a BN-free graph
@@ -57,6 +65,7 @@ void Detector::quantize(const quant::QEngineConfig& qcfg) {
     verify::enforce(verify::check_qmodel(*model_.net, qcfg));
     qengine_ = std::make_unique<quant::QEngine>(*model_.net, qcfg);
     stage_ = DetectorStage::kQuantized;
+    return qengine_->report();
 }
 
 Tensor Detector::forward(const Tensor& images) {

@@ -9,7 +9,8 @@
 //   sky::Detector det({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.35f}, rng);
 //   train::train_detector(det.net(), det.head(), dataset, cfg, train_rng);
 //   det.fold_bn();                        // optional deployment pass
-//   det.quantize({9, 11, 8.0f});          // optional: bit-true integer path
+//   quant::QuantReport rep = det.quantize(       // optional: bit-true int8 path
+//       quant::QuantConfig{}.with_bits(9, 11).with_fm_abs_max(8.0f));
 //   detect::BBox box = det.detect(image); // single image
 //   auto boxes = det.detect_batch(batch); // {n,3,h,w} -> n boxes
 //
@@ -38,6 +39,13 @@ namespace sky {
 enum class DetectorStage { kFloat, kFolded, kQuantized };
 
 [[nodiscard]] const char* detector_stage_name(DetectorStage s);
+
+/// Numeric precision of the active inference datapath.  Surfaced by
+/// Detector::precision() and the serve metrics registry so a fleet can tell
+/// quantized replicas from float ones.
+enum class Precision { kFp32, kInt8 };
+
+[[nodiscard]] const char* precision_name(Precision p);
 
 /// Inference-time failure of the Detector facade — e.g. the head decoder
 /// produced no output for the requested image.  Distinct from
@@ -72,13 +80,20 @@ public:
     int fold_bn();
     /// Compile the bit-true integer engine (quant::QEngine) for the given
     /// scheme; folds BN first if that has not happened yet.  From then on
-    /// all inference runs on the integer datapath.
-    void quantize(const quant::QEngineConfig& qcfg);
+    /// all inference runs on the integer datapath.  Returns the compilation
+    /// report (per-layer plan: qgemm / reference / fp32-fallback).  The
+    /// legacy positional spelling `quantize({9, 11, 8.0f})` still compiles:
+    /// QuantConfig's leading fields keep that order.
+    quant::QuantReport quantize(const quant::QuantConfig& qcfg);
     /// Pack all layer weights into the SIMD GEMM panel layout so the first
     /// forward() pays no packing cost.  Called automatically at construction
     /// and after fold_bn(); harmless to call again (idempotent).
     void prepack();
     [[nodiscard]] DetectorStage stage() const { return stage_; }
+    /// Datapath the next forward() will use: kInt8 once quantize() has run.
+    [[nodiscard]] Precision precision() const {
+        return qengine_ ? Precision::kInt8 : Precision::kFp32;
+    }
 
     // --- Inference -----------------------------------------------------
     /// Raw head map {n, 5*anchors, gh, gw} for {n,3,h,w} input.  Forces

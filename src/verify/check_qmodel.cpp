@@ -18,7 +18,17 @@ namespace {
 /// kind the integer engine compiles.  Kept as a predicate (not a shared
 /// table) because the engine's dispatch also extracts weights; this check
 /// only needs the accept/reject decision plus the reason.
-void check_layer(const nn::Module& m, int node, Report& rep) {
+void check_layer(const nn::Module& m, int node, bool fp32_fallback, Report& rep) {
+    // With fp32_fallback the engine dequantizes around an unsupported layer
+    // instead of refusing to compile, so Q002 is a warning, not an error.
+    // Q001 stays an error either way: an unfolded BN is a missing deployment
+    // pass, not a layer the engine should route around.
+    const auto q002 = [&](const std::string& what, const std::string& hint) {
+        if (fp32_fallback)
+            rep.warn("Q002", node, what + " — will run as an fp32 island", hint);
+        else
+            rep.error("Q002", node, what, hint);
+    };
     if (m.kind() == "bn") {
         rep.error("Q001", node,
                   m.name() + " is still a BatchNorm — the integer engine has no BN op",
@@ -27,15 +37,14 @@ void check_layer(const nn::Module& m, int node, Report& rep) {
     }
     if (const auto* pw = dynamic_cast<const nn::PWConv1*>(&m)) {
         if (pw->groups() != 1)
-            rep.error("Q002", node, m.name() + ": grouped 1x1 conv is unsupported",
-                      "ungroup the conv or extend the integer engine");
+            q002(m.name() + ": grouped 1x1 conv is unsupported",
+                 "ungroup the conv or extend the integer engine");
         return;
     }
     if (const auto* act = dynamic_cast<const nn::Activation*>(&m)) {
         if (act->act_kind() != nn::Act::kReLU && act->act_kind() != nn::Act::kReLU6)
-            rep.error("Q002", node,
-                      m.name() + ": only ReLU / ReLU6 exist on the integer datapath",
-                      "retrain with a supported activation or extend the engine");
+            q002(m.name() + ": only ReLU / ReLU6 exist on the integer datapath",
+                 "retrain with a supported activation or extend the engine");
         return;
     }
     if (dynamic_cast<const nn::Conv2d*>(&m) != nullptr ||
@@ -45,14 +54,13 @@ void check_layer(const nn::Module& m, int node, Report& rep) {
         dynamic_cast<const deploy::ChannelBias*>(&m) != nullptr ||
         dynamic_cast<const deploy::Identity*>(&m) != nullptr)
         return;
-    rep.error("Q002", node,
-              m.name() + " (kind '" + m.kind() + "') has no integer-engine lowering",
-              "replace the layer or extend quant::QEngine");
+    q002(m.name() + " (kind '" + m.kind() + "') has no integer-engine lowering",
+         "replace the layer or extend quant::QEngine");
 }
 
 }  // namespace
 
-Report check_qmodel(const nn::Graph& g, const quant::QEngineConfig& cfg,
+Report check_qmodel(const nn::Graph& g, const quant::QuantConfig& cfg,
                     const QuantCheckOptions& opts) {
     Report rep;
 
@@ -70,6 +78,9 @@ Report check_qmodel(const nn::Graph& g, const quant::QEngineConfig& cfg,
     if (!(cfg.fm_abs_max > 0.0f))
         rep.error("Q005", -1, "fm_abs_max must be positive to define the shared FM grid",
                   "calibrate the range (quant::calibrate_fm_abs_max) and pass it in");
+    if (!(cfg.input_lo <= cfg.input_hi))
+        rep.error("Q005", -1, "input_lo must be <= input_hi",
+                  "declare the input range with QuantConfig::with_input_range");
     if (!rep.ok()) return rep;  // the format below would be meaningless
 
     const quant::FixedPointFormat fm = quant::choose_format(cfg.fm_bits, cfg.fm_abs_max);
@@ -106,7 +117,7 @@ Report check_qmodel(const nn::Graph& g, const quant::QEngineConfig& cfg,
     // --- Per-layer lowering checks. ------------------------------------
     for (std::size_t i = 0; i < g.node_count(); ++i)
         if (const nn::Module* m = g.node_module(i); m != nullptr)
-            check_layer(*m, static_cast<int>(i), rep);
+            check_layer(*m, static_cast<int>(i), cfg.fp32_fallback, rep);
 
     return rep;
 }

@@ -19,7 +19,7 @@
 #pragma once
 
 #include "nn/graph.hpp"
-#include "quant/qengine.hpp"
+#include "quant/qconfig.hpp"
 #include "verify/diagnostics.hpp"
 
 namespace sky::verify {
@@ -33,7 +33,9 @@ struct QuantCheckOptions {
 
 /// Statically verify that `g` can deploy under `cfg`.  `g` is expected to
 /// be BN-folded already (unfolded BN is diagnostic Q001, not a throw).
-[[nodiscard]] Report check_qmodel(const nn::Graph& g, const quant::QEngineConfig& cfg,
+/// With cfg.fp32_fallback set, Q002 (unsupported layer) downgrades to a
+/// warning — the engine dequantizes around such layers instead of refusing.
+[[nodiscard]] Report check_qmodel(const nn::Graph& g, const quant::QuantConfig& cfg,
                                   const QuantCheckOptions& opts = {});
 
 }  // namespace sky::verify

@@ -1,0 +1,497 @@
+// Packed u8 x s8 GEMM engine (core/qgemm.hpp) and the int8 execution plan of
+// quant::QEngine: kernel parity against an int64 reference, requantization
+// edge cases, bitwise invariance to thread count and SIMD level, and the
+// auto-vs-reference oracle on whole networks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/qgemm.hpp"
+#include "core/simd.hpp"
+#include "core/thread_pool.hpp"
+#include "deploy/fold_bn.hpp"
+#include "detect/bbox.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/graph.hpp"
+#include "nn/pooling.hpp"
+#include "nn/shuffle.hpp"
+#include "quant/qengine.hpp"
+#include "skynet/detector.hpp"
+#include "skynet/skynet_model.hpp"
+
+namespace sky {
+namespace {
+
+struct SimdGuard {
+    core::SimdLevel saved = core::active_simd_level();
+    ~SimdGuard() { core::set_simd_level(saved); }
+};
+
+struct ThreadGuard {
+    ~ThreadGuard() { core::ThreadPool::set_global_threads(0); }
+};
+
+std::vector<core::SimdLevel> available_levels() {
+    std::vector<core::SimdLevel> out{core::SimdLevel::kScalar,
+                                     core::SimdLevel::kGeneric};
+    if (core::best_simd_level() == core::SimdLevel::kAvx2)
+        out.push_back(core::SimdLevel::kAvx2);
+    return out;
+}
+
+/// Deterministic "random" s8 / u8 operands (no libc rand in tests).
+std::vector<std::int8_t> make_a(int M, int K, std::uint32_t seed) {
+    std::vector<std::int8_t> a(static_cast<std::size_t>(M) * K);
+    std::uint32_t s = seed * 2654435761u + 1u;
+    for (auto& v : a) {
+        s = s * 1664525u + 1013904223u;
+        v = static_cast<std::int8_t>(s >> 24);  // full [-128, 127]
+    }
+    return a;
+}
+
+std::vector<std::uint8_t> make_b(int K, int N, std::uint32_t seed) {
+    std::vector<std::uint8_t> b(static_cast<std::size_t>(K) * N);
+    std::uint32_t s = seed * 2246822519u + 3u;
+    for (auto& v : b) {
+        s = s * 1664525u + 1013904223u;
+        v = static_cast<std::uint8_t>(s >> 24);  // full [0, 255]
+    }
+    return b;
+}
+
+/// int64 reference product, C = A * B.
+std::vector<std::int64_t> ref_gemm(int M, int K, int N,
+                                   const std::vector<std::int8_t>& a,
+                                   const std::vector<std::uint8_t>& b) {
+    std::vector<std::int64_t> c(static_cast<std::size_t>(M) * N, 0);
+    for (int m = 0; m < M; ++m)
+        for (int k = 0; k < K; ++k)
+            for (int n = 0; n < N; ++n)
+                c[static_cast<std::size_t>(m) * N + n] +=
+                    static_cast<std::int64_t>(a[static_cast<std::size_t>(m) * K + k]) *
+                    b[static_cast<std::size_t>(k) * N + n];
+    return c;
+}
+
+std::vector<std::int32_t> packed_gemm(int M, int K, int N,
+                                      const std::vector<std::int8_t>& a,
+                                      const std::vector<std::uint8_t>& b) {
+    core::QPackedA pa;
+    core::QPackedB pb;
+    core::qpack_a(M, K, a.data(), pa);
+    core::qpack_b(K, N, b.data(), pb);
+    std::vector<std::int32_t> c(static_cast<std::size_t>(M) * N, 0);
+    core::qgemm_packed(pa, pb, c.data());
+    return c;
+}
+
+// ------------------------------------------------------------ micro-kernel --
+
+TEST(QGemm, PackedParityVsInt64Reference) {
+    // Odd/even K, sub-tile and multi-tile M/N, including exact tile multiples.
+    const int mr = core::qgemm_mr(), nr = core::qgemm_nr();
+    const int shapes[][3] = {{1, 1, 1},        {3, 5, 7},   {mr, 2, nr},
+                             {2 * mr, 8, 3 * nr}, {13, 33, 29}, {17, 64, 40}};
+    for (const auto& s : shapes) {
+        const int M = s[0], K = s[1], N = s[2];
+        const auto a = make_a(M, K, static_cast<std::uint32_t>(M * 131 + K));
+        const auto b = make_b(K, N, static_cast<std::uint32_t>(N * 17 + K));
+        const auto ref = ref_gemm(M, K, N, a, b);
+        const auto got = packed_gemm(M, K, N, a, b);
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            ASSERT_GE(ref[i], std::numeric_limits<std::int32_t>::min());
+            ASSERT_LE(ref[i], std::numeric_limits<std::int32_t>::max());
+            ASSERT_EQ(got[i], static_cast<std::int32_t>(ref[i]))
+                << M << "x" << K << "x" << N << " @" << i << " ("
+                << core::qgemm_kernel_name() << ")";
+        }
+    }
+}
+
+TEST(QGemm, AccumulatesIntoC) {
+    const auto a = make_a(4, 6, 1);
+    const auto b = make_b(6, 9, 2);
+    core::QPackedA pa;
+    core::QPackedB pb;
+    core::qpack_a(4, 6, a.data(), pa);
+    core::qpack_b(6, 9, b.data(), pb);
+    std::vector<std::int32_t> c(36, 100);  // += semantics over a warm C
+    core::qgemm_packed(pa, pb, c.data());
+    const auto ref = ref_gemm(4, 6, 9, a, b);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_EQ(c[i], static_cast<std::int32_t>(ref[i]) + 100);
+}
+
+TEST(QGemm, RowsumRecordsRealTaps) {
+    const int M = 5, K = 7;  // odd K: the phantom tap must not leak in
+    const auto a = make_a(M, K, 9);
+    core::QPackedA pa;
+    core::qpack_a(M, K, a.data(), pa);
+    ASSERT_EQ(pa.rowsum.size(), static_cast<std::size_t>(M));
+    for (int m = 0; m < M; ++m) {
+        std::int32_t want = 0;
+        for (int k = 0; k < K; ++k) want += a[static_cast<std::size_t>(m) * K + k];
+        EXPECT_EQ(pa.rowsum[static_cast<std::size_t>(m)], want) << m;
+    }
+}
+
+TEST(QGemm, BitwiseInvariantAcrossSimdLevels) {
+    SimdGuard guard;
+    const int M = 19, K = 31, N = 37;
+    const auto a = make_a(M, K, 5);
+    const auto b = make_b(K, N, 6);
+    std::vector<std::int32_t> baseline;
+    for (core::SimdLevel lvl : available_levels()) {
+        ASSERT_EQ(core::set_simd_level(lvl), lvl);
+        const auto c = packed_gemm(M, K, N, a, b);  // re-packs per geometry
+        if (baseline.empty())
+            baseline = c;
+        else
+            EXPECT_EQ(c, baseline) << core::simd_level_name(lvl);
+    }
+}
+
+TEST(QGemm, BitwiseInvariantAcrossThreadCounts) {
+    ThreadGuard guard;
+    const int M = 33, K = 21, N = 65;
+    const auto a = make_a(M, K, 7);
+    const auto b = make_b(K, N, 8);
+    std::vector<std::int32_t> baseline;
+    for (int threads : {1, 2, 4}) {
+        core::ThreadPool::set_global_threads(threads);
+        const auto c = packed_gemm(M, K, N, a, b);
+        if (baseline.empty())
+            baseline = c;
+        else
+            EXPECT_EQ(c, baseline) << threads << " threads";
+    }
+}
+
+TEST(QGemm, Im2colPackedMatchesManualLowering) {
+    // 2-channel 5x4 image, 3x3 kernel, stride 1, pad 1, zero-point -3.
+    const int C = 2, H = 5, W = 4, k = 3, stride = 1, pad = 1;
+    const int OH = 5, OW = 4, K = C * k * k;
+    std::vector<std::int32_t> img(static_cast<std::size_t>(C) * H * W);
+    for (std::size_t i = 0; i < img.size(); ++i)
+        img[i] = static_cast<std::int32_t>(i * 7 % 250) - 3;  // in [lo, lo+255]
+    const std::int32_t lo = -3;
+    // Manual im2col to row-major u8, then qpack_b.
+    std::vector<std::uint8_t> cols(static_cast<std::size_t>(K) * OH * OW, 0);
+    for (int c = 0; c < C; ++c)
+        for (int kh = 0; kh < k; ++kh)
+            for (int kw = 0; kw < k; ++kw) {
+                const int row = (c * k + kh) * k + kw;
+                for (int oh = 0; oh < OH; ++oh)
+                    for (int ow = 0; ow < OW; ++ow) {
+                        const int ih = oh * stride - pad + kh;
+                        const int iw = ow * stride - pad + kw;
+                        const std::int32_t x =
+                            (ih < 0 || ih >= H || iw < 0 || iw >= W)
+                                ? 0
+                                : img[static_cast<std::size_t>(c * H + ih) * W + iw];
+                        cols[static_cast<std::size_t>(row) * OH * OW + oh * OW + ow] =
+                            static_cast<std::uint8_t>(x - lo);
+                    }
+            }
+    core::QPackedB want, got;
+    core::qpack_b(K, OH * OW, cols.data(), want);
+    core::qim2col_packed(img.data(), C, H, W, k, stride, pad, OH, OW, lo, got);
+    EXPECT_EQ(got.K, want.K);
+    EXPECT_EQ(got.N, want.N);
+    EXPECT_EQ(got.data, want.data);
+}
+
+TEST(QGemm, RejectsMismatchedAndOversizedOperands) {
+    const auto a = make_a(2, 4, 1);
+    const auto b = make_b(6, 3, 2);
+    core::QPackedA pa;
+    core::QPackedB pb;
+    core::qpack_a(2, 4, a.data(), pa);
+    core::qpack_b(6, 3, b.data(), pb);
+    std::vector<std::int32_t> c(6, 0);
+    EXPECT_THROW(core::qgemm_packed(pa, pb, c.data()), std::invalid_argument);
+    core::QPackedA stale = pa;
+    stale.mr = pa.mr + 1;  // packed for a different kernel geometry
+    core::QPackedB pb4;
+    core::qpack_b(4, 3, b.data(), pb4);
+    EXPECT_THROW(core::qgemm_packed(stale, pb4, c.data()), std::logic_error);
+    EXPECT_GT(core::qgemm_max_k(), 0);
+}
+
+// ----------------------------------------------- requantization primitives --
+
+TEST(Requantize, RoundShiftTiesAwayFromZero) {
+    using quant::round_shift;
+    EXPECT_EQ(round_shift(5, 1), 3);    // 2.5 -> 3
+    EXPECT_EQ(round_shift(-5, 1), -3);  // -2.5 -> -3
+    EXPECT_EQ(round_shift(4, 1), 2);
+    EXPECT_EQ(round_shift(-4, 1), -2);
+    EXPECT_EQ(round_shift(3, 2), 1);   // 0.75 -> 1
+    EXPECT_EQ(round_shift(-3, 2), -1);
+    EXPECT_EQ(round_shift(1, 2), 0);   // 0.25 -> 0
+    EXPECT_EQ(round_shift(7, 0), 7);   // no-op
+    EXPECT_EQ(round_shift(7, -2), 28);  // negative shift is exact scaling
+}
+
+TEST(Requantize, SaturateClampsToWordWidth) {
+    using quant::saturate;
+    EXPECT_EQ(saturate(130, 8), 127);
+    EXPECT_EQ(saturate(-129, 8), -128);
+    EXPECT_EQ(saturate(-128, 8), -128);
+    EXPECT_EQ(saturate(std::numeric_limits<std::int64_t>::max(), 32),
+              std::numeric_limits<std::int32_t>::max());
+    EXPECT_EQ(saturate(std::numeric_limits<std::int64_t>::min(), 32),
+              std::numeric_limits<std::int32_t>::min());
+    EXPECT_EQ(saturate(1, 2), 1);
+    EXPECT_EQ(saturate(2, 2), 1);
+    EXPECT_EQ(saturate(-3, 2), -2);
+}
+
+// ------------------------------------------------------ engine-level oracle --
+
+quant::QuantConfig scheme(int fm, int w, quant::QExecution e) {
+    return quant::QuantConfig{}.with_bits(fm, w).with_fm_abs_max(8.0f).with_execution(
+        e);
+}
+
+SkyNetModel folded_model(SkyNetVariant v, std::uint64_t seed) {
+    Rng rng(seed);
+    SkyNetModel m = build_skynet({v, nn::Act::kReLU6, 2, 0.2f}, rng);
+    m.net->set_training(true);
+    Rng wr(77);
+    for (int i = 0; i < 3; ++i) {
+        Tensor x({2, 3, 32, 64});
+        x.rand_uniform(wr, 0.0f, 1.0f);
+        (void)m.net->forward(x);
+    }
+    m.net->set_training(false);
+    deploy::fold_graph_bn(*m.net);
+    return m;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const char* what) {
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::int64_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << what << " @" << i;
+}
+
+TEST(QEngineOracle, AutoIsBitTrueToReferenceOnSkyNet) {
+    for (SkyNetVariant v : {SkyNetVariant::kA, SkyNetVariant::kC}) {
+        SkyNetModel m = folded_model(v, 21);
+        quant::QEngine fast(*m.net, scheme(9, 11, quant::QExecution::kAuto));
+        quant::QEngine oracle(*m.net, scheme(9, 11, quant::QExecution::kReference));
+        ASSERT_GT(fast.report().qgemm_layers, 0) << "plan never took the int8 path";
+        EXPECT_EQ(oracle.report().qgemm_layers, 0);
+        Tensor x({2, 3, 32, 64});
+        Rng xr(22);
+        x.rand_uniform(xr, 0.0f, 1.0f);
+        expect_bitwise_equal(fast.run(x), oracle.run(x), "skynet auto-vs-ref");
+    }
+}
+
+TEST(QEngineOracle, NarrowAndWideWeightFormatsStayExact) {
+    SkyNetModel m = folded_model(SkyNetVariant::kA, 31);
+    for (int wbits : {6, 8, 11, 15}) {
+        quant::QEngine fast(*m.net,
+                            scheme(9, wbits, quant::QExecution::kAuto));
+        quant::QEngine oracle(*m.net,
+                              scheme(9, wbits, quant::QExecution::kReference));
+        Tensor x({1, 3, 32, 64});
+        Rng xr(static_cast<std::uint64_t>(wbits));
+        x.rand_uniform(xr, 0.0f, 1.0f);
+        expect_bitwise_equal(fast.run(x), oracle.run(x), "wide weights");
+    }
+}
+
+TEST(QEngineOracle, CustomGraphWithAddRunsBitTrue) {
+    // conv(pad) -> relu feeds both an add and the output: exercises the
+    // negative zero-point (inputs span [-1, 1]), the consumer-count guard on
+    // activation fusion, and the full-range conv after an add.
+    Rng rng(3);
+    nn::Graph g;
+    const int c1 = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, true, rng), 0);
+    const int r1 = g.add(std::make_unique<nn::Activation>(nn::Act::kReLU), c1);
+    const int c2 = g.add(std::make_unique<nn::Conv2d>(8, 8, 3, 1, 1, false, rng), r1);
+    const int a = g.add_add(r1, c2);
+    const int c3 = g.add(std::make_unique<nn::Conv2d>(8, 4, 1, 1, 0, true, rng), a);
+    g.set_output(c3);
+    const quant::QuantConfig base =
+        quant::QuantConfig{}.with_bits(9, 11).with_fm_abs_max(8.0f).with_input_range(
+            -1.0f, 1.0f);
+    quant::QEngine fast(g, base.with_execution(quant::QExecution::kAuto));
+    quant::QEngine oracle(g, base.with_execution(quant::QExecution::kReference));
+    EXPECT_GT(fast.report().qgemm_layers, 0);
+    EXPECT_GT(fast.report().ref_layers, 0);  // conv after add: span too wide
+    Tensor x({2, 3, 16, 16});
+    Rng xr(4);
+    x.rand_uniform(xr, -1.0f, 1.0f);
+    expect_bitwise_equal(fast.run(x), oracle.run(x), "custom graph");
+}
+
+TEST(QEngineOracle, OutOfDeclaredRangeInputFallsBackBitTrue) {
+    SkyNetModel m = folded_model(SkyNetVariant::kA, 41);
+    quant::QEngine fast(*m.net, scheme(9, 11, quant::QExecution::kAuto));
+    quant::QEngine oracle(*m.net, scheme(9, 11, quant::QExecution::kReference));
+    Tensor x({1, 3, 32, 64});
+    Rng xr(42);
+    x.rand_uniform(xr, -2.0f, 2.0f);  // declared range is [0, 1]
+    expect_bitwise_equal(fast.run(x), oracle.run(x), "out-of-range fallback");
+}
+
+TEST(QEngineOracle, EngineIsBitwiseInvariantToThreadsAndSimd) {
+    SimdGuard sguard;
+    ThreadGuard tguard;
+    SkyNetModel m = folded_model(SkyNetVariant::kC, 51);
+    Tensor x({2, 3, 32, 64});
+    Rng xr(52);
+    x.rand_uniform(xr, 0.0f, 1.0f);
+    Tensor baseline;
+    bool have_baseline = false;
+    for (core::SimdLevel lvl : available_levels()) {
+        ASSERT_EQ(core::set_simd_level(lvl), lvl);
+        // Engine weights prepack against the level active at construction.
+        quant::QEngine engine(*m.net, scheme(9, 11, quant::QExecution::kAuto));
+        for (int threads : {1, 2, 4}) {
+            core::ThreadPool::set_global_threads(threads);
+            Tensor y = engine.run(x);
+            if (!have_baseline) {
+                baseline = y;
+                have_baseline = true;
+            } else {
+                expect_bitwise_equal(y, baseline, core::simd_level_name(lvl));
+            }
+        }
+    }
+}
+
+TEST(QEngine, StrictInt8ThrowsWhereThePlanCannotHold) {
+    SkyNetModel m = folded_model(SkyNetVariant::kA, 61);
+    // 16-bit weights exceed the s16 operand bound: strict mode must refuse.
+    EXPECT_THROW(
+        quant::QEngine(*m.net, scheme(9, 16, quant::QExecution::kInt8)),
+        std::invalid_argument);
+    // A compilable strict engine still rejects out-of-range inputs at run().
+    quant::QEngine strict(*m.net, scheme(9, 11, quant::QExecution::kInt8));
+    Tensor bad({1, 3, 32, 64});
+    bad.fill(-2.0f);
+    EXPECT_THROW((void)strict.run(bad), std::invalid_argument);
+    Tensor ok({1, 3, 32, 64});
+    ok.fill(0.5f);
+    EXPECT_GT(strict.run(ok).size(), 0);
+}
+
+TEST(QEngine, Fp32FallbackRunsUnsupportedLayers) {
+    Rng rng(5);
+    nn::Graph g;
+    const int c1 = g.add(std::make_unique<nn::Conv2d>(3, 8, 1, 1, 0, true, rng), 0);
+    const int sh = g.add(std::make_unique<nn::ChannelShuffle>(2), c1);
+    const int c2 = g.add(std::make_unique<nn::Conv2d>(8, 4, 1, 1, 0, true, rng), sh);
+    g.set_output(c2);
+    EXPECT_THROW(
+        quant::QEngine(g, quant::QuantConfig{}.with_bits(9, 11)),
+        std::invalid_argument);
+    quant::QEngine engine(
+        g, quant::QuantConfig{}.with_bits(9, 11).with_fp32_fallback());
+    EXPECT_EQ(engine.report().fp32_layers, 1);
+    Tensor x({1, 3, 8, 8});
+    Rng xr(6);
+    x.rand_uniform(xr, 0.0f, 1.0f);
+    const Tensor y = engine.run(x);
+    EXPECT_EQ(y.shape().c, 4);
+    // Outputs still live on the FM grid (the island requantizes on exit).
+    const double step = engine.fm_format().step();
+    for (std::int64_t i = 0; i < y.size(); ++i) {
+        const double ratio = y[i] / step;
+        EXPECT_NEAR(ratio, std::nearbyint(ratio), 1e-3);
+    }
+}
+
+TEST(QEngine, EnvVarPinsReferenceExecution) {
+    ASSERT_EQ(setenv("SKYNET_QENGINE", "ref", 1), 0);
+    SkyNetModel m = folded_model(SkyNetVariant::kA, 71);
+    quant::QEngine engine(*m.net, scheme(9, 11, quant::QExecution::kAuto));
+    unsetenv("SKYNET_QENGINE");
+    EXPECT_EQ(engine.execution(), quant::QExecution::kReference);
+    EXPECT_EQ(engine.report().qgemm_layers, 0);
+}
+
+// ------------------------------------------------------------ detector path --
+
+TEST(Detector, Int8DetectionsStayInTheFp32IoUEnvelope) {
+    Rng rng(81);
+    Detector fp32({SkyNetVariant::kA, nn::Act::kReLU6, 2, 0.2f}, rng);
+    Rng rng2(81);
+    Detector int8({SkyNetVariant::kA, nn::Act::kReLU6, 2, 0.2f}, rng2);
+    const quant::QuantReport rep =
+        int8.quantize(quant::QuantConfig{}.with_bits(9, 11).with_fm_abs_max(8.0f));
+    EXPECT_GT(rep.qgemm_layers, 0);
+    EXPECT_EQ(int8.precision(), Precision::kInt8);
+    EXPECT_EQ(fp32.precision(), Precision::kFp32);
+    // Identical seeds -> identical weights: the quantized detector's raw map
+    // must track the float one within a few FM steps, like the QEngine-level
+    // scheme-1 bound but measured through the public Detector path.
+    Tensor x({4, 3, 32, 64});
+    Rng xr(82);
+    x.rand_uniform(xr, 0.0f, 1.0f);
+    const Tensor mf = fp32.forward(x);
+    const Tensor mq = int8.forward(x);
+    ASSERT_EQ(mf.shape(), mq.shape());
+    double mean_err = 0.0;
+    for (std::int64_t i = 0; i < mf.size(); ++i)
+        mean_err += std::abs(static_cast<double>(mf[i]) - mq[i]);
+    mean_err /= static_cast<double>(mf.size());
+    EXPECT_LT(mean_err, 6.0 * rep.fm_format.step());
+    // And the decoded boxes overlap: mean IoU across the batch stays high.
+    const auto bf = fp32.detect_batch(x);
+    const auto bq = int8.detect_batch(x);
+    ASSERT_EQ(bf.size(), bq.size());
+    double mean_iou = 0.0;
+    for (std::size_t i = 0; i < bf.size(); ++i) mean_iou += detect::iou(bf[i], bq[i]);
+    mean_iou /= static_cast<double>(bf.size());
+    EXPECT_GT(mean_iou, 0.5) << "int8 boxes drifted out of the fp32 envelope";
+}
+
+TEST(Detector, QuantizedDetectIsThreadCountInvariant) {
+    ThreadGuard guard;
+    Rng rng(91);
+    Detector det({SkyNetVariant::kA, nn::Act::kReLU6, 2, 0.2f}, rng);
+    (void)det.quantize(quant::QuantConfig{}.with_bits(9, 11));
+    Tensor x({2, 3, 32, 64});
+    Rng xr(92);
+    x.rand_uniform(xr, 0.0f, 1.0f);
+    Tensor baseline;
+    bool have = false;
+    for (int threads : {1, 2, 4}) {
+        core::ThreadPool::set_global_threads(threads);
+        Tensor y = det.forward(x);
+        if (!have) {
+            baseline = y;
+            have = true;
+        } else {
+            expect_bitwise_equal(y, baseline, "detector thread invariance");
+        }
+    }
+}
+
+TEST(Detector, DeprecatedPositionalConfigStillCompiles) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    Rng rng(101);
+    Detector det({SkyNetVariant::kA, nn::Act::kReLU6, 2, 0.15f}, rng);
+    const quant::QEngineConfig legacy{9, 11, 8.0f};  // old positional form
+    const quant::QuantReport rep = det.quantize(legacy);
+    EXPECT_EQ(rep.config.fm_bits, 9);
+    EXPECT_EQ(rep.config.weight_bits, 11);
+    EXPECT_EQ(det.stage(), DetectorStage::kQuantized);
+#pragma GCC diagnostic pop
+}
+
+}  // namespace
+}  // namespace sky

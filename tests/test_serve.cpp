@@ -322,6 +322,8 @@ TEST(Engine, MetricsAndTraceCoverThePipeline) {
     EXPECT_LE(p95, p99);
     const obs::HistogramSnapshot sizes = reg.histogram("serve.batch.size");
     EXPECT_EQ(sizes.count, reg.counter("serve.batches"));
+    // Replica precision gauge: this detector serves the float path.
+    EXPECT_EQ(reg.gauge("serve.precision_int8"), 0.0);
     // Every pipeline stage shows up in the Chrome trace.
     int pre = 0, infer = 0, post = 0;
     for (const auto& ev : trace.events()) {
@@ -365,12 +367,30 @@ TEST(Detector, QuantizedPathRunsIntegerEngine) {
     Detector det({SkyNetVariant::kA, nn::Act::kReLU6, 2, 0.15f}, rng);
     const Tensor img = random_image(33);
     const detect::BBox float_box = det.detect(img);
-    det.quantize({16, 16, 8.0f});  // wide words: close to float
+    EXPECT_EQ(det.precision(), Precision::kFp32);
+    const quant::QuantReport qrep = det.quantize(
+        quant::QuantConfig{}.with_bits(16, 16).with_fm_abs_max(8.0f));
     EXPECT_EQ(det.stage(), DetectorStage::kQuantized);
+    EXPECT_EQ(det.precision(), Precision::kInt8);
+    EXPECT_GT(qrep.weight_bytes, 0);
     const detect::BBox q_box = det.detect(img);
     EXPECT_NEAR(float_box.cx, q_box.cx, 0.05f);
     EXPECT_NEAR(float_box.cy, q_box.cy, 0.05f);
-    EXPECT_THROW(det.quantize({8, 8, 8.0f}), std::logic_error);
+    EXPECT_THROW(det.quantize(quant::QuantConfig{}.with_bits(8, 8)),
+                 std::logic_error);
+}
+
+TEST(Engine, PrecisionGaugeDistinguishesQuantizedReplicas) {
+    obs::Registry reg;
+    Detector det = small_detector(17);
+    (void)det.quantize(quant::QuantConfig{}.with_bits(9, 11));
+    ServeConfig cfg;
+    cfg.metrics = &reg;
+    Engine engine(det, cfg);  // gauge is published at construction
+    EXPECT_EQ(reg.gauge("serve.precision_int8"), 1.0);
+    engine.start();
+    (void)engine.submit(random_image(3)).get();
+    engine.shutdown();
 }
 
 TEST(Detector, RejectsMalformedInputs) {

@@ -184,7 +184,7 @@ TEST(Verify, UnfoldedBatchNormIsQ001) {
     const int c = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
     const int bn = g.add(std::make_unique<nn::BatchNorm2d>(8), c);
     g.add(std::make_unique<nn::Activation>(nn::Act::kReLU), bn);
-    const verify::Report rep = verify::check_qmodel(g, quant::QEngineConfig{});
+    const verify::Report rep = verify::check_qmodel(g, quant::QuantConfig{});
     EXPECT_TRUE(rep.has("Q001")) << rep.str();
     EXPECT_FALSE(rep.ok());
 }
@@ -194,7 +194,7 @@ TEST(Verify, UnsupportedLayersAreQ002) {
     nn::Graph g;
     const int s = g.add(std::make_unique<nn::Activation>(nn::Act::kSigmoid), 0);
     g.add(std::make_unique<nn::PWConv1>(8, 8, false, rng, 2), s);  // grouped
-    const verify::Report rep = verify::check_qmodel(g, quant::QEngineConfig{});
+    const verify::Report rep = verify::check_qmodel(g, quant::QuantConfig{});
     EXPECT_TRUE(rep.has("Q002")) << rep.str();
     EXPECT_EQ(rep.error_count(), 2);  // one per unsupported layer
 }
@@ -206,7 +206,7 @@ TEST(Verify, CalibratedRangeOverflowIsQ003) {
     verify::QuantCheckOptions opts;
     opts.calibrated_fm_abs_max = 100.0f;  // format saturates near 8
     const verify::Report rep =
-        verify::check_qmodel(g, quant::QEngineConfig{9, 11, 8.0f}, opts);
+        verify::check_qmodel(g, quant::QuantConfig{9, 11, 8.0f}, opts);
     EXPECT_TRUE(rep.has("Q003")) << rep.str();
     EXPECT_FALSE(rep.ok());
 }
@@ -215,17 +215,17 @@ TEST(Verify, Relu6ClipSaturationWarnsQ004) {
     nn::Graph g;
     g.add(std::make_unique<nn::Activation>(nn::Act::kReLU6), 0);
     // fm_abs_max=2 -> max representable ~1.99 < 6: the clip never engages.
-    const verify::Report rep = verify::check_qmodel(g, quant::QEngineConfig{9, 11, 2.0f});
+    const verify::Report rep = verify::check_qmodel(g, quant::QuantConfig{9, 11, 2.0f});
     EXPECT_TRUE(rep.has("Q004")) << rep.str();
     EXPECT_TRUE(rep.ok());
 }
 
 TEST(Verify, DegenerateSchemeIsQ005) {
     nn::Graph g;
-    const verify::Report bits = verify::check_qmodel(g, quant::QEngineConfig{0, 11, 8.0f});
+    const verify::Report bits = verify::check_qmodel(g, quant::QuantConfig{0, 11, 8.0f});
     EXPECT_TRUE(bits.has("Q005")) << bits.str();
     const verify::Report range =
-        verify::check_qmodel(g, quant::QEngineConfig{9, 11, -1.0f});
+        verify::check_qmodel(g, quant::QuantConfig{9, 11, -1.0f});
     EXPECT_TRUE(range.has("Q005")) << range.str();
 }
 
@@ -233,7 +233,7 @@ TEST(Verify, IntegerOnlyGridWarnsQ006) {
     nn::Graph g;
     // 9-bit words asked to span [-500, 500]: zero fractional bits remain.
     const verify::Report rep =
-        verify::check_qmodel(g, quant::QEngineConfig{9, 11, 500.0f});
+        verify::check_qmodel(g, quant::QuantConfig{9, 11, 500.0f});
     EXPECT_TRUE(rep.has("Q006")) << rep.str();
     EXPECT_TRUE(rep.ok());
 }
@@ -243,7 +243,7 @@ TEST(Verify, StockSkyNetQuantSchemePasses) {
     Detector det(small_cfg(), rng);
     det.fold_bn();
     const verify::Report rep =
-        verify::check_qmodel(det.net(), quant::QEngineConfig{});
+        verify::check_qmodel(det.net(), quant::QuantConfig{});
     EXPECT_EQ(rep.error_count(), 0) << rep.str();
 }
 
@@ -291,7 +291,7 @@ TEST(Verify, DetectorBuildsAndReverifiesCleanModel) {
 TEST(Verify, DetectorQuantizeRejectsDegenerateScheme) {
     Rng rng(7);
     Detector det(small_cfg(), rng);
-    EXPECT_THROW(det.quantize(quant::QEngineConfig{0, 11, 8.0f}),
+    EXPECT_THROW(det.quantize(quant::QuantConfig{0, 11, 8.0f}),
                  verify::VerifyError);
 }
 

@@ -21,6 +21,7 @@
 // depths) is folded into the BENCH document, and --trace saves a Chrome
 // trace of one pipelined engine pass for chrome://tracing.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -219,6 +220,55 @@ int main(int argc, char** argv) {
         }
     }
 
+    // Quantized replica: the integer engine executes against the statically
+    // planned activation arena (docs/STATIC_ANALYSIS.md) — record the plan
+    // figures and prove the steady-state activation path allocates nothing.
+    bool alloc_free = false;
+    {
+        Rng qrng(22);
+        Detector qdet({SkyNetVariant::kC, nn::Act::kReLU6, 2, 0.05f}, qrng);
+        (void)qdet.quantize(quant::QuantConfig{});
+        obs::Registry qreg;
+        serve::ServeConfig sc;
+        sc.max_batch = best_batch;
+        sc.max_delay_ms = 4.0;
+        sc.queue_capacity = static_cast<std::size_t>(n_frames);
+        sc.target_h = mh;
+        sc.target_w = mw;
+        sc.metrics = &qreg;
+        serve::Engine engine(qdet, sc);
+        engine.start();
+        // First pass replans the arena at the serving shapes; the second is
+        // the steady state the allocation gauge describes.
+        std::int64_t qalloc_baseline = 0;
+        for (int pass_i = 0; pass_i < 2; ++pass_i) {
+            std::vector<std::future<serve::DetectResult>> futures;
+            futures.reserve(n_frames);
+            for (const Tensor& f : frames) futures.push_back(engine.submit(f));
+            for (auto& fut : futures) (void)fut.get();
+            if (pass_i == 0) qalloc_baseline = qdet.qengine()->alloc_events();
+        }
+        engine.shutdown();
+        const std::int64_t steady_allocs =
+            qdet.qengine()->alloc_events() - qalloc_baseline;
+        const auto& plan = qdet.qengine()->report().activation_plan;
+        const bool peak_exact =
+            qdet.qengine()->measured_peak_bytes() == plan.peak_bytes;
+        alloc_free = steady_allocs == 0 && peak_exact;
+        bench::merge_registry(qreg, "qint8.");
+        bench::record("serve.int8_activation_arena_bytes",
+                      static_cast<double>(plan.arena_bytes), "bytes");
+        bench::record("serve.int8_activation_peak_bytes",
+                      static_cast<double>(plan.peak_bytes), "bytes");
+        bench::record("serve.int8_steady_alloc_events",
+                      static_cast<double>(steady_allocs), "count");
+        std::printf("\nint8 activation arena: %s\n", plan.summary().c_str());
+        std::printf("CHECK int8 steady state allocation-free + peak exact: %s\n",
+                    alloc_free ? "PASSED" : "FAILED");
+        bench::record("serve.int8_alloc_free_check_passed", alloc_free ? 1.0 : 0.0,
+                      "bool");
+    }
+
     // The 1.5x pipelining check: measured when the host can actually overlap
     // (a core per stage), projected otherwise.
     const unsigned cores = std::thread::hardware_concurrency();
@@ -246,5 +296,5 @@ int main(int argc, char** argv) {
     bench::record("serve.speedup_check_passed", ok ? 1.0 : 0.0, "bool");
 
     const int rc = bench::finish(argc, argv);
-    return ok ? rc : 1;
+    return ok && alloc_free ? rc : 1;
 }

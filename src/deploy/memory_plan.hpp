@@ -1,0 +1,85 @@
+// Static activation-memory planning via tensor liveness analysis.
+//
+// A topologically-ordered graph executes one node per step; a node's output
+// buffer must exist from its defining step through the last step that reads
+// it (the graph output lives to the end of the pass).  From those live
+// intervals this pass derives, without running anything:
+//
+//   * peak_bytes   — the exact maximum of live activation bytes over all
+//                    program points: the smallest memory any executor that
+//                    frees buffers after their last use can run in,
+//   * an arena slot assignment — interference-aware reuse where tensors
+//                    with disjoint live intervals share one growable slot
+//                    (greedy best-fit on the interval graph), and
+//   * arena_bytes  — the sum of slot capacities: what a slot-backed
+//                    executor actually reserves (>= peak_bytes, typically
+//                    far below the no-reuse total_bytes).
+//
+// quant::QEngine executes its integer pass out of exactly this plan
+// (allocation-free at steady state — bench_serve gauges it), the figures
+// surface in quant::QuantReport / tools/skyanalyze, and serve::Engine
+// exports the peak as the `serve.activation_plan_bytes` capacity-planning
+// gauge (ROADMAP's multi-replica serving items need per-replica numbers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace sky::deploy {
+
+/// One tensor of the abstract program handed to plan_tensors(): who it
+/// reads, and how many bytes its output occupies.  bytes == 0 marks an
+/// elided node (identity rewired past, fused activation): it allocates
+/// nothing and must have no consumers.
+struct PlanTensor {
+    std::vector<int> inputs;
+    std::int64_t bytes = 0;
+};
+
+/// One arena slot of the plan: capacity (its largest tenant) and the nodes
+/// that reside in it over the program, in residency order.
+struct PlanSlot {
+    std::int64_t bytes = 0;
+    std::vector<int> tenants;
+};
+
+/// Where one tensor lives: its slot (-1 for elided tensors), its size, and
+/// its live interval [def, last] in node order (last == node count for the
+/// program output, which survives the pass).
+struct TensorPlan {
+    int slot = -1;
+    std::int64_t bytes = 0;
+    int def = 0;
+    int last = 0;
+};
+
+struct MemoryPlan {
+    std::vector<TensorPlan> tensors;  ///< one per node, in node order
+    std::vector<PlanSlot> slots;
+    std::int64_t peak_bytes = 0;   ///< exact max live bytes at any step
+    std::int64_t arena_bytes = 0;  ///< sum of slot capacities
+    std::int64_t total_bytes = 0;  ///< no-reuse sum of all tensor bytes
+
+    /// "peak 1.4 MB, arena 1.6 MB in 4 slots (no-reuse 9.8 MB)".
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Plan an abstract program (any executor that runs nodes in order and
+/// frees each buffer after its last reader — quant::QEngine's shape).
+/// `output_node` is kept live through the end of the pass.  Throws
+/// std::invalid_argument on malformed edges or a consumed elided node.
+[[nodiscard]] MemoryPlan plan_tensors(const std::vector<PlanTensor>& program,
+                                      int output_node);
+
+/// Plan the activations of `g` at `input`, `elem_bytes` per element
+/// (4 for both fp32 and the engine's int32 grid values).  deploy::Identity
+/// nodes are elided exactly as every execution path elides them.  Throws
+/// std::invalid_argument when shape inference fails — run
+/// verify::check_graph first for diagnostics instead of an exception.
+[[nodiscard]] MemoryPlan plan_activations(const nn::Graph& g, const Shape& input,
+                                          std::int64_t elem_bytes = 4);
+
+}  // namespace sky::deploy

@@ -24,6 +24,7 @@ public:
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
     [[nodiscard]] Act act_kind() const { return kind_; }
+    [[nodiscard]] float leaky_slope() const { return slope_; }
     [[nodiscard]] std::string kind() const override { return "act"; }
 
 private:

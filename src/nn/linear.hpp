@@ -40,6 +40,8 @@ public:
         wpack_.clear();
         return weight_;
     }
+    [[nodiscard]] const Tensor& weight() const { return weight_; }
+    [[nodiscard]] const Tensor& bias() const { return bias_; }
     [[nodiscard]] std::string kind() const override { return "fc"; }
 
 private:

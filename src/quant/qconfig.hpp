@@ -10,8 +10,9 @@
 //                    .with_input_range(0.0f, 1.0f));
 //
 // The first three fields keep the old positional order, so legacy
-// `{9, 11, 8.0f}` braces still aggregate-initialise correctly; the
-// QEngineConfig spelling itself survives as a [[deprecated]] shim below.
+// `{9, 11, 8.0f}` braces still aggregate-initialise correctly.  (The
+// transitional QEngineConfig spelling is gone; every call site spells
+// QuantConfig.)
 //
 // `input_lo` / `input_hi` declare the value range of the tensors that will
 // be fed to run() (images are [0, 1] here).  The engine's range propagation
@@ -90,24 +91,5 @@ struct QuantConfig {
 /// ("ref" forces kReference — the rollback lever; "auto" or unset keeps the
 /// config's value).  Read at QEngine construction.
 [[nodiscard]] QExecution resolved_execution(const QuantConfig& cfg);
-
-/// Pre-QuantConfig positional scheme struct.  Field order matches the
-/// leading QuantConfig fields, and it converts implicitly, so migration is
-/// spelling-only.
-struct [[deprecated(
-    "use quant::QuantConfig (named fields + with_* chaining)")]] QEngineConfig {
-    int fm_bits = 9;
-    int weight_bits = 11;
-    float fm_abs_max = 8.0f;
-
-    // NOLINTNEXTLINE(google-explicit-constructor): intentional shim.
-    operator QuantConfig() const {
-        QuantConfig c;
-        c.fm_bits = fm_bits;
-        c.weight_bits = weight_bits;
-        c.fm_abs_max = fm_abs_max;
-        return c;
-    }
-};
 
 }  // namespace sky::quant

@@ -15,6 +15,7 @@
 #include "nn/pooling.hpp"
 #include "nn/pwconv.hpp"
 #include "nn/space_to_depth.hpp"
+#include "quant/ranges.hpp"
 
 namespace sky::quant {
 namespace {
@@ -29,36 +30,21 @@ std::vector<std::int32_t> quantize_weights_to_int(const Tensor& w,
     return out;
 }
 
-/// Inclusive value range of a node's output on the FM grid.
-struct GridRange {
-    std::int32_t lo = 0;
-    std::int32_t hi = 0;
-};
-
 }  // namespace
 
 QEngine::QEngine(nn::Graph& graph, const QuantConfig& cfg)
-    : cfg_(cfg),
-      exec_(resolved_execution(cfg)),
-      fm_fmt_(choose_format(cfg.fm_bits, cfg.fm_abs_max)) {
-    if (cfg.fm_bits < 2 || cfg.fm_bits > 32 || cfg.weight_bits < 2 ||
-        cfg.weight_bits > 32)
-        throw std::invalid_argument(
-            "QEngine: fm_bits/weight_bits must be in [2, 32] (see verify::check_qmodel "
-            "Q005)");
-    if (!(cfg.input_lo <= cfg.input_hi))
-        throw std::invalid_argument("QEngine: input_lo must be <= input_hi");
-    const int fm_bits = fm_fmt_.total_bits;
-    grid_lo_ = saturate(std::numeric_limits<std::int64_t>::min(), fm_bits);
-    grid_hi_ = saturate(std::numeric_limits<std::int64_t>::max(), fm_bits);
-    six_ = fm_fmt_.frac_bits >= 60
-               ? grid_hi_
-               : saturate(static_cast<std::int64_t>(6) << fm_fmt_.frac_bits, fm_bits);
+    : cfg_(cfg), exec_(resolved_execution(cfg)) {
+    // make_grid_spec validates the scheme (same throws the ctor used to
+    // issue) and resolves the shared FM grid — the single source of truth
+    // verify::analyze reads too (quant/ranges.hpp).
+    const GridSpec spec = make_grid_spec(cfg);
+    fm_fmt_ = spec.fm;
+    grid_lo_ = spec.grid_lo;
+    grid_hi_ = spec.grid_hi;
+    six_ = spec.six;
+    in_lo_ = spec.in_lo;
+    in_hi_ = spec.in_hi;
     const double inv_step = 1.0 / fm_fmt_.step();
-    in_lo_ = saturate(std::llround(static_cast<double>(cfg.input_lo) * inv_step),
-                      fm_bits);
-    in_hi_ = saturate(std::llround(static_cast<double>(cfg.input_hi) * inv_step),
-                      fm_bits);
 
     // ---- Parse the graph into integer layers (weights at full scheme
     // precision — the reference path and the s16 packing both read them) --
@@ -187,45 +173,12 @@ QEngine::QEngine(nn::Graph& graph, const QuantConfig& cfg)
         }
     }
 
-    // ---- Propagate output value ranges on the FM grid.  Conservative:
-    // arithmetic layers saturate to the full grid; activations and
-    // data-movement ops tighten/preserve.  Sound for every input inside the
-    // declared [input_lo, input_hi] --------------------------------------
-    std::vector<GridRange> range(layers_.size(), GridRange{grid_lo_, grid_hi_});
-    for (std::size_t i = 0; i < layers_.size(); ++i) {
-        const QLayer& l = layers_[i];
-        const auto in_range = [&](int idx) { return range[static_cast<std::size_t>(idx)]; };
-        switch (l.op) {
-            case QLayer::Op::kInput: range[i] = {in_lo_, in_hi_}; break;
-            case QLayer::Op::kRelu: {
-                const GridRange r = in_range(l.inputs[0]);
-                range[i] = {std::max(r.lo, 0), std::max(r.hi, 0)};
-                break;
-            }
-            case QLayer::Op::kRelu6: {
-                const GridRange r = in_range(l.inputs[0]);
-                range[i] = {std::clamp(r.lo, 0, six_), std::clamp(r.hi, 0, six_)};
-                break;
-            }
-            case QLayer::Op::kPool:
-            case QLayer::Op::kReorder:
-            case QLayer::Op::kIdentity: range[i] = in_range(l.inputs[0]); break;
-            case QLayer::Op::kConcat: {
-                GridRange r = in_range(l.inputs[0]);
-                for (int in : l.inputs) {
-                    r.lo = std::min(r.lo, in_range(in).lo);
-                    r.hi = std::max(r.hi, in_range(in).hi);
-                }
-                range[i] = r;
-                break;
-            }
-            case QLayer::Op::kConv:
-            case QLayer::Op::kDwConv3:
-            case QLayer::Op::kBias:
-            case QLayer::Op::kAdd:
-            case QLayer::Op::kFp32: range[i] = {grid_lo_, grid_hi_}; break;
-        }
-    }
+    // ---- Propagate output value ranges on the FM grid.  The transfer
+    // functions live in quant/ranges.hpp, SHARED with verify::analyze, so
+    // the static analysis and this plan can never disagree.  Runs on the
+    // graph (layers_ mirror it 1:1 before elision).  Sound for every input
+    // inside the declared [input_lo, input_hi] ----------------------------
+    const std::vector<GridRange> range = propagate_grid_ranges(graph, spec);
 
     // ---- Elide Identity nodes (folded BN leaves one behind every conv):
     // rewire every consumer straight to the identity's source, so identity
@@ -263,36 +216,30 @@ QEngine::QEngine(nn::Graph& graph, const QuantConfig& cfg)
             continue;
         }
         if (l.op != QLayer::Op::kConv || exec_ == QExecution::kReference) continue;
-        const GridRange r = range[static_cast<std::size_t>(l.inputs[0])];
-        // With zero padding the offset value 0 must itself be encodable.
-        const std::int32_t zp = l.pad > 0 ? std::min(r.lo, 0) : r.lo;
-        const std::int64_t span = static_cast<std::int64_t>(r.hi) - zp;
         const int K = l.in_ch * l.k * l.k;
         std::int64_t wmax = 0;
         for (const std::int32_t w : l.weights)
             wmax = std::max<std::int64_t>(wmax, std::abs(static_cast<std::int64_t>(w)));
-        std::string reason;
-        if (span > 255)
-            reason = "input span " + std::to_string(span) + " exceeds u8";
-        else if (cfg.weight_bits > 15)
-            reason = "weight_bits > 15 (s16 operand bound)";
-        else if (K > core::qgemm_max_k() ||
-                 static_cast<std::int64_t>(K) * wmax * span >= (std::int64_t{1} << 31))
-            reason = "int32 accumulator bound K * max|w| * span exceeded";
-        if (!reason.empty()) {
+        // The eligibility proof is shared arithmetic (quant/ranges.hpp):
+        // verify::analyze runs the same prove_qgemm over the same ranges.
+        const ConvProof proof = prove_qgemm(
+            K, l.pad, cfg.weight_bits, wmax,
+            range[static_cast<std::size_t>(l.inputs[0])]);
+        if (!proof.eligible) {
             if (exec_ == QExecution::kInt8)
                 throw std::invalid_argument("QEngine: strict int8: " + names[i] +
-                                            ": " + reason);
-            notes[i] = reason;
+                                            ": " + proof.reason);
+            notes[i] = proof.reason;
             continue;
         }
         core::qpack_a_wide(l.out_ch, K, l.weights.data(), l.apack);
-        l.zero_point = zp;
+        l.zero_point = proof.zero_point;
         l.bias_corr.resize(static_cast<std::size_t>(l.out_ch));
         for (int oc = 0; oc < l.out_ch; ++oc) {
             const auto uoc = static_cast<std::size_t>(oc);
             l.bias_corr[uoc] = (l.bias.empty() ? 0 : l.bias[uoc]) +
-                               static_cast<std::int64_t>(zp) * l.apack.rowsum[uoc];
+                               static_cast<std::int64_t>(proof.zero_point) *
+                                   l.apack.rowsum[uoc];
         }
         // Branchless int32 requantization is exact when the biased
         // accumulator plus the rounding offset provably fits int32.
@@ -300,8 +247,7 @@ QEngine::QEngine(nn::Graph& graph, const QuantConfig& cfg)
         for (const std::int64_t b : l.bias_corr)
             bmax = std::max(bmax, std::abs(b));
         l.rq32 = l.shift >= 1 && l.shift <= 30 &&
-                 static_cast<std::int64_t>(K) * wmax * span + bmax +
-                         (std::int64_t{1} << (l.shift - 1)) <
+                 proof.acc_bound + bmax + (std::int64_t{1} << (l.shift - 1)) <
                      (std::int64_t{1} << 31);
         l.impl = QImpl::kQGemm;
         any_qgemm_ = true;
@@ -404,17 +350,17 @@ QEngine::QEngine(nn::Graph& graph, const QuantConfig& cfg)
     }
 }
 
-QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) {
+void QEngine::execute(const QLayer& l, QTensor& y) {
     const int fm_bits = fm_fmt_.total_bits;
     switch (l.op) {
         case QLayer::Op::kInput:
             throw std::logic_error("QEngine: input node executed");
         case QLayer::Op::kIdentity:
-            return outputs[static_cast<std::size_t>(l.inputs[0])];
+            // Identities are elided at compile time; nothing executes them.
+            throw std::logic_error("QEngine: identity node executed");
         case QLayer::Op::kRelu:
         case QLayer::Op::kRelu6: {
-            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
-            QTensor y;
+            const QTensor& x = outputs_[static_cast<std::size_t>(l.inputs[0])];
             y.shape = x.shape;
             y.data.resize(x.data.size());
             const std::int32_t hi =
@@ -426,11 +372,10 @@ QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) {
                                    for (std::int64_t i = i0; i < i1; ++i)
                                        dst[i] = std::clamp(src[i], 0, hi);
                                });
-            return y;
+            return;
         }
         case QLayer::Op::kPool: {
-            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
-            QTensor y;
+            const QTensor& x = outputs_[static_cast<std::size_t>(l.inputs[0])];
             y.shape = {x.shape.n, x.shape.c, x.shape.h / 2, x.shape.w / 2};
             y.data.resize(static_cast<std::size_t>(y.shape.count()));
             const int W = x.shape.w, OH = y.shape.h, OW = y.shape.w;
@@ -454,12 +399,11 @@ QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) {
                             }
                     }
                 });
-            return y;
+            return;
         }
         case QLayer::Op::kReorder: {
-            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
+            const QTensor& x = outputs_[static_cast<std::size_t>(l.inputs[0])];
             const int b = l.reorder_block;
-            QTensor y;
             y.shape = {x.shape.n, x.shape.c * b * b, x.shape.h / b, x.shape.w / b};
             y.data.resize(static_cast<std::size_t>(y.shape.count()));
             const int OH = y.shape.h, OW = y.shape.w, W = x.shape.w;
@@ -487,14 +431,13 @@ QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) {
                             }
                     }
                 });
-            return y;
+            return;
         }
         case QLayer::Op::kConcat: {
-            const QTensor& first = outputs[static_cast<std::size_t>(l.inputs[0])];
-            QTensor y;
+            const QTensor& first = outputs_[static_cast<std::size_t>(l.inputs[0])];
             y.shape = first.shape;
             y.shape.c = 0;
-            for (int in : l.inputs) y.shape.c += outputs[static_cast<std::size_t>(in)].shape.c;
+            for (int in : l.inputs) y.shape.c += outputs_[static_cast<std::size_t>(in)].shape.c;
             y.data.resize(static_cast<std::size_t>(y.shape.count()));
             const std::int64_t plane =
                 static_cast<std::int64_t>(first.shape.h) * first.shape.w;
@@ -502,7 +445,7 @@ QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) {
                 std::int64_t off =
                     static_cast<std::int64_t>(n) * y.shape.c * plane;
                 for (int in : l.inputs) {
-                    const QTensor& part = outputs[static_cast<std::size_t>(in)];
+                    const QTensor& part = outputs_[static_cast<std::size_t>(in)];
                     const std::int64_t bytes =
                         static_cast<std::int64_t>(part.shape.c) * plane;
                     std::copy_n(part.data.begin() +
@@ -511,12 +454,11 @@ QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) {
                     off += bytes;
                 }
             }
-            return y;
+            return;
         }
         case QLayer::Op::kAdd: {
-            const QTensor& a = outputs[static_cast<std::size_t>(l.inputs[0])];
-            const QTensor& b = outputs[static_cast<std::size_t>(l.inputs[1])];
-            QTensor y;
+            const QTensor& a = outputs_[static_cast<std::size_t>(l.inputs[0])];
+            const QTensor& b = outputs_[static_cast<std::size_t>(l.inputs[1])];
             y.shape = a.shape;
             y.data.resize(a.data.size());
             const std::int32_t* ad = a.data.data();
@@ -529,14 +471,13 @@ QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) {
                                            static_cast<std::int64_t>(ad[i]) + bd[i],
                                            fm_bits);
                                });
-            return y;
+            return;
         }
         case QLayer::Op::kBias: {
             // Per-channel add with the layer's requantization clamp — the
             // grid bounds when unfused (== the old saturate), or [0, six]
             // when a downstream ReLU/ReLU6 was folded in.
-            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
-            QTensor y;
+            const QTensor& x = outputs_[static_cast<std::size_t>(l.inputs[0])];
             y.shape = x.shape;
             y.data.resize(x.data.size());
             const std::int64_t plane =
@@ -572,26 +513,25 @@ QTensor QEngine::execute(const QLayer& l, const std::vector<QTensor>& outputs) {
                         }
                     }
                 });
-            return y;
+            return;
         }
         case QLayer::Op::kFp32: {
             // Dequantize -> float module -> requantize onto the FM grid, so
             // downstream integer layers see grid values as usual.
-            const QTensor& x = outputs[static_cast<std::size_t>(l.inputs[0])];
+            const QTensor& x = outputs_[static_cast<std::size_t>(l.inputs[0])];
             Tensor xf(x.shape);
             const float step = static_cast<float>(fm_fmt_.step());
             for (std::size_t i = 0; i < x.data.size(); ++i)
                 xf[static_cast<std::int64_t>(i)] =
                     static_cast<float>(x.data[i]) * step;
             const Tensor yf = l.fallback->forward(xf);
-            QTensor y;
             y.shape = yf.shape();
             y.data.resize(static_cast<std::size_t>(yf.size()));
             const double inv_step = 1.0 / fm_fmt_.step();
             for (std::int64_t i = 0; i < yf.size(); ++i)
                 y.data[static_cast<std::size_t>(i)] = saturate(
                     static_cast<std::int64_t>(std::llround(yf[i] * inv_step)), fm_bits);
-            return y;
+            return;
         }
         case QLayer::Op::kDwConv3:
         case QLayer::Op::kConv:
@@ -813,10 +753,128 @@ void QEngine::execute_conv(const QLayer& l, const QTensor& x, QTensor& y,
         });
 }
 
+std::vector<Shape> QEngine::layer_shapes(const Shape& input) const {
+    std::vector<Shape> s(layers_.size());
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const QLayer& l = layers_[i];
+        const Shape in =
+            l.inputs.empty() ? input : s[static_cast<std::size_t>(l.inputs[0])];
+        switch (l.op) {
+            case QLayer::Op::kInput:
+                s[i] = input;
+                break;
+            case QLayer::Op::kConv:
+                s[i] = {in.n, l.out_ch, (in.h + 2 * l.pad - l.k) / l.stride + 1,
+                        (in.w + 2 * l.pad - l.k) / l.stride + 1};
+                break;
+            case QLayer::Op::kPool:
+                s[i] = {in.n, in.c, in.h / 2, in.w / 2};
+                break;
+            case QLayer::Op::kReorder: {
+                const int b = l.reorder_block;
+                s[i] = {in.n, in.c * b * b, in.h / b, in.w / b};
+                break;
+            }
+            case QLayer::Op::kConcat: {
+                Shape c = in;
+                c.c = 0;
+                for (const int j : l.inputs)
+                    c.c += s[static_cast<std::size_t>(j)].c;
+                s[i] = c;
+                break;
+            }
+            case QLayer::Op::kFp32:
+                s[i] = l.fallback->out_shape(in);
+                break;
+            case QLayer::Op::kDwConv3:
+            case QLayer::Op::kRelu:
+            case QLayer::Op::kRelu6:
+            case QLayer::Op::kBias:
+            case QLayer::Op::kIdentity:
+            case QLayer::Op::kAdd:
+                s[i] = in;
+                break;
+        }
+    }
+    return s;
+}
+
+void QEngine::ensure_plan(const Shape& input) {
+    if (has_plan_ && plan_shape_ == input) return;
+    const std::vector<Shape> shapes = layer_shapes(input);
+    std::vector<deploy::PlanTensor> program(layers_.size());
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const QLayer& l = layers_[i];
+        // Elided identities allocate nothing and consume nothing (their
+        // consumers were rewired straight to the producer).
+        if (l.op == QLayer::Op::kIdentity) continue;
+        program[i].inputs = l.inputs;
+        program[i].bytes = shapes[i].count() * static_cast<std::int64_t>(sizeof(std::int32_t));
+    }
+    plan_ = deploy::plan_tensors(program, output_node_);
+    releases_.assign(layers_.size() + 1, {});
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const deploy::TensorPlan& t = plan_.tensors[i];
+        if (t.slot < 0) continue;
+        releases_[std::min<std::size_t>(static_cast<std::size_t>(t.last),
+                                        layers_.size())]
+            .push_back(static_cast<int>(i));
+    }
+    slot_bufs_.resize(plan_.slots.size());
+    // Pre-size every slot to its planned capacity so even the FIRST run at
+    // this shape is allocation-free (plan-time provisioning, not counted in
+    // alloc_events_ — that gauge tracks steady-state growth only).
+    for (std::size_t s = 0; s < slot_bufs_.size(); ++s) {
+        const auto cap = static_cast<std::size_t>(
+            plan_.slots[s].bytes / static_cast<std::int64_t>(sizeof(std::int32_t)));
+        if (slot_bufs_[s].capacity() < cap) slot_bufs_[s].reserve(cap);
+    }
+    outputs_.resize(layers_.size());
+    plan_shape_ = input;
+    has_plan_ = true;
+    report_.activation_plan = plan_;
+    report_.activation_plan_shape = input;
+    report_.has_activation_plan = true;
+}
+
+const deploy::MemoryPlan& QEngine::plan_activations(const Shape& input) {
+    ensure_plan(input);
+    return plan_;
+}
+
 Tensor QEngine::run(const Tensor& input) {
-    std::vector<QTensor> outputs(layers_.size());
+    ensure_plan(input.shape());
+    live_bytes_ = 0;
+    measured_peak_bytes_ = 0;
+    // Check a node's buffer out of its planned arena slot (pointer swap) and
+    // back in after its last reader ran.  Steady state reuses the converged
+    // slot capacities — the only allocations are capacity growths, counted
+    // in alloc_events_.
+    const auto claim = [this](std::size_t node) {
+        const int slot = plan_.tensors[node].slot;
+        if (slot >= 0)
+            outputs_[node].data = std::move(slot_bufs_[static_cast<std::size_t>(slot)]);
+        return outputs_[node].data.capacity();
+    };
+    const auto defined = [this](std::size_t node, std::size_t cap_before) {
+        if (outputs_[node].data.capacity() > cap_before) ++alloc_events_;
+        live_bytes_ += static_cast<std::int64_t>(outputs_[node].data.size()) *
+                       static_cast<std::int64_t>(sizeof(std::int32_t));
+        measured_peak_bytes_ = std::max(measured_peak_bytes_, live_bytes_);
+    };
+    const auto release_after = [this](std::size_t step) {
+        for (const int dead : releases_[step]) {
+            QTensor& t = outputs_[static_cast<std::size_t>(dead)];
+            live_bytes_ -= static_cast<std::int64_t>(t.data.size()) *
+                           static_cast<std::int64_t>(sizeof(std::int32_t));
+            const int slot = plan_.tensors[static_cast<std::size_t>(dead)].slot;
+            slot_bufs_[static_cast<std::size_t>(slot)] = std::move(t.data);
+        }
+    };
+
     // Quantise the input onto the FM grid (element-parallel, exact).
-    QTensor in;
+    const std::size_t in_cap = claim(0);
+    QTensor& in = outputs_[0];
     in.shape = input.shape();
     in.data.resize(static_cast<std::size_t>(input.size()));
     const double inv_step = 1.0 / fm_fmt_.step();
@@ -833,6 +891,7 @@ Tensor QEngine::run(const Tensor& input) {
                                        fm_bits);
                            });
     }
+    defined(0, in_cap);
     // The int8 plan assumed inputs inside the declared range; verify that
     // at run time and fall back to the reference path for the whole pass if
     // violated — the answer stays bit-true either way.
@@ -851,25 +910,28 @@ Tensor QEngine::run(const Tensor& input) {
             allow_qgemm = false;
         }
     }
-    outputs[0] = std::move(in);
+    release_after(0);
 
     for (std::size_t i = 1; i < layers_.size(); ++i) {
         const QLayer& l = layers_[i];
         // Identities were elided at compile time (consumers rewired past
         // them) — nothing reads their slot, so skip the copy entirely.
         if (l.op == QLayer::Op::kIdentity) continue;
+        const std::size_t cap = claim(i);
         if (l.op == QLayer::Op::kConv) {
-            execute_conv(l, outputs[static_cast<std::size_t>(l.inputs[0])], outputs[i],
-                         allow_qgemm);
+            execute_conv(l, outputs_[static_cast<std::size_t>(l.inputs[0])],
+                         outputs_[i], allow_qgemm);
         } else if (l.op == QLayer::Op::kDwConv3) {
-            execute_dwconv(l, outputs[static_cast<std::size_t>(l.inputs[0])],
-                           outputs[i]);
+            execute_dwconv(l, outputs_[static_cast<std::size_t>(l.inputs[0])],
+                           outputs_[i]);
         } else {
-            outputs[i] = execute(l, outputs);
+            execute(l, outputs_[i]);
         }
+        defined(i, cap);
+        release_after(i);
     }
 
-    const QTensor& out = outputs[static_cast<std::size_t>(output_node_)];
+    const QTensor& out = outputs_[static_cast<std::size_t>(output_node_)];
     Tensor result(out.shape);
     const float step = static_cast<float>(fm_fmt_.step());
     {
@@ -881,6 +943,8 @@ Tensor QEngine::run(const Tensor& input) {
                                    dst[i] = static_cast<float>(src[i]) * step;
                            });
     }
+    // The output survives to the end of the pass; park its buffer too.
+    release_after(layers_.size());
     return result;
 }
 

@@ -29,6 +29,7 @@
 #pragma once
 
 #include "core/qgemm.hpp"
+#include "deploy/memory_plan.hpp"
 #include "nn/graph.hpp"
 #include "quant/fixed_point.hpp"
 #include "quant/qconfig.hpp"
@@ -64,6 +65,24 @@ public:
     [[nodiscard]] const QuantReport& report() const { return report_; }
     /// Total integer-weight bytes (the deployed model size).
     [[nodiscard]] std::int64_t weight_bytes() const;
+
+    /// Static activation memory plan (deploy::plan_tensors over the compiled
+    /// layer program) for inputs of `input` shape.  Computed lazily and
+    /// cached — run() replans only when the input shape changes — and
+    /// mirrored into report().activation_plan.  run() executes out of
+    /// exactly this plan's arena slots.
+    const deploy::MemoryPlan& plan_activations(const Shape& input);
+    /// Arena slot buffers that had to grow (capacity allocations) across all
+    /// run() calls so far.  Zero growth between runs at a fixed input shape
+    /// is the allocation-free steady state bench_serve gauges.
+    [[nodiscard]] std::int64_t alloc_events() const { return alloc_events_; }
+    /// Peak live activation bytes observed during the last run() — equals
+    /// plan_activations(shape).peak_bytes exactly (the plan is an exact
+    /// static model of run()'s claim/release schedule, pinned by
+    /// tests/test_verify.cpp).
+    [[nodiscard]] std::int64_t measured_peak_bytes() const {
+        return measured_peak_bytes_;
+    }
 
 private:
     struct QLayer {
@@ -106,9 +125,17 @@ private:
         nn::Module* fallback = nullptr;       // op == kFp32
     };
 
-    [[nodiscard]] QTensor execute(const QLayer& l, const std::vector<QTensor>& outputs);
+    /// Execute a non-conv layer into `y` (one of the arena-backed outputs_
+    /// entries); inputs are read from outputs_.
+    void execute(const QLayer& l, QTensor& y);
     void execute_conv(const QLayer& l, const QTensor& x, QTensor& y, bool allow_qgemm);
     void execute_dwconv(const QLayer& l, const QTensor& x, QTensor& y) const;
+
+    /// Statically inferred output shape of every layer for `input`.
+    [[nodiscard]] std::vector<Shape> layer_shapes(const Shape& input) const;
+    /// (Re)compute the liveness plan + release schedule when the input
+    /// shape changed since the last run.
+    void ensure_plan(const Shape& input);
 
     QuantConfig cfg_;
     QExecution exec_ = QExecution::kAuto;  // resolved (env applied)
@@ -123,6 +150,19 @@ private:
     // Per-run scratch, reused across layers and batch items.
     core::QPackedB bpanel_;
     std::vector<std::int32_t> acc_;
+    // Arena execution state: run() checks each node's buffer out of its
+    // planned slot, executes, and checks it back in after the node's last
+    // reader — vector moves (pointer swaps), no allocation once the slot
+    // capacities have converged.
+    deploy::MemoryPlan plan_;
+    Shape plan_shape_{};
+    bool has_plan_ = false;
+    std::vector<QTensor> outputs_;                     // per-node views
+    std::vector<std::vector<std::int32_t>> slot_bufs_; // parked slot storage
+    std::vector<std::vector<int>> releases_;           // nodes dying after step i
+    std::int64_t alloc_events_ = 0;
+    std::int64_t live_bytes_ = 0;
+    std::int64_t measured_peak_bytes_ = 0;
 };
 
 }  // namespace sky::quant

@@ -53,6 +53,9 @@ std::string QuantReport::summary() const {
     os << "  convs: " << qgemm_layers << " qgemm, " << ref_layers << " ref-int";
     if (fp32_layers > 0) os << "; " << fp32_layers << " fp32-fallback layers";
     os << "; weights " << weight_bytes << " B";
+    if (has_activation_plan)
+        os << "\n  activations @" << activation_plan_shape.str() << ": "
+           << activation_plan.summary();
     return os.str();
 }
 

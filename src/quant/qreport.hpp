@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "deploy/memory_plan.hpp"
 #include "quant/fixed_point.hpp"
 #include "quant/qconfig.hpp"
 
@@ -47,6 +48,14 @@ struct QuantReport {
     int ref_layers = 0;    ///< convs on the reference integer path
     int fp32_layers = 0;   ///< layers running the fp32 fallback
     std::int64_t weight_bytes = 0;  ///< deployed integer-weight size
+
+    /// Static activation memory plan (tensor liveness + arena slots) the
+    /// engine executes out of, computed for `activation_plan_shape` by
+    /// QEngine::plan_activations (Detector::quantize plans at the canonical
+    /// DAC-SDC input shape).  has_activation_plan is false until then.
+    deploy::MemoryPlan activation_plan;
+    Shape activation_plan_shape{};
+    bool has_activation_plan = false;
 
     /// Multi-line human-readable table (one row per layer with weights or a
     /// fallback note, plus a totals line).

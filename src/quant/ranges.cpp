@@ -1,0 +1,120 @@
+#include "quant/ranges.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/qgemm.hpp"
+#include "deploy/fold_bn.hpp"
+#include "nn/activations.hpp"
+#include "nn/pooling.hpp"
+#include "nn/space_to_depth.hpp"
+
+namespace sky::quant {
+
+GridSpec make_grid_spec(const QuantConfig& cfg) {
+    if (cfg.fm_bits < 2 || cfg.fm_bits > 32 || cfg.weight_bits < 2 ||
+        cfg.weight_bits > 32)
+        throw std::invalid_argument(
+            "QEngine: fm_bits/weight_bits must be in [2, 32] (see verify::check_qmodel "
+            "Q005)");
+    if (!(cfg.input_lo <= cfg.input_hi))
+        throw std::invalid_argument("QEngine: input_lo must be <= input_hi");
+    GridSpec spec;
+    spec.fm = choose_format(cfg.fm_bits, cfg.fm_abs_max);
+    const int fm_bits = spec.fm.total_bits;
+    spec.grid_lo = saturate(std::numeric_limits<std::int64_t>::min(), fm_bits);
+    spec.grid_hi = saturate(std::numeric_limits<std::int64_t>::max(), fm_bits);
+    spec.six = spec.fm.frac_bits >= 60
+                   ? spec.grid_hi
+                   : saturate(static_cast<std::int64_t>(6) << spec.fm.frac_bits,
+                              fm_bits);
+    const double inv_step = 1.0 / spec.fm.step();
+    spec.in_lo = saturate(
+        std::llround(static_cast<double>(cfg.input_lo) * inv_step), fm_bits);
+    spec.in_hi = saturate(
+        std::llround(static_cast<double>(cfg.input_hi) * inv_step), fm_bits);
+    return spec;
+}
+
+std::vector<GridRange> propagate_grid_ranges(const nn::Graph& g,
+                                             const GridSpec& spec) {
+    const GridRange full{spec.grid_lo, spec.grid_hi};
+    std::vector<GridRange> range(g.node_count(), full);
+    for (std::size_t i = 0; i < g.node_count(); ++i) {
+        const std::vector<int>& ins = g.node_inputs(i);
+        const auto in_range = [&](std::size_t slot) {
+            return range[static_cast<std::size_t>(ins[slot])];
+        };
+        switch (g.node_kind(i)) {
+            case nn::Graph::NodeKind::kInput:
+                range[i] = {spec.in_lo, spec.in_hi};
+                continue;
+            case nn::Graph::NodeKind::kConcat: {
+                GridRange r = in_range(0);
+                for (const int in : ins) {
+                    r.lo = std::min(r.lo, range[static_cast<std::size_t>(in)].lo);
+                    r.hi = std::max(r.hi, range[static_cast<std::size_t>(in)].hi);
+                }
+                range[i] = r;
+                continue;
+            }
+            case nn::Graph::NodeKind::kAdd:
+                range[i] = full;
+                continue;
+            case nn::Graph::NodeKind::kModule:
+                break;
+        }
+        const nn::Module* m = g.node_module(i);
+        if (m == nullptr || ins.empty()) continue;
+        if (const auto* act = dynamic_cast<const nn::Activation*>(m)) {
+            const GridRange r = in_range(0);
+            if (act->act_kind() == nn::Act::kReLU)
+                range[i] = {std::max(r.lo, 0), std::max(r.hi, 0)};
+            else if (act->act_kind() == nn::Act::kReLU6)
+                range[i] = {std::clamp(r.lo, 0, spec.six),
+                            std::clamp(r.hi, 0, spec.six)};
+            // Exotic activations run as fp32 islands and requantize onto
+            // the grid — the full-grid default already covers them.
+        } else if (dynamic_cast<const nn::MaxPool2*>(m) != nullptr ||
+                   dynamic_cast<const nn::SpaceToDepth*>(m) != nullptr ||
+                   dynamic_cast<const deploy::Identity*>(m) != nullptr) {
+            range[i] = in_range(0);
+        }
+        // Everything else (conv / dwconv / bias / bn / unknown) keeps the
+        // full-grid default: its output requantizes onto the grid.
+    }
+    return range;
+}
+
+std::int64_t quantized_abs_max(const Tensor& w, const FixedPointFormat& fmt) {
+    const double inv_step = 1.0 / fmt.step();
+    std::int64_t wmax = 0;
+    for (std::int64_t i = 0; i < w.size(); ++i)
+        wmax = std::max<std::int64_t>(
+            wmax, std::abs(static_cast<std::int64_t>(saturate(
+                      static_cast<std::int64_t>(std::llround(w[i] * inv_step)),
+                      fmt.total_bits))));
+    return wmax;
+}
+
+ConvProof prove_qgemm(int K, int pad, int weight_bits, std::int64_t wmax,
+                      GridRange in) {
+    ConvProof p;
+    // With zero padding the offset value 0 must itself be encodable.
+    p.zero_point = pad > 0 ? std::min(in.lo, 0) : in.lo;
+    p.span = static_cast<std::int64_t>(in.hi) - p.zero_point;
+    p.acc_bound = static_cast<std::int64_t>(K) * wmax * p.span;
+    if (p.span > 255)
+        p.reason = "input span " + std::to_string(p.span) + " exceeds u8";
+    else if (weight_bits > 15)
+        p.reason = "weight_bits > 15 (s16 operand bound)";
+    else if (K > core::qgemm_max_k() || p.acc_bound >= (std::int64_t{1} << 31))
+        p.reason = "int32 accumulator bound K * max|w| * span exceeded";
+    else
+        p.eligible = true;
+    return p;
+}
+
+}  // namespace sky::quant

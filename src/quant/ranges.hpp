@@ -1,0 +1,91 @@
+// Shared value-range analysis on the fixed-point feature-map grid.
+//
+// This is the single source of truth for the range reasoning the integer
+// engine's execution plan rests on.  quant::QEngine used to carry a private
+// copy of this propagation; now both the engine and the static analysis
+// layer (verify::analyze) call the same transfer functions, so the verifier
+// and the engine can never disagree about which layers are provably
+// int8-eligible (docs/STATIC_ANALYSIS.md "Abstract interpretation").
+//
+// The domain is an inclusive interval [lo, hi] of values on the shared FM
+// grid (two's-complement integers of fm_bits).  The propagation is a single
+// forward pass over the topologically-ordered graph:
+//
+//   input              -> the declared [input_lo, input_hi] on the grid
+//   ReLU               -> [max(lo, 0), max(hi, 0)]
+//   ReLU6              -> [clamp(lo, 0, six), clamp(hi, 0, six)]
+//   pool / reorder /
+//     identity         -> preserved (data movement / max selection)
+//   concat             -> union of the input intervals
+//   conv / dwconv /
+//     bias / add / any
+//     other module     -> the full grid (every executed value requantizes
+//                         onto the grid, so this is always sound)
+//
+// prove_qgemm() is the engine's per-conv eligibility proof over that
+// domain: u8 span, s16 weight operand, and the value-aware int32
+// accumulator bound K * max|w| * span < 2^31 (core/qgemm.hpp's contract).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "quant/fixed_point.hpp"
+#include "quant/qconfig.hpp"
+
+namespace sky::quant {
+
+/// Inclusive value range of a node's output on the FM grid.
+struct GridRange {
+    std::int32_t lo = 0;
+    std::int32_t hi = 0;
+};
+
+/// The shared fixed-point grid a scheme defines: the FM format, its
+/// two's-complement bounds, the ReLU6 clip constant and the declared input
+/// range, all expressed as grid integers.
+struct GridSpec {
+    FixedPointFormat fm{};
+    std::int32_t grid_lo = 0, grid_hi = 0;
+    std::int32_t six = 0;            ///< ReLU6 clip on the grid (saturated)
+    std::int32_t in_lo = 0, in_hi = 0;
+};
+
+/// Resolve a scheme into its grid.  Throws std::invalid_argument on a
+/// degenerate scheme (bits outside [2, 32], input_lo > input_hi) — the same
+/// contract QEngine's constructor enforces; verify::check_qmodel reports
+/// the violation as Q005 without throwing.
+[[nodiscard]] GridSpec make_grid_spec(const QuantConfig& cfg);
+
+/// Forward interval propagation over `g` on the grid of `spec`.  Returns
+/// one range per graph node, in node order.  Never throws on unsupported
+/// modules — unknown kinds conservatively widen to the full grid.
+[[nodiscard]] std::vector<GridRange> propagate_grid_ranges(const nn::Graph& g,
+                                                           const GridSpec& spec);
+
+/// Largest |w| after quantising `w` to `fmt` — the max|w| term of the
+/// accumulator bound, computed exactly the way the engine quantises.
+[[nodiscard]] std::int64_t quantized_abs_max(const Tensor& w,
+                                             const FixedPointFormat& fmt);
+
+/// Outcome of the int8 GEMM eligibility proof for one convolution.
+struct ConvProof {
+    bool eligible = false;
+    std::int32_t zero_point = 0;  ///< u8 operand stores x - zero_point
+    std::int64_t span = 0;        ///< hi - zero_point (grid values covered)
+    std::int64_t acc_bound = 0;   ///< K * max|w| * span (int32-exact iff < 2^31)
+    std::string reason;           ///< why not eligible; empty when eligible
+};
+
+/// Prove (or refute) packed-int8 eligibility for a conv with reduction
+/// depth `K = in_ch * k * k`, padding `pad`, scheme weight width
+/// `weight_bits`, quantised weight magnitude `wmax`, and the propagated
+/// input range `in`.  Pure arithmetic on the analysis result — the engine
+/// packs weights only for proofs that come back eligible, and
+/// verify::analyze reports A004 when the accumulator bound is the reason.
+[[nodiscard]] ConvProof prove_qgemm(int K, int pad, int weight_bits,
+                                    std::int64_t wmax, GridRange in);
+
+}  // namespace sky::quant

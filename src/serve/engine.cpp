@@ -63,6 +63,11 @@ Engine::Engine(Detector& detector, ServeConfig cfg)
         // by precision without scraping logs.
         reg->set("serve.precision_int8",
                  detector_.precision() == Precision::kInt8 ? 1.0 : 0.0);
+        // Static activation arena of the quantized plan: the per-replica
+        // feature-map memory a capacity planner must budget (0 for fp32
+        // replicas, which have no static plan).
+        reg->set("serve.activation_plan_bytes",
+                 static_cast<double>(detector_.activation_plan_bytes()));
     }
 }
 

@@ -64,6 +64,10 @@ quant::QuantReport Detector::quantize(const quant::QuantConfig& qcfg) {
     model_.net->set_training(false);
     verify::enforce(verify::check_qmodel(*model_.net, qcfg));
     qengine_ = std::make_unique<quant::QEngine>(*model_.net, qcfg);
+    // Static activation plan at the canonical input shape so the report
+    // (and serve's capacity gauge) carries the arena figures up front;
+    // run() replans only if fed a different shape.
+    qengine_->plan_activations(verify::default_input_shape());
     stage_ = DetectorStage::kQuantized;
     return qengine_->report();
 }

@@ -94,6 +94,18 @@ public:
     [[nodiscard]] Precision precision() const {
         return qengine_ ? Precision::kInt8 : Precision::kFp32;
     }
+    /// Arena bytes of the static activation plan — what the quantized
+    /// datapath reserves for feature maps (serve exports this as the
+    /// serve.activation_plan_bytes capacity gauge).  0 before quantize().
+    [[nodiscard]] std::int64_t activation_plan_bytes() const {
+        return qengine_ && qengine_->report().has_activation_plan
+                   ? qengine_->report().activation_plan.arena_bytes
+                   : 0;
+    }
+    /// The compiled integer engine, nullptr before quantize().  Read-only:
+    /// plan figures, alloc_events() and measured_peak_bytes() for tests and
+    /// benches.
+    [[nodiscard]] const quant::QEngine* qengine() const { return qengine_.get(); }
 
     // --- Inference -----------------------------------------------------
     /// Raw head map {n, 5*anchors, gh, gw} for {n,3,h,w} input.  Forces

@@ -1,0 +1,79 @@
+// Forward-dataflow abstract interpretation over nn::Graph (the A-codes).
+//
+// analyze() runs one topological pass per abstract domain and reports what
+// the ordinary shape checks (check_graph) cannot see — properties of the
+// VALUES a graph computes, provable without executing a single kernel:
+//
+//   * fp32 interval domain — every node gets an inclusive [lo, hi] bound on
+//     its output values, derived from the actual weights (per-out-channel
+//     sign-split sums).  Interval blow-up past FLT_MAX means Inf/NaN is
+//     statically reachable (A001).
+//   * activation usefulness — a ReLU whose input is already non-negative
+//     never clamps (A002, dead code); one whose input is never positive
+//     emits a constant (A003, the layer erases its features).
+//   * fixed-point grid domain — quant::propagate_grid_ranges on the scheme
+//     in AnalyzeOptions::qconfig, the SAME transfer functions the integer
+//     engine plans with, feeding the int32 accumulator proof
+//     quant::prove_qgemm.  A conv whose K * max|w| * span reaches 2^31
+//     cannot use the packed int8 path (A004).
+//   * tensor liveness — deploy::plan_activations' static activation memory
+//     plan (exact peak bytes + arena slots), the numbers QEngine's arena
+//     executor and serve's capacity gauge run on.
+//
+// Diagnostic catalog (full table in docs/STATIC_ANALYSIS.md):
+//   A001 warn   value interval exceeds FLT_MAX: Inf/NaN statically reachable
+//   A002 warn   activation clamp provably never fires (dead clamp)
+//   A003 warn   activation always saturates (output provably constant)
+//   A004 warn   int32 accumulator bound K * max|w| * span reaches 2^31
+// All A-codes are warnings: they flag numerically suspect or wasteful
+// graphs, not graphs that cannot execute.
+#pragma once
+
+#include <vector>
+
+#include "deploy/memory_plan.hpp"
+#include "nn/graph.hpp"
+#include "quant/qconfig.hpp"
+#include "quant/ranges.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace sky::verify {
+
+/// Inclusive bound on a node's fp32 output values.  known == false means
+/// the analysis lost track (a module kind without a transfer function) and
+/// every downstream check involving this node is skipped — soundness over
+/// false alarms.
+struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool known = false;
+};
+
+struct AnalyzeOptions {
+    /// Scheme for the fixed-point grid domain and the A004 accumulator
+    /// proof; the fp32 domain also anchors the graph input at
+    /// [input_lo, input_hi].
+    quant::QuantConfig qconfig{};
+    bool value_ranges = true;  ///< run the fp32 interval domain (A001-A003)
+    bool grid_ranges = true;   ///< run the grid domain + A004 proofs
+    bool memory_plan = true;   ///< run the liveness / arena planner
+};
+
+/// Everything one analyze() pass derives.  Vectors are indexed by graph
+/// node id; disabled domains leave their vector empty.
+struct Analysis {
+    Report report;
+    std::vector<Interval> value_ranges;
+    std::vector<quant::GridRange> grid_ranges;
+    deploy::MemoryPlan plan;
+    bool has_plan = false;  ///< false when planning failed or was disabled
+};
+
+/// Abstractly interpret `g` for inputs of shape `input` (batch and spatial
+/// dims only matter to the memory plan).  Never throws on analyzable
+/// graphs; a graph malformed enough to break shape inference simply loses
+/// its memory plan (run check_graph first for the structural diagnostics).
+[[nodiscard]] Analysis analyze(const nn::Graph& g, const Shape& input,
+                               const AnalyzeOptions& opts = {});
+
+}  // namespace sky::verify

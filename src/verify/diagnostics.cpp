@@ -58,6 +58,44 @@ std::string Report::str() const {
     return out;
 }
 
+const std::vector<CatalogEntry>& catalog() {
+    static const std::vector<CatalogEntry> kCatalog = {
+        {"G001", Severity::kError, "dangling edge (input id out of range)"},
+        {"G002", Severity::kError, "cyclic edge (node consumes itself or a later node)"},
+        {"G003", Severity::kError, "concat inputs disagree on batch/spatial dims"},
+        {"G004", Severity::kError, "add inputs disagree on shape"},
+        {"G005", Severity::kError, "channel mismatch between producer and consumer"},
+        {"G006", Severity::kError, "feature map collapses to a non-positive dimension"},
+        {"G007", Severity::kWarning,
+         "stride/padding/pool/reorder silently truncates rows or cols"},
+        {"G008", Severity::kWarning, "node unreachable from the output"},
+        {"G009", Severity::kError, "output node id invalid"},
+        {"G010", Severity::kError, "module shape inference threw"},
+        {"G011", Severity::kError, "join node has too few inputs"},
+        {"G012", Severity::kError,
+         "channel count incompatible with grouped conv / shuffle"},
+        {"M001", Severity::kError, "SkyNetModel feature tap node invalid"},
+        {"M002", Severity::kWarning,
+         "feature tap channel metadata disagrees with the graph"},
+        {"M003", Severity::kError, "SkyNetModel has no network"},
+        {"Q001", Severity::kError, "BatchNorm layer left unfolded ahead of quantization"},
+        {"Q002", Severity::kError, "layer the integer engine cannot compile"},
+        {"Q003", Severity::kError, "calibrated activation range exceeds the FM format"},
+        {"Q004", Severity::kWarning, "ReLU6 clip constant saturates in the FM format"},
+        {"Q005", Severity::kError,
+         "degenerate scheme (bit-widths / fm_abs_max out of range)"},
+        {"Q006", Severity::kWarning, "FM format has no fractional bits (integer-only grid)"},
+        {"A001", Severity::kWarning,
+         "value interval exceeds fp32 range: Inf/NaN statically reachable"},
+        {"A002", Severity::kWarning, "activation clamp provably never fires (dead clamp)"},
+        {"A003", Severity::kWarning,
+         "activation always saturates (output provably constant)"},
+        {"A004", Severity::kWarning,
+         "int32 accumulator bound K * max|w| * span reaches 2^31"},
+    };
+    return kCatalog;
+}
+
 namespace {
 
 std::string verify_error_message(const Report& r) {

@@ -49,6 +49,22 @@ struct Report {
     [[nodiscard]] std::string str() const;
 };
 
+/// One row of the diagnostic catalog: a stable code, its severity, and a
+/// one-line summary.  The full prose table lives in docs/STATIC_ANALYSIS.md;
+/// this is the machine-readable mirror that tools/skyanalyze prints and the
+/// exhaustiveness test in tests/test_verify.cpp pins (every code must have
+/// a firing test, every firing diagnostic must be catalogued).
+struct CatalogEntry {
+    const char* code;
+    Severity severity;
+    const char* summary;
+};
+
+/// Every diagnostic code the static checking layer can emit, in catalog
+/// order (G = graph structure, M = SkyNetModel, Q = quantization scheme,
+/// A = abstract interpretation).
+[[nodiscard]] const std::vector<CatalogEntry>& catalog();
+
 /// Thrown by enforce() when a Report carries errors; keeps the full report
 /// so callers can render every finding, not just the first.
 class VerifyError : public std::runtime_error {

@@ -480,17 +480,15 @@ TEST(Detector, QuantizedDetectIsThreadCountInvariant) {
     }
 }
 
-TEST(Detector, DeprecatedPositionalConfigStillCompiles) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Detector, PositionalConfigBracesStillCompile) {
+    // QuantConfig's leading fields keep the old QEngineConfig order, so the
+    // legacy positional `{9, 11, 8.0f}` spelling aggregate-initialises it.
     Rng rng(101);
     Detector det({SkyNetVariant::kA, nn::Act::kReLU6, 2, 0.15f}, rng);
-    const quant::QEngineConfig legacy{9, 11, 8.0f};  // old positional form
-    const quant::QuantReport rep = det.quantize(legacy);
+    const quant::QuantReport rep = det.quantize({9, 11, 8.0f});
     EXPECT_EQ(rep.config.fm_bits, 9);
     EXPECT_EQ(rep.config.weight_bits, 11);
     EXPECT_EQ(det.stage(), DetectorStage::kQuantized);
-#pragma GCC diagnostic pop
 }
 
 }  // namespace

@@ -190,6 +190,33 @@ TEST(Skylint, GuardedFieldCheckSkipsProseAndNonAnnotatableTypes) {
                        "mutex-doc"));
 }
 
+// ------------------------------------------------------------------ raw-sync
+
+TEST(Skylint, RawStdSyncTypesFireInsideSrc) {
+    for (const char* bad : {"std::mutex mu_;\n",
+                            "std::lock_guard<std::mutex> lk(mu_);\n",
+                            "std::condition_variable cv_;\n",
+                            "std::condition_variable_any cv_;\n"})
+        EXPECT_TRUE(fires(scan_file("src/serve/queue.hpp", bad), "raw-sync")) << bad;
+}
+
+TEST(Skylint, RawSyncExemptsTheWrapperFileAndNonSrcTrees) {
+    EXPECT_FALSE(fires(scan_file("src/core/mutex.hpp", "std::mutex mu_;\n"),
+                       "raw-sync"));
+    // Tests/tools may exercise the std types directly (e.g. this file).
+    EXPECT_FALSE(fires(scan_file("tests/test_core.cpp",
+                                 "std::lock_guard<std::mutex> lk(m);\n"),
+                       "raw-sync"));
+}
+
+TEST(Skylint, CoreWrappersAndLookalikesPass) {
+    for (const char* ok : {"core::Mutex mu_;  // guards q_\n",
+                           "core::MutexLock lk(mu_);\n",
+                           "std::shared_mutex rw_;  // guards cache\n",
+                           "int std_mutex_count = 0;\n"})
+        EXPECT_FALSE(fires(scan_file("src/serve/queue.hpp", ok), "raw-sync")) << ok;
+}
+
 // -------------------------------------------------------- using-namespace-std
 
 TEST(Skylint, UsingNamespaceStdFires) {

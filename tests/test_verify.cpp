@@ -8,6 +8,10 @@
 #include <memory>
 #include <utility>
 
+#include <map>
+#include <stdexcept>
+#include <string>
+
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
@@ -18,6 +22,7 @@
 #include "skynet/check_model.hpp"
 #include "skynet/detector.hpp"
 #include "skynet/skynet_model.hpp"
+#include "verify/analyze.hpp"
 #include "verify/check_graph.hpp"
 #include "verify/check_qmodel.hpp"
 
@@ -293,6 +298,301 @@ TEST(Verify, DetectorQuantizeRejectsDegenerateScheme) {
     Detector det(small_cfg(), rng);
     EXPECT_THROW(det.quantize(quant::QuantConfig{0, 11, 8.0f}),
                  verify::VerifyError);
+}
+
+// -------------------------------------------- abstract interpretation (A) --
+
+TEST(Analyze, IntervalBlowupWarnsA001OnlyAtTheTransition) {
+    Rng rng(1);
+    nn::Graph g;
+    const int c1 = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+    const int c2 = g.add(std::make_unique<nn::Conv2d>(8, 8, 3, 1, 1, false, rng), c1);
+    g.set_output(c2);
+    // 27 taps of 1e38 against inputs in [0, 1] reach 2.7e39 > FLT_MAX.
+    dynamic_cast<nn::Conv2d*>(g.node_module(1))->weight().fill(1e38f);
+    const verify::Analysis a = verify::analyze(g, kIn);
+    EXPECT_TRUE(a.report.has("A001")) << a.report.str();
+    int fired = 0;
+    for (const verify::Diagnostic& d : a.report.diagnostics)
+        if (d.code == "A001") {
+            ++fired;
+            EXPECT_EQ(d.node, 1);  // downstream nodes must not re-report
+        }
+    EXPECT_EQ(fired, 1) << a.report.str();
+    EXPECT_TRUE(a.report.ok());  // A-codes are warnings
+}
+
+TEST(Analyze, DeadClampWarnsA002) {
+    nn::Graph g;
+    // The graph input is declared [0, 1] by the default scheme: a ReLU on it
+    // provably never clamps.
+    g.add(std::make_unique<nn::Activation>(nn::Act::kReLU), 0);
+    const verify::Analysis a = verify::analyze(g, kIn);
+    EXPECT_TRUE(a.report.has("A002")) << a.report.str();
+    EXPECT_TRUE(a.report.ok());
+}
+
+TEST(Analyze, SaturatedActivationWarnsA003) {
+    nn::Graph g;
+    g.add(std::make_unique<nn::Activation>(nn::Act::kReLU), 0);
+    verify::AnalyzeOptions opts;
+    opts.qconfig = quant::QuantConfig{}.with_input_range(-3.0f, -1.0f);
+    const verify::Analysis a = verify::analyze(g, kIn, opts);
+    EXPECT_TRUE(a.report.has("A003")) << a.report.str();
+    EXPECT_FALSE(a.report.has("A002")) << a.report.str();  // saturation wins
+}
+
+TEST(Analyze, AccumulatorOverflowWarnsA004) {
+    Rng rng(1);
+    nn::Graph g;
+    // 512 input channels give the second conv K = 4608; with 15-bit weights
+    // (|w| up to ~16383) and a ReLU6-tightened input span, the worst-case
+    // int32 accumulator K * max|w| * span crosses 2^31.
+    const int c1 = g.add(std::make_unique<nn::Conv2d>(3, 512, 3, 1, 1, false, rng), 0);
+    const int a1 = g.add(std::make_unique<nn::Activation>(nn::Act::kReLU6), c1);
+    const int c2 = g.add(std::make_unique<nn::Conv2d>(512, 8, 3, 1, 1, false, rng), a1);
+    g.set_output(c2);
+    verify::AnalyzeOptions opts;
+    opts.qconfig = quant::QuantConfig{9, 15, 8.0f};
+    const verify::Analysis a = verify::analyze(g, kIn, opts);
+    EXPECT_TRUE(a.report.has("A004")) << a.report.str();
+    for (const verify::Diagnostic& d : a.report.diagnostics)
+        if (d.code == "A004") {
+            EXPECT_EQ(d.node, 3);
+            EXPECT_NE(d.message.find(">= 2^31"), std::string::npos) << d.message;
+        }
+}
+
+TEST(Analyze, PristineSkyNetAnalyzesClean) {
+    Rng rng(7);
+    Detector det(small_cfg(), rng);
+    det.fold_bn();
+    const verify::Analysis a = verify::analyze(det.net(), kIn);
+    EXPECT_EQ(a.report.str(), "");
+    ASSERT_TRUE(a.has_plan);
+    EXPECT_GT(a.plan.peak_bytes, 0);
+    EXPECT_GE(a.plan.arena_bytes, a.plan.peak_bytes);
+    EXPECT_LE(a.plan.arena_bytes, a.plan.total_bytes);
+}
+
+// ------------------------------------------- static plan vs real execution --
+
+TEST(Analyze, PlanPeakBytesMatchInstrumentedExecution) {
+    Rng rng(7);
+    Detector det(small_cfg(), rng);
+    const quant::QuantReport rep = det.quantize(quant::QuantConfig{});
+    ASSERT_TRUE(rep.has_activation_plan);
+    const deploy::MemoryPlan& plan = rep.activation_plan;
+    EXPECT_GT(plan.peak_bytes, 0);
+    EXPECT_GT(det.activation_plan_bytes(), 0);
+
+    Rng drng(3);
+    Tensor x(kIn);
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(drng.uniform(0.0, 1.0));
+    (void)det.forward(x);
+    ASSERT_NE(det.qengine(), nullptr);
+    // The plan is exact, not an estimate: the arena executor's instrumented
+    // peak must equal the liveness walk's number, and the pre-sized slots
+    // make the whole pass allocation-free from the first run.
+    EXPECT_EQ(det.qengine()->measured_peak_bytes(), plan.peak_bytes);
+    EXPECT_EQ(det.qengine()->alloc_events(), 0);
+    (void)det.forward(x);  // steady state stays allocation-free
+    EXPECT_EQ(det.qengine()->measured_peak_bytes(), plan.peak_bytes);
+    EXPECT_EQ(det.qengine()->alloc_events(), 0);
+}
+
+// ------------------------------------------------- catalog exhaustiveness --
+
+/// A module whose shape inference throws — the only way to seed G010.
+struct ThrowingShape : nn::Module {
+    Tensor forward(const Tensor& x) override { return x; }
+    Tensor backward(const Tensor& g) override { return g; }
+    [[nodiscard]] std::string name() const override { return "ThrowingShape"; }
+    [[nodiscard]] Shape out_shape(const Shape&) const override {
+        throw std::runtime_error("seeded failure");
+    }
+};
+
+/// One deliberately broken model per catalog code, so the catalog, the
+/// checkers, and this test cannot drift: a new code without a seed (or a
+/// seed whose code vanished from the catalog) fails here.
+std::map<std::string, verify::Report> seeded_defect_reports() {
+    std::map<std::string, verify::Report> out;
+    Rng rng(1);
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::DWConv3>(3, rng), 42);
+        out["G001"] = verify::check_graph(g, kIn);
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::DWConv3>(3, rng), 1);
+        out["G002"] = verify::check_graph(g, kIn);
+    }
+    {
+        nn::Graph g;
+        const int a = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+        const int b = g.add(std::make_unique<nn::MaxPool2>(), 0);
+        g.add_concat({a, b});
+        out["G003"] = verify::check_graph(g, kIn);
+    }
+    {
+        nn::Graph g;
+        const int a = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+        const int b = g.add(std::make_unique<nn::Conv2d>(3, 16, 3, 1, 1, false, rng), 0);
+        g.add_add(a, b);
+        out["G004"] = verify::check_graph(g, kIn);
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::DWConv3>(8, rng), 0);
+        out["G005"] = verify::check_graph(g, kIn);
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::Conv2d>(3, 8, 7, 1, 0, false, rng), 0);
+        out["G006"] = verify::check_graph(g, {1, 3, 4, 4});
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::MaxPool2>(), 0);
+        out["G007"] = verify::check_graph(g, {1, 3, 7, 9});
+    }
+    {
+        nn::Graph g;
+        const int keep = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+        g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+        g.set_output(keep);
+        out["G008"] = verify::check_graph(g, kIn);
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::MaxPool2>(), 0);
+        g.set_output(99);
+        out["G009"] = verify::check_graph(g, kIn);
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<ThrowingShape>(), 0);
+        out["G010"] = verify::check_graph(g, kIn);
+    }
+    {
+        nn::Graph g;
+        const int a = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+        g.add_concat({a});
+        out["G011"] = verify::check_graph(g, kIn);
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::ChannelShuffle>(5), 0);
+        out["G012"] = verify::check_graph(g, kIn);
+    }
+    {
+        Rng mrng(7);
+        SkyNetModel model = build_skynet(small_cfg(), mrng);
+        model.set_feature_tap(9999, model.feature_channels());
+        out["M001"] = verify::check_model(model, kIn);
+    }
+    {
+        Rng mrng(7);
+        SkyNetModel model = build_skynet(small_cfg(), mrng);
+        model.set_feature_tap(model.feature_node(), model.feature_channels() + 1);
+        out["M002"] = verify::check_model(model, kIn);
+    }
+    {
+        SkyNetModel model;
+        out["M003"] = verify::check_model(model, kIn);
+    }
+    {
+        nn::Graph g;
+        const int c = g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+        g.add(std::make_unique<nn::BatchNorm2d>(8), c);
+        out["Q001"] = verify::check_qmodel(g, quant::QuantConfig{});
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::PWConv1>(8, 8, false, rng, 2), 0);
+        out["Q002"] = verify::check_qmodel(g, quant::QuantConfig{});
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+        verify::QuantCheckOptions opts;
+        opts.calibrated_fm_abs_max = 100.0f;
+        out["Q003"] = verify::check_qmodel(g, quant::QuantConfig{9, 11, 8.0f}, opts);
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::Activation>(nn::Act::kReLU6), 0);
+        out["Q004"] = verify::check_qmodel(g, quant::QuantConfig{9, 11, 2.0f});
+    }
+    {
+        nn::Graph g;
+        out["Q005"] = verify::check_qmodel(g, quant::QuantConfig{0, 11, 8.0f});
+    }
+    {
+        nn::Graph g;
+        out["Q006"] = verify::check_qmodel(g, quant::QuantConfig{9, 11, 500.0f});
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, false, rng), 0);
+        dynamic_cast<nn::Conv2d*>(g.node_module(1))->weight().fill(1e38f);
+        out["A001"] = verify::analyze(g, kIn).report;
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::Activation>(nn::Act::kReLU), 0);
+        out["A002"] = verify::analyze(g, kIn).report;
+    }
+    {
+        nn::Graph g;
+        g.add(std::make_unique<nn::Activation>(nn::Act::kReLU), 0);
+        verify::AnalyzeOptions opts;
+        opts.qconfig = quant::QuantConfig{}.with_input_range(-3.0f, -1.0f);
+        out["A003"] = verify::analyze(g, kIn, opts).report;
+    }
+    {
+        nn::Graph g;
+        const int c1 = g.add(std::make_unique<nn::Conv2d>(3, 512, 3, 1, 1, false, rng), 0);
+        const int a1 = g.add(std::make_unique<nn::Activation>(nn::Act::kReLU6), c1);
+        g.set_output(
+            g.add(std::make_unique<nn::Conv2d>(512, 8, 3, 1, 1, false, rng), a1));
+        verify::AnalyzeOptions opts;
+        opts.qconfig = quant::QuantConfig{9, 15, 8.0f};
+        out["A004"] = verify::analyze(g, kIn, opts).report;
+    }
+    return out;
+}
+
+TEST(Verify, CatalogIsExhaustiveAndSeverityStable) {
+    const std::map<std::string, verify::Report> seeded = seeded_defect_reports();
+    const std::vector<verify::CatalogEntry>& cat = verify::catalog();
+    ASSERT_FALSE(cat.empty());
+
+    // Every catalogued code has a seeded defect that fires it, at the
+    // catalogued severity.
+    for (const verify::CatalogEntry& e : cat) {
+        const auto it = seeded.find(e.code);
+        ASSERT_NE(it, seeded.end()) << "no seeded defect for " << e.code;
+        bool fired = false;
+        for (const verify::Diagnostic& d : it->second.diagnostics)
+            if (d.code == e.code) {
+                fired = true;
+                EXPECT_EQ(d.severity, e.severity) << e.code;
+            }
+        EXPECT_TRUE(fired) << e.code << " did not fire: " << it->second.str();
+    }
+
+    // Conversely: nothing fires a code the catalog does not list.
+    for (const auto& [code, rep] : seeded)
+        for (const verify::Diagnostic& d : rep.diagnostics) {
+            bool catalogued = false;
+            for (const verify::CatalogEntry& e : cat)
+                catalogued = catalogued || d.code == e.code;
+            EXPECT_TRUE(catalogued) << d.code << " fired but is not catalogued";
+        }
 }
 
 }  // namespace

@@ -1,0 +1,224 @@
+// skyanalyze driver: run the static checking layer (verify::check_graph +
+// verify::analyze abstract interpretation + the activation memory planner)
+// over every graph the repo ships — the full backbone zoo and the three
+// SkyNet variants — and report the findings.
+//
+//   skyanalyze                 text report, one line per diagnostic
+//   skyanalyze --json          machine-readable report for other tooling
+//   skyanalyze --plan <file>   additionally write the per-model activation
+//                              memory plans to <file> (the CI artifact)
+//   skyanalyze --catalog       print the diagnostic catalog and exit
+//
+// Text diagnostics print as `model: severity CODE @node N: message`, matched
+// in CI by .github/problem-matchers/skyanalyze.json (mirroring skylint).
+// Exit status is non-zero only when a model carries ERRORS — warnings (the
+// A-codes are all warnings) annotate the build without failing it.
+//
+// SkyNet variants additionally run the deployment pipeline the Detector
+// uses: deploy::fold_graph_bn then verify::check_qmodel under the default
+// quantization scheme, so the integer-eligibility proofs (Q-codes, A004)
+// run on the same folded graph the QEngine would compile.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "backbones/registry.hpp"
+#include "deploy/fold_bn.hpp"
+#include "nn/graph.hpp"
+#include "nn/sequential.hpp"
+#include "skynet/skynet_model.hpp"
+#include "verify/analyze.hpp"
+#include "verify/check_graph.hpp"
+#include "verify/check_qmodel.hpp"
+
+namespace {
+
+using namespace sky;
+
+/// Keep full-depth backbones (VGG-16, ResNet-50) tractable for a lint-lane
+/// run: channel widths scale, topology — what the analyses exercise — does
+/// not.
+constexpr float kBackboneWidth = 0.25f;
+
+struct ModelResult {
+    std::string name;
+    verify::Report report;           // merged: check_graph (+qmodel) + analyze
+    deploy::MemoryPlan plan;
+    bool has_plan = false;
+    Shape input{};
+};
+
+void merge(verify::Report& into, const verify::Report& from) {
+    for (const verify::Diagnostic& d : from.diagnostics) into.diagnostics.push_back(d);
+}
+
+/// The analyses are per-graph-node; a backbone built as one flat Sequential
+/// would be a single opaque node.  Unwrap it into an equivalent chain Graph
+/// so every conv/BN/activation gets its own interval, proof and plan slot.
+std::unique_ptr<nn::Graph> to_graph(nn::ModulePtr net) {
+    auto g = std::make_unique<nn::Graph>();
+    int last = g->input();
+    if (auto* seq = dynamic_cast<nn::Sequential*>(net.get())) {
+        for (nn::ModulePtr& m : seq->take_modules()) last = g->add(std::move(m), last);
+    } else {
+        last = g->add(std::move(net), last);
+    }
+    g->set_output(last);
+    return g;
+}
+
+ModelResult analyze_graph(std::string name, const nn::Graph& g, const Shape& input,
+                          bool qmodel) {
+    ModelResult r;
+    r.name = std::move(name);
+    r.input = input;
+    r.report = verify::check_graph(g, input);
+    if (qmodel) merge(r.report, verify::check_qmodel(g, quant::QuantConfig{}));
+    if (r.report.ok()) {  // value/liveness domains assume a well-formed graph
+        const verify::Analysis a = verify::analyze(g, input);
+        merge(r.report, a.report);
+        r.plan = a.plan;
+        r.has_plan = a.has_plan;
+    }
+    return r;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+void print_json(const std::vector<ModelResult>& results, int errors, int warnings) {
+    std::printf("{\n  \"models\": [");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ModelResult& r = results[i];
+        std::printf("%s\n    {\"name\": \"%s\", \"input\": \"%s\",\n     \"diagnostics\": [",
+                    i == 0 ? "" : ",", r.name.c_str(), r.input.str().c_str());
+        const auto& ds = r.report.diagnostics;
+        for (std::size_t j = 0; j < ds.size(); ++j) {
+            const verify::Diagnostic& d = ds[j];
+            std::printf("%s\n      {\"severity\": \"%s\", \"code\": \"%s\", \"node\": %d, "
+                        "\"message\": \"%s\", \"hint\": \"%s\"}",
+                        j == 0 ? "" : ",", verify::severity_name(d.severity),
+                        d.code.c_str(), d.node, json_escape(d.message).c_str(),
+                        json_escape(d.hint).c_str());
+        }
+        std::printf("%s],\n", ds.empty() ? "" : "\n     ");
+        if (r.has_plan)
+            std::printf("     \"plan\": {\"peak_bytes\": %lld, \"arena_bytes\": %lld, "
+                        "\"total_bytes\": %lld, \"slots\": %zu}}",
+                        static_cast<long long>(r.plan.peak_bytes),
+                        static_cast<long long>(r.plan.arena_bytes),
+                        static_cast<long long>(r.plan.total_bytes), r.plan.slots.size());
+        else
+            std::printf("     \"plan\": null}");
+    }
+    std::printf("\n  ],\n  \"errors\": %d,\n  \"warnings\": %d\n}\n", errors, warnings);
+}
+
+void write_plan_report(const std::vector<ModelResult>& results, const char* path) {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "skyanalyze: cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "# skyanalyze activation memory plans (elem = fp32)\n");
+    for (const ModelResult& r : results) {
+        if (!r.has_plan) {
+            std::fprintf(f, "%-24s @%s: no plan (graph has errors or is degenerate)\n",
+                         r.name.c_str(), r.input.str().c_str());
+            continue;
+        }
+        std::fprintf(f, "%-24s @%s: %s\n", r.name.c_str(), r.input.str().c_str(),
+                     r.plan.summary().c_str());
+    }
+    std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool json = false;
+    const char* plan_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf("usage: skyanalyze [--json] [--plan <file>] [--catalog]\n"
+                        "checks: G001-G012 M001-M003 Q001-Q006 (structure/scheme)\n"
+                        "        A001-A004 (abstract interpretation)\n"
+                        "see docs/STATIC_ANALYSIS.md for the catalog\n");
+            return 0;
+        }
+        if (arg == "--catalog") {
+            for (const verify::CatalogEntry& e : verify::catalog())
+                std::printf("%s %-7s %s\n", e.code, verify::severity_name(e.severity),
+                            e.summary);
+            return 0;
+        }
+        if (arg == "--json") {
+            json = true;
+            continue;
+        }
+        if (arg == "--plan" && i + 1 < argc) {
+            plan_path = argv[++i];
+            continue;
+        }
+        std::fprintf(stderr, "skyanalyze: unknown argument '%s'\n", arg.c_str());
+        return 2;
+    }
+
+    const Shape input = verify::default_input_shape();
+    std::vector<ModelResult> results;
+
+    for (const std::string& bname : backbones::backbone_names()) {
+        Rng rng(7);  // fixed seed: diagnostics depend on shapes, not weights
+        backbones::Backbone b = backbones::build_by_name(bname, kBackboneWidth, rng);
+        if (auto* g = dynamic_cast<nn::Graph*>(b.net.get())) {
+            results.push_back(analyze_graph(bname, *g, input, /*qmodel=*/false));
+        } else {
+            const std::unique_ptr<nn::Graph> g2 = to_graph(std::move(b.net));
+            results.push_back(analyze_graph(bname, *g2, input, /*qmodel=*/false));
+        }
+    }
+    for (SkyNetVariant v : {SkyNetVariant::kA, SkyNetVariant::kB, SkyNetVariant::kC}) {
+        Rng rng(7);
+        SkyNetModel m = build_skynet({v, nn::Act::kReLU6, 2, 1.0f}, rng);
+        deploy::fold_graph_bn(*m.net);  // analyze the graph QEngine would compile
+        m.net->set_training(false);
+        results.push_back(analyze_graph(std::string("skynet-") + variant_name(v),
+                                        *m.net, input, /*qmodel=*/true));
+    }
+
+    int errors = 0, warnings = 0;
+    for (const ModelResult& r : results) {
+        errors += r.report.error_count();
+        warnings += r.report.warning_count();
+    }
+
+    if (json) {
+        print_json(results, errors, warnings);
+    } else {
+        for (const ModelResult& r : results) {
+            for (const verify::Diagnostic& d : r.report.diagnostics)
+                std::printf("%s: %s\n", r.name.c_str(), d.str().c_str());
+            if (r.has_plan)
+                std::printf("%s: activations @%s: %s\n", r.name.c_str(),
+                            r.input.str().c_str(), r.plan.summary().c_str());
+        }
+        std::printf("skyanalyze: %zu model(s), %d error(s), %d warning(s)\n",
+                    results.size(), errors, warnings);
+    }
+    if (plan_path) write_plan_report(results, plan_path);
+    return errors ? 1 : 0;
+}

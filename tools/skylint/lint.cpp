@@ -337,6 +337,24 @@ std::vector<Violation> scan_file(const std::string& path, const std::string& con
                                "owning container release it"});
         }
 
+        // --- raw-sync -------------------------------------------------
+        // All locking in src/ routes through the capability-annotated
+        // wrappers in core/mutex.hpp (core::Mutex / MutexLock / CondVar) so
+        // clang's thread-safety analysis sees every acquisition; the raw
+        // std types are invisible to it.  Only the wrapper file itself may
+        // name them.
+        if (in_src && path != "src/core/mutex.hpp") {
+            for (const char* banned :
+                 {"std::mutex", "std::lock_guard", "std::condition_variable",
+                  "std::condition_variable_any"})
+                if (has_token(line, banned))
+                    out.push_back({path, lineno, "raw-sync",
+                                   std::string("raw ") + banned +
+                                       " outside src/core/mutex.hpp; use the "
+                                       "annotated core::Mutex / core::MutexLock / "
+                                       "core::CondVar wrappers"});
+        }
+
         // --- mutex-doc ------------------------------------------------
         std::string sync_name;
         const SyncType* sync = in_src ? declares_sync_member(line, sync_name) : nullptr;

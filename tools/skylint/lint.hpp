@@ -14,6 +14,11 @@
 //                         comment names as guarded must also carry
 //                         SKY_GUARDED_BY so the comment and the compiler-
 //                         checked contract cannot drift apart
+//   raw-sync              no raw std::mutex / std::lock_guard /
+//                         std::condition_variable outside src/core/mutex.hpp
+//                         — locking routes through the capability-annotated
+//                         core::Mutex wrappers so the thread-safety
+//                         analysis sees every acquisition
 //   include-hygiene       no "../" includes, no <bits/stdc++.h>, quoted
 //                         includes in src/ are rooted at src/ (so every
 //                         file compiles with the single -Isrc)

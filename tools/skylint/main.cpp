@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::printf("usage: skylint [--json] [repo-root]\n"
-                        "rules: raw-new-delete mutex-doc include-hygiene\n"
+                        "rules: raw-new-delete raw-sync mutex-doc include-hygiene\n"
                         "       using-namespace-std L000-L003 (include-graph layering)\n"
                         "see docs/STATIC_ANALYSIS.md for the catalog\n");
             return 0;

@@ -80,12 +80,16 @@ DiffReport diff_documents(const json::Value& baseline, const json::Value& candid
 
     const std::string bs = baseline.str_or("schema", "");
     const std::string cs = candidate.str_or("schema", "");
-    if (bs != kSchema)
+    if (bs != kSchema) {
         report.notes.push_back("baseline schema is '" + bs + "', expected '" + kSchema +
                                "'");
-    if (cs != kSchema)
+        if (opts.strict_schema) report.fail = true;
+    }
+    if (cs != kSchema) {
         report.notes.push_back("candidate schema is '" + cs + "', expected '" + kSchema +
                                "'");
+        if (opts.strict_schema) report.fail = true;
+    }
     note_fingerprint_drift(baseline, candidate, report.notes);
 
     const std::vector<ParsedMetric> base = parse_metrics(baseline);
@@ -151,6 +155,7 @@ DiffReport diff_documents(const json::Value& baseline, const json::Value& candid
         d.cand_median = c.median;
         d.cand_mad = c.mad;
         d.kind = DeltaKind::kNew;
+        if (opts.strict_schema) report.fail = true;
         report.deltas.push_back(std::move(d));
     }
 
@@ -183,6 +188,20 @@ std::string render_text(const DiffReport& report) {
                 os << "ok          " << format_delta(d) << "\n";
                 break;
         }
+    }
+    // Candidate-only metrics get their own NOTICE block: they are invisible
+    // to the gate (nothing to compare against), so a forgotten baseline
+    // refresh must at least be loud in the text report.
+    std::vector<const MetricDelta*> fresh;
+    for (const MetricDelta& d : report.deltas)
+        if (d.kind == DeltaKind::kNew) fresh.push_back(&d);
+    if (!fresh.empty()) {
+        os << "NOTICE: " << fresh.size()
+           << " metric(s) absent from baseline (not gated until the baseline "
+              "is refreshed):\n";
+        for (const MetricDelta* d : fresh)
+            os << "  " << d->name << " = " << json::num(d->cand_median) << " "
+               << d->unit << "\n";
     }
     os << "benchdiff: " << report.compared << " compared, " << report.regressions
        << " regression(s), " << report.improvements << " improvement(s) -> "

@@ -30,6 +30,11 @@ struct DiffOptions {
     double mad_k = 4.0;     ///< noise gate width in MAD-derived sigmas
     double min_abs = 1e-9;  ///< absolute floor (exact-zero baselines)
     bool allow_missing = false;  ///< gated baseline metric absent from candidate
+    /// Fail (exit 1) on schema drift between the documents: a wrong `schema`
+    /// field or a metric present only in the candidate.  Off by default — the
+    /// CI perf lane compares against a checked-in baseline that legitimately
+    /// lags new metrics, so drift is surfaced as a NOTICE instead.
+    bool strict_schema = false;
 };
 
 enum class DeltaKind {

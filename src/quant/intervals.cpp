@@ -1,0 +1,321 @@
+#include "quant/intervals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+
+#include "deploy/fold_bn.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/dwconv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/pwconv.hpp"
+#include "nn/sequential.hpp"
+#include "nn/shuffle.hpp"
+#include "nn/space_to_depth.hpp"
+
+namespace sky::quant {
+namespace {
+
+// FLT_MAX without pulling <cfloat> into the interval math: intervals run in
+// double so the *bound* never overflows, and crossing this line is exactly
+// "fp32 execution can produce Inf here".
+constexpr double kFloatMax = 3.4028234663852886e38;
+
+/// Union over output channels of the exact per-channel extreme sums
+///   lo_oc = sum_k (w > 0 ? w * in.lo : w * in.hi) + b_oc   (and mirrored)
+/// — the tightest interval any single dot product of length `k_per_oc`
+/// against values in `in` can reach.  Zero padding makes 0 a reachable
+/// input value, so padded convs widen `in` to include it.
+Interval conv_interval(const Tensor& w, const Tensor* bias, int out_ch,
+                       std::int64_t k_per_oc, bool include_zero, Interval in) {
+    if (!in.known || out_ch <= 0 || k_per_oc <= 0) return {};
+    const double ilo = include_zero ? std::min(in.lo, 0.0) : in.lo;
+    const double ihi = include_zero ? std::max(in.hi, 0.0) : in.hi;
+    Interval out{std::numeric_limits<double>::infinity(),
+                 -std::numeric_limits<double>::infinity(), true};
+    for (int oc = 0; oc < out_ch; ++oc) {
+        double lo = 0.0, hi = 0.0;
+        const std::int64_t base = static_cast<std::int64_t>(oc) * k_per_oc;
+        for (std::int64_t k = 0; k < k_per_oc; ++k) {
+            const double wv = w[base + k];
+            lo += wv > 0 ? wv * ilo : wv * ihi;
+            hi += wv > 0 ? wv * ihi : wv * ilo;
+        }
+        if (bias != nullptr && bias->size() > oc) {
+            const double b = (*bias)[oc];
+            lo += b;
+            hi += b;
+        }
+        // A NaN weight poisons the whole channel; std::min/max would silently
+        // drop it and claim a finite bound for outputs that are NaN.  Return
+        // the blown interval instead so A001 fires.
+        if (std::isnan(lo) || std::isnan(hi))
+            return {-std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity(), true};
+        out.lo = std::min(out.lo, lo);
+        out.hi = std::max(out.hi, hi);
+    }
+    return out;
+}
+
+/// Union over channels of the per-channel affine y = scale_c * x + shift_c.
+Interval affine_interval(const std::vector<float>& scale,
+                         const std::vector<float>& shift, Interval in) {
+    if (!in.known || scale.empty()) return {};
+    Interval out{std::numeric_limits<double>::infinity(),
+                 -std::numeric_limits<double>::infinity(), true};
+    for (std::size_t c = 0; c < scale.size(); ++c) {
+        const double s = scale[c];
+        const double t = c < shift.size() ? shift[c] : 0.0;
+        const double a = s * in.lo + t, b = s * in.hi + t;
+        if (std::isnan(a) || std::isnan(b))  // same NaN-dropping trap as conv
+            return {-std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity(), true};
+        out.lo = std::min(out.lo, std::min(a, b));
+        out.hi = std::max(out.hi, std::max(a, b));
+    }
+    return out;
+}
+
+double sig(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+void event(std::vector<ActEvent>* events, ActEvent::Kind kind, int node,
+           std::string message, std::string hint) {
+    if (events == nullptr) return;
+    events->push_back({kind, node, std::move(message), std::move(hint)});
+}
+
+/// Activation transfer + the dead-clamp / always-saturating findings.  The
+/// findings need a *bounded* known input (a blown interval already carries
+/// an Inf/NaN report; an unknown one proves nothing).
+Interval act_interval(const nn::Activation& act, Interval in, int node,
+                      const std::string& where, std::vector<ActEvent>* events) {
+    const bool checkable = in.known && !interval_blown(in);
+    switch (act.act_kind()) {
+        case nn::Act::kReLU:
+            if (checkable && in.hi <= 0.0)
+                event(events, ActEvent::Kind::kSaturating, node,
+                      where + " always saturates: input " + interval_str(in) +
+                          " is never positive, output is constant 0",
+                      "the layer erases its features; drop it or fix the "
+                      "producer's bias/scale");
+            else if (checkable && in.lo >= 0.0)
+                event(events, ActEvent::Kind::kDeadClamp, node,
+                      where + " clamp never fires: input " + interval_str(in) +
+                          " is already non-negative",
+                      "dead activation; remove it (it costs a full tensor pass)");
+            if (!in.known) return {};
+            return {std::max(in.lo, 0.0), std::max(in.hi, 0.0), true};
+        case nn::Act::kReLU6:
+            if (checkable && in.lo >= 6.0)
+                event(events, ActEvent::Kind::kSaturating, node,
+                      where + " always saturates: input " + interval_str(in) +
+                          " is never below the clip, output is constant 6",
+                      "the layer erases its features; fix the producer's "
+                      "bias/scale");
+            else if (checkable && in.lo >= 0.0 && in.hi <= 6.0)
+                event(events, ActEvent::Kind::kDeadClamp, node,
+                      where + " clamp never fires: input " + interval_str(in) +
+                          " already lies in [0, 6]",
+                      "dead activation; remove it (it costs a full tensor pass)");
+            if (!in.known) return {};
+            return {std::clamp(in.lo, 0.0, 6.0), std::clamp(in.hi, 0.0, 6.0), true};
+        case nn::Act::kLeaky: {
+            if (!in.known) return {};
+            const double s = act.leaky_slope();
+            const auto f = [s](double x) { return x > 0 ? x : s * x; };
+            // Monotone for s >= 0; a negative slope needs the 0 crossing too.
+            double lo = std::min(f(in.lo), f(in.hi));
+            double hi = std::max(f(in.lo), f(in.hi));
+            if (in.lo < 0.0 && in.hi > 0.0) {
+                lo = std::min(lo, 0.0);
+                hi = std::max(hi, 0.0);
+            }
+            return {lo, hi, true};
+        }
+        case nn::Act::kSigmoid:
+            // Bounded even for an unknown or blown input: sigmoid maps the
+            // whole extended real line into [0, 1].
+            if (!in.known || interval_blown(in)) return {0.0, 1.0, true};
+            return {sig(in.lo), sig(in.hi), true};
+    }
+    return {};
+}
+
+/// Fold a Sequential: each stage feeds the next; events anchor to the
+/// enclosing graph node with the inner layer named in the message.
+Interval sequential_interval(const nn::Sequential& seq, Interval in, int node,
+                             std::vector<ActEvent>* events) {
+    Interval v = in;
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        v = module_value_interval(seq.at(i), v, node, events);
+    return v;
+}
+
+/// Propagate through a graph used *as a module* (residual / fire / shuffle
+/// blocks in the backbone zoo): same dataflow as the top-level loop, but the
+/// input node takes the enclosing interval and events anchor to the
+/// enclosing node.
+Interval graph_interval(const nn::Graph& g, Interval in, int node,
+                        std::vector<ActEvent>* events) {
+    const std::size_t n = g.node_count();
+    std::vector<Interval> vals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::vector<int>& ins = g.node_inputs(i);
+        switch (g.node_kind(i)) {
+            case nn::Graph::NodeKind::kInput:
+                vals[i] = in;
+                break;
+            case nn::Graph::NodeKind::kConcat: {
+                Interval v{std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(), !ins.empty()};
+                for (const int src : ins) {
+                    const Interval& u = vals[static_cast<std::size_t>(src)];
+                    v.known = v.known && u.known;
+                    v.lo = std::min(v.lo, u.lo);
+                    v.hi = std::max(v.hi, u.hi);
+                }
+                vals[i] = v.known ? v : Interval{};
+                break;
+            }
+            case nn::Graph::NodeKind::kAdd: {
+                Interval v{0.0, 0.0, !ins.empty()};
+                for (const int src : ins) {
+                    const Interval& u = vals[static_cast<std::size_t>(src)];
+                    v.known = v.known && u.known;
+                    v.lo += u.lo;
+                    v.hi += u.hi;
+                }
+                vals[i] = v.known ? v : Interval{};
+                break;
+            }
+            case nn::Graph::NodeKind::kModule: {
+                const nn::Module* m = g.node_module(i);
+                if (m == nullptr || ins.empty()) break;
+                vals[i] = module_value_interval(
+                    *m, vals[static_cast<std::size_t>(ins[0])], node, events);
+                break;
+            }
+        }
+    }
+    const int out = g.output_node();
+    return out >= 0 && static_cast<std::size_t>(out) < n
+               ? vals[static_cast<std::size_t>(out)]
+               : Interval{};
+}
+
+}  // namespace
+
+bool interval_blown(const Interval& v) {
+    return v.known &&
+           (v.lo < -kFloatMax || v.hi > kFloatMax || std::isnan(v.lo) || std::isnan(v.hi));
+}
+
+std::string interval_str(const Interval& v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[%.4g, %.4g]", v.lo, v.hi);
+    return buf;
+}
+
+Interval module_value_interval(const nn::Module& m, Interval in, int node,
+                               std::vector<ActEvent>* events) {
+    if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&m))
+        return conv_interval(conv->weight(), conv->has_bias() ? &conv->bias() : nullptr,
+                             conv->out_channels(),
+                             static_cast<std::int64_t>(conv->in_channels()) *
+                                 conv->kernel() * conv->kernel(),
+                             conv->padding() > 0, in);
+    if (const auto* pw = dynamic_cast<const nn::PWConv1*>(&m))
+        return conv_interval(pw->weight(), pw->has_bias() ? &pw->bias() : nullptr,
+                             pw->out_channels(),
+                             static_cast<std::int64_t>(pw->in_channels()) / pw->groups(),
+                             false, in);
+    if (const auto* dw = dynamic_cast<const nn::DWConv3*>(&m))
+        return conv_interval(dw->weight(), nullptr, dw->channels(), 9, true, in);
+    if (const auto* fc = dynamic_cast<const nn::Linear*>(&m)) {
+        const std::int64_t k = fc->weight().shape().count() /
+                               std::max<std::int64_t>(fc->weight().shape().n, 1);
+        return conv_interval(fc->weight(), &fc->bias(),
+                             static_cast<int>(fc->weight().shape().n), k, false, in);
+    }
+    if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(&m)) {
+        std::vector<float> scale, shift;
+        bn->fused_affine(scale, shift);
+        return affine_interval(scale, shift, in);
+    }
+    if (const auto* cb = dynamic_cast<const deploy::ChannelBias*>(&m)) {
+        if (!in.known || cb->values().empty()) return {};
+        const auto [mn, mx] =
+            std::minmax_element(cb->values().begin(), cb->values().end());
+        return {in.lo + *mn, in.hi + *mx, true};
+    }
+    if (const auto* act = dynamic_cast<const nn::Activation*>(&m))
+        return act_interval(*act, in, node, m.name(), events);
+    if (const auto* seq = dynamic_cast<const nn::Sequential*>(&m))
+        return sequential_interval(*seq, in, node, events);
+    if (const auto* sub = dynamic_cast<const nn::Graph*>(&m))
+        return graph_interval(*sub, in, node, events);
+    // Pure data movement / selection / averaging preserves the value set's
+    // bounds.
+    if (dynamic_cast<const nn::MaxPool2*>(&m) != nullptr ||
+        dynamic_cast<const nn::GlobalAvgPool*>(&m) != nullptr ||
+        dynamic_cast<const nn::SpaceToDepth*>(&m) != nullptr ||
+        dynamic_cast<const nn::ChannelShuffle*>(&m) != nullptr ||
+        dynamic_cast<const deploy::Identity*>(&m) != nullptr)
+        return in;
+    return {};  // no transfer function: the analysis loses track, soundly
+}
+
+IntervalAnalysis propagate_value_intervals(const nn::Graph& g, const QuantConfig& cfg) {
+    IntervalAnalysis a;
+    const std::size_t n = g.node_count();
+    a.values.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::vector<int>& ins = g.node_inputs(i);
+        switch (g.node_kind(i)) {
+            case nn::Graph::NodeKind::kInput:
+                a.values[i] = {static_cast<double>(cfg.input_lo),
+                               static_cast<double>(cfg.input_hi), true};
+                break;
+            case nn::Graph::NodeKind::kConcat: {
+                Interval v{std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(), !ins.empty()};
+                for (const int in : ins) {
+                    const Interval& u = a.values[static_cast<std::size_t>(in)];
+                    v.known = v.known && u.known;
+                    v.lo = std::min(v.lo, u.lo);
+                    v.hi = std::max(v.hi, u.hi);
+                }
+                a.values[i] = v.known ? v : Interval{};
+                break;
+            }
+            case nn::Graph::NodeKind::kAdd: {
+                Interval v{0.0, 0.0, !ins.empty()};
+                for (const int in : ins) {
+                    const Interval& u = a.values[static_cast<std::size_t>(in)];
+                    v.known = v.known && u.known;
+                    v.lo += u.lo;
+                    v.hi += u.hi;
+                }
+                a.values[i] = v.known ? v : Interval{};
+                break;
+            }
+            case nn::Graph::NodeKind::kModule: {
+                const nn::Module* m = g.node_module(i);
+                if (m == nullptr || ins.empty()) break;
+                a.values[i] = module_value_interval(
+                    *m, a.values[static_cast<std::size_t>(ins[0])],
+                    static_cast<int>(i), &a.events);
+                break;
+            }
+        }
+    }
+    return a;
+}
+
+}  // namespace sky::quant

@@ -48,6 +48,18 @@ struct QuantConfig {
     /// verify::check_qmodel's Q002 from error to warning.
     bool fp32_fallback = false;
 
+    /// Per-layer certified error budget: when > 0, verify::analyze compares
+    /// every layer's certified |int8 - fp32| bound (quant/qerror.hpp)
+    /// against it and emits the E-series diagnostics (E001 budget exceeded,
+    /// E003 dominant contributors, E004 infeasible bit-width).  0 disables
+    /// the budget checks; the certified bound itself is always computed.
+    float error_budget = 0.0f;
+
+    /// Make Detector::quantize reject the scheme (verify::VerifyError) when
+    /// the certified output error bound exceeds `error_budget` or cannot be
+    /// established.  Off: the report and E-diagnostics carry the verdict.
+    bool strict_error_budget = false;
+
     [[nodiscard]] QuantConfig with_fm_bits(int bits) const {
         QuantConfig c = *this;
         c.fm_bits = bits;
@@ -83,6 +95,16 @@ struct QuantConfig {
     [[nodiscard]] QuantConfig with_fp32_fallback(bool on = true) const {
         QuantConfig c = *this;
         c.fp32_fallback = on;
+        return c;
+    }
+    [[nodiscard]] QuantConfig with_error_budget(float budget) const {
+        QuantConfig c = *this;
+        c.error_budget = budget;
+        return c;
+    }
+    [[nodiscard]] QuantConfig with_strict_error_budget(bool on = true) const {
+        QuantConfig c = *this;
+        c.strict_error_budget = on;
         return c;
     }
 };

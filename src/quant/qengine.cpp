@@ -15,6 +15,7 @@
 #include "nn/pooling.hpp"
 #include "nn/pwconv.hpp"
 #include "nn/space_to_depth.hpp"
+#include "quant/qerror.hpp"
 #include "quant/ranges.hpp"
 
 namespace sky::quant {
@@ -348,6 +349,23 @@ QEngine::QEngine(nn::Graph& graph, const QuantConfig& cfg)
         if (l.impl == QImpl::kFp32) ++report_.fp32_layers;
         report_.layers.push_back(std::move(lr));
     }
+
+    // Certified |int8 - fp32| bounds from the shared error domain
+    // (quant/qerror.hpp) — the same propagation verify::analyze judges the
+    // E-series diagnostics on, so report and checker can never disagree.
+    const ErrorAnalysis ea = certify_error(graph, cfg_);
+    for (QLayerReport& lr : report_.layers) {
+        const NodeError& ne = ea.nodes[static_cast<std::size_t>(lr.node)];
+        lr.error_bound = ne.out.bound;
+        lr.error_known = ne.out.known;
+    }
+    report_.certified_error_bound = ea.output_bound;
+    report_.error_bound_known = ea.output_known;
+    report_.dominant_errors = ea.dominant(3);
+    report_.error_budget_exceeded =
+        cfg_.error_budget > 0.0f &&
+        (!ea.output_known ||
+         ea.output_bound > static_cast<double>(cfg_.error_budget));
 }
 
 void QEngine::execute(const QLayer& l, QTensor& y) {

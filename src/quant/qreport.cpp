@@ -53,6 +53,19 @@ std::string QuantReport::summary() const {
     os << "  convs: " << qgemm_layers << " qgemm, " << ref_layers << " ref-int";
     if (fp32_layers > 0) os << "; " << fp32_layers << " fp32-fallback layers";
     os << "; weights " << weight_bytes << " B";
+    if (error_bound_known) {
+        os << "\n  certified |int8 - fp32| <= " << certified_error_bound;
+        if (!dominant_errors.empty()) {
+            os << "  (dominant:";
+            for (const auto& [node, c] : dominant_errors)
+                os << " [" << node << "]=" << c;
+            os << ")";
+        }
+        if (error_budget_exceeded)
+            os << "  EXCEEDS budget " << config.error_budget;
+    } else {
+        os << "\n  certified |int8 - fp32|: unbounded (error tracking lost)";
+    }
     if (has_activation_plan)
         os << "\n  activations @" << activation_plan_shape.str() << ": "
            << activation_plan.summary();

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "deploy/memory_plan.hpp"
@@ -37,6 +38,12 @@ struct QLayerReport {
     std::int32_t in_lo = 0;    ///< propagated input range on the FM grid
     std::int32_t in_hi = 0;
     std::string note;          ///< e.g. the reason a conv fell back to kRefInt
+
+    /// Certified |int8 - fp32| bound on this layer's output tensor
+    /// (quant/qerror.hpp); error_known is false when the error domain lost
+    /// track at or before this node.
+    double error_bound = 0.0;
+    bool error_known = false;
 };
 
 struct QuantReport {
@@ -48,6 +55,20 @@ struct QuantReport {
     int ref_layers = 0;    ///< convs on the reference integer path
     int fp32_layers = 0;   ///< layers running the fp32 fallback
     std::int64_t weight_bytes = 0;  ///< deployed integer-weight size
+
+    /// Certified bound on |int8 output - fp32 output| at the graph output
+    /// (sup over elements, any input inside the declared range), from the
+    /// shared error domain quant::certify_error.  error_bound_known is
+    /// false when tracking was lost (verify::analyze reports it as E002).
+    double certified_error_bound = 0.0;
+    bool error_bound_known = false;
+    /// Top error contributors (node, introduced error * downstream gain),
+    /// largest first — the layers to fix when the bound is too loose.
+    std::vector<std::pair<int, double>> dominant_errors;
+    /// True when config.error_budget > 0 and the certified bound exceeds it
+    /// or could not be established (Detector::quantize throws instead when
+    /// strict_error_budget is set).
+    bool error_budget_exceeded = false;
 
     /// Static activation memory plan (tensor liveness + arena slots) the
     /// engine executes out of, computed for `activation_plan_shape` by

@@ -68,6 +68,11 @@ Engine::Engine(Detector& detector, ServeConfig cfg)
         // replicas, which have no static plan).
         reg->set("serve.activation_plan_bytes",
                  static_cast<double>(detector_.activation_plan_bytes()));
+        // Certified |int8 - fp32| bound of the served datapath: 0 for fp32
+        // replicas (exact), -1 when quantized but uncertified (E002) — a
+        // dashboard can alert on replicas serving outside their error
+        // budget without re-running the analysis.
+        reg->set("quant.certified_error_bound", detector_.certified_error_bound());
     }
 }
 

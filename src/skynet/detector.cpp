@@ -1,6 +1,7 @@
 #include "skynet/detector.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "deploy/fold_bn.hpp"
@@ -64,6 +65,25 @@ quant::QuantReport Detector::quantize(const quant::QuantConfig& qcfg) {
     model_.net->set_training(false);
     verify::enforce(verify::check_qmodel(*model_.net, qcfg));
     qengine_ = std::make_unique<quant::QEngine>(*model_.net, qcfg);
+    // Certified error budget, strict mode: reject the scheme before it can
+    // serve a single image (the report carries the same verdict either way).
+    if (qcfg.strict_error_budget && qcfg.error_budget > 0.0f &&
+        qengine_->report().error_budget_exceeded) {
+        const quant::QuantReport& rep = qengine_->report();
+        verify::Report r;
+        r.error("E001", rep.layers.empty() ? 0 : rep.layers.back().node,
+                rep.error_bound_known
+                    ? "certified |int8 - fp32| bound " +
+                          std::to_string(rep.certified_error_bound) +
+                          " exceeds the error budget " +
+                          std::to_string(qcfg.error_budget)
+                    : std::string("certified error bound could not be established "
+                                  "(error tracking lost)"),
+                "add fractional bits, shrink fm_abs_max, relax the budget, or "
+                "drop strict_error_budget");
+        qengine_.reset();
+        throw verify::VerifyError(std::move(r));
+    }
     // Static activation plan at the canonical input shape so the report
     // (and serve's capacity gauge) carries the arena figures up front;
     // run() replans only if fed a different shape.

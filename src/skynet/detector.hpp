@@ -102,6 +102,15 @@ public:
                    ? qengine_->report().activation_plan.arena_bytes
                    : 0;
     }
+    /// Certified |int8 - fp32| bound at the graph output (the shared error
+    /// domain quant::certify_error, carried by the QuantReport).  0.0 on
+    /// the fp32 datapath (exact by definition), -1.0 when quantized but the
+    /// bound could not be established (E002 territory).
+    [[nodiscard]] double certified_error_bound() const {
+        if (!qengine_) return 0.0;
+        const quant::QuantReport& r = qengine_->report();
+        return r.error_bound_known ? r.certified_error_bound : -1.0;
+    }
     /// The compiled integer engine, nullptr before quantize().  Read-only:
     /// plan figures, alloc_events() and measured_peak_bytes() for tests and
     /// benches.

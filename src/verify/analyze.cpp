@@ -1,207 +1,41 @@
 #include "verify/analyze.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
-#include "deploy/fold_bn.hpp"
-#include "nn/activations.hpp"
-#include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
-#include "nn/dwconv.hpp"
-#include "nn/linear.hpp"
-#include "nn/pooling.hpp"
 #include "nn/pwconv.hpp"
-#include "nn/sequential.hpp"
-#include "nn/shuffle.hpp"
-#include "nn/space_to_depth.hpp"
 #include "quant/fixed_point.hpp"
+#include "quant/intervals.hpp"
 
 namespace sky::verify {
 namespace {
 
-// FLT_MAX without pulling <cfloat> into the interval math: intervals run in
-// double so the *bound* never overflows, and crossing this line is exactly
-// "fp32 execution can produce Inf here".
-constexpr double kFloatMax = 3.4028234663852886e38;
-
-bool blown(const Interval& v) {
-    return v.known &&
-           (v.lo < -kFloatMax || v.hi > kFloatMax || std::isnan(v.lo) || std::isnan(v.hi));
-}
-
-std::string bound_str(const Interval& v) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "[%.4g, %.4g]", v.lo, v.hi);
+std::string num_str(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4g", v);
     return buf;
 }
 
-/// Union over output channels of the exact per-channel extreme sums
-///   lo_oc = sum_k (w > 0 ? w * in.lo : w * in.hi) + b_oc   (and mirrored)
-/// — the tightest interval any single dot product of length `k_per_oc`
-/// against values in `in` can reach.  Zero padding makes 0 a reachable
-/// input value, so padded convs widen `in` to include it.
-Interval conv_interval(const Tensor& w, const Tensor* bias, int out_ch,
-                       std::int64_t k_per_oc, bool include_zero, Interval in) {
-    if (!in.known || out_ch <= 0 || k_per_oc <= 0) return {};
-    const double ilo = include_zero ? std::min(in.lo, 0.0) : in.lo;
-    const double ihi = include_zero ? std::max(in.hi, 0.0) : in.hi;
-    Interval out{std::numeric_limits<double>::infinity(),
-                 -std::numeric_limits<double>::infinity(), true};
-    for (int oc = 0; oc < out_ch; ++oc) {
-        double lo = 0.0, hi = 0.0;
-        const std::int64_t base = static_cast<std::int64_t>(oc) * k_per_oc;
-        for (std::int64_t k = 0; k < k_per_oc; ++k) {
-            const double wv = w[base + k];
-            lo += wv > 0 ? wv * ilo : wv * ihi;
-            hi += wv > 0 ? wv * ihi : wv * ilo;
+std::string node_name(const nn::Graph& g, int node) {
+    const auto i = static_cast<std::size_t>(node);
+    switch (g.node_kind(i)) {
+        case nn::Graph::NodeKind::kInput: return "input";
+        case nn::Graph::NodeKind::kConcat: return "concat";
+        case nn::Graph::NodeKind::kAdd: return "add";
+        case nn::Graph::NodeKind::kModule: {
+            const nn::Module* m = g.node_module(i);
+            return m != nullptr ? m->name() : "node";
         }
-        if (bias != nullptr && bias->size() > oc) {
-            const double b = (*bias)[oc];
-            lo += b;
-            hi += b;
-        }
-        out.lo = std::min(out.lo, lo);
-        out.hi = std::max(out.hi, hi);
     }
-    return out;
+    return "node";
 }
 
-/// Union over channels of the per-channel affine y = scale_c * x + shift_c.
-Interval affine_interval(const std::vector<float>& scale,
-                         const std::vector<float>& shift, Interval in) {
-    if (!in.known || scale.empty()) return {};
-    Interval out{std::numeric_limits<double>::infinity(),
-                 -std::numeric_limits<double>::infinity(), true};
-    for (std::size_t c = 0; c < scale.size(); ++c) {
-        const double s = scale[c];
-        const double t = c < shift.size() ? shift[c] : 0.0;
-        const double a = s * in.lo + t, b = s * in.hi + t;
-        out.lo = std::min(out.lo, std::min(a, b));
-        out.hi = std::max(out.hi, std::max(a, b));
-    }
-    return out;
-}
-
-double sig(double x) { return 1.0 / (1.0 + std::exp(-x)); }
-
-/// Activation transfer + the A002/A003 usefulness diagnostics.  The
-/// diagnostics need a *bounded* known input (a blown interval already fired
-/// A001; an unknown one proves nothing).
-Interval act_interval(const nn::Activation& act, Interval in, int node,
-                      const std::string& where, Report& rep) {
-    const bool checkable = in.known && !blown(in);
-    switch (act.act_kind()) {
-        case nn::Act::kReLU:
-            if (checkable && in.hi <= 0.0)
-                rep.warn("A003", node,
-                         where + " always saturates: input " + bound_str(in) +
-                             " is never positive, output is constant 0",
-                         "the layer erases its features; drop it or fix the "
-                         "producer's bias/scale");
-            else if (checkable && in.lo >= 0.0)
-                rep.warn("A002", node,
-                         where + " clamp never fires: input " + bound_str(in) +
-                             " is already non-negative",
-                         "dead activation; remove it (it costs a full tensor pass)");
-            if (!in.known) return {};
-            return {std::max(in.lo, 0.0), std::max(in.hi, 0.0), true};
-        case nn::Act::kReLU6:
-            if (checkable && in.lo >= 6.0)
-                rep.warn("A003", node,
-                         where + " always saturates: input " + bound_str(in) +
-                             " is never below the clip, output is constant 6",
-                         "the layer erases its features; fix the producer's "
-                         "bias/scale");
-            else if (checkable && in.lo >= 0.0 && in.hi <= 6.0)
-                rep.warn("A002", node,
-                         where + " clamp never fires: input " + bound_str(in) +
-                             " already lies in [0, 6]",
-                         "dead activation; remove it (it costs a full tensor pass)");
-            if (!in.known) return {};
-            return {std::clamp(in.lo, 0.0, 6.0), std::clamp(in.hi, 0.0, 6.0), true};
-        case nn::Act::kLeaky: {
-            if (!in.known) return {};
-            const double s = act.leaky_slope();
-            const auto f = [s](double x) { return x > 0 ? x : s * x; };
-            // Monotone for s >= 0; a negative slope needs the 0 crossing too.
-            double lo = std::min(f(in.lo), f(in.hi));
-            double hi = std::max(f(in.lo), f(in.hi));
-            if (in.lo < 0.0 && in.hi > 0.0) {
-                lo = std::min(lo, 0.0);
-                hi = std::max(hi, 0.0);
-            }
-            return {lo, hi, true};
-        }
-        case nn::Act::kSigmoid:
-            // Bounded even for an unknown or blown input: sigmoid maps the
-            // whole extended real line into [0, 1].
-            if (!in.known || blown(in)) return {0.0, 1.0, true};
-            return {sig(in.lo), sig(in.hi), true};
-    }
-    return {};
-}
-
-Interval module_interval(const nn::Module& m, Interval in, int node, Report& rep);
-
-/// Fold a Sequential: each stage feeds the next; diagnostics anchor to the
-/// enclosing graph node with the inner layer named in the message.
-Interval sequential_interval(const nn::Sequential& seq, Interval in, int node,
-                             Report& rep) {
-    Interval v = in;
-    for (std::size_t i = 0; i < seq.size(); ++i)
-        v = module_interval(seq.at(i), v, node, rep);
-    return v;
-}
-
-Interval module_interval(const nn::Module& m, Interval in, int node, Report& rep) {
-    if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&m))
-        return conv_interval(conv->weight(), conv->has_bias() ? &conv->bias() : nullptr,
-                             conv->out_channels(),
-                             static_cast<std::int64_t>(conv->in_channels()) *
-                                 conv->kernel() * conv->kernel(),
-                             conv->padding() > 0, in);
-    if (const auto* pw = dynamic_cast<const nn::PWConv1*>(&m))
-        return conv_interval(pw->weight(), pw->has_bias() ? &pw->bias() : nullptr,
-                             pw->out_channels(),
-                             static_cast<std::int64_t>(pw->in_channels()) / pw->groups(),
-                             false, in);
-    if (const auto* dw = dynamic_cast<const nn::DWConv3*>(&m))
-        return conv_interval(dw->weight(), nullptr, dw->channels(), 9, true, in);
-    if (const auto* fc = dynamic_cast<const nn::Linear*>(&m)) {
-        const std::int64_t k = fc->weight().shape().count() /
-                               std::max<std::int64_t>(fc->weight().shape().n, 1);
-        return conv_interval(fc->weight(), &fc->bias(),
-                             static_cast<int>(fc->weight().shape().n), k, false, in);
-    }
-    if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(&m)) {
-        std::vector<float> scale, shift;
-        bn->fused_affine(scale, shift);
-        return affine_interval(scale, shift, in);
-    }
-    if (const auto* cb = dynamic_cast<const deploy::ChannelBias*>(&m)) {
-        if (!in.known || cb->values().empty()) return {};
-        const auto [mn, mx] =
-            std::minmax_element(cb->values().begin(), cb->values().end());
-        return {in.lo + *mn, in.hi + *mx, true};
-    }
-    if (const auto* act = dynamic_cast<const nn::Activation*>(&m))
-        return act_interval(*act, in, node, m.name(), rep);
-    if (const auto* seq = dynamic_cast<const nn::Sequential*>(&m))
-        return sequential_interval(*seq, in, node, rep);
-    // Pure data movement / selection / averaging preserves the value set's
-    // bounds.
-    if (dynamic_cast<const nn::MaxPool2*>(&m) != nullptr ||
-        dynamic_cast<const nn::GlobalAvgPool*>(&m) != nullptr ||
-        dynamic_cast<const nn::SpaceToDepth*>(&m) != nullptr ||
-        dynamic_cast<const nn::ChannelShuffle*>(&m) != nullptr ||
-        dynamic_cast<const deploy::Identity*>(&m) != nullptr)
-        return in;
-    return {};  // no transfer function: the analysis loses track, soundly
+bool blown(const Interval& v) {
+    return quant::interval_blown({v.lo, v.hi, v.known});
 }
 
 /// A004: the int32 accumulator proof for graph-level conv nodes, on the
@@ -242,55 +76,95 @@ void prove_accumulators(const nn::Graph& g, const quant::QuantConfig& cfg,
     }
 }
 
+/// E001-E004: judge the certified error bounds against the configured
+/// per-layer budget.  E001 fires only where the budget is first crossed
+/// (transition), E002 only where tracking is first lost, E003/E004 once at
+/// the output node.
+void report_error_bounds(const nn::Graph& g, const quant::QuantConfig& cfg,
+                         const quant::ErrorAnalysis& ea, Report& rep) {
+    if (ea.first_unknown_node >= 0)
+        rep.warn("E002", ea.first_unknown_node,
+                 node_name(g, ea.first_unknown_node) +
+                     ": certified error bound lost: " + ea.unknown_reason,
+                 "the |int8 - fp32| deviation is no longer certified past this "
+                 "node; give the module an error transfer function or restructure "
+                 "the graph");
+
+    const double budget = cfg.error_budget;
+    if (budget <= 0.0) return;
+
+    for (std::size_t i = 0; i < ea.nodes.size(); ++i) {
+        const quant::ErrBound& e = ea.nodes[i].out;
+        if (!e.known || e.bound <= budget) continue;
+        bool inputs_ok = true;  // transition: every input still inside budget
+        for (const int in : g.node_inputs(i)) {
+            const quant::ErrBound& u = ea.nodes[static_cast<std::size_t>(in)].out;
+            inputs_ok = inputs_ok && u.known && u.bound <= budget;
+        }
+        if (!inputs_ok) continue;
+        rep.warn("E001", static_cast<int>(i),
+                 node_name(g, static_cast<int>(i)) +
+                     ": certified |int8 - fp32| bound " + num_str(e.bound) +
+                     " exceeds the per-layer error budget " + num_str(budget),
+                 "add fractional bits (fm_bits), shrink fm_abs_max, or raise "
+                 "the budget");
+    }
+
+    if (!ea.output_known || ea.output_bound <= budget || ea.output_node < 0) return;
+
+    std::string top;
+    for (const auto& [node, contribution] : ea.dominant(3)) {
+        if (!top.empty()) top += ", ";
+        top += node_name(g, node) + "@" + std::to_string(node) + " (" +
+               num_str(contribution) + ")";
+    }
+    rep.warn("E003", ea.output_node,
+             "output error bound " + num_str(ea.output_bound) +
+                 " dominated by: " + (top.empty() ? std::string("(none)") : top),
+             "error introduced per layer weighted by its downstream gain; "
+             "fix the top contributors first");
+
+    try {
+        const quant::GridSpec spec = quant::make_grid_spec(cfg);
+        const int frac = spec.fm.frac_bits;
+        const int need = quant::min_frac_bits_for_budget(ea.output_bound, budget, frac);
+        if (need > frac)
+            rep.warn("E004", ea.output_node,
+                     "error budget " + num_str(budget) + " is infeasible at fm_bits=" +
+                         std::to_string(cfg.fm_bits) + " (" + std::to_string(frac) +
+                         " fractional bits): certified bound " +
+                         num_str(ea.output_bound) + " needs >= " +
+                         std::to_string(need) + " fractional bits (fm_bits >= " +
+                         std::to_string(cfg.fm_bits + (need - frac)) +
+                         " at this fm_abs_max)",
+                     "the bound's rounding terms scale with the FM step; widen "
+                     "the feature-map word or relax the budget");
+    } catch (const std::invalid_argument&) {
+        // Degenerate scheme: the error domain already reported E002.
+    }
+}
+
 }  // namespace
 
 Analysis analyze(const nn::Graph& g, const Shape& input, const AnalyzeOptions& opts) {
     Analysis a;
     const std::size_t n = g.node_count();
 
+    quant::IntervalAnalysis vals;
+    bool has_vals = false;
+    if (opts.value_ranges || opts.error_bounds) {
+        vals = quant::propagate_value_intervals(g, opts.qconfig);
+        has_vals = true;
+    }
+
     if (opts.value_ranges) {
         a.value_ranges.resize(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            const std::vector<int>& ins = g.node_inputs(i);
-            switch (g.node_kind(i)) {
-                case nn::Graph::NodeKind::kInput:
-                    a.value_ranges[i] = {static_cast<double>(opts.qconfig.input_lo),
-                                         static_cast<double>(opts.qconfig.input_hi),
-                                         true};
-                    break;
-                case nn::Graph::NodeKind::kConcat: {
-                    Interval v{std::numeric_limits<double>::infinity(),
-                               -std::numeric_limits<double>::infinity(), !ins.empty()};
-                    for (const int in : ins) {
-                        const Interval& u = a.value_ranges[static_cast<std::size_t>(in)];
-                        v.known = v.known && u.known;
-                        v.lo = std::min(v.lo, u.lo);
-                        v.hi = std::max(v.hi, u.hi);
-                    }
-                    a.value_ranges[i] = v.known ? v : Interval{};
-                    break;
-                }
-                case nn::Graph::NodeKind::kAdd: {
-                    Interval v{0.0, 0.0, !ins.empty()};
-                    for (const int in : ins) {
-                        const Interval& u = a.value_ranges[static_cast<std::size_t>(in)];
-                        v.known = v.known && u.known;
-                        v.lo += u.lo;
-                        v.hi += u.hi;
-                    }
-                    a.value_ranges[i] = v.known ? v : Interval{};
-                    break;
-                }
-                case nn::Graph::NodeKind::kModule: {
-                    const nn::Module* m = g.node_module(i);
-                    if (m == nullptr || ins.empty()) break;
-                    a.value_ranges[i] = module_interval(
-                        *m, a.value_ranges[static_cast<std::size_t>(ins[0])],
-                        static_cast<int>(i), a.report);
-                    break;
-                }
-            }
-        }
+        for (std::size_t i = 0; i < n; ++i)
+            a.value_ranges[i] = {vals.values[i].lo, vals.values[i].hi,
+                                 vals.values[i].known};
+        for (const quant::ActEvent& e : vals.events)
+            a.report.warn(e.kind == quant::ActEvent::Kind::kDeadClamp ? "A002" : "A003",
+                          e.node, e.message, e.hint);
         // A001 fires only where boundedness is LOST — downstream nodes of a
         // blown interval would all re-report otherwise.
         for (std::size_t i = 0; i < n; ++i) {
@@ -300,27 +174,37 @@ Analysis analyze(const nn::Graph& g, const Shape& input, const AnalyzeOptions& o
                 input_blown =
                     input_blown || blown(a.value_ranges[static_cast<std::size_t>(in)]);
             if (input_blown) continue;
-            const nn::Module* m =
-                g.node_kind(i) == nn::Graph::NodeKind::kModule ? g.node_module(i) : nullptr;
             a.report.warn(
                 "A001", static_cast<int>(i),
-                (m != nullptr ? m->name() : std::string("node")) +
-                    ": value interval " + bound_str(a.value_ranges[i]) +
+                node_name(g, static_cast<int>(i)) + ": value interval " +
+                    quant::interval_str(vals.values[i]) +
                     " exceeds fp32 range: Inf/NaN statically reachable",
                 "rescale the weights or normalise the input (intervals are "
                 "conservative; calibrate to confirm)");
         }
     }
 
-    if (opts.grid_ranges) {
+    bool has_grid = false;
+    if (opts.grid_ranges || opts.error_bounds) {
         try {
             const quant::GridSpec spec = quant::make_grid_spec(opts.qconfig);
-            a.grid_ranges = quant::propagate_grid_ranges(g, spec);
-            prove_accumulators(g, opts.qconfig, a.grid_ranges, a.report);
+            std::vector<quant::GridRange> gr = quant::propagate_grid_ranges(g, spec);
+            if (opts.grid_ranges) prove_accumulators(g, opts.qconfig, gr, a.report);
+            a.grid_ranges = std::move(gr);
+            has_grid = true;
         } catch (const std::invalid_argument&) {
             // Degenerate scheme: check_qmodel reports it as Q005; the grid
             // domain has nothing sound to say.
         }
+    }
+
+    if (opts.error_bounds) {
+        a.errors = has_vals && has_grid
+                       ? quant::certify_error(g, opts.qconfig, vals, a.grid_ranges)
+                       : quant::certify_error(g, opts.qconfig);
+        a.has_errors = true;
+        report_error_bounds(g, opts.qconfig, a.errors, a.report);
+        if (!opts.grid_ranges) a.grid_ranges.clear();
     }
 
     if (opts.memory_plan) {

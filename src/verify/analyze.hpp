@@ -1,4 +1,4 @@
-// Forward-dataflow abstract interpretation over nn::Graph (the A-codes).
+// Forward-dataflow abstract interpretation over nn::Graph (A- and E-codes).
 //
 // analyze() runs one topological pass per abstract domain and reports what
 // the ordinary shape checks (check_graph) cannot see — properties of the
@@ -6,8 +6,8 @@
 //
 //   * fp32 interval domain — every node gets an inclusive [lo, hi] bound on
 //     its output values, derived from the actual weights (per-out-channel
-//     sign-split sums).  Interval blow-up past FLT_MAX means Inf/NaN is
-//     statically reachable (A001).
+//     sign-split sums; quant/intervals.hpp).  Interval blow-up past FLT_MAX
+//     means Inf/NaN is statically reachable (A001).
 //   * activation usefulness — a ReLU whose input is already non-negative
 //     never clamps (A002, dead code); one whose input is never positive
 //     emits a constant (A003, the layer erases its features).
@@ -16,6 +16,14 @@
 //     engine plans with, feeding the int32 accumulator proof
 //     quant::prove_qgemm.  A conv whose K * max|w| * span reaches 2^31
 //     cannot use the packed int8 path (A004).
+//   * quantization error domain — quant::certify_error propagates a sound
+//     per-out-channel bound on |int8 - fp32| through every node, composing
+//     the exact engine rounding model with the fp32 intervals (Lipschitz
+//     factors) and the grid enclosures (clamp caps).  Against the
+//     qconfig.error_budget it yields E001 (a layer's certified bound
+//     crosses the budget), E002 (the bound became unbounded — tracking
+//     lost), E003 (dominant-error layers, top-k contributors) and E004
+//     (budget-infeasible bit-width: minimum fractional bits needed).
 //   * tensor liveness — deploy::plan_activations' static activation memory
 //     plan (exact peak bytes + arena slots), the numbers QEngine's arena
 //     executor and serve's capacity gauge run on.
@@ -25,8 +33,13 @@
 //   A002 warn   activation clamp provably never fires (dead clamp)
 //   A003 warn   activation always saturates (output provably constant)
 //   A004 warn   int32 accumulator bound K * max|w| * span reaches 2^31
-// All A-codes are warnings: they flag numerically suspect or wasteful
-// graphs, not graphs that cannot execute.
+//   E001 warn   certified error bound exceeds the per-layer budget
+//   E002 warn   certified error bound unbounded (tracking lost)
+//   E003 warn   dominant-error layer report (top contributors)
+//   E004 warn   budget infeasible at this bit-width (min fractional bits)
+// All A/E-codes are warnings: they flag numerically suspect or wasteful
+// graphs, not graphs that cannot execute.  (skyanalyze --deny promotes
+// selected codes to errors; the CI lint lane denies E002.)
 #pragma once
 
 #include <vector>
@@ -34,6 +47,7 @@
 #include "deploy/memory_plan.hpp"
 #include "nn/graph.hpp"
 #include "quant/qconfig.hpp"
+#include "quant/qerror.hpp"
 #include "quant/ranges.hpp"
 #include "verify/diagnostics.hpp"
 
@@ -50,12 +64,13 @@ struct Interval {
 };
 
 struct AnalyzeOptions {
-    /// Scheme for the fixed-point grid domain and the A004 accumulator
-    /// proof; the fp32 domain also anchors the graph input at
-    /// [input_lo, input_hi].
+    /// Scheme for the fixed-point grid / error domains and the A004
+    /// accumulator proof; the fp32 domain also anchors the graph input at
+    /// [input_lo, input_hi].  qconfig.error_budget > 0 arms E001/E003/E004.
     quant::QuantConfig qconfig{};
     bool value_ranges = true;  ///< run the fp32 interval domain (A001-A003)
     bool grid_ranges = true;   ///< run the grid domain + A004 proofs
+    bool error_bounds = true;  ///< run the certified error domain (E-codes)
     bool memory_plan = true;   ///< run the liveness / arena planner
 };
 
@@ -65,6 +80,8 @@ struct Analysis {
     Report report;
     std::vector<Interval> value_ranges;
     std::vector<quant::GridRange> grid_ranges;
+    quant::ErrorAnalysis errors;  ///< certified |int8 - fp32| bounds
+    bool has_errors = false;      ///< false when the error domain was disabled
     deploy::MemoryPlan plan;
     bool has_plan = false;  ///< false when planning failed or was disabled
 };

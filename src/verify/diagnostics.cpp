@@ -92,6 +92,14 @@ const std::vector<CatalogEntry>& catalog() {
          "activation always saturates (output provably constant)"},
         {"A004", Severity::kWarning,
          "int32 accumulator bound K * max|w| * span reaches 2^31"},
+        {"E001", Severity::kWarning,
+         "certified |int8 - fp32| bound exceeds the per-layer error budget"},
+        {"E002", Severity::kWarning,
+         "certified error bound unbounded (error tracking lost)"},
+        {"E003", Severity::kWarning,
+         "dominant-error layer report (top contributors to the output bound)"},
+        {"E004", Severity::kWarning,
+         "error budget infeasible at this bit-width (minimum fractional bits)"},
     };
     return kCatalog;
 }

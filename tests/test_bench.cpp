@@ -327,6 +327,57 @@ TEST(BenchDiff, UnitDriftIsIncomparableAndFails) {
     EXPECT_EQ(d.deltas[0].kind, DeltaKind::kIncomparable);
 }
 
+TEST(BenchDiff, CandidateOnlyMetricIsANoticeNotAFailure) {
+    const json::Value base =
+        doc_with("k.fwd_ms", {10.0}, "ms", Direction::kLowerIsBetter);
+    Report rep;
+    rep.set_name("bench_t");
+    rep.record("k.fwd_ms", RepeatStats::from_samples({10.0}), "ms",
+               Direction::kLowerIsBetter);
+    rep.record("k.fresh_ms", RepeatStats::from_samples({3.0}), "ms",
+               Direction::kLowerIsBetter);
+    json::Value cand;
+    std::string err;
+    ASSERT_TRUE(json::parse(rep.to_json(test_fingerprint()), cand, err)) << err;
+
+    const DiffReport d = diff_documents(base, cand);
+    EXPECT_FALSE(d.fail);  // new metrics inform, they do not gate by default
+    bool saw_new = false;
+    for (const MetricDelta& m : d.deltas)
+        if (m.kind == DeltaKind::kNew && m.name == "k.fresh_ms") saw_new = true;
+    EXPECT_TRUE(saw_new);
+
+    // The text report calls the drift out in its own NOTICE block.
+    const std::string text = render_text(d);
+    EXPECT_NE(text.find("NOTICE: 1 metric(s) absent from baseline"),
+              std::string::npos);
+    EXPECT_NE(text.find("k.fresh_ms"), std::string::npos);
+
+    // --strict-schema promotes the same drift to a failure.
+    DiffOptions strict;
+    strict.strict_schema = true;
+    EXPECT_TRUE(diff_documents(base, cand, strict).fail);
+}
+
+TEST(BenchDiff, StrictSchemaFailsOnSchemaFieldDrift) {
+    const json::Value doc =
+        doc_with("k.fwd_ms", {10.0}, "ms", Direction::kLowerIsBetter);
+    json::Value stale;
+    std::string err;
+    ASSERT_TRUE(json::parse("{\"schema\": \"sky.bench.v0\", \"metrics\": {}}",
+                            stale, err))
+        << err;
+    // Lenient: the mismatch is a note and the comparison proceeds.
+    const DiffReport lenient = diff_documents(stale, doc);
+    EXPECT_FALSE(lenient.fail);
+    ASSERT_FALSE(lenient.notes.empty());
+    EXPECT_NE(lenient.notes[0].find("baseline schema"), std::string::npos);
+    // Strict: the same mismatch gates.
+    DiffOptions strict;
+    strict.strict_schema = true;
+    EXPECT_TRUE(diff_documents(stale, doc, strict).fail);
+}
+
 TEST(BenchDiff, FingerprintDriftSurfacesAsNotes) {
     Report a, b;
     a.set_name("x");

@@ -1,0 +1,88 @@
+// Pins the shared SARIF 2.1.0 emitter (tools/sarif): document grammar,
+// string escaping, and the optional pieces (rules, physical/logical
+// locations) both present and absent.  skylint --sarif and skyanalyze
+// --sarif serialise through this one writer, so these tests are the format
+// contract for everything the CI lanes upload.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sarif/sarif.hpp"
+
+namespace {
+
+using sarif::Log;
+using sarif::Result;
+using sarif::Rule;
+
+TEST(Sarif, EmptyLogIsAWellFormedDocument) {
+    Log log;
+    log.tool_name = "toolless";
+    const std::string doc = log.str();
+    EXPECT_NE(doc.find("\"$schema\""), std::string::npos);
+    EXPECT_NE(doc.find("sarif-2.1.0.json"), std::string::npos);
+    EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"toolless\""), std::string::npos);
+    // Empty arrays must close, not dangle.
+    EXPECT_NE(doc.find("\"rules\": []"), std::string::npos);
+    EXPECT_NE(doc.find("\"results\": []"), std::string::npos);
+    // Optional driver fields are omitted entirely when unset.
+    EXPECT_EQ(doc.find("informationUri"), std::string::npos);
+    EXPECT_EQ(doc.find("\"version\": \"\""), std::string::npos);
+}
+
+TEST(Sarif, RulesAndResultsSerialiseWithLocations) {
+    Log log;
+    log.tool_name = "skylint";
+    log.tool_version = "1.2";
+    log.info_uri = "docs/STATIC_ANALYSIS.md";
+    log.rules.push_back({"E002", "error bound lost"});
+    log.rules.push_back({"raw-sync", "raw synchronisation primitive"});
+    log.results.push_back(
+        {"raw-sync", "error", "std::mutex outside sync/", "src/a.cpp", 12, ""});
+    log.results.push_back(
+        {"E002", "warning", "tracking lost", "", 0, "skynet_a/node/3"});
+    const std::string doc = log.str();
+
+    EXPECT_NE(doc.find("\"version\": \"1.2\""), std::string::npos);
+    EXPECT_NE(doc.find("\"informationUri\": \"docs/STATIC_ANALYSIS.md\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"id\": \"E002\""), std::string::npos);
+    EXPECT_NE(doc.find("\"shortDescription\": {\"text\": \"error bound lost\"}"),
+              std::string::npos);
+    // Physical location with a region for the file+line result.
+    EXPECT_NE(doc.find("\"uri\": \"src/a.cpp\""), std::string::npos);
+    EXPECT_NE(doc.find("\"region\": {\"startLine\": 12}"), std::string::npos);
+    // Logical-only result: no artifactLocation, a fullyQualifiedName instead.
+    EXPECT_NE(doc.find("\"fullyQualifiedName\": \"skynet_a/node/3\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"level\": \"error\""), std::string::npos);
+    EXPECT_NE(doc.find("\"level\": \"warning\""), std::string::npos);
+}
+
+TEST(Sarif, ResultWithoutAnyLocationOmitsTheLocationsArray) {
+    Log log;
+    log.tool_name = "t";
+    log.results.push_back({"R1", "note", "global finding", "", 0, ""});
+    const std::string doc = log.str();
+    EXPECT_EQ(doc.find("\"locations\""), std::string::npos);
+    EXPECT_NE(doc.find("\"message\": {\"text\": \"global finding\"}"),
+              std::string::npos);
+}
+
+TEST(Sarif, JsonEscapeCoversQuotesBackslashesAndControlBytes) {
+    EXPECT_EQ(sarif::json_escape("plain"), "plain");
+    EXPECT_EQ(sarif::json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(sarif::json_escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(sarif::json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(sarif::json_escape(std::string(1, '\x01')), "\\u0001");
+    // Escaping happens inside the document too, not only in the helper.
+    Log log;
+    log.tool_name = "t";
+    log.results.push_back({"R1", "warning", "path \"with\nnewline\"", "", 0, ""});
+    const std::string doc = log.str();
+    EXPECT_NE(doc.find("path \\\"with\\nnewline\\\""), std::string::npos);
+    EXPECT_EQ(doc.find("with\nnewline"), std::string::npos);
+}
+
+}  // namespace

@@ -5,6 +5,9 @@
 // diagnostics; this pins the contract that sky::Detector enforces on build.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <utility>
 
@@ -402,6 +405,116 @@ TEST(Analyze, PlanPeakBytesMatchInstrumentedExecution) {
     EXPECT_EQ(det.qengine()->alloc_events(), 0);
 }
 
+// ------------------------- fp32 interval domain: soundness by execution --
+
+/// Random conv/act/pool chains: every value a real forward pass produces
+/// must lie inside the statically analyzed per-node interval.
+TEST(Analyze, ValueIntervalsSoundOnRandomGraphs) {
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        Rng rng(seed * 53 + 1);
+        std::uint64_t s = seed * 1234567891ULL;
+        const auto pick = [&s](std::uint64_t n) {
+            s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+            return (s >> 33) % n;
+        };
+        nn::Graph g;
+        int last = g.input();
+        int ch = 3;
+        const int layers = 3 + static_cast<int>(pick(3));
+        for (int i = 0; i < layers; ++i) {
+            switch (pick(6)) {
+                case 0: {
+                    const int out = 4 + static_cast<int>(pick(3)) * 2;
+                    last = g.add(std::make_unique<nn::Conv2d>(ch, out, 3, 1, 1,
+                                                              pick(2) == 0, rng),
+                                 last);
+                    ch = out;
+                    break;
+                }
+                case 1: {
+                    const int out = 4 + static_cast<int>(pick(3)) * 2;
+                    last = g.add(
+                        std::make_unique<nn::PWConv1>(ch, out, pick(2) == 0, rng),
+                        last);
+                    ch = out;
+                    break;
+                }
+                case 2:
+                    last = g.add(std::make_unique<nn::DWConv3>(ch, rng), last);
+                    break;
+                case 3:
+                    last = g.add(std::make_unique<nn::Activation>(nn::Act::kReLU),
+                                 last);
+                    break;
+                case 4:
+                    last = g.add(std::make_unique<nn::Activation>(nn::Act::kReLU6),
+                                 last);
+                    break;
+                default:
+                    last = g.add(std::make_unique<nn::Activation>(nn::Act::kSigmoid),
+                                 last);
+                    break;
+            }
+        }
+        g.set_output(last);
+        verify::AnalyzeOptions opts;
+        opts.qconfig = quant::QuantConfig{}.with_input_range(-1.0f, 1.0f);
+        const verify::Analysis a = verify::analyze(g, {2, 3, 12, 12}, opts);
+        ASSERT_EQ(a.value_ranges.size(), g.node_count());
+
+        g.set_training(false);
+        Rng xr(seed * 7 + 3);
+        for (int trial = 0; trial < 2; ++trial) {
+            Tensor x({2, 3, 12, 12});
+            x.rand_uniform(xr, -1.0f, 1.0f);
+            (void)g.forward(x);
+            for (std::size_t i = 0; i < g.node_count(); ++i) {
+                const verify::Interval& v = a.value_ranges[i];
+                if (!v.known) continue;
+                // fp64 interval arithmetic vs fp32 kernel accumulation order.
+                const double tol =
+                    1e-4 * (1.0 + std::abs(v.lo) + std::abs(v.hi));
+                const Tensor& y = g.node_output(static_cast<int>(i));
+                for (std::int64_t j = 0; j < y.size(); ++j) {
+                    ASSERT_GE(y[j], v.lo - tol) << "seed " << seed << " node " << i;
+                    ASSERT_LE(y[j], v.hi + tol) << "seed " << seed << " node " << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(Analyze, NonFiniteWeightsAreReportedNotPropagatedAsFacts) {
+    Rng rng(3);
+    nn::Graph g;
+    const int c = g.add(std::make_unique<nn::Conv2d>(3, 4, 3, 1, 1, false, rng), 0);
+    g.set_output(g.add(std::make_unique<nn::Activation>(nn::Act::kReLU), c));
+    dynamic_cast<nn::Conv2d*>(g.node_module(1))->weight()[0] =
+        std::numeric_limits<float>::quiet_NaN();
+    const verify::Analysis a = verify::analyze(g, kIn);  // must not throw
+    ASSERT_EQ(a.value_ranges.size(), g.node_count());
+    // Whatever the domain does with NaN (drop to unknown), it must never
+    // claim a *finite known* interval for the poisoned conv.
+    const verify::Interval& v = a.value_ranges[1];
+    EXPECT_FALSE(v.known && std::isfinite(v.lo) && std::isfinite(v.hi));
+}
+
+TEST(Analyze, AllZeroWeightConvHasExactPointInterval) {
+    Rng rng(4);
+    nn::Graph g;
+    const int c = g.add(std::make_unique<nn::Conv2d>(3, 4, 3, 1, 1, false, rng), 0);
+    g.set_output(c);
+    dynamic_cast<nn::Conv2d*>(g.node_module(1))->weight().fill(0.0f);
+    verify::AnalyzeOptions opts;
+    opts.qconfig = quant::QuantConfig{}.with_input_range(-1.0f, 1.0f);
+    const verify::Analysis a = verify::analyze(g, {1, 3, 8, 8}, opts);
+    ASSERT_EQ(a.value_ranges.size(), g.node_count());
+    const verify::Interval& v = a.value_ranges[static_cast<std::size_t>(c)];
+    ASSERT_TRUE(v.known);
+    EXPECT_DOUBLE_EQ(v.lo, 0.0);  // a dead channel's interval is exactly {0}
+    EXPECT_DOUBLE_EQ(v.hi, 0.0);
+}
+
 // ------------------------------------------------- catalog exhaustiveness --
 
 /// A module whose shape inference throws — the only way to seed G010.
@@ -562,6 +675,35 @@ std::map<std::string, verify::Report> seeded_defect_reports() {
         verify::AnalyzeOptions opts;
         opts.qconfig = quant::QuantConfig{9, 15, 8.0f};
         out["A004"] = verify::analyze(g, kIn, opts).report;
+    }
+    {
+        // E001/E003/E004: a quantized conv against an impossibly tight
+        // budget — the input's half-step alone crosses it, the output bound
+        // dominates it, and no feasible fractional-bit count exists.
+        nn::Graph g;
+        g.set_output(
+            g.add(std::make_unique<nn::Conv2d>(3, 8, 3, 1, 1, true, rng), 0));
+        verify::AnalyzeOptions opts;
+        opts.qconfig = quant::QuantConfig{}.with_error_budget(1e-7f);
+        const verify::Report rep = verify::analyze(g, kIn, opts).report;
+        out["E001"] = rep;
+        out["E003"] = rep;
+        out["E004"] = rep;
+    }
+    {
+        // E002: a module kind no error transfer function knows, with an
+        // unknown value interval — the certified bound is unrecoverable.
+        struct OpaqueOp : nn::Module {
+            Tensor forward(const Tensor& x) override { return x; }
+            Tensor backward(const Tensor& grad) override { return grad; }
+            [[nodiscard]] std::string name() const override { return "OpaqueOp"; }
+            [[nodiscard]] Shape out_shape(const Shape& in) const override {
+                return in;
+            }
+        };
+        nn::Graph g;
+        g.set_output(g.add(std::make_unique<OpaqueOp>(), 0));
+        out["E002"] = verify::analyze(g, kIn).report;
     }
     return out;
 }

@@ -6,6 +6,8 @@
 //   --mad-k <f>       noise gate width in MAD-derived sigmas (default 4.0)
 //   --allow-missing   gated baseline metrics absent from the candidate warn
 //                     instead of failing
+//   --strict-schema   fail on schema drift: wrong `schema` field or metrics
+//                     present only in the candidate (otherwise a NOTICE)
 //   --json            machine-readable output instead of the text table
 //   --github          emit `path:line: [benchdiff] ...` lines for the GitHub
 //                     problem matcher (in addition to the text summary)
@@ -27,7 +29,8 @@ namespace {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--rel-tol <f>] [--mad-k <f>] [--allow-missing] "
-                 "[--json] [--github] <baseline.json> <candidate.json>\n",
+                 "[--strict-schema] [--json] [--github] "
+                 "<baseline.json> <candidate.json>\n",
                  argv0);
     return 2;
 }
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
             (arg == "--rel-tol" ? opts.rel_tol : opts.mad_k) = v;
         } else if (arg == "--allow-missing") {
             opts.allow_missing = true;
+        } else if (arg == "--strict-schema") {
+            opts.strict_schema = true;
         } else if (arg == "--json") {
             as_json = true;
         } else if (arg == "--github") {

@@ -1,0 +1,111 @@
+#include "sarif/sarif.hpp"
+
+#include <cstdio>
+
+namespace sarif {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void kv(std::string& out, const char* key, const std::string& value) {
+    out += '"';
+    out += key;
+    out += "\": \"";
+    out += json_escape(value);
+    out += '"';
+}
+
+}  // namespace
+
+std::string Log::str() const {
+    std::string o;
+    o += "{\n";
+    o += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+    o += "  \"version\": \"2.1.0\",\n";
+    o += "  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n";
+    o += "          ";
+    kv(o, "name", tool_name);
+    if (!tool_version.empty()) {
+        o += ",\n          ";
+        kv(o, "version", tool_version);
+    }
+    if (!info_uri.empty()) {
+        o += ",\n          ";
+        kv(o, "informationUri", info_uri);
+    }
+    o += ",\n          \"rules\": [";
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        o += i == 0 ? "\n" : ",\n";
+        o += "            {";
+        kv(o, "id", rules[i].id);
+        o += ", \"shortDescription\": {";
+        kv(o, "text", rules[i].description);
+        o += "}}";
+    }
+    o += rules.empty() ? "]\n" : "\n          ]\n";
+    o += "        }\n      },\n      \"results\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result& r = results[i];
+        o += i == 0 ? "\n" : ",\n";
+        o += "        {";
+        kv(o, "ruleId", r.rule_id);
+        o += ", ";
+        kv(o, "level", r.level);
+        o += ", \"message\": {";
+        kv(o, "text", r.message);
+        o += "}";
+        if (!r.file.empty() || !r.logical.empty()) {
+            o += ", \"locations\": [{";
+            bool first = true;
+            if (!r.file.empty()) {
+                o += "\"physicalLocation\": {\"artifactLocation\": {";
+                kv(o, "uri", r.file);
+                o += "}";
+                if (r.line > 0) {
+                    char buf[48];
+                    std::snprintf(buf, sizeof buf,
+                                  ", \"region\": {\"startLine\": %d}", r.line);
+                    o += buf;
+                }
+                o += "}";
+                first = false;
+            }
+            if (!r.logical.empty()) {
+                if (!first) o += ", ";
+                o += "\"logicalLocations\": [{";
+                kv(o, "fullyQualifiedName", r.logical);
+                o += "}]";
+            }
+            o += "}]";
+        }
+        o += "}";
+    }
+    o += results.empty() ? "]\n" : "\n      ]\n";
+    o += "    }\n  ]\n}\n";
+    return o;
+}
+
+}  // namespace sarif

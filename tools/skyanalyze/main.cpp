@@ -7,20 +7,29 @@
 //   skyanalyze --json          machine-readable report for other tooling
 //   skyanalyze --plan <file>   additionally write the per-model activation
 //                              memory plans to <file> (the CI artifact)
+//   skyanalyze --sarif <file>  additionally write a SARIF 2.1.0 log
+//   skyanalyze --deny CODES    promote comma-separated codes to errors
+//                              (the CI lint lane denies E002: a shipped
+//                              model must never lose its certified bound)
+//   skyanalyze --budget <f>    per-layer |int8 - fp32| error budget — arms
+//                              E001/E003/E004 against the certified bounds
 //   skyanalyze --catalog       print the diagnostic catalog and exit
 //
 // Text diagnostics print as `model: severity CODE @node N: message`, matched
 // in CI by .github/problem-matchers/skyanalyze.json (mirroring skylint).
-// Exit status is non-zero only when a model carries ERRORS — warnings (the
-// A-codes are all warnings) annotate the build without failing it.
+// Exit status: 0 clean, 1 warnings only, 2 errors (including denied codes),
+// 3 usage error.
 //
 // SkyNet variants additionally run the deployment pipeline the Detector
 // uses: deploy::fold_graph_bn then verify::check_qmodel under the default
 // quantization scheme, so the integer-eligibility proofs (Q-codes, A004)
-// run on the same folded graph the QEngine would compile.
+// and the certified error bounds run on the same folded graph the QEngine
+// would compile.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,6 +38,7 @@
 #include "deploy/fold_bn.hpp"
 #include "nn/graph.hpp"
 #include "nn/sequential.hpp"
+#include "sarif/sarif.hpp"
 #include "skynet/skynet_model.hpp"
 #include "verify/analyze.hpp"
 #include "verify/check_graph.hpp"
@@ -49,6 +59,9 @@ struct ModelResult {
     deploy::MemoryPlan plan;
     bool has_plan = false;
     Shape input{};
+    bool has_bound = false;          // the error domain ran
+    bool bound_known = false;        // certified bound exists (no E002)
+    double bound = 0.0;              // certified |int8 - fp32| at the output
 };
 
 void merge(verify::Report& into, const verify::Report& from) {
@@ -71,17 +84,23 @@ std::unique_ptr<nn::Graph> to_graph(nn::ModulePtr net) {
 }
 
 ModelResult analyze_graph(std::string name, const nn::Graph& g, const Shape& input,
-                          bool qmodel) {
+                          bool qmodel, float budget) {
     ModelResult r;
     r.name = std::move(name);
     r.input = input;
     r.report = verify::check_graph(g, input);
     if (qmodel) merge(r.report, verify::check_qmodel(g, quant::QuantConfig{}));
     if (r.report.ok()) {  // value/liveness domains assume a well-formed graph
-        const verify::Analysis a = verify::analyze(g, input);
+        verify::AnalyzeOptions opts;
+        if (budget > 0.0f)
+            opts.qconfig = opts.qconfig.with_error_budget(budget);
+        const verify::Analysis a = verify::analyze(g, input, opts);
         merge(r.report, a.report);
         r.plan = a.plan;
         r.has_plan = a.has_plan;
+        r.has_bound = a.has_errors;
+        r.bound_known = a.errors.output_known;
+        r.bound = a.errors.output_bound;
     }
     return r;
 }
@@ -115,6 +134,10 @@ void print_json(const std::vector<ModelResult>& results, int errors, int warning
                         json_escape(d.hint).c_str());
         }
         std::printf("%s],\n", ds.empty() ? "" : "\n     ");
+        if (r.has_bound && r.bound_known)
+            std::printf("     \"certified_error_bound\": %.9g,\n", r.bound);
+        else
+            std::printf("     \"certified_error_bound\": null,\n");
         if (r.has_plan)
             std::printf("     \"plan\": {\"peak_bytes\": %lld, \"arena_bytes\": %lld, "
                         "\"total_bytes\": %lld, \"slots\": %zu}}",
@@ -146,18 +169,68 @@ void write_plan_report(const std::vector<ModelResult>& results, const char* path
     std::fclose(f);
 }
 
+int write_sarif(const std::vector<ModelResult>& results, const char* path) {
+    sarif::Log log;
+    log.tool_name = "skyanalyze";
+    log.info_uri = "docs/STATIC_ANALYSIS.md";
+    for (const verify::CatalogEntry& e : verify::catalog())
+        log.rules.push_back({e.code, e.summary});
+    for (const ModelResult& r : results)
+        for (const verify::Diagnostic& d : r.report.diagnostics) {
+            sarif::Result res;
+            res.rule_id = d.code;
+            res.level =
+                d.severity == verify::Severity::kError ? "error" : "warning";
+            res.message = r.name + ": " + d.message;
+            res.logical = r.name + "/node/" + std::to_string(d.node);
+            log.results.push_back(std::move(res));
+        }
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "skyanalyze: cannot write %s\n", path);
+        return 1;
+    }
+    const std::string doc = log.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return 0;
+}
+
+/// --deny E002,A004: promote the named codes to errors before counting, so
+/// CI can fail a lane on findings that are only warnings by default.
+std::set<std::string> parse_deny(const std::string& codes) {
+    std::set<std::string> out;
+    std::string cur;
+    for (const char c : codes) {
+        if (c == ',') {
+            if (!cur.empty()) out.insert(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty()) out.insert(cur);
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     bool json = false;
     const char* plan_path = nullptr;
+    const char* sarif_path = nullptr;
+    std::set<std::string> deny;
+    float budget = 0.0f;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: skyanalyze [--json] [--plan <file>] [--catalog]\n"
-                        "checks: G001-G012 M001-M003 Q001-Q006 (structure/scheme)\n"
-                        "        A001-A004 (abstract interpretation)\n"
-                        "see docs/STATIC_ANALYSIS.md for the catalog\n");
+            std::printf(
+                "usage: skyanalyze [--json] [--plan <file>] [--sarif <file>]\n"
+                "                  [--deny CODE[,CODE...]] [--budget <f>] [--catalog]\n"
+                "checks: G001-G012 M001-M003 Q001-Q006 (structure/scheme)\n"
+                "        A001-A004 E001-E004 (abstract interpretation)\n"
+                "exit:   0 clean, 1 warnings, 2 errors, 3 usage\n"
+                "see docs/STATIC_ANALYSIS.md for the catalog\n");
             return 0;
         }
         if (arg == "--catalog") {
@@ -174,8 +247,25 @@ int main(int argc, char** argv) {
             plan_path = argv[++i];
             continue;
         }
+        if (arg == "--sarif" && i + 1 < argc) {
+            sarif_path = argv[++i];
+            continue;
+        }
+        if (arg == "--deny" && i + 1 < argc) {
+            const std::set<std::string> more = parse_deny(argv[++i]);
+            deny.insert(more.begin(), more.end());
+            continue;
+        }
+        if (arg == "--budget" && i + 1 < argc) {
+            budget = std::strtof(argv[++i], nullptr);
+            if (!(budget > 0.0f)) {
+                std::fprintf(stderr, "skyanalyze: --budget needs a positive float\n");
+                return 3;
+            }
+            continue;
+        }
         std::fprintf(stderr, "skyanalyze: unknown argument '%s'\n", arg.c_str());
-        return 2;
+        return 3;
     }
 
     const Shape input = verify::default_input_shape();
@@ -185,10 +275,11 @@ int main(int argc, char** argv) {
         Rng rng(7);  // fixed seed: diagnostics depend on shapes, not weights
         backbones::Backbone b = backbones::build_by_name(bname, kBackboneWidth, rng);
         if (auto* g = dynamic_cast<nn::Graph*>(b.net.get())) {
-            results.push_back(analyze_graph(bname, *g, input, /*qmodel=*/false));
+            results.push_back(analyze_graph(bname, *g, input, /*qmodel=*/false, budget));
         } else {
             const std::unique_ptr<nn::Graph> g2 = to_graph(std::move(b.net));
-            results.push_back(analyze_graph(bname, *g2, input, /*qmodel=*/false));
+            results.push_back(
+                analyze_graph(bname, *g2, input, /*qmodel=*/false, budget));
         }
     }
     for (SkyNetVariant v : {SkyNetVariant::kA, SkyNetVariant::kB, SkyNetVariant::kC}) {
@@ -197,8 +288,14 @@ int main(int argc, char** argv) {
         deploy::fold_graph_bn(*m.net);  // analyze the graph QEngine would compile
         m.net->set_training(false);
         results.push_back(analyze_graph(std::string("skynet-") + variant_name(v),
-                                        *m.net, input, /*qmodel=*/true));
+                                        *m.net, input, /*qmodel=*/true, budget));
     }
+
+    // Denied codes become errors before anything is counted or serialised.
+    if (!deny.empty())
+        for (ModelResult& r : results)
+            for (verify::Diagnostic& d : r.report.diagnostics)
+                if (deny.count(d.code) != 0) d.severity = verify::Severity::kError;
 
     int errors = 0, warnings = 0;
     for (const ModelResult& r : results) {
@@ -212,6 +309,11 @@ int main(int argc, char** argv) {
         for (const ModelResult& r : results) {
             for (const verify::Diagnostic& d : r.report.diagnostics)
                 std::printf("%s: %s\n", r.name.c_str(), d.str().c_str());
+            if (r.has_bound)
+                std::printf("%s: certified |int8 - fp32| %s\n", r.name.c_str(),
+                            r.bound_known
+                                ? ("<= " + std::to_string(r.bound)).c_str()
+                                : "unbounded (error tracking lost)");
             if (r.has_plan)
                 std::printf("%s: activations @%s: %s\n", r.name.c_str(),
                             r.input.str().c_str(), r.plan.summary().c_str());
@@ -220,5 +322,7 @@ int main(int argc, char** argv) {
                     results.size(), errors, warnings);
     }
     if (plan_path) write_plan_report(results, plan_path);
-    return errors ? 1 : 0;
+    if (sarif_path && write_sarif(results, sarif_path) != 0) return 3;
+    if (errors) return 2;
+    return warnings ? 1 : 0;
 }

@@ -5,20 +5,52 @@
 // `--json` prints the violations as a JSON array instead of the
 // `file:line: [rule] message` lines (the CI lane uses the text form with a
 // GitHub problem matcher, .github/problem-matchers/skylint.json; the JSON
-// form is for other tooling).
+// form is for other tooling).  `--sarif <file>` additionally writes the
+// violations as a SARIF 2.1.0 log (the CI lane uploads it as an artifact).
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "sarif/sarif.hpp"
 #include "skylint/lint.hpp"
+
+namespace {
+
+int write_sarif(const std::string& path,
+                const std::vector<skylint::Violation>& violations) {
+    sarif::Log log;
+    log.tool_name = "skylint";
+    log.info_uri = "docs/STATIC_ANALYSIS.md";
+    std::set<std::string> rule_ids;
+    for (const skylint::Violation& v : violations) rule_ids.insert(v.rule);
+    for (const std::string& id : rule_ids)
+        log.rules.push_back({id, "skylint rule " + id +
+                                     " (see docs/STATIC_ANALYSIS.md)"});
+    for (const skylint::Violation& v : violations)
+        // Violations fail the lint build, so they are SARIF errors.
+        log.results.push_back({v.rule, "error", v.message, v.file, v.line, ""});
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "skylint: cannot write %s\n", path.c_str());
+        return 1;
+    }
+    const std::string doc = log.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     std::string root = ".";
+    std::string sarif_path;
     bool json = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: skylint [--json] [repo-root]\n"
+            std::printf("usage: skylint [--json] [--sarif <file>] [repo-root]\n"
                         "rules: raw-new-delete raw-sync mutex-doc include-hygiene\n"
                         "       using-namespace-std L000-L003 (include-graph layering)\n"
                         "see docs/STATIC_ANALYSIS.md for the catalog\n");
@@ -28,9 +60,18 @@ int main(int argc, char** argv) {
             json = true;
             continue;
         }
+        if (arg == "--sarif") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "skylint: --sarif needs a file argument\n");
+                return 2;
+            }
+            sarif_path = argv[++i];
+            continue;
+        }
         root = arg;
     }
     const std::vector<skylint::Violation> violations = skylint::scan_tree(root);
+    if (!sarif_path.empty() && write_sarif(sarif_path, violations) != 0) return 2;
     if (json) {
         std::printf("[");
         for (std::size_t i = 0; i < violations.size(); ++i)
